@@ -1,0 +1,125 @@
+// Command analyze runs the paper's analysis pipeline (§III-C) over a table
+// file produced by cmd/blockgen: it groups the rows by block, applies the
+// process_graph logic, bucketizes the per-block metrics, and prints both a
+// summary and the bucketed series (optionally as CSV).
+//
+// Usage:
+//
+//	analyze -model utxo -buckets 20 bitcoin.jsonl
+//	analyze -model account -csv ethereum.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"txconcur/internal/analysis"
+	"txconcur/internal/core"
+	"txconcur/internal/dataset"
+	"txconcur/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	model := fs.String("model", "utxo", `data model of the table: "utxo" or "account"`)
+	format := fs.String("format", "jsonl", `input format: "jsonl" (table) or "gob" (blockgen -format gob history)`)
+	buckets := fs.Int("buckets", 20, "time-series buckets")
+	csv := fs.Bool("csv", false, "emit bucketed series as CSV instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: analyze [-model utxo|account] [-format jsonl|gob] [-buckets N] [-csv] <history file>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	h := &analysis.History{Chain: fs.Arg(0)}
+	switch {
+	case *format == "gob" && *model == "utxo":
+		chain, blocks, err := store.ReadUTXO(f)
+		if err != nil {
+			return err
+		}
+		h.Chain = chain
+		for _, b := range blocks {
+			h.Add(b.Height, b.Time, core.MeasureUTXOBlock(b))
+		}
+	case *format == "gob" && *model == "account":
+		chain, blocks, receipts, err := store.ReadAccount(f)
+		if err != nil {
+			return err
+		}
+		h.Chain = chain
+		for i, b := range blocks {
+			h.Add(b.Height, b.Time, core.MeasureAccountBlock(b, receipts[i]))
+		}
+	case *format == "jsonl" && *model == "utxo":
+		rows, err := dataset.ReadJSONL[dataset.UTXOTxRow](f)
+		if err != nil {
+			return err
+		}
+		results, err := dataset.QueryUTXO(rows)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			h.Add(r.BlockNumber, r.BlockTime, r.Metrics())
+		}
+	case *format == "jsonl" && *model == "account":
+		rows, err := dataset.ReadJSONL[dataset.AccountTxRow](f)
+		if err != nil {
+			return err
+		}
+		results, err := dataset.QueryAccount(rows)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			h.Add(r.BlockNumber, r.BlockTime, r.Metrics())
+		}
+	default:
+		return fmt.Errorf("unknown -model %q / -format %q", *model, *format)
+	}
+	summary, err := analysis.Summary(h)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("blocks: %d\n", h.Len())
+	fmt.Printf("mean txs/block: %.1f\n", summary.MeanTxs)
+	fmt.Printf("single-transaction conflict rate (tx-weighted): %.2f%%\n", 100*summary.SingleTxWeighted)
+	fmt.Printf("group conflict rate (tx-weighted): %.2f%%\n", 100*summary.GroupTxWeighted)
+	if summary.SingleGasWeighted > 0 {
+		fmt.Printf("single-transaction conflict rate (gas-weighted): %.2f%%\n", 100*summary.SingleGasWeighted)
+		fmt.Printf("group conflict rate (gas-weighted): %.2f%%\n", 100*summary.GroupGasWeighted)
+	}
+
+	bks, err := analysis.Bucketize(h, *buckets)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		return analysis.WriteCSV(os.Stdout, bks, analysis.StandardColumns())
+	}
+	fmt.Println()
+	cols := []analysis.Column{
+		{Name: "single_tx_w", Get: func(b analysis.Bucket) float64 { return b.SingleTxWeighted }},
+		{Name: "group_tx_w", Get: func(b analysis.Bucket) float64 { return b.GroupTxWeighted }},
+		{Name: "txs", Get: func(b analysis.Bucket) float64 { return b.MeanTxs }},
+	}
+	for _, c := range cols {
+		fmt.Printf("%-12s %s\n", c.Name, analysis.Sparkline(bks, c))
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"txconcur/internal/chainsim"
+	"txconcur/internal/dataset"
+)
+
+func writeFixture(t *testing.T) (utxoPath, acctPath string) {
+	t.Helper()
+	dir := t.TempDir()
+
+	g, err := chainsim.NewUTXOGen(chainsim.DogecoinProfile(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var urows []dataset.UTXOTxRow
+	for {
+		blk, ok, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		urows = append(urows, dataset.FromUTXOBlock(blk)...)
+	}
+	utxoPath = filepath.Join(dir, "utxo.jsonl")
+	uf, err := os.Create(utxoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteJSONL(uf, urows); err != nil {
+		t.Fatal(err)
+	}
+	uf.Close()
+
+	ag, err := chainsim.NewAcctGen(chainsim.ZilliqaProfile(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arows []dataset.AccountTxRow
+	for {
+		blk, receipts, ok, err := ag.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		arows = append(arows, dataset.FromAccountBlock(blk, receipts)...)
+	}
+	acctPath = filepath.Join(dir, "acct.jsonl")
+	af, err := os.Create(acctPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteJSONL(af, arows); err != nil {
+		t.Fatal(err)
+	}
+	af.Close()
+	return utxoPath, acctPath
+}
+
+func TestAnalyzeUTXO(t *testing.T) {
+	utxoPath, _ := writeFixture(t)
+	if err := run([]string{"-model", "utxo", "-buckets", "3", utxoPath}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeAccountCSV(t *testing.T) {
+	_, acctPath := writeFixture(t)
+	if err := run([]string{"-model", "account", "-csv", acctPath}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"-model", "bogus", "nosuchfile"}); err == nil {
+		t.Fatal("missing file + bad model accepted")
+	}
+	utxoPath, _ := writeFixture(t)
+	if err := run([]string{"-model", "bogus", utxoPath}); err == nil {
+		t.Fatal("bad model accepted")
+	}
+}

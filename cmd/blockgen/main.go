@@ -1,0 +1,123 @@
+// Command blockgen generates a synthetic-but-valid chain history for one of
+// the seven profiled blockchains and exports it as a JSON Lines table in
+// the BigQuery-style schema (dataset package), ready for cmd/analyze.
+//
+// Usage:
+//
+//	blockgen -chain Bitcoin -blocks 100 -o bitcoin.jsonl
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"txconcur/internal/account"
+	"txconcur/internal/chainsim"
+	"txconcur/internal/dataset"
+	"txconcur/internal/store"
+	"txconcur/internal/utxo"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "blockgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("blockgen", flag.ContinueOnError)
+	chain := fs.String("chain", "Bitcoin", "chain profile name (see Table I)")
+	blocks := fs.Int("blocks", 100, "history blocks to generate")
+	seed := fs.Int64("seed", 2020, "generator seed")
+	out := fs.String("o", "", "output file (default stdout)")
+	format := fs.String("format", "jsonl", `output format: "jsonl" (BigQuery-style table) or "gob" (binary history with full blocks)`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "jsonl" && *format != "gob" {
+		return fmt.Errorf("unknown -format %q", *format)
+	}
+
+	p, ok := chainsim.ProfileByName(*chain)
+	if !ok {
+		return fmt.Errorf("unknown chain %q; known: Bitcoin, Bitcoin Cash, Litecoin, Dogecoin, Ethereum, Ethereum Classic, Zilliqa", *chain)
+	}
+
+	var w *bufio.Writer
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	} else {
+		w = bufio.NewWriter(os.Stdout)
+	}
+	defer w.Flush()
+
+	switch p.Model {
+	case chainsim.UTXO:
+		g, err := chainsim.NewUTXOGen(p, *blocks, *seed)
+		if err != nil {
+			return err
+		}
+		var kept []*utxo.Block
+		n := 0
+		for {
+			blk, ok, err := g.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if *format == "gob" {
+				kept = append(kept, blk)
+			} else if err := dataset.WriteJSONL(w, dataset.FromUTXOBlock(blk)); err != nil {
+				return err
+			}
+			n++
+		}
+		if *format == "gob" {
+			if err := store.WriteUTXO(w, p.Name, kept); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "blockgen: %s: %d blocks written\n", p.Name, n)
+	case chainsim.Account:
+		g, err := chainsim.NewAcctGen(p, *blocks, *seed)
+		if err != nil {
+			return err
+		}
+		var keptB []*account.Block
+		var keptR [][]*account.Receipt
+		n := 0
+		for {
+			blk, receipts, ok, err := g.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if *format == "gob" {
+				keptB = append(keptB, blk)
+				keptR = append(keptR, receipts)
+			} else if err := dataset.WriteJSONL(w, dataset.FromAccountBlock(blk, receipts)); err != nil {
+				return err
+			}
+			n++
+		}
+		if *format == "gob" {
+			if err := store.WriteAccount(w, p.Name, keptB, keptR); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "blockgen: %s: %d blocks written\n", p.Name, n)
+	}
+	return nil
+}

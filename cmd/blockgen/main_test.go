@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"txconcur/internal/dataset"
+	"txconcur/internal/store"
+)
+
+func TestRunUTXO(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "btc.jsonl")
+	if err := run([]string{"-chain", "Bitcoin", "-blocks", "4", "-seed", "1", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := dataset.ReadJSONL[dataset.UTXOTxRow](f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows written")
+	}
+	// One coinbase per block (eraSchedule may round the block count up to
+	// one per era).
+	coinbases := 0
+	blocks := map[uint64]bool{}
+	for _, r := range rows {
+		blocks[r.BlockNumber] = true
+		if r.IsCoinbase {
+			coinbases++
+		}
+	}
+	if coinbases < 4 || coinbases != len(blocks) {
+		t.Fatalf("coinbases = %d over %d blocks, want one per block and >= 4", coinbases, len(blocks))
+	}
+}
+
+func TestRunAccount(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "eth.jsonl")
+	if err := run([]string{"-chain", "Ethereum", "-blocks", "3", "-seed", "1", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := dataset.ReadJSONL[dataset.AccountTxRow](f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows written")
+	}
+}
+
+func TestRunUnknownChain(t *testing.T) {
+	if err := run([]string{"-chain", "Solana"}); err == nil {
+		t.Fatal("unknown chain accepted")
+	}
+	if err := run([]string{"-format", "xml"}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestRunGobFormats(t *testing.T) {
+	dir := t.TempDir()
+	upath := filepath.Join(dir, "ltc.hist")
+	if err := run([]string{"-chain", "Litecoin", "-blocks", "3", "-format", "gob", "-o", upath}); err != nil {
+		t.Fatal(err)
+	}
+	chain, blocks, err := store.LoadUTXOFile(upath)
+	if err != nil || chain != "Litecoin" || len(blocks) != 3 {
+		t.Fatalf("gob utxo: %q %d blocks, %v", chain, len(blocks), err)
+	}
+	apath := filepath.Join(dir, "zil.hist")
+	if err := run([]string{"-chain", "Zilliqa", "-blocks", "3", "-format", "gob", "-o", apath}); err != nil {
+		t.Fatal(err)
+	}
+	chain, ab, ar, err := store.LoadAccountFile(apath)
+	if err != nil || chain != "Zilliqa" || len(ab) != len(ar) {
+		t.Fatalf("gob account: %q %d/%d, %v", chain, len(ab), len(ar), err)
+	}
+}

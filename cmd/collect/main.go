@@ -1,0 +1,103 @@
+// Command collect demonstrates the paper's Zilliqa data-collection path
+// (§III-B) end to end: it generates a Zilliqa-like history, serves it over
+// JSON-RPC on a local port, downloads it back with the rate-limited
+// two-phase collector, and runs the analysis pipeline on the collected
+// table — the full loop the paper's authors ran against Zilliqa's mainnet
+// with their Python client at ~4 requests per second.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"txconcur/internal/analysis"
+	"txconcur/internal/chainsim"
+	"txconcur/internal/client"
+	"txconcur/internal/dataset"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "collect:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	blocks := flag.Int("blocks", 40, "history blocks to generate and serve")
+	seed := flag.Int64("seed", 2020, "generator seed")
+	interval := flag.Duration("interval", 2*time.Millisecond, "request spacing (the paper saw ~250ms against mainnet)")
+	flag.Parse()
+
+	// Generate the history and export it to table rows.
+	gen, err := chainsim.NewAcctGen(chainsim.ZilliqaProfile(), *blocks, *seed)
+	if err != nil {
+		return err
+	}
+	var rows []dataset.AccountTxRow
+	for {
+		blk, receipts, ok, err := gen.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, dataset.FromAccountBlock(blk, receipts)...)
+	}
+
+	// Serve it on an ephemeral local port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: client.NewChainServer(rows)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		<-serveErr
+	}()
+	url := "http://" + ln.Addr().String()
+	fmt.Printf("serving %d blocks at %s\n", *blocks, url)
+
+	// Collect it back with the two-phase client.
+	start := time.Now()
+	c := &client.Collector{URL: url, Interval: *interval, MaxRetries: 3}
+	collected, err := c.CollectAll(context.Background(), func(p client.Progress) {
+		if p.Block%16 == 15 || p.Block+1 == p.Blocks {
+			fmt.Printf("  phase 1+2: block %d/%d, %d transactions\n", p.Block+1, p.Blocks, p.Transactions)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collected %d rows in %v (rate limit %v/request)\n\n", len(collected), time.Since(start).Round(time.Millisecond), *interval)
+
+	// Analyse the collected table.
+	results, err := dataset.QueryAccount(collected)
+	if err != nil {
+		return err
+	}
+	h := &analysis.History{Chain: "Zilliqa (collected)"}
+	for _, r := range results {
+		h.Add(r.BlockNumber, r.BlockTime, r.Metrics())
+	}
+	s, err := analysis.Summary(h)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Zilliqa-like history, measured from the collected table:\n")
+	fmt.Printf("  blocks: %d, mean txs/block: %.1f\n", h.Len(), s.MeanTxs)
+	fmt.Printf("  single-transaction conflict rate: %.1f%%\n", 100*s.SingleTxWeighted)
+	fmt.Printf("  group conflict rate:              %.1f%%\n", 100*s.GroupTxWeighted)
+	fmt.Println("\n(the paper, Figure 7: Zilliqa shows the highest conflict rates of the seven chains)")
+	return nil
+}

@@ -1,0 +1,180 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation, plus the extension experiments (E1–E3), printing them as text
+// tables and sparkline charts.
+//
+// Usage:
+//
+//	experiments [-blocks N] [-buckets N] [-seed N] [-run regexp]
+//
+// The -run filter selects experiments by name (tableI, fig1, fig4, fig5,
+// fig6, fig7, fig8, fig9, fig10, summary, exec, sched, approxtdg).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"txconcur/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	blocks := fs.Int("blocks", 200, "history blocks generated per chain")
+	buckets := fs.Int("buckets", 40, "time-series buckets (paper: 20-200)")
+	seed := fs.Int64("seed", 2020, "generator seed")
+	filter := fs.String("run", "", "regexp of experiment names to run")
+	execBlocks := fs.Int("execblocks", 20, "blocks for the executor experiments")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if re, err = regexp.Compile(*filter); err != nil {
+			return fmt.Errorf("bad -run: %w", err)
+		}
+	}
+	want := func(name string) bool { return re == nil || re.MatchString(name) }
+
+	r := bench.NewRunner(*blocks, *buckets, *seed)
+	out := os.Stdout
+
+	if want("tableI") {
+		if err := bench.RenderTable(out, bench.TableI()); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("fig1") {
+		if err := bench.RenderTable(out, bench.Fig1()); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
+	figures := []struct {
+		name string
+		fn   func() (bench.Figure, error)
+	}{
+		{"fig4", r.Fig4},
+		{"fig5", r.Fig5},
+		{"fig7", r.Fig7},
+		{"fig8", r.Fig8},
+		{"fig9", r.Fig9},
+		{"fig10", r.Fig10},
+	}
+	for _, f := range figures {
+		if !want(f.name) {
+			continue
+		}
+		fig, err := f.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.name, err)
+		}
+		if err := bench.RenderFigure(out, fig); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
+	if want("fig6") {
+		tbl, err := r.Fig6()
+		if err != nil {
+			return fmt.Errorf("fig6: %w", err)
+		}
+		if err := bench.RenderTable(out, tbl); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("summary") {
+		tbl, err := r.SummaryTable()
+		if err != nil {
+			return fmt.Errorf("summary: %w", err)
+		}
+		if err := bench.RenderTable(out, tbl); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("exec") {
+		tbl, err := bench.ExecutorComparison(*execBlocks, *seed, []int{2, 4, 8, 64})
+		if err != nil {
+			return fmt.Errorf("exec: %w", err)
+		}
+		if err := bench.RenderTable(out, tbl); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("sched") {
+		tbl, err := bench.SchedulingQuality(*execBlocks, *seed, []int{2, 4, 8, 64})
+		if err != nil {
+			return fmt.Errorf("sched: %w", err)
+		}
+		if err := bench.RenderTable(out, tbl); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("approxtdg") {
+		tbl, err := bench.ApproxTDGEffectiveness(*execBlocks, *seed, 8)
+		if err != nil {
+			return fmt.Errorf("approxtdg: %w", err)
+		}
+		if err := bench.RenderTable(out, tbl); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("interblock") {
+		tbl, err := bench.InterBlockConcurrency(*execBlocks, *seed, []int{1, 2, 4, 8}, 8)
+		if err != nil {
+			return fmt.Errorf("interblock: %w", err)
+		}
+		if err := bench.RenderTable(out, tbl); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("utxoexec") {
+		tbl, err := bench.UTXOValidation(*execBlocks, *seed, []int{2, 4, 8, 64})
+		if err != nil {
+			return fmt.Errorf("utxoexec: %w", err)
+		}
+		if err := bench.RenderTable(out, tbl); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("sharding") {
+		tbl, err := bench.ShardingAnalysis(*execBlocks, *seed, []int{2, 4, 8, 16})
+		if err != nil {
+			return fmt.Errorf("sharding: %w", err)
+		}
+		if err := bench.RenderTable(out, tbl); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("census") {
+		tbl, err := bench.CensusTable(*execBlocks, *seed)
+		if err != nil {
+			return fmt.Errorf("census: %w", err)
+		}
+		if err := bench.RenderTable(out, tbl); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestRunStaticExperiments(t *testing.T) {
+	// tableI and fig1 need no generation; anchored regexp avoids fig10.
+	if err := run([]string{"-run", "tableI|fig1$", "-blocks", "5", "-buckets", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOneFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a history")
+	}
+	if err := run([]string{"-run", "fig5", "-blocks", "10", "-buckets", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFilter(t *testing.T) {
+	if err := run([]string{"-run", "("}); err == nil {
+		t.Fatal("bad regexp accepted")
+	}
+}

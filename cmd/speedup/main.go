@@ -1,0 +1,84 @@
+// Command speedup evaluates the paper's execution speed-up model (§V) for
+// given block parameters: equation (1) for speculative single-transaction
+// concurrency and equation (2) for group concurrency, across core counts.
+//
+// Usage:
+//
+//	speedup -txs 100 -single 0.6 -group 0.2 -cores 4,8,64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"txconcur/internal/bench"
+	"txconcur/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "speedup:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("speedup", flag.ContinueOnError)
+	txs := fs.Int("txs", 100, "transactions per block (x)")
+	single := fs.Float64("single", 0.6, "single-transaction conflict rate (c)")
+	group := fs.Float64("group", 0.2, "group conflict rate (l)")
+	coresFlag := fs.String("cores", "4,8,64", "comma-separated core counts")
+	k := fs.Float64("k", 0, "pre-processing cost K in time units")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var cores []int
+	for _, part := range strings.Split(*coresFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad -cores: %w", err)
+		}
+		cores = append(cores, n)
+	}
+
+	t := bench.Table{
+		Title: fmt.Sprintf("Speed-up model: x=%d, c=%.2f, l=%.2f, K=%.1f", *txs, *single, *group, *k),
+		Headers: []string{
+			"Cores", "Eq.(1) speculative", "Exact speculative", "Perfect info", "Eq.(2) group", "Group with K",
+		},
+	}
+	for _, n := range cores {
+		eq1, err := core.SpeculativeSpeedup(*txs, *single, n)
+		if err != nil {
+			return err
+		}
+		exact, err := core.SpeculativeSpeedupExact(*txs, *single, n)
+		if err != nil {
+			return err
+		}
+		perfect, err := core.PerfectInfoSpeedup(*txs, *single, n, *k)
+		if err != nil {
+			return err
+		}
+		eq2, err := core.GroupSpeedup(n, *group)
+		if err != nil {
+			return err
+		}
+		eq2k, err := core.GroupSpeedupWithCost(*txs, *group, n, *k)
+		if err != nil {
+			return err
+		}
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(n),
+			fmt.Sprintf("%.2fx", eq1),
+			fmt.Sprintf("%.2fx", exact),
+			fmt.Sprintf("%.2fx", perfect),
+			fmt.Sprintf("%.2fx", eq2),
+			fmt.Sprintf("%.2fx", eq2k),
+		})
+	}
+	return bench.RenderTable(os.Stdout, t)
+}

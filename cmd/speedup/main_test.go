@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunDefaults(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustom(t *testing.T) {
+	if err := run([]string{"-txs", "16", "-single", "0.875", "-group", "0.5625", "-cores", "8,16", "-k", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-cores", "eight"}); err == nil {
+		t.Fatal("bad cores accepted")
+	}
+	if err := run([]string{"-single", "1.5"}); err == nil {
+		t.Fatal("out-of-domain rate accepted")
+	}
+}

@@ -1,0 +1,104 @@
+// Ethhistory reproduces the paper's Ethereum analysis end to end: it
+// generates a calibrated Ethereum-like history (2015H2–2019 eras), runs the
+// bucketed conflict-rate analysis of Figure 4, and derives the potential
+// speed-ups of Figure 10.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"txconcur/internal/analysis"
+	"txconcur/internal/bench"
+	"txconcur/internal/chainsim"
+	"txconcur/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ethhistory:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	blocks := flag.Int("blocks", 150, "history blocks to generate")
+	buckets := flag.Int("buckets", 25, "series buckets")
+	seed := flag.Int64("seed", 2020, "generator seed")
+	flag.Parse()
+
+	gen, err := chainsim.NewAcctGen(chainsim.EthereumProfile(), *blocks, *seed)
+	if err != nil {
+		return err
+	}
+	h := &analysis.History{Chain: "Ethereum"}
+	for {
+		blk, receipts, ok, err := gen.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		h.Add(blk.Height, blk.Time, core.MeasureAccountBlock(blk, receipts))
+	}
+
+	summary, err := analysis.Summary(h)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Ethereum-like history: %d blocks, %.0f txs/block (%.0f incl. internal)\n",
+		h.Len(), summary.MeanTxs, summary.MeanAllTxs)
+	fmt.Printf("whole-history single-transaction conflict rate: %.1f%% (tx-weighted), %.1f%% (gas-weighted)\n",
+		100*summary.SingleTxWeighted, 100*summary.SingleGasWeighted)
+	fmt.Printf("whole-history group conflict rate:              %.1f%% (tx-weighted), %.1f%% (gas-weighted)\n\n",
+		100*summary.GroupTxWeighted, 100*summary.GroupGasWeighted)
+
+	bks, err := analysis.Bucketize(h, *buckets)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 4 series (bucketed, tx-weighted):")
+	for _, col := range []analysis.Column{
+		{Name: "txs/block", Get: func(b analysis.Bucket) float64 { return b.MeanTxs }},
+		{Name: "all txs/block", Get: func(b analysis.Bucket) float64 { return b.MeanAllTxs }},
+		{Name: "single rate", Get: func(b analysis.Bucket) float64 { return b.SingleTxWeighted }},
+		{Name: "group rate", Get: func(b analysis.Bucket) float64 { return b.GroupTxWeighted }},
+	} {
+		fmt.Printf("  %-14s %s\n", col.Name, analysis.Sparkline(bks, col))
+	}
+	fmt.Println()
+
+	// Figure 10: apply the model per bucket.
+	fmt.Println("Figure 10: potential speed-ups per bucket")
+	t := bench.Table{
+		Headers: []string{"Bucket", "Txs", "Single", "Group", "Eq.(1) n=8", "Eq.(2) n=8", "Eq.(2) n=64"},
+		Title:   "",
+	}
+	for i, b := range bks {
+		x := int(b.MeanTxs + 0.5)
+		eq1, err := core.SpeculativeSpeedup(x, b.SingleTxWeighted, 8)
+		if err != nil {
+			return err
+		}
+		eq2a, err := core.GroupSpeedup(8, b.GroupTxWeighted)
+		if err != nil {
+			return err
+		}
+		eq2b, err := core.GroupSpeedup(64, b.GroupTxWeighted)
+		if err != nil {
+			return err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", i),
+			fmt.Sprintf("%d", x),
+			fmt.Sprintf("%.2f", b.SingleTxWeighted),
+			fmt.Sprintf("%.2f", b.GroupTxWeighted),
+			fmt.Sprintf("%.2fx", eq1),
+			fmt.Sprintf("%.2fx", eq2a),
+			fmt.Sprintf("%.2fx", eq2b),
+		})
+	}
+	return bench.RenderTable(os.Stdout, t)
+}

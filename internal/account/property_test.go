@@ -1,0 +1,154 @@
+package account
+
+import (
+	"math/rand"
+	"testing"
+
+	"txconcur/internal/types"
+)
+
+// totalSupply sums the balances of a known address universe.
+func totalSupply(st *StateDB, addrs []types.Address) Amount {
+	var total Amount
+	for _, a := range addrs {
+		total += st.GetBalance(a)
+	}
+	return total
+}
+
+// TestSupplyConservationProperty: executing any valid block changes the
+// total supply by exactly BlockReward — gas fees move value from senders to
+// the coinbase but never create or destroy it.
+func TestSupplyConservationProperty(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const users = 12
+		addrs := make([]types.Address, 0, users+1)
+		st := NewStateDB()
+		nonces := make(map[types.Address]uint64)
+		for i := 0; i < users; i++ {
+			a := addr(uint64(i))
+			addrs = append(addrs, a)
+			st.AddBalance(a, 10_000_000)
+		}
+		cb := addr(999)
+		addrs = append(addrs, cb)
+		st.DiscardJournal()
+
+		before := totalSupply(st, addrs)
+		var txs []*Transaction
+		for i := 0; i < 20; i++ {
+			from := addrs[rng.Intn(users)]
+			to := addrs[rng.Intn(users)]
+			tx := &Transaction{
+				From: from, To: to,
+				Value:    Amount(rng.Intn(1000)),
+				Nonce:    nonces[from],
+				GasLimit: GasTx,
+				GasPrice: Amount(1 + rng.Intn(3)),
+			}
+			nonces[from]++
+			txs = append(txs, tx)
+		}
+		blk := &Block{Height: 0, Coinbase: cb, Txs: txs}
+		var p Processor
+		if _, err := p.ApplyBlock(st, blk); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		after := totalSupply(st, addrs)
+		if after != before+BlockReward {
+			t.Fatalf("seed %d: supply %d -> %d, want +%d", seed, before, after, BlockReward)
+		}
+	}
+}
+
+// TestDeferCoinbaseEquivalence: the deferred-fee processor produces exactly
+// the same final state as the per-transaction one, for any block.
+func TestDeferCoinbaseEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		build := func() (*StateDB, *Block) {
+			st := NewStateDB()
+			nonces := make(map[types.Address]uint64)
+			for i := 0; i < 8; i++ {
+				st.AddBalance(addr(uint64(i)), 10_000_000)
+			}
+			st.DiscardJournal()
+			var txs []*Transaction
+			for i := 0; i < 15; i++ {
+				from := addr(uint64(rng.Intn(8)))
+				tx := &Transaction{
+					From: from, To: addr(uint64(rng.Intn(8))),
+					Value:    Amount(rng.Intn(500)),
+					Nonce:    nonces[from],
+					GasLimit: GasTx,
+					GasPrice: Amount(1 + rng.Intn(3)),
+				}
+				nonces[from]++
+				txs = append(txs, tx)
+			}
+			return st, &Block{Height: 0, Coinbase: addr(99), Txs: txs}
+		}
+
+		stA, blkA := build()
+		rng = rand.New(rand.NewSource(100 + seed)) // rebuild identically
+		stB, blkB := build()
+		if blkA.Hash() != blkB.Hash() {
+			t.Fatal("fixture blocks differ")
+		}
+		perTx := Processor{}
+		deferred := Processor{DeferCoinbase: true}
+		if _, err := perTx.ApplyBlock(stA, blkA); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := deferred.ApplyBlock(stB, blkB); err != nil {
+			t.Fatal(err)
+		}
+		if stA.Root() != stB.Root() {
+			t.Fatalf("seed %d: deferred-fee state differs from per-tx state", seed)
+		}
+	}
+}
+
+// TestFeesHelper: Fees sums GasUsed × GasPrice pairwise.
+func TestFeesHelper(t *testing.T) {
+	txs := []*Transaction{
+		{GasPrice: 2},
+		{GasPrice: 3},
+	}
+	receipts := []*Receipt{
+		{GasUsed: 100},
+		{GasUsed: 10},
+	}
+	if got := Fees(txs, receipts); got != 230 {
+		t.Fatalf("fees = %d, want 230", got)
+	}
+	// Extra receipts beyond txs are ignored.
+	if got := Fees(txs[:1], receipts); got != 200 {
+		t.Fatalf("fees = %d, want 200", got)
+	}
+}
+
+// TestJournalDepthAfterBlocks: DiscardJournal at block boundaries keeps the
+// journal from growing across blocks (memory hygiene for long histories).
+func TestJournalDepthAfterBlocks(t *testing.T) {
+	ch := NewChain()
+	ch.State().AddBalance(addr(1), 1_000_000_000)
+	for h := 0; h < 5; h++ {
+		blk := &Block{
+			Height:   uint64(h),
+			PrevHash: ch.TipHash(),
+			Coinbase: addr(99),
+			Txs: []*Transaction{{
+				From: addr(1), To: addr(2), Value: 1,
+				Nonce: uint64(h), GasLimit: GasTx, GasPrice: 1,
+			}},
+		}
+		if _, err := ch.Append(blk); err != nil {
+			t.Fatal(err)
+		}
+		if got := ch.State().Snapshot(); got != 0 {
+			t.Fatalf("journal depth after block %d = %d, want 0", h, got)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package account implements the account-based blockchain substrate used by
+// the paper's Ethereum-family subjects (Ethereum, Ethereum Classic, Zilliqa):
+// accounts with balances, nonces, contract code and storage; a journaled
+// state database with snapshots; and a block processor that executes
+// transactions through the VM and records the internal-transaction traces
+// the paper's TDG construction consumes (§II-A: "we define as an internal
+// transaction any interaction between contracts that generates a so-called
+// trace in the geth client").
+package account
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"txconcur/internal/types"
+)
+
+// Amount is a token amount in the chain's base unit (wei-like). It is an
+// alias (not a distinct type) so that *StateDB satisfies vm.State, whose
+// methods speak int64, without adapter boilerplate.
+type Amount = int64
+
+// StorageKey addresses one storage slot of one contract.
+type StorageKey struct {
+	Addr types.Address
+	Slot uint64
+}
+
+// StateDB is the global account state: balances, nonces, code, and contract
+// storage. All mutations are journaled so any prefix of changes can be
+// reverted — the mechanism behind failed-transaction rollback and the
+// speculative executor's aborts.
+type StateDB struct {
+	balances map[types.Address]Amount
+	nonces   map[types.Address]uint64
+	code     map[types.Address][]byte
+	storage  map[StorageKey]uint64
+
+	journal []journalEntry
+}
+
+// journalEntry undoes one state mutation.
+type journalEntry func(s *StateDB)
+
+// NewStateDB returns an empty state.
+func NewStateDB() *StateDB {
+	return &StateDB{
+		balances: make(map[types.Address]Amount),
+		nonces:   make(map[types.Address]uint64),
+		code:     make(map[types.Address][]byte),
+		storage:  make(map[StorageKey]uint64),
+	}
+}
+
+// GetBalance returns the balance of addr (zero for unknown accounts).
+func (s *StateDB) GetBalance(addr types.Address) Amount { return s.balances[addr] }
+
+// AddBalance credits addr by v (which may be negative for debits when called
+// via SubBalance).
+func (s *StateDB) AddBalance(addr types.Address, v Amount) {
+	prev, existed := s.balances[addr]
+	s.journal = append(s.journal, func(s *StateDB) {
+		if existed {
+			s.balances[addr] = prev
+		} else {
+			delete(s.balances, addr)
+		}
+	})
+	s.balances[addr] = prev + v
+}
+
+// SubBalance debits addr by v.
+func (s *StateDB) SubBalance(addr types.Address, v Amount) { s.AddBalance(addr, -v) }
+
+// GetNonce returns the transaction count of addr.
+func (s *StateDB) GetNonce(addr types.Address) uint64 { return s.nonces[addr] }
+
+// SetNonce sets the transaction count of addr.
+func (s *StateDB) SetNonce(addr types.Address, n uint64) {
+	prev, existed := s.nonces[addr]
+	s.journal = append(s.journal, func(s *StateDB) {
+		if existed {
+			s.nonces[addr] = prev
+		} else {
+			delete(s.nonces, addr)
+		}
+	})
+	s.nonces[addr] = n
+}
+
+// GetCode returns the contract code at addr (nil for externally owned
+// accounts). Callers must not modify the returned slice.
+func (s *StateDB) GetCode(addr types.Address) []byte { return s.code[addr] }
+
+// SetCode installs contract code at addr.
+func (s *StateDB) SetCode(addr types.Address, code []byte) {
+	prev, existed := s.code[addr]
+	s.journal = append(s.journal, func(s *StateDB) {
+		if existed {
+			s.code[addr] = prev
+		} else {
+			delete(s.code, addr)
+		}
+	})
+	c := make([]byte, len(code))
+	copy(c, code)
+	s.code[addr] = c
+}
+
+// GetStorage reads one storage slot (zero for unset slots).
+func (s *StateDB) GetStorage(addr types.Address, slot uint64) uint64 {
+	return s.storage[StorageKey{Addr: addr, Slot: slot}]
+}
+
+// SetStorage writes one storage slot.
+func (s *StateDB) SetStorage(addr types.Address, slot, value uint64) {
+	k := StorageKey{Addr: addr, Slot: slot}
+	prev, existed := s.storage[k]
+	s.journal = append(s.journal, func(s *StateDB) {
+		if existed {
+			s.storage[k] = prev
+		} else {
+			delete(s.storage, k)
+		}
+	})
+	if value == 0 && !existed {
+		// Writing zero to an empty slot is a no-op (keeps the map, and
+		// therefore the state root, canonical).
+		s.journal = s.journal[:len(s.journal)-1]
+		return
+	}
+	if value == 0 {
+		delete(s.storage, k)
+		return
+	}
+	s.storage[k] = value
+}
+
+// Snapshot returns an identifier for the current journal position.
+func (s *StateDB) Snapshot() int { return len(s.journal) }
+
+// RevertToSnapshot unwinds all mutations made after the snapshot was taken.
+func (s *StateDB) RevertToSnapshot(snap int) {
+	for i := len(s.journal) - 1; i >= snap; i-- {
+		s.journal[i](s)
+	}
+	s.journal = s.journal[:snap]
+}
+
+// DiscardJournal drops accumulated undo records (e.g. at block boundaries,
+// once the block is final).
+func (s *StateDB) DiscardJournal() { s.journal = s.journal[:0] }
+
+// Copy returns a deep copy of the state with an empty journal.
+func (s *StateDB) Copy() *StateDB {
+	c := NewStateDB()
+	for a, v := range s.balances {
+		c.balances[a] = v
+	}
+	for a, v := range s.nonces {
+		c.nonces[a] = v
+	}
+	for a, v := range s.code {
+		code := make([]byte, len(v))
+		copy(code, v)
+		c.code[a] = code
+	}
+	for k, v := range s.storage {
+		c.storage[k] = v
+	}
+	return c
+}
+
+// Root computes a deterministic digest of the entire state. Two states with
+// identical contents produce identical roots; the execution engines use this
+// to prove serial equivalence (parallel execution must reach the sequential
+// root).
+func (s *StateDB) Root() types.Hash {
+	var buf []byte
+	var tmp [8]byte
+
+	addrs := make([]types.Address, 0, len(s.balances)+len(s.nonces)+len(s.code))
+	seen := make(map[types.Address]struct{})
+	collect := func(a types.Address) {
+		if _, ok := seen[a]; !ok {
+			seen[a] = struct{}{}
+			addrs = append(addrs, a)
+		}
+	}
+	for a := range s.balances {
+		collect(a)
+	}
+	for a := range s.nonces {
+		collect(a)
+	}
+	for a := range s.code {
+		collect(a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return lessAddr(addrs[i], addrs[j]) })
+	for _, a := range addrs {
+		buf = append(buf, a[:]...)
+		binary.BigEndian.PutUint64(tmp[:], uint64(s.balances[a]))
+		buf = append(buf, tmp[:]...)
+		binary.BigEndian.PutUint64(tmp[:], s.nonces[a])
+		buf = append(buf, tmp[:]...)
+		buf = append(buf, s.code[a]...)
+	}
+
+	keys := make([]StorageKey, 0, len(s.storage))
+	for k := range s.storage {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Addr != keys[j].Addr {
+			return lessAddr(keys[i].Addr, keys[j].Addr)
+		}
+		return keys[i].Slot < keys[j].Slot
+	})
+	for _, k := range keys {
+		buf = append(buf, k.Addr[:]...)
+		binary.BigEndian.PutUint64(tmp[:], k.Slot)
+		buf = append(buf, tmp[:]...)
+		binary.BigEndian.PutUint64(tmp[:], s.storage[k])
+		buf = append(buf, tmp[:]...)
+	}
+	return types.HashData([]byte("state-root"), buf)
+}
+
+func lessAddr(a, b types.Address) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,121 @@
+package account
+
+import (
+	"encoding/binary"
+
+	"txconcur/internal/types"
+	"txconcur/internal/vm"
+)
+
+// Transaction is an account-model transaction: a message from one account to
+// another, optionally creating a contract or invoking contract code.
+type Transaction struct {
+	From     types.Address
+	To       types.Address // zero address means contract creation
+	Value    Amount
+	Nonce    uint64
+	GasLimit uint64
+	GasPrice Amount
+	Arg      uint64 // argument word passed to the callee's code
+	Code     []byte // encoded contract (vm.EncodeContract) for creations
+
+	hash    types.Hash
+	hasHash bool
+}
+
+// IsCreation reports whether the transaction deploys a contract.
+func (tx *Transaction) IsCreation() bool { return tx.To.IsZero() && len(tx.Code) > 0 }
+
+// Hash returns the transaction hash, computed over all fields.
+func (tx *Transaction) Hash() types.Hash {
+	if tx.hasHash {
+		return tx.hash
+	}
+	buf := make([]byte, 0, 2*types.AddressSize+48+len(tx.Code))
+	buf = append(buf, tx.From[:]...)
+	buf = append(buf, tx.To[:]...)
+	var tmp [8]byte
+	for _, v := range []uint64{uint64(tx.Value), tx.Nonce, tx.GasLimit, uint64(tx.GasPrice), tx.Arg} {
+		binary.BigEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	buf = append(buf, tx.Code...)
+	tx.hash = types.HashData([]byte("acct-tx"), buf)
+	tx.hasHash = true
+	return tx.hash
+}
+
+// Receipt is the result of executing one transaction.
+type Receipt struct {
+	TxHash  types.Hash
+	From    types.Address
+	To      types.Address // the created contract's address for creations
+	GasUsed uint64
+	// Status is 1 if the transaction succeeded, 0 if its execution failed
+	// (failed transactions are still included in blocks and consume gas).
+	Status int
+	// Internal lists the internal transactions (message calls) the
+	// execution generated — the paper's TDG edges beyond the top-level
+	// transfer.
+	Internal []vm.InternalTx
+	// Logs collects VM log words.
+	Logs []uint64
+	// ExecErr describes the VM failure for Status == 0.
+	ExecErr string
+}
+
+// Block is a block of account-model transactions.
+type Block struct {
+	Height   uint64
+	PrevHash types.Hash
+	Time     int64
+	Coinbase types.Address
+	GasLimit uint64
+	Txs      []*Transaction
+}
+
+// Hash returns the block hash.
+func (b *Block) Hash() types.Hash {
+	buf := make([]byte, 24, 24+types.AddressSize+len(b.Txs)*types.HashSize)
+	binary.BigEndian.PutUint64(buf[:8], b.Height)
+	binary.BigEndian.PutUint64(buf[8:16], uint64(b.Time))
+	binary.BigEndian.PutUint64(buf[16:24], b.GasLimit)
+	buf = append(buf, b.Coinbase[:]...)
+	buf = append(buf, b.PrevHash[:]...)
+	for _, tx := range b.Txs {
+		h := tx.Hash()
+		buf = append(buf, h[:]...)
+	}
+	return types.HashData([]byte("acct-block"), buf)
+}
+
+// NumTxs returns the number of regular transactions in the block. The
+// coinbase reward is not represented as a transaction in the account model
+// (as in Ethereum, where the reward is a state change of the block), so this
+// is simply len(Txs).
+func (b *Block) NumTxs() int { return len(b.Txs) }
+
+// GasUsed sums the gas of the given receipts.
+func GasUsed(receipts []*Receipt) uint64 {
+	var total uint64
+	for _, r := range receipts {
+		total += r.GasUsed
+	}
+	return total
+}
+
+// ContractAddress computes the deterministic address of a contract created
+// by sender with the given account nonce (as Ethereum derives CREATE
+// addresses from (sender, nonce)).
+func ContractAddress(sender types.Address, nonce uint64) types.Address {
+	h := types.HashData([]byte("create"), sender[:], uint64Bytes(nonce))
+	var a types.Address
+	copy(a[:], h[types.HashSize-types.AddressSize:])
+	return a
+}
+
+func uint64Bytes(v uint64) []byte {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], v)
+	return tmp[:]
+}

@@ -1,0 +1,224 @@
+// Package analysis implements the paper's empirical-study pipeline (§IV):
+// per-block metrics are collected over a chain's history, divided into
+// fixed-size buckets (the paper uses 20–200), and averaged with
+// transaction-count or gas weights ("blocks having more transactions or
+// consuming more [gas] should be weighted more heavily, because they have a
+// greater impact on the total execution time").
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"txconcur/internal/core"
+)
+
+// BlockPoint is one measured block in a history.
+type BlockPoint struct {
+	Height uint64
+	Time   int64
+	M      core.Metrics
+}
+
+// History is an ordered sequence of measured blocks.
+type History struct {
+	Chain  string
+	Points []BlockPoint
+}
+
+// Add appends one measured block.
+func (h *History) Add(height uint64, t int64, m core.Metrics) {
+	h.Points = append(h.Points, BlockPoint{Height: height, Time: t, M: m})
+}
+
+// Len returns the number of measured blocks.
+func (h *History) Len() int { return len(h.Points) }
+
+// Bucket is the weighted summary of a span of consecutive blocks.
+type Bucket struct {
+	// StartTime and EndTime delimit the bucket (unix seconds).
+	StartTime, EndTime int64
+	// Blocks is the number of blocks aggregated.
+	Blocks int
+
+	// MeanTxs is the mean number of regular transactions per block; the
+	// paper's Figures 4a/5a/8a/9a.
+	MeanTxs float64
+	// MeanAllTxs includes internal transactions (Figure 4a "all TXs").
+	MeanAllTxs float64
+	// MeanInputs is the mean number of input TXOs per block (Figure 5a).
+	MeanInputs float64
+	// MeanLCC is the mean absolute LCC size (Figure 9c).
+	MeanLCC float64
+
+	// SingleTxWeighted is the transaction-weighted single-transaction
+	// conflict rate: Σ conflicted / Σ txs.
+	SingleTxWeighted float64
+	// SingleGasWeighted is the gas-weighted single-transaction conflict
+	// rate: Σ (rate_i · gas_i) / Σ gas_i.
+	SingleGasWeighted float64
+	// GroupTxWeighted is the transaction-weighted group conflict rate:
+	// Σ LCC / Σ txs.
+	GroupTxWeighted float64
+	// GroupGasWeighted is the gas-weighted group conflict rate.
+	GroupGasWeighted float64
+}
+
+// ErrNoData reports an empty history or invalid bucket count.
+var ErrNoData = errors.New("analysis: no data")
+
+// Bucketize divides the history into numBuckets spans of (nearly) equal
+// block count, in order, and computes each span's weighted averages. The
+// paper's figures use between 20 and 200 buckets.
+func Bucketize(h *History, numBuckets int) ([]Bucket, error) {
+	n := len(h.Points)
+	if n == 0 || numBuckets < 1 {
+		return nil, fmt.Errorf("%w: %d points, %d buckets", ErrNoData, n, numBuckets)
+	}
+	if numBuckets > n {
+		numBuckets = n
+	}
+	out := make([]Bucket, 0, numBuckets)
+	for b := 0; b < numBuckets; b++ {
+		lo := b * n / numBuckets
+		hi := (b + 1) * n / numBuckets
+		if hi <= lo {
+			continue
+		}
+		out = append(out, summarize(h.Points[lo:hi]))
+	}
+	return out, nil
+}
+
+// summarize computes the weighted averages over one span of blocks.
+func summarize(points []BlockPoint) Bucket {
+	bk := Bucket{
+		StartTime: points[0].Time,
+		EndTime:   points[len(points)-1].Time,
+		Blocks:    len(points),
+	}
+	var txs, internal, inputs, conflicted, lcc float64
+	var gasTotal, gasSingle, gasGroup float64
+	for _, p := range points {
+		m := p.M
+		txs += float64(m.NumTxs)
+		internal += float64(m.NumInternal)
+		inputs += float64(m.NumInputs)
+		conflicted += float64(m.Conflicted)
+		lcc += float64(m.LCC)
+		// Gas weighting operates per transaction, as in the paper's
+		// Ethereum UDF: conflicted gas over total gas.
+		gasTotal += float64(m.GasUsed)
+		gasSingle += float64(m.ConflictedGas)
+		gasGroup += float64(m.LCCGas)
+	}
+	nb := float64(bk.Blocks)
+	bk.MeanTxs = txs / nb
+	bk.MeanAllTxs = (txs + internal) / nb
+	bk.MeanInputs = inputs / nb
+	bk.MeanLCC = lcc / nb
+	if txs > 0 {
+		bk.SingleTxWeighted = conflicted / txs
+		bk.GroupTxWeighted = lcc / txs
+	}
+	if gasTotal > 0 {
+		bk.SingleGasWeighted = gasSingle / gasTotal
+		bk.GroupGasWeighted = gasGroup / gasTotal
+	}
+	return bk
+}
+
+// Summary computes the whole-history weighted averages (a single bucket).
+func Summary(h *History) (Bucket, error) {
+	if len(h.Points) == 0 {
+		return Bucket{}, ErrNoData
+	}
+	return summarize(h.Points), nil
+}
+
+// Column selects one series from a bucket for rendering.
+type Column struct {
+	Name string
+	Get  func(Bucket) float64
+}
+
+// StandardColumns returns the series the paper's per-chain figures plot.
+func StandardColumns() []Column {
+	return []Column{
+		{Name: "txs", Get: func(b Bucket) float64 { return b.MeanTxs }},
+		{Name: "all_txs", Get: func(b Bucket) float64 { return b.MeanAllTxs }},
+		{Name: "inputs", Get: func(b Bucket) float64 { return b.MeanInputs }},
+		{Name: "lcc_abs", Get: func(b Bucket) float64 { return b.MeanLCC }},
+		{Name: "single_tx_w", Get: func(b Bucket) float64 { return b.SingleTxWeighted }},
+		{Name: "single_gas_w", Get: func(b Bucket) float64 { return b.SingleGasWeighted }},
+		{Name: "group_tx_w", Get: func(b Bucket) float64 { return b.GroupTxWeighted }},
+		{Name: "group_gas_w", Get: func(b Bucket) float64 { return b.GroupGasWeighted }},
+	}
+}
+
+// WriteCSV renders buckets as CSV with a time column followed by the given
+// series columns.
+func WriteCSV(w io.Writer, buckets []Bucket, cols []Column) error {
+	header := make([]string, 0, len(cols)+1)
+	header = append(header, "time")
+	for _, c := range cols {
+		header = append(header, c.Name)
+	}
+	if _, err := io.WriteString(w, strings.Join(header, ",")+"\n"); err != nil {
+		return err
+	}
+	for _, b := range buckets {
+		row := make([]string, 0, len(cols)+1)
+		mid := b.StartTime + (b.EndTime-b.StartTime)/2
+		row = append(row, time.Unix(mid, 0).UTC().Format("2006-01-02"))
+		for _, c := range cols {
+			row = append(row, strconv.FormatFloat(c.Get(b), 'g', 6, 64))
+		}
+		if _, err := io.WriteString(w, strings.Join(row, ",")+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sparkline renders a compact unicode chart of a series, scaled to
+// [min, max] of the data. It is the terminal stand-in for the paper's
+// plots.
+func Sparkline(buckets []Bucket, col Column) string {
+	if len(buckets) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	vals := make([]float64, len(buckets))
+	for i, b := range buckets {
+		v := col.Get(b)
+		vals[i] = v
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(levels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		sb.WriteRune(levels[idx])
+	}
+	return fmt.Sprintf("%s [%.3g..%.3g]", sb.String(), lo, hi)
+}

@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"txconcur/internal/core"
+)
+
+func point(h uint64, t int64, txs, conflicted, lcc int, gas uint64) BlockPoint {
+	return BlockPoint{
+		Height: h, Time: t,
+		M: core.Metrics{NumTxs: txs, Conflicted: conflicted, LCC: lcc, GasUsed: gas},
+	}
+}
+
+func TestBucketizeCounts(t *testing.T) {
+	h := &History{Chain: "test"}
+	for i := 0; i < 100; i++ {
+		h.Add(uint64(i), int64(i*600), core.Metrics{NumTxs: 10, Conflicted: 2, LCC: 2})
+	}
+	buckets, err := Bucketize(h, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != 10 {
+		t.Fatalf("buckets = %d, want 10", len(buckets))
+	}
+	total := 0
+	for _, b := range buckets {
+		total += b.Blocks
+	}
+	if total != 100 {
+		t.Fatalf("bucketed blocks = %d, want 100", total)
+	}
+	for _, b := range buckets {
+		if b.SingleTxWeighted != 0.2 || b.GroupTxWeighted != 0.2 {
+			t.Fatalf("bucket rates = %v/%v, want 0.2", b.SingleTxWeighted, b.GroupTxWeighted)
+		}
+		if b.MeanTxs != 10 {
+			t.Fatalf("mean txs = %v", b.MeanTxs)
+		}
+	}
+}
+
+func TestBucketizeUneven(t *testing.T) {
+	h := &History{}
+	for i := 0; i < 7; i++ {
+		h.Add(uint64(i), int64(i), core.Metrics{NumTxs: 1})
+	}
+	buckets, err := Bucketize(h, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range buckets {
+		if b.Blocks == 0 {
+			t.Fatal("empty bucket")
+		}
+		total += b.Blocks
+	}
+	if total != 7 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestBucketizeMoreBucketsThanBlocks(t *testing.T) {
+	h := &History{}
+	h.Add(0, 0, core.Metrics{NumTxs: 4, Conflicted: 2, LCC: 2})
+	buckets, err := Bucketize(h, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != 1 {
+		t.Fatalf("buckets = %d, want 1", len(buckets))
+	}
+}
+
+func TestBucketizeErrors(t *testing.T) {
+	if _, err := Bucketize(&History{}, 10); !errors.Is(err, ErrNoData) {
+		t.Fatalf("empty: %v", err)
+	}
+	h := &History{}
+	h.Add(0, 0, core.Metrics{})
+	if _, err := Bucketize(h, 0); !errors.Is(err, ErrNoData) {
+		t.Fatalf("zero buckets: %v", err)
+	}
+	if _, err := Summary(&History{}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("summary empty: %v", err)
+	}
+}
+
+// TestTxWeighting verifies the paper's weighting rule: a big block's rate
+// dominates the bucket average.
+func TestTxWeighting(t *testing.T) {
+	h := &History{}
+	// Block with 1000 txs, all conflicted; block with 10 txs, none.
+	h.Add(0, 0, core.Metrics{NumTxs: 1000, Conflicted: 1000, LCC: 1000})
+	h.Add(1, 1, core.Metrics{NumTxs: 10, Conflicted: 0, LCC: 1})
+	s, err := Summary(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1000.0 / 1010.0
+	if math.Abs(s.SingleTxWeighted-want) > 1e-12 {
+		t.Fatalf("tx-weighted single = %v, want %v", s.SingleTxWeighted, want)
+	}
+	// An unweighted mean would be ~0.5; the weighted one must exceed 0.99.
+	if s.SingleTxWeighted < 0.99 {
+		t.Fatal("weighting not applied")
+	}
+}
+
+// TestGasWeighting verifies the gas-weighted variant used for Ethereum
+// (Figure 4b): the rate is the gas of conflicted transactions over total
+// gas, per transaction — so a block whose cheap transactions conflict while
+// its expensive ones don't shows a gas-weighted rate below the tx-weighted
+// one (the paper's contract-creation observation, §IV-A).
+func TestGasWeighting(t *testing.T) {
+	h := &History{}
+	// Block 0: 10 txs, 5 conflicted — but the conflicted ones are cheap
+	// (100 of 10100 total gas).
+	h.Add(0, 0, core.Metrics{
+		NumTxs: 10, Conflicted: 5, LCC: 5,
+		GasUsed: 10100, ConflictedGas: 100, LCCGas: 100,
+	})
+	s, err := Summary(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SingleTxWeighted != 0.5 {
+		t.Fatalf("tx-weighted = %v, want 0.5", s.SingleTxWeighted)
+	}
+	wantGas := 100.0 / 10100.0
+	if math.Abs(s.SingleGasWeighted-wantGas) > 1e-12 {
+		t.Fatalf("gas-weighted = %v, want %v", s.SingleGasWeighted, wantGas)
+	}
+	if math.Abs(s.GroupGasWeighted-wantGas) > 1e-12 {
+		t.Fatalf("gas-weighted group = %v, want %v", s.GroupGasWeighted, wantGas)
+	}
+	if s.SingleGasWeighted >= s.SingleTxWeighted {
+		t.Fatal("cheap conflicts must drive the gas-weighted rate below the tx-weighted one")
+	}
+	// A second block with expensive conflicts pulls the aggregate up,
+	// weighted by gas across blocks.
+	h.Add(1, 1, core.Metrics{
+		NumTxs: 10, Conflicted: 10, LCC: 10,
+		GasUsed: 9900, ConflictedGas: 9900, LCCGas: 9900,
+	})
+	s, err = Summary(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAgg := (100.0 + 9900.0) / (10100.0 + 9900.0)
+	if math.Abs(s.SingleGasWeighted-wantAgg) > 1e-12 {
+		t.Fatalf("aggregate gas-weighted = %v, want %v", s.SingleGasWeighted, wantAgg)
+	}
+}
+
+func TestBucketTimesOrdered(t *testing.T) {
+	h := &History{}
+	for i := 0; i < 40; i++ {
+		h.Add(uint64(i), int64(1000+i*600), core.Metrics{NumTxs: 1})
+	}
+	buckets, err := Bucketize(h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buckets {
+		if b.EndTime < b.StartTime {
+			t.Fatalf("bucket %d: end < start", i)
+		}
+		if i > 0 && b.StartTime < buckets[i-1].EndTime {
+			t.Fatalf("bucket %d overlaps predecessor", i)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	h := &History{}
+	h.Add(0, 86400, core.Metrics{NumTxs: 10, Conflicted: 5, LCC: 3, GasUsed: 100})
+	h.Add(1, 172800, core.Metrics{NumTxs: 20, Conflicted: 10, LCC: 6, GasUsed: 200})
+	buckets, err := Bucketize(h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	cols := []Column{
+		{Name: "single", Get: func(b Bucket) float64 { return b.SingleTxWeighted }},
+	}
+	if err := WriteCSV(&sb, buckets, cols); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want 3 (header + 2 rows):\n%s", len(lines), out)
+	}
+	if lines[0] != "time,single" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "0.5") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	buckets := []Bucket{
+		{SingleTxWeighted: 0.1},
+		{SingleTxWeighted: 0.5},
+		{SingleTxWeighted: 0.9},
+	}
+	col := Column{Name: "s", Get: func(b Bucket) float64 { return b.SingleTxWeighted }}
+	s := Sparkline(buckets, col)
+	if len(s) == 0 {
+		t.Fatal("empty sparkline")
+	}
+	if !strings.Contains(s, "0.1") || !strings.Contains(s, "0.9") {
+		t.Fatalf("sparkline missing range: %q", s)
+	}
+	if Sparkline(nil, col) != "" {
+		t.Fatal("nil buckets should render empty")
+	}
+	// Constant series should not divide by zero.
+	flat := []Bucket{{SingleTxWeighted: 0.5}, {SingleTxWeighted: 0.5}}
+	if s := Sparkline(flat, col); len(s) == 0 {
+		t.Fatal("flat series should render")
+	}
+}
+
+func TestStandardColumns(t *testing.T) {
+	cols := StandardColumns()
+	if len(cols) != 8 {
+		t.Fatalf("columns = %d", len(cols))
+	}
+	b := Bucket{MeanTxs: 5, SingleTxWeighted: 0.25}
+	byName := map[string]float64{}
+	for _, c := range cols {
+		byName[c.Name] = c.Get(b)
+	}
+	if byName["txs"] != 5 || byName["single_tx_w"] != 0.25 {
+		t.Fatalf("column getters wrong: %v", byName)
+	}
+}

@@ -1,0 +1,335 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallRunner returns a runner sized for fast tests.
+func smallRunner() *Runner { return NewRunner(30, 10, 7) }
+
+func TestTableI(t *testing.T) {
+	tbl := TableI()
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(tbl.Rows))
+	}
+	// Spot-check against the paper's Table I.
+	want := map[string][2]string{
+		"Bitcoin":          {"UTXO", "No"},
+		"Ethereum":         {"Account", "Yes"},
+		"Zilliqa":          {"Account", "Yes"},
+		"Bitcoin Cash":     {"UTXO", "No"},
+		"Litecoin":         {"UTXO", "No"},
+		"Dogecoin":         {"UTXO", "No"},
+		"Ethereum Classic": {"Account", "Yes"},
+	}
+	for _, row := range tbl.Rows {
+		w, ok := want[row[0]]
+		if !ok {
+			t.Fatalf("unexpected chain %q", row[0])
+		}
+		if row[1] != w[0] || row[3] != w[1] {
+			t.Fatalf("%s: model/contracts = %s/%s, want %s/%s", row[0], row[1], row[3], w[0], w[1])
+		}
+	}
+	// Zilliqa uses a custom client, everything else BigQuery (Table I
+	// "data source" column).
+	for _, row := range tbl.Rows {
+		if row[0] == "Zilliqa" && row[4] == "BigQuery" {
+			t.Fatal("Zilliqa data source should not be BigQuery")
+		}
+	}
+}
+
+func TestFig1Table(t *testing.T) {
+	tbl := Fig1()
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The published rates must appear verbatim.
+	if tbl.Rows[0][5] != "40.00%" || tbl.Rows[0][6] != "40.00%" {
+		t.Fatalf("fig1a rates = %v", tbl.Rows[0])
+	}
+	if tbl.Rows[1][5] != "87.50%" || tbl.Rows[1][6] != "56.25%" {
+		t.Fatalf("fig1b rates = %v", tbl.Rows[1])
+	}
+}
+
+func TestRunnerFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates histories")
+	}
+	r := smallRunner()
+
+	fig4, err := r.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig4.Panels) != 3 {
+		t.Fatalf("fig4 panels = %d", len(fig4.Panels))
+	}
+	// Panel (b): both weightings present; conflict rates in [0,1];
+	// gas-weighted should sit at or below tx-weighted on average (the
+	// paper's observation for Ethereum).
+	var txW, gasW float64
+	for _, s := range fig4.Panels[1].Series {
+		mean := 0.0
+		for _, v := range s.Values {
+			if v < 0 || v > 1 {
+				t.Fatalf("rate out of range: %v", v)
+			}
+			mean += v
+		}
+		mean /= float64(len(s.Values))
+		switch s.Name {
+		case "#TX-weighted":
+			txW = mean
+		case "gas-weighted":
+			gasW = mean
+		}
+	}
+	if gasW >= txW {
+		t.Errorf("gas-weighted single rate %.3f should be below tx-weighted %.3f", gasW, txW)
+	}
+
+	fig5, err := r.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bitcoin input TXOs exceed transactions (Figure 5a).
+	txs := fig5.Panels[0].Series[0]
+	inputs := fig5.Panels[0].Series[1]
+	var sumTx, sumIn float64
+	for i := range txs.Values {
+		sumTx += txs.Values[i]
+		sumIn += inputs.Values[i]
+	}
+	if sumIn <= sumTx {
+		t.Errorf("inputs (%.0f) should exceed transactions (%.0f)", sumIn, sumTx)
+	}
+
+	fig7, err := r.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig7.Panels) != 4 {
+		t.Fatalf("fig7 panels = %d", len(fig7.Panels))
+	}
+	if len(fig7.Panels[0].Series) != 3 || len(fig7.Panels[1].Series) != 4 {
+		t.Fatalf("fig7 series split wrong")
+	}
+
+	fig8, err := r.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig9, err := r.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig8.Panels) != 3 || len(fig9.Panels) != 3 {
+		t.Fatal("pair figures need 3 panels")
+	}
+
+	fig10, err := r.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig10.Panels) != 2 {
+		t.Fatalf("fig10 panels = %d", len(fig10.Panels))
+	}
+	// The paper's headline: group speed-ups reach far beyond the
+	// single-transaction ones (up to ~5-6x at 8 cores for group vs 1-2x
+	// speculative).
+	maxOf := func(p Panel) float64 {
+		max := 0.0
+		for _, s := range p.Series {
+			for _, v := range s.Values {
+				if v > max {
+					max = v
+				}
+			}
+		}
+		return max
+	}
+	if maxOf(fig10.Panels[1]) <= maxOf(fig10.Panels[0]) {
+		t.Errorf("group speed-ups (%.2f) should exceed speculative ones (%.2f)",
+			maxOf(fig10.Panels[1]), maxOf(fig10.Panels[0]))
+	}
+	if maxOf(fig10.Panels[1]) < 3 {
+		t.Errorf("max group speed-up %.2f too low (paper: up to 6x at 8 cores)", maxOf(fig10.Panels[1]))
+	}
+
+	fig6, err := r.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig6.Rows) == 0 {
+		t.Fatal("fig6 has no rows")
+	}
+
+	sum, err := r.SummaryTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Rows) != 7 {
+		t.Fatalf("summary rows = %d", len(sum.Rows))
+	}
+}
+
+func TestRunnerUnknownChain(t *testing.T) {
+	r := smallRunner()
+	if _, err := r.History("Solana"); err == nil {
+		t.Fatal("unknown chain accepted")
+	}
+}
+
+func TestRunnerCaches(t *testing.T) {
+	r := NewRunner(5, 5, 1)
+	h1, err := r.History("Dogecoin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := r.History("Dogecoin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("history not cached")
+	}
+}
+
+func TestExecutorComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs executors")
+	}
+	tbl, err := ExecutorComparison(6, 3, []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Headers) {
+			t.Fatalf("row width mismatch: %v", row)
+		}
+	}
+}
+
+func TestSchedulingQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs scheduler")
+	}
+	tbl, err := SchedulingQuality(6, 3, []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestApproxTDGEffectiveness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs executors")
+	}
+	tbl, err := ApproxTDGEffectiveness(6, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestInterBlockConcurrency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates histories")
+	}
+	tbl, err := InterBlockConcurrency(8, 3, []int{1, 2, 4}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (2 chains x 3 windows)", len(tbl.Rows))
+	}
+	// Row order: Ethereum windows then Bitcoin windows; batch sizes grow
+	// with the window.
+	if tbl.Rows[0][0] != "Ethereum" || tbl.Rows[3][0] != "Bitcoin" {
+		t.Fatalf("row order: %v", tbl.Rows)
+	}
+}
+
+func TestCensusTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates histories")
+	}
+	tbl, err := CensusTable(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	// The paper's ordering: Bitcoin overwhelmingly singleton, Ethereum
+	// spread across classes.
+	if tbl.Rows[0][0] != "Ethereum" || tbl.Rows[1][0] != "Bitcoin" {
+		t.Fatalf("row order: %v", tbl.Rows)
+	}
+}
+
+func TestShardingAnalysis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates histories")
+	}
+	tbl, err := ShardingAnalysis(6, 3, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (2 chains x 2 shard counts)", len(tbl.Rows))
+	}
+}
+
+func TestUTXOValidationExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs executors")
+	}
+	tbl, err := UTXOValidation(5, 3, []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestRendering(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderTable(&sb, TableI()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Bitcoin") || !strings.Contains(out, "Zilliqa") {
+		t.Fatalf("table render missing rows:\n%s", out)
+	}
+
+	fig := Figure{
+		Title: "test figure",
+		Panels: []Panel{{
+			Title: "panel",
+			Series: []Series{
+				{Name: "s1", Times: []int64{0, 1}, Values: []float64{1, 2}},
+				{Name: "empty"},
+			},
+		}},
+	}
+	sb.Reset()
+	if err := RenderFigure(&sb, fig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "s1") || !strings.Contains(sb.String(), "(no data)") {
+		t.Fatalf("figure render wrong:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// RenderTable writes a table as aligned text.
+func RenderTable(w io.Writer, t Table) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(t.Title + "\n")
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if pad := widths[i] - len(c); pad > 0 && i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// RenderFigure writes a figure as text: one sparkline per series with its
+// value range and time span, the terminal stand-in for the paper's plots.
+func RenderFigure(w io.Writer, f Figure) error {
+	var sb strings.Builder
+	sb.WriteString(f.Title + "\n")
+	for _, p := range f.Panels {
+		sb.WriteString("  " + p.Title + "\n")
+		nameWidth := 0
+		for _, s := range p.Series {
+			if len(s.Name) > nameWidth {
+				nameWidth = len(s.Name)
+			}
+		}
+		for _, s := range p.Series {
+			sb.WriteString(fmt.Sprintf("    %-*s %s\n", nameWidth, s.Name, sparkline(s, p.LogY)))
+		}
+		if len(p.Series) > 0 && len(p.Series[0].Times) > 0 {
+			first := p.Series[0].Times[0]
+			last := p.Series[0].Times[len(p.Series[0].Times)-1]
+			sb.WriteString(fmt.Sprintf("    %-*s %s .. %s\n", nameWidth, "span",
+				time.Unix(first, 0).UTC().Format("2006-01"),
+				time.Unix(last, 0).UTC().Format("2006-01")))
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// sparkline renders one series with unicode block characters, optionally on
+// a log scale.
+func sparkline(s Series, logY bool) string {
+	if len(s.Values) == 0 {
+		return "(no data)"
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	transform := func(v float64) float64 {
+		if logY {
+			if v < 1 {
+				v = 1
+			}
+			return math.Log10(v)
+		}
+		return v
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range s.Values {
+		tv := transform(v)
+		if tv < lo {
+			lo = tv
+		}
+		if tv > hi {
+			hi = tv
+		}
+	}
+	var sb strings.Builder
+	for _, v := range s.Values {
+		idx := 0
+		if hi > lo {
+			idx = int((transform(v) - lo) / (hi - lo) * float64(len(levels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		sb.WriteRune(levels[idx])
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range s.Values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return fmt.Sprintf("%s [%.3g .. %.3g]", sb.String(), min, max)
+}

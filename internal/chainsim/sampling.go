@@ -1,0 +1,184 @@
+package chainsim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// sampler bundles the deterministic random sources a generator uses. All
+// generated histories are reproducible under (profile, seed, numBlocks).
+type sampler struct {
+	rng *rand.Rand
+}
+
+func newSampler(seed int64) *sampler {
+	return &sampler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// txCount draws a per-block transaction count around mean with a lognormal
+// multiplicative jitter, clamped to a sane range. The lognormal is
+// mean-corrected so the expectation stays near mean.
+func (s *sampler) txCount(mean, jitter float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if jitter < 0 {
+		jitter = 0
+	}
+	mult := math.Exp(jitter*s.rng.NormFloat64() - jitter*jitter/2)
+	n := int(math.Round(mean * mult))
+	if n < 0 {
+		n = 0
+	}
+	if max := int(mean*6) + 20; n > max {
+		n = max
+	}
+	return n
+}
+
+// geometric draws from a geometric distribution starting at 0 with
+// continuation probability p (mean p/(1-p)).
+func (s *sampler) geometric(p float64) int {
+	n := 0
+	for s.rng.Float64() < p && n < 10_000 {
+		n++
+	}
+	return n
+}
+
+// chainLength draws the length (≥ 2) of an intra-block spend chain: usually
+// short and geometric, occasionally a long exchange sweep like the paper's
+// Figure 6 example.
+func (s *sampler) chainLength(e *Era) int {
+	if s.rng.Float64() < e.LongChainProb {
+		// Long sweep: Poisson-ish around LongChainMean via a sum of
+		// geometrics; clamp to at least 2.
+		l := int(math.Round(e.LongChainMean * math.Exp(0.3*s.rng.NormFloat64())))
+		if l < 2 {
+			l = 2
+		}
+		return l
+	}
+	return 2 + s.geometric(e.ChainContinueProb)
+}
+
+// zipf samples indices in [0, n) with a Zipf-like bias toward low indices:
+// index 0 is the most popular (the dominant exchange, the busiest contract).
+// Exponent s controls the skew; s around 1.1 matches the heavy-tailed
+// address popularity observed on public chains.
+type zipf struct {
+	z *rand.Zipf
+	n int
+}
+
+func (s *sampler) newZipf(skew float64, n int) *zipf {
+	if n < 1 {
+		n = 1
+	}
+	if skew <= 1.0 {
+		skew = 1.01
+	}
+	return &zipf{z: rand.NewZipf(s.rng, skew, 1, uint64(n-1)), n: n}
+}
+
+func (z *zipf) draw() int { return int(z.z.Uint64()) }
+
+// zipfQuantile maps uniform raws in [0,1) to indices in [0,n) with Zipf
+// weights: index k has probability proportional to (k+1)^-s. Generators
+// assign each simulated user a fixed raw so that per-user attributes (home
+// exchange, favourite contract) are stable across blocks while remaining
+// Zipf-distributed across the population.
+type zipfQuantile struct {
+	cum []float64
+}
+
+func newZipfQuantile(s float64, n int) *zipfQuantile {
+	if n < 1 {
+		n = 1
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += math.Pow(float64(k+1), -s)
+		cum[k] = total
+	}
+	for k := range cum {
+		cum[k] /= total
+	}
+	return &zipfQuantile{cum: cum}
+}
+
+// index maps raw ∈ [0,1) to its quantile index.
+func (z *zipfQuantile) index(raw float64) int {
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < raw {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// interpolate blends era parameters at position frac ∈ [0,1] between era a
+// and era b, so bucketed series evolve smoothly as in the paper's plots.
+func interpolate(a, b *Era, frac float64) Era {
+	if b == nil || frac <= 0 {
+		return *a
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	lerp := func(x, y float64) float64 { return x + (y-x)*frac }
+	out := *a
+	out.TxPerBlock = lerp(a.TxPerBlock, b.TxPerBlock)
+	out.TxPerBlockJitter = lerp(a.TxPerBlockJitter, b.TxPerBlockJitter)
+	out.Users = int(lerp(float64(a.Users), float64(b.Users)))
+	out.ChainStartProb = lerp(a.ChainStartProb, b.ChainStartProb)
+	out.ChainContinueProb = lerp(a.ChainContinueProb, b.ChainContinueProb)
+	out.LongChainProb = lerp(a.LongChainProb, b.LongChainProb)
+	out.LongChainMean = lerp(a.LongChainMean, b.LongChainMean)
+	out.MultiInputProb = lerp(a.MultiInputProb, b.MultiInputProb)
+	out.ActiveFrac = lerp(a.ActiveFrac, b.ActiveFrac)
+	out.ExchangeFrac = lerp(a.ExchangeFrac, b.ExchangeFrac)
+	out.Exchanges = int(lerp(float64(a.Exchanges), float64(b.Exchanges)))
+	out.ContractFrac = lerp(a.ContractFrac, b.ContractFrac)
+	out.CreationFrac = lerp(a.CreationFrac, b.CreationFrac)
+	out.InternalDepth = lerp(a.InternalDepth, b.InternalDepth)
+	out.Contracts = int(lerp(float64(a.Contracts), float64(b.Contracts)))
+	return out
+}
+
+// eraSchedule converts a profile's weighted eras into per-era block counts
+// totalling numBlocks (each era gets at least one block when numBlocks
+// allows).
+func eraSchedule(p Profile, numBlocks int) []int {
+	counts := make([]int, len(p.Eras))
+	if numBlocks <= 0 || len(p.Eras) == 0 {
+		return counts
+	}
+	total := p.TotalWeight()
+	assigned := 0
+	for i, e := range p.Eras {
+		c := int(math.Round(float64(numBlocks) * e.Weight / total))
+		if c < 1 {
+			c = 1
+		}
+		counts[i] = c
+		assigned += c
+	}
+	// Adjust the largest era to hit the exact total.
+	largest := 0
+	for i, c := range counts {
+		if c > counts[largest] {
+			largest = i
+		}
+	}
+	counts[largest] += numBlocks - assigned
+	if counts[largest] < 1 {
+		counts[largest] = 1
+	}
+	return counts
+}

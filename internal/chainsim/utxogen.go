@@ -1,0 +1,410 @@
+package chainsim
+
+import (
+	"fmt"
+
+	"txconcur/internal/utxo"
+)
+
+// UTXO generator notes.
+//
+// In the UTXO data model the TDG has an edge only when a TXO is created and
+// spent within the same block (§III-A1); sender/receiver reuse across
+// transactions creates no edges. The conflict structure of a generated block
+// is therefore controlled entirely by the intra-block spend chains the
+// generator plants (ChainStartProb and friends), and the user-population
+// size has no effect on the metrics. The generator exploits this: it keeps a
+// wallet pool bounded by the per-block transaction count rather than the
+// nominal era population, which keeps memory flat without changing any
+// measured quantity.
+
+// premine is the treasury endowment minted in the genesis coinbase.
+const premine utxo.Amount = 1 << 50
+
+// genSubsidy is the per-block coinbase subsidy used by generated chains.
+const genSubsidy utxo.Amount = 50_0000_0000
+
+// uwallet is one simulated key holder and its spendable outputs.
+type uwallet struct {
+	key  utxo.PrivateKey
+	lock utxo.Script
+	outs []spendable
+}
+
+type spendable struct {
+	op  utxo.Outpoint
+	val utxo.Amount
+}
+
+// UTXOGen generates a validated history for a UTXO-model profile.
+type UTXOGen struct {
+	profile Profile
+	smp     *sampler
+	chain   *utxo.Chain
+
+	wallets  []*uwallet
+	treasury *uwallet
+
+	// pending holds outputs created by the current block, distributed to
+	// wallets only after the block is committed so that independent
+	// transactions never accidentally spend in-block outputs.
+	pending []pendingOut
+
+	schedule []int // blocks per era
+	eraIdx   int
+	eraPos   int
+	time     int64
+}
+
+type pendingOut struct {
+	wallet int // -1 for treasury
+	out    spendable
+}
+
+// NewUTXOGen prepares a generator for the given UTXO profile. numBlocks is
+// the total number of history blocks to generate (distributed across eras
+// by weight). The genesis funding block is created immediately and does not
+// count toward numBlocks. Script verification is disabled for speed; use
+// NewUTXOGenVerified in tests that prove full validity.
+func NewUTXOGen(p Profile, numBlocks int, seed int64) (*UTXOGen, error) {
+	return newUTXOGen(p, numBlocks, seed, false)
+}
+
+// NewUTXOGenVerified is NewUTXOGen with full script verification of every
+// generated input.
+func NewUTXOGenVerified(p Profile, numBlocks int, seed int64) (*UTXOGen, error) {
+	return newUTXOGen(p, numBlocks, seed, true)
+}
+
+func newUTXOGen(p Profile, numBlocks int, seed int64, verify bool) (*UTXOGen, error) {
+	if p.Model != UTXO {
+		return nil, fmt.Errorf("chainsim: profile %q is not UTXO-model", p.Name)
+	}
+	if len(p.Eras) == 0 {
+		return nil, fmt.Errorf("chainsim: profile %q has no eras", p.Name)
+	}
+	g := &UTXOGen{
+		profile:  p,
+		smp:      newSampler(seed),
+		chain:    utxo.NewChain(utxo.BlockOptions{Subsidy: premine, VerifyScripts: verify}),
+		schedule: eraSchedule(p, numBlocks),
+		time:     p.Eras[0].StartTime,
+	}
+	g.treasury = g.newWallet(1_000_000)
+
+	// Size the wallet pool by the largest per-block transaction demand.
+	maxTx := 0.0
+	for _, e := range p.Eras {
+		if e.TxPerBlock > maxTx {
+			maxTx = e.TxPerBlock
+		}
+	}
+	poolSize := int(4*maxTx) + 64
+	g.wallets = make([]*uwallet, poolSize)
+	for i := range g.wallets {
+		g.wallets[i] = g.newWallet(uint64(i))
+	}
+
+	if err := g.genesis(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (g *UTXOGen) newWallet(idx uint64) *uwallet {
+	key := utxo.NewKey(g.profile.Name, idx)
+	return &uwallet{key: key, lock: utxo.P2PKH(key.PubKeyHash())}
+}
+
+// genesis mints the premine: one coinbase output per wallet plus the
+// treasury reserve.
+func (g *UTXOGen) genesis() error {
+	outs := make([]utxo.TxOut, 0, len(g.wallets)+1)
+	outs = append(outs, utxo.TxOut{Value: premine / 2, Script: g.treasury.lock})
+	per := premine / 2 / utxo.Amount(len(g.wallets))
+	for range g.wallets {
+		outs = append(outs, utxo.TxOut{Value: per, Script: g.wallets[0].lock})
+	}
+	// Each wallet gets its own output (fix the script per wallet).
+	for i := range g.wallets {
+		outs[i+1].Script = g.wallets[i].lock
+	}
+	cb := utxo.NewTransaction(nil, outs)
+	blk := &utxo.Block{Height: 0, Time: g.time - 86400, Txs: []*utxo.Transaction{cb}}
+	if err := g.chain.Append(blk); err != nil {
+		return fmt.Errorf("chainsim: genesis: %w", err)
+	}
+	g.treasury.outs = append(g.treasury.outs, spendable{op: cb.Outpoint(0), val: premine / 2})
+	for i := range g.wallets {
+		g.wallets[i].outs = append(g.wallets[i].outs, spendable{op: cb.Outpoint(i + 1), val: per})
+	}
+	return nil
+}
+
+// Remaining reports how many history blocks are left to generate.
+func (g *UTXOGen) Remaining() int {
+	n := 0
+	for i, c := range g.schedule {
+		if i > g.eraIdx {
+			n += c
+		} else if i == g.eraIdx {
+			n += c - g.eraPos
+		}
+	}
+	return n
+}
+
+// Chain exposes the validated chain built so far.
+func (g *UTXOGen) Chain() *utxo.Chain { return g.chain }
+
+// era returns the interpolated parameters for the current position.
+func (g *UTXOGen) era() Era {
+	cur := &g.profile.Eras[g.eraIdx]
+	var next *Era
+	if g.eraIdx+1 < len(g.profile.Eras) {
+		next = &g.profile.Eras[g.eraIdx+1]
+	}
+	frac := 0.0
+	if c := g.schedule[g.eraIdx]; c > 1 {
+		frac = float64(g.eraPos) / float64(c-1)
+	}
+	return interpolate(cur, next, frac)
+}
+
+// Next generates, validates and appends the next history block. The second
+// return value is false when the schedule is exhausted.
+func (g *UTXOGen) Next() (*utxo.Block, bool, error) {
+	for g.eraIdx < len(g.schedule) && g.eraPos >= g.schedule[g.eraIdx] {
+		g.eraIdx++
+		g.eraPos = 0
+		if g.eraIdx < len(g.profile.Eras) {
+			if t := g.profile.Eras[g.eraIdx].StartTime; t > g.time {
+				g.time = t
+			}
+		}
+	}
+	if g.eraIdx >= len(g.schedule) {
+		return nil, false, nil
+	}
+	era := g.era()
+	g.eraPos++
+	g.time += era.BlockInterval
+
+	blk, err := g.buildBlock(&era)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := g.chain.Append(blk); err != nil {
+		return nil, false, fmt.Errorf("chainsim: generated invalid block %d: %w", blk.Height, err)
+	}
+	g.distributePending()
+	return blk, true, nil
+}
+
+// buildBlock assembles one block according to the era parameters.
+func (g *UTXOGen) buildBlock(era *Era) (*utxo.Block, error) {
+	target := g.smp.txCount(era.TxPerBlock, era.TxPerBlockJitter)
+	txs := make([]*utxo.Transaction, 0, target+1)
+	var fees utxo.Amount
+
+	// Coinbase placeholder; finalised once fees are known.
+	g.pending = g.pending[:0]
+
+	senderZipf := g.smp.newZipf(1.1, len(g.wallets))
+	recvZipf := g.smp.newZipf(1.1, len(g.wallets))
+
+	made := 0
+	for made < target {
+		if g.smp.rng.Float64() < era.ChainStartProb && target-made >= 2 {
+			n, fee, err := g.buildChain(era, target-made, &txs)
+			if err != nil {
+				return nil, err
+			}
+			fees += fee
+			made += n
+			continue
+		}
+		tx, fee, err := g.buildIndependentTx(era, senderZipf, recvZipf)
+		if err != nil {
+			return nil, err
+		}
+		if tx == nil {
+			// No spendable funds anywhere; stop early.
+			break
+		}
+		txs = append(txs, tx)
+		fees += fee
+		made++
+	}
+
+	// Coinbase pays a mining-pool wallet (wallet 0..3). A BIP34-style
+	// height marker (an unspendable zero-value data output) keeps every
+	// coinbase transaction unique — without it, two empty blocks mined by
+	// the same pool would recreate the same outpoint, which validation
+	// rejects (utxo.ErrDuplicateCreate).
+	poolIdx := g.smp.rng.Intn(4)
+	height := uint64(g.chain.Height())
+	marker := utxo.DataCarrier([]byte{
+		byte(height >> 24), byte(height >> 16), byte(height >> 8), byte(height),
+	})
+	cb := utxo.NewTransaction(nil, []utxo.TxOut{
+		{Value: genSubsidy + fees, Script: g.wallets[poolIdx].lock},
+		{Value: 0, Script: marker},
+	})
+	g.pending = append(g.pending, pendingOut{wallet: poolIdx, out: spendable{op: cb.Outpoint(0), val: genSubsidy + fees}})
+
+	all := make([]*utxo.Transaction, 0, len(txs)+1)
+	all = append(all, cb)
+	all = append(all, txs...)
+	return &utxo.Block{
+		Height:   uint64(g.chain.Height()),
+		PrevHash: g.chain.TipHash(),
+		Time:     g.time,
+		Txs:      all,
+	}, nil
+}
+
+// takeOutput removes and returns a pre-block spendable output from the
+// wallet at index idx, probing forward (and finally the treasury) if the
+// wallet is dry.
+func (g *UTXOGen) takeOutput(idx int) (spendable, *uwallet, int) {
+	n := len(g.wallets)
+	for probe := 0; probe < n; probe++ {
+		w := g.wallets[(idx+probe)%n]
+		if len(w.outs) > 0 {
+			out := w.outs[len(w.outs)-1]
+			w.outs = w.outs[:len(w.outs)-1]
+			return out, w, (idx + probe) % n
+		}
+	}
+	if len(g.treasury.outs) > 0 {
+		out := g.treasury.outs[len(g.treasury.outs)-1]
+		g.treasury.outs = g.treasury.outs[:len(g.treasury.outs)-1]
+		return out, g.treasury, -1
+	}
+	return spendable{}, nil, 0
+}
+
+// signInputs produces the unlock scripts once the transaction shape (and
+// therefore its ID) is fixed.
+func signInputs(tx *utxo.Transaction, key utxo.PrivateKey) {
+	id := tx.ID()
+	for i := range tx.Inputs {
+		tx.Inputs[i].Unlock = utxo.Unlock(key, id)
+	}
+}
+
+// buildIndependentTx creates a transaction spending only pre-block outputs:
+// it adds no TDG edge. Returns (nil, 0, nil) when no funds remain.
+func (g *UTXOGen) buildIndependentTx(era *Era, senderZipf, recvZipf *zipf) (*utxo.Transaction, utxo.Amount, error) {
+	first, owner, ownerIdx := g.takeOutput(senderZipf.draw())
+	if owner == nil {
+		return nil, 0, nil
+	}
+	ins := []utxo.TxIn{{Prev: first.op}}
+	inValue := first.val
+	// Consolidation: spend several outputs of the same wallet.
+	if g.smp.rng.Float64() < era.MultiInputProb {
+		extra := 1 + g.smp.geometric(0.5)
+		for e := 0; e < extra && len(owner.outs) > 0; e++ {
+			out := owner.outs[len(owner.outs)-1]
+			owner.outs = owner.outs[:len(owner.outs)-1]
+			ins = append(ins, utxo.TxIn{Prev: out.op})
+			inValue += out.val
+		}
+	}
+
+	fee := inValue / 1000
+	pay := (inValue - fee) / 2
+	change := inValue - fee - pay
+	recvIdx := recvZipf.draw()
+	recv := g.wallets[recvIdx]
+	outs := []utxo.TxOut{{Value: pay, Script: recv.lock}}
+	if change > 0 {
+		outs = append(outs, utxo.TxOut{Value: change, Script: owner.lock})
+	}
+	tx := utxo.NewTransaction(ins, outs)
+	signInputs(tx, owner.key)
+
+	g.pending = append(g.pending, pendingOut{wallet: recvIdx, out: spendable{op: tx.Outpoint(0), val: pay}})
+	if change > 0 {
+		g.pending = append(g.pending, pendingOut{wallet: ownerIdx, out: spendable{op: tx.Outpoint(1), val: change}})
+	}
+	return tx, fee, nil
+}
+
+// buildChain creates an intra-block spend chain of length ≥ 2 (an exchange
+// sweep): each transaction spends an output created by the previous one,
+// which is exactly the TDG edge of the UTXO model. Appends the transactions
+// to txs and returns how many were created.
+func (g *UTXOGen) buildChain(era *Era, budget int, txs *[]*utxo.Transaction) (int, utxo.Amount, error) {
+	length := g.smp.chainLength(era)
+	if length > budget {
+		length = budget
+	}
+	// Sweeps are operated by hotspot wallets (exchanges / pools): wallet
+	// indices 0..7.
+	hotIdx := g.smp.rng.Intn(8)
+	hot := g.wallets[hotIdx]
+
+	seed, owner, _ := g.takeOutput(hotIdx)
+	if owner == nil {
+		return 0, 0, nil
+	}
+	var feeTotal utxo.Amount
+	prev := seed
+	prevKey := owner.key
+	made := 0
+	for i := 0; i < length; i++ {
+		fee := prev.val / 1000
+		remaining := prev.val - fee
+		if remaining <= 1 {
+			break
+		}
+		// Peel off a small side payment now and then, as real sweeps do.
+		var outs []utxo.TxOut
+		side := utxo.Amount(0)
+		if remaining > 10 && g.smp.rng.Float64() < 0.5 {
+			side = remaining / 10
+		}
+		main := remaining - side
+		outs = append(outs, utxo.TxOut{Value: main, Script: hot.lock})
+		sideRecv := -1
+		if side > 0 {
+			sideRecv = g.smp.rng.Intn(len(g.wallets))
+			outs = append(outs, utxo.TxOut{Value: side, Script: g.wallets[sideRecv].lock})
+		}
+		tx := utxo.NewTransaction([]utxo.TxIn{{Prev: prev.op}}, outs)
+		signInputs(tx, prevKey)
+		*txs = append(*txs, tx)
+		feeTotal += fee
+		made++
+
+		if side > 0 {
+			g.pending = append(g.pending, pendingOut{wallet: sideRecv, out: spendable{op: tx.Outpoint(1), val: side}})
+		}
+		prev = spendable{op: tx.Outpoint(0), val: main}
+		prevKey = hot.key
+	}
+	// The chain's final output becomes spendable in future blocks.
+	if made > 0 {
+		g.pending = append(g.pending, pendingOut{wallet: hotIdx, out: prev})
+	} else {
+		// Seed was unusable; give it back.
+		owner.outs = append(owner.outs, seed)
+	}
+	return made, feeTotal, nil
+}
+
+// distributePending hands the committed block's created outputs to their
+// owners, making them spendable from the next block on.
+func (g *UTXOGen) distributePending() {
+	for _, p := range g.pending {
+		if p.wallet < 0 {
+			g.treasury.outs = append(g.treasury.outs, p.out)
+		} else {
+			g.wallets[p.wallet].outs = append(g.wallets[p.wallet].outs, p.out)
+		}
+	}
+	g.pending = g.pending[:0]
+}

@@ -1,0 +1,180 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"txconcur/internal/chainsim"
+	"txconcur/internal/core"
+	"txconcur/internal/dataset"
+	"txconcur/internal/types"
+)
+
+// buildZilliqaRows generates a small Zilliqa-like history and exports it to
+// table rows, returning rows plus the per-block reference metrics.
+func buildZilliqaRows(t *testing.T, blocks int) ([]dataset.AccountTxRow, map[uint64]core.Metrics) {
+	t.Helper()
+	g, err := chainsim.NewAcctGen(chainsim.ZilliqaProfile(), blocks, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []dataset.AccountTxRow
+	want := make(map[uint64]core.Metrics)
+	for {
+		blk, receipts, ok, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, dataset.FromAccountBlock(blk, receipts)...)
+		want[blk.Height] = core.MeasureAccountBlock(blk, receipts)
+	}
+	return rows, want
+}
+
+func TestTwoPhaseCollection(t *testing.T) {
+	rows, want := buildZilliqaRows(t, 10)
+	server := NewChainServer(rows)
+	ts := httptest.NewServer(server)
+	defer ts.Close()
+
+	c := &Collector{URL: ts.URL, MaxRetries: 2}
+	var progressCalls int
+	got, err := c.CollectAll(context.Background(), func(p Progress) {
+		progressCalls++
+		if p.Blocks == 0 {
+			t.Error("progress with zero total blocks")
+		}
+	})
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	if progressCalls == 0 {
+		t.Fatal("no progress callbacks")
+	}
+
+	// The collected table must reproduce the reference metrics through the
+	// dataset pipeline. (Zilliqa has no internal transactions, so the
+	// collected rows carry the full TDG information.)
+	results, err := dataset.QueryAccount(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		m, ok := want[r.BlockNumber]
+		if !ok {
+			t.Fatalf("unexpected block %d", r.BlockNumber)
+		}
+		if r.NumTransactions != m.NumTxs || r.NumConflictTxs != m.Conflicted || r.MaxLCCSize != m.LCC {
+			t.Fatalf("block %d: collected (%d,%d,%d) != reference (%d,%d,%d)",
+				r.BlockNumber, r.NumTransactions, r.NumConflictTxs, r.MaxLCCSize,
+				m.NumTxs, m.Conflicted, m.LCC)
+		}
+	}
+}
+
+func TestCollectorRetriesTransientFailures(t *testing.T) {
+	rows, _ := buildZilliqaRows(t, 4)
+	server := NewChainServer(rows)
+	server.SetFailEvery(5) // every 5th request 503s
+	ts := httptest.NewServer(server)
+	defer ts.Close()
+
+	c := &Collector{URL: ts.URL, MaxRetries: 3}
+	if _, err := c.CollectAll(context.Background(), nil); err != nil {
+		t.Fatalf("collector should survive transient failures: %v", err)
+	}
+}
+
+func TestCollectorRetryBudgetExhausted(t *testing.T) {
+	rows, _ := buildZilliqaRows(t, 2)
+	server := NewChainServer(rows)
+	server.SetFailEvery(1) // every request fails
+	ts := httptest.NewServer(server)
+	defer ts.Close()
+
+	c := &Collector{URL: ts.URL, MaxRetries: 2}
+	_, err := c.CollectAll(context.Background(), nil)
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v, want ErrTransient", err)
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	rows, _ := buildZilliqaRows(t, 2)
+	ts := httptest.NewServer(NewChainServer(rows))
+	defer ts.Close()
+
+	const interval = 5 * time.Millisecond
+	c := &Collector{URL: ts.URL, Interval: interval}
+	start := time.Now()
+	n, err := c.NumBlocks(context.Background())
+	if err != nil || n == 0 {
+		t.Fatalf("NumBlocks: %d, %v", n, err)
+	}
+	// Several further calls must be spaced by the interval.
+	const calls = 5
+	for i := 0; i < calls; i++ {
+		if _, err := c.BlockHashes(context.Background(), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if min := time.Duration(calls) * interval; elapsed < min {
+		t.Fatalf("%d calls took %v, rate limit demands >= %v", calls+1, elapsed, min)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	rows, _ := buildZilliqaRows(t, 2)
+	ts := httptest.NewServer(NewChainServer(rows))
+	defer ts.Close()
+
+	c := &Collector{URL: ts.URL, Interval: time.Hour} // would wait forever
+	if _, err := c.NumBlocks(context.Background()); err != nil {
+		t.Fatal(err) // first call: no wait yet
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := c.NumBlocks(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	rows, _ := buildZilliqaRows(t, 2)
+	ts := httptest.NewServer(NewChainServer(rows))
+	defer ts.Close()
+	c := &Collector{URL: ts.URL}
+
+	// Unknown transaction.
+	_, err := c.Transaction(context.Background(), types.HashUint64("missing", 1))
+	if !errors.Is(err, ErrRPC) {
+		t.Fatalf("missing tx: %v", err)
+	}
+	// Unknown block returns an empty list, not an error (Zilliqa-like).
+	hashes, err := c.BlockHashes(context.Background(), 999999)
+	if err != nil || len(hashes) != 0 {
+		t.Fatalf("unknown block: %v, %v", hashes, err)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	rows, _ := buildZilliqaRows(t, 2)
+	server := NewChainServer(rows)
+	if _, rpcErr := server.dispatch("NoSuchMethod", nil); rpcErr == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if _, rpcErr := server.dispatch(MethodGetTransactionsForBlock, []byte(`"no"`)); rpcErr == nil {
+		t.Fatal("bad params accepted")
+	}
+	if server.NumBlocks() == 0 {
+		t.Fatal("server has no blocks")
+	}
+}

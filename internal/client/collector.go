@@ -1,0 +1,189 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"txconcur/internal/dataset"
+	"txconcur/internal/types"
+)
+
+// Collector downloads a chain history from a JSON-RPC chain server in the
+// paper's two phases: transaction hashes per block, then per-transaction
+// detail. Requests are rate-limited (the paper reports ~4 requests per
+// second against Zilliqa's SDK) and transient failures are retried.
+type Collector struct {
+	// URL is the server's endpoint.
+	URL string
+	// Interval is the minimum spacing between requests (rate limit).
+	// Zero disables limiting.
+	Interval time.Duration
+	// MaxRetries bounds retries per request for transient failures.
+	MaxRetries int
+	// HTTPClient optionally overrides the HTTP client.
+	HTTPClient *http.Client
+
+	nextID int64
+	last   time.Time
+}
+
+// ErrTransient reports an HTTP-level failure that was retried until the
+// budget ran out.
+var ErrTransient = errors.New("client: transient failure persisted")
+
+func (c *Collector) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// call performs one rate-limited JSON-RPC call with retries, decoding the
+// result into out.
+func (c *Collector) call(ctx context.Context, method string, params any, out any) error {
+	rawParams, err := json.Marshal(params)
+	if err != nil {
+		return fmt.Errorf("client: marshal params: %w", err)
+	}
+	c.nextID++
+	req := rpcRequest{JSONRPC: "2.0", ID: c.nextID, Method: method, Params: rawParams}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("client: marshal request: %w", err)
+	}
+
+	retries := c.MaxRetries
+	for {
+		if err := c.throttle(ctx); err != nil {
+			return err
+		}
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.URL, bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("client: build request: %w", err)
+		}
+		httpReq.Header.Set("Content-Type", "application/json")
+		resp, err := c.httpClient().Do(httpReq)
+		if err == nil && resp.StatusCode == http.StatusOK {
+			defer resp.Body.Close()
+			var rpcResp rpcResponse
+			if err := json.NewDecoder(resp.Body).Decode(&rpcResp); err != nil {
+				return fmt.Errorf("client: decode response: %w", err)
+			}
+			if rpcResp.Error != nil {
+				return fmt.Errorf("%w: %d %s", ErrRPC, rpcResp.Error.Code, rpcResp.Error.Message)
+			}
+			if out != nil {
+				if err := json.Unmarshal(rpcResp.Result, out); err != nil {
+					return fmt.Errorf("client: decode result: %w", err)
+				}
+			}
+			return nil
+		}
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		if retries <= 0 {
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrTransient, err)
+			}
+			return fmt.Errorf("%w: status %d", ErrTransient, resp.StatusCode)
+		}
+		retries--
+	}
+}
+
+// throttle enforces the request interval.
+func (c *Collector) throttle(ctx context.Context) error {
+	if c.Interval <= 0 {
+		return nil
+	}
+	now := time.Now()
+	wait := c.Interval - now.Sub(c.last)
+	if wait > 0 {
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	c.last = time.Now()
+	return nil
+}
+
+// NumBlocks fetches the served block-count (phase 0).
+func (c *Collector) NumBlocks(ctx context.Context) (uint64, error) {
+	var n uint64
+	if err := c.call(ctx, MethodGetNumTxBlocks, []uint64{}, &n); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// BlockHashes fetches all transaction hashes of one block (phase 1).
+func (c *Collector) BlockHashes(ctx context.Context, block uint64) ([]types.Hash, error) {
+	var hashes []types.Hash
+	if err := c.call(ctx, MethodGetTransactionsForBlock, []uint64{block}, &hashes); err != nil {
+		return nil, err
+	}
+	return hashes, nil
+}
+
+// Transaction fetches one transaction's detail (phase 2).
+func (c *Collector) Transaction(ctx context.Context, h types.Hash) (TxDetail, error) {
+	var d TxDetail
+	if err := c.call(ctx, MethodGetTransaction, []types.Hash{h}, &d); err != nil {
+		return d, err
+	}
+	return d, nil
+}
+
+// Progress reports collection progress after each block.
+type Progress struct {
+	Block        uint64
+	Blocks       uint64
+	Transactions int
+}
+
+// CollectAll downloads the whole history in the paper's two phases and
+// returns it as account table rows, ready for the dataset pipeline. The
+// optional progress callback fires after each block.
+func (c *Collector) CollectAll(ctx context.Context, progress func(Progress)) ([]dataset.AccountTxRow, error) {
+	numBlocks, err := c.NumBlocks(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("client: phase 0: %w", err)
+	}
+	var rows []dataset.AccountTxRow
+	total := 0
+	for b := uint64(0); b < numBlocks; b++ {
+		hashes, err := c.BlockHashes(ctx, b)
+		if err != nil {
+			return nil, fmt.Errorf("client: phase 1, block %d: %w", b, err)
+		}
+		for _, h := range hashes {
+			d, err := c.Transaction(ctx, h)
+			if err != nil {
+				return nil, fmt.Errorf("client: phase 2, tx %s: %w", h.Short(), err)
+			}
+			rows = append(rows, dataset.AccountTxRow{
+				BlockNumber: d.BlockNumber,
+				BlockTime:   d.BlockTime,
+				Hash:        d.Hash,
+				From:        d.From,
+				To:          d.To,
+				GasUsed:     d.GasUsed,
+			})
+			total++
+		}
+		if progress != nil {
+			progress(Progress{Block: b, Blocks: numBlocks, Transactions: total})
+		}
+	}
+	return rows, nil
+}

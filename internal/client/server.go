@@ -1,0 +1,194 @@
+// Package client reproduces the paper's custom data-collection path for
+// Zilliqa (§III-B): since Zilliqa is absent from the BigQuery public
+// datasets, the authors wrote "a lightweight client for downloading the
+// data from Zilliqa's mainnet", working in two phases — first fetching all
+// transaction hashes per block (GetTransactionsForTxBlock), then fetching
+// each transaction's detail (GetTransaction) — at roughly 4 requests per
+// second.
+//
+// This package provides both sides: a JSON-RPC chain server exposing those
+// two methods over a generated history, and a rate-limited two-phase
+// Collector with retries that downloads the history back into table rows.
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"txconcur/internal/dataset"
+	"txconcur/internal/types"
+)
+
+// JSON-RPC method names, mirroring the Zilliqa SDK.
+const (
+	MethodGetNumTxBlocks          = "GetNumTxBlocks"
+	MethodGetTransactionsForBlock = "GetTransactionsForTxBlock"
+	MethodGetTransaction          = "GetTransaction"
+)
+
+// rpcRequest is a JSON-RPC 2.0 request.
+type rpcRequest struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      int64           `json:"id"`
+	Method  string          `json:"method"`
+	Params  json.RawMessage `json:"params"`
+}
+
+// rpcError is a JSON-RPC 2.0 error object.
+type rpcError struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+// rpcResponse is a JSON-RPC 2.0 response.
+type rpcResponse struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      int64           `json:"id"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Error   *rpcError       `json:"error,omitempty"`
+}
+
+// TxDetail is the GetTransaction result payload.
+type TxDetail struct {
+	Hash        types.Hash    `json:"hash"`
+	BlockNumber uint64        `json:"block_number"`
+	BlockTime   int64         `json:"block_timestamp"`
+	From        types.Address `json:"from"`
+	To          types.Address `json:"to"`
+	GasUsed     uint64        `json:"gas_used"`
+}
+
+// ChainServer serves a chain history over JSON-RPC. It is safe for
+// concurrent use.
+type ChainServer struct {
+	mu        sync.RWMutex
+	byBlock   map[uint64][]types.Hash
+	byHash    map[types.Hash]TxDetail
+	blocks    []uint64
+	failEvery int // inject a transient failure every Nth request (tests)
+	requests  int
+}
+
+// NewChainServer builds a server over account-model table rows (regular
+// transactions only, as Zilliqa has no internal transactions).
+func NewChainServer(rows []dataset.AccountTxRow) *ChainServer {
+	s := &ChainServer{
+		byBlock: make(map[uint64][]types.Hash),
+		byHash:  make(map[types.Hash]TxDetail),
+	}
+	for _, r := range rows {
+		if r.IsInternal {
+			continue
+		}
+		s.byBlock[r.BlockNumber] = append(s.byBlock[r.BlockNumber], r.Hash)
+		s.byHash[r.Hash] = TxDetail{
+			Hash:        r.Hash,
+			BlockNumber: r.BlockNumber,
+			BlockTime:   r.BlockTime,
+			From:        r.From,
+			To:          r.To,
+			GasUsed:     r.GasUsed,
+		}
+	}
+	for b := range s.byBlock {
+		s.blocks = append(s.blocks, b)
+	}
+	sort.Slice(s.blocks, func(i, j int) bool { return s.blocks[i] < s.blocks[j] })
+	return s
+}
+
+// SetFailEvery injects a transient HTTP 503 on every nth request (0
+// disables). Used to test the collector's retry path.
+func (s *ChainServer) SetFailEvery(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failEvery = n
+	s.requests = 0
+}
+
+// NumBlocks returns the number of blocks served.
+func (s *ChainServer) NumBlocks() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blocks)
+}
+
+// ServeHTTP implements http.Handler with a single JSON-RPC endpoint.
+func (s *ChainServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.requests++
+	fail := s.failEvery > 0 && s.requests%s.failEvery == 0
+	s.mu.Unlock()
+	if fail {
+		http.Error(w, "transient overload", http.StatusServiceUnavailable)
+		return
+	}
+
+	var req rpcRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeRPC(w, rpcResponse{JSONRPC: "2.0", Error: &rpcError{Code: -32700, Message: "parse error"}})
+		return
+	}
+	resp := rpcResponse{JSONRPC: "2.0", ID: req.ID}
+	result, rpcErr := s.dispatch(req.Method, req.Params)
+	if rpcErr != nil {
+		resp.Error = rpcErr
+	} else {
+		raw, err := json.Marshal(result)
+		if err != nil {
+			resp.Error = &rpcError{Code: -32603, Message: "internal error"}
+		} else {
+			resp.Result = raw
+		}
+	}
+	writeRPC(w, resp)
+}
+
+func (s *ChainServer) dispatch(method string, params json.RawMessage) (any, *rpcError) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	switch method {
+	case MethodGetNumTxBlocks:
+		var max uint64
+		for _, b := range s.blocks {
+			if b+1 > max {
+				max = b + 1
+			}
+		}
+		return max, nil
+	case MethodGetTransactionsForBlock:
+		var args []uint64
+		if err := json.Unmarshal(params, &args); err != nil || len(args) != 1 {
+			return nil, &rpcError{Code: -32602, Message: "want [blockNumber]"}
+		}
+		hashes, ok := s.byBlock[args[0]]
+		if !ok {
+			return []types.Hash{}, nil
+		}
+		return hashes, nil
+	case MethodGetTransaction:
+		var args []types.Hash
+		if err := json.Unmarshal(params, &args); err != nil || len(args) != 1 {
+			return nil, &rpcError{Code: -32602, Message: "want [txHash]"}
+		}
+		detail, ok := s.byHash[args[0]]
+		if !ok {
+			return nil, &rpcError{Code: -20, Message: "transaction not found"}
+		}
+		return detail, nil
+	default:
+		return nil, &rpcError{Code: -32601, Message: fmt.Sprintf("unknown method %q", method)}
+	}
+}
+
+func writeRPC(w http.ResponseWriter, resp rpcResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// ErrRPC reports a JSON-RPC level error from the server.
+var ErrRPC = errors.New("client: rpc error")

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"txconcur/internal/graph"
+	"txconcur/internal/types"
+	"txconcur/internal/utxo"
+)
+
+// This file implements the inter-block concurrency analysis the paper's
+// §VII names as unexplored future work ("we only focused on
+// inter-transaction concurrency at block level, which leaves other sources
+// of concurrency such as intra-transaction, inter-block and
+// inter-blockchain unexplored"). A window of w consecutive blocks is
+// treated as one batch: the TDG spans all transactions of the window, so a
+// TXO created in block i and spent in block i+1 — invisible to the paper's
+// per-block analysis — becomes an edge, and address reuse across blocks
+// merges components.
+//
+// The resulting metrics answer a question the per-block analysis cannot:
+// if an execution engine batches w blocks (as validators catching up, or
+// rollup-style batch processors do), how much concurrency remains?
+
+// BuildUTXOWindow constructs the TDG of a window of consecutive UTXO
+// blocks: one node per non-coinbase transaction of the window, and an edge
+// whenever a TXO created anywhere in the window is spent anywhere in the
+// window.
+func BuildUTXOWindow(blocks []*utxo.Block) *TDG {
+	total := 0
+	for _, b := range blocks {
+		total += len(b.Txs)
+	}
+	regular := make([]*utxo.Transaction, 0, total)
+	creator := make(map[types.Hash]int, total)
+	inputs := 0
+	for _, b := range blocks {
+		for _, tx := range b.Txs {
+			inputs += len(tx.Inputs)
+			if tx.IsCoinbase() {
+				continue
+			}
+			creator[tx.ID()] = len(regular)
+			regular = append(regular, tx)
+		}
+	}
+	g := graph.NewUndirected(len(regular))
+	for i, tx := range regular {
+		for _, in := range tx.Inputs {
+			if j, ok := creator[in.Prev.TxID]; ok && j != i {
+				g.AddEdge(j, i)
+			}
+		}
+	}
+	t := &TDG{
+		NumTxs:      len(regular),
+		NumInputs:   inputs,
+		TxComponent: make([]int, len(regular)),
+	}
+	ccs := g.ConnectedComponents()
+	t.ComponentTxCount = make([]int, len(ccs))
+	for comp, cc := range ccs {
+		for _, node := range cc {
+			t.TxComponent[node] = comp
+		}
+		t.ComponentTxCount[comp] = len(cc)
+	}
+	return t
+}
+
+// MergeAccountViews concatenates the views of consecutive account blocks
+// into one window view; BuildAccount over the result yields the
+// inter-block TDG (shared addresses merge components across blocks).
+func MergeAccountViews(views ...*AccountBlockView) *AccountBlockView {
+	out := &AccountBlockView{}
+	withGas := true
+	for _, v := range views {
+		if v.GasUsed == nil {
+			withGas = false
+		}
+	}
+	for _, v := range views {
+		out.Regular = append(out.Regular, v.Regular...)
+		out.Internal = append(out.Internal, v.Internal...)
+		if withGas {
+			out.GasUsed = append(out.GasUsed, v.GasUsed...)
+		}
+	}
+	return out
+}
+
+// WindowMetrics computes the metrics of a sliding, non-overlapping window
+// decomposition of a sequence of per-block account views: the sequence is
+// cut into ⌈len/w⌉ windows of w blocks and each window is measured as one
+// batch.
+func WindowMetrics(views []*AccountBlockView, w int) []Metrics {
+	if w < 1 {
+		w = 1
+	}
+	out := make([]Metrics, 0, (len(views)+w-1)/w)
+	for lo := 0; lo < len(views); lo += w {
+		hi := lo + w
+		if hi > len(views) {
+			hi = len(views)
+		}
+		out = append(out, MeasureAccountView(MergeAccountViews(views[lo:hi]...)))
+	}
+	return out
+}
+
+// WindowMetricsUTXO is WindowMetrics for UTXO blocks.
+func WindowMetricsUTXO(blocks []*utxo.Block, w int) []Metrics {
+	if w < 1 {
+		w = 1
+	}
+	out := make([]Metrics, 0, (len(blocks)+w-1)/w)
+	for lo := 0; lo < len(blocks); lo += w {
+		hi := lo + w
+		if hi > len(blocks) {
+			hi = len(blocks)
+		}
+		out = append(out, FromTDG(BuildUTXOWindow(blocks[lo:hi])))
+	}
+	return out
+}

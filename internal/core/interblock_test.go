@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"txconcur/internal/utxo"
+)
+
+func TestBuildUTXOWindowMergesCrossBlockSpends(t *testing.T) {
+	// Block 1: tx A spends an external output. Block 2: tx B spends A's
+	// output. Per-block analysis sees no conflicts; the 2-block window
+	// sees one component of size 2.
+	rng := rand.New(rand.NewSource(1))
+	coinbase := func() *utxo.Transaction {
+		return utxo.NewTransaction(nil, []utxo.TxOut{{Value: 50}})
+	}
+	txA := utxo.NewTransaction(
+		[]utxo.TxIn{{Prev: utxo.Outpoint{TxID: randHash(rng)}}},
+		[]utxo.TxOut{{Value: 10}},
+	)
+	txB := utxo.NewTransaction(
+		[]utxo.TxIn{{Prev: txA.Outpoint(0)}},
+		[]utxo.TxOut{{Value: 10}},
+	)
+	b1 := &utxo.Block{Height: 1, Txs: []*utxo.Transaction{coinbase(), txA}}
+	b2 := &utxo.Block{Height: 2, Txs: []*utxo.Transaction{coinbase(), txB}}
+
+	if m := MeasureUTXOBlock(b1); m.Conflicted != 0 {
+		t.Fatalf("block 1 alone: %+v", m)
+	}
+	if m := MeasureUTXOBlock(b2); m.Conflicted != 0 {
+		t.Fatalf("block 2 alone: %+v", m)
+	}
+	win := FromTDG(BuildUTXOWindow([]*utxo.Block{b1, b2}))
+	if win.NumTxs != 2 || win.Conflicted != 2 || win.LCC != 2 {
+		t.Fatalf("window metrics = %+v, want 2 conflicted in one component", win)
+	}
+}
+
+func TestBuildUTXOWindowSingleBlockMatchesBuildUTXO(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	spends := make([]int, 30)
+	for i := range spends {
+		if i > 0 && rng.Float64() < 0.4 {
+			spends[i] = rng.Intn(i)
+		} else {
+			spends[i] = -1
+		}
+	}
+	b := makeUTXOBlock(t, spends)
+	direct := FromTDG(BuildUTXO(b))
+	window := FromTDG(BuildUTXOWindow([]*utxo.Block{b}))
+	if direct.Conflicted != window.Conflicted || direct.LCC != window.LCC || direct.NumTxs != window.NumTxs {
+		t.Fatalf("single-block window %+v != direct %+v", window, direct)
+	}
+}
+
+func TestMergeAccountViews(t *testing.T) {
+	a1 := addr("ib", 1)
+	exch := addr("ib", 9)
+	// Two blocks whose only link is a shared exchange address.
+	v1 := &AccountBlockView{
+		Regular: []AccountEdge{{From: a1, To: exch}},
+		GasUsed: []uint64{21000},
+	}
+	v2 := &AccountBlockView{
+		Regular: []AccountEdge{{From: addr("ib", 2), To: exch}},
+		GasUsed: []uint64{30000},
+	}
+	merged := MergeAccountViews(v1, v2)
+	if len(merged.Regular) != 2 || len(merged.GasUsed) != 2 {
+		t.Fatalf("merged = %+v", merged)
+	}
+	m := MeasureAccountView(merged)
+	if m.Conflicted != 2 || m.LCC != 2 {
+		t.Fatalf("cross-block exchange sharing not detected: %+v", m)
+	}
+	if m.GasUsed != 51000 {
+		t.Fatalf("gas = %d", m.GasUsed)
+	}
+	// Per-block, both are unconflicted.
+	if m1 := MeasureAccountView(v1); m1.Conflicted != 0 {
+		t.Fatalf("v1 alone: %+v", m1)
+	}
+}
+
+func TestMergeAccountViewsDropsPartialGas(t *testing.T) {
+	v1 := &AccountBlockView{Regular: []AccountEdge{{From: addr("pg", 1), To: addr("pg", 2)}}, GasUsed: []uint64{21000}}
+	v2 := &AccountBlockView{Regular: []AccountEdge{{From: addr("pg", 3), To: addr("pg", 4)}}}
+	merged := MergeAccountViews(v1, v2)
+	if merged.GasUsed != nil {
+		t.Fatal("partial gas must not be merged (misaligned weighting)")
+	}
+}
+
+func TestWindowMetrics(t *testing.T) {
+	views := make([]*AccountBlockView, 5)
+	for i := range views {
+		views[i] = &AccountBlockView{
+			Regular: []AccountEdge{
+				{From: addr("wm-s", uint64(i)), To: addr("wm-r", uint64(i))},
+				{From: addr("wm-s", uint64(i)), To: addr("wm-r", uint64(100+i))},
+			},
+		}
+	}
+	// Window 1: five windows of 2 txs each.
+	ms := WindowMetrics(views, 1)
+	if len(ms) != 5 {
+		t.Fatalf("windows = %d", len(ms))
+	}
+	for _, m := range ms {
+		if m.NumTxs != 2 || m.Conflicted != 2 {
+			t.Fatalf("per-block metrics = %+v", m)
+		}
+	}
+	// Window 2: three windows (2+2, 2+2, 1 block). Senders differ across
+	// blocks, so windows do not merge further.
+	ms = WindowMetrics(views, 2)
+	if len(ms) != 3 {
+		t.Fatalf("windows = %d", len(ms))
+	}
+	if ms[0].NumTxs != 4 || ms[2].NumTxs != 2 {
+		t.Fatalf("window sizes = %d, %d", ms[0].NumTxs, ms[2].NumTxs)
+	}
+	// Window 0 is clamped to 1.
+	if got := WindowMetrics(views, 0); len(got) != 5 {
+		t.Fatalf("w=0 windows = %d", len(got))
+	}
+}
+
+func TestWindowMetricsUTXO(t *testing.T) {
+	blocks := make([]*utxo.Block, 4)
+	var prev *utxo.Transaction
+	rng := rand.New(rand.NewSource(3))
+	for i := range blocks {
+		coinbase := utxo.NewTransaction(nil, []utxo.TxOut{{Value: 50}})
+		var in utxo.TxIn
+		if prev == nil {
+			in = utxo.TxIn{Prev: utxo.Outpoint{TxID: randHash(rng)}}
+		} else {
+			in = utxo.TxIn{Prev: prev.Outpoint(0)}
+		}
+		tx := utxo.NewTransaction([]utxo.TxIn{in}, []utxo.TxOut{{Value: 10}})
+		blocks[i] = &utxo.Block{Height: uint64(i), Txs: []*utxo.Transaction{coinbase, tx}}
+		prev = tx
+	}
+	// Each tx spends the previous block's tx: per-block no conflicts, a
+	// 4-block window has one chain of 4.
+	ms := WindowMetricsUTXO(blocks, 1)
+	for _, m := range ms {
+		if m.Conflicted != 0 {
+			t.Fatalf("per-block: %+v", m)
+		}
+	}
+	ms = WindowMetricsUTXO(blocks, 4)
+	if len(ms) != 1 || ms[0].LCC != 4 || ms[0].Conflicted != 4 {
+		t.Fatalf("4-window: %+v", ms)
+	}
+}
+
+// TestWindowMonotonicity: merging blocks can only merge components, so the
+// tx-weighted conflicted count of a window is at least the sum of its
+// blocks' conflicted counts.
+func TestWindowMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	views := make([]*AccountBlockView, 8)
+	for i := range views {
+		v := &AccountBlockView{}
+		for j := 0; j < 5+rng.Intn(10); j++ {
+			v.Regular = append(v.Regular, AccountEdge{
+				From: addr("mono-s", uint64(rng.Intn(20))),
+				To:   addr("mono-r", uint64(rng.Intn(20))),
+			})
+		}
+		views[i] = v
+	}
+	perBlock := WindowMetrics(views, 1)
+	sumConflicted := 0
+	for _, m := range perBlock {
+		sumConflicted += m.Conflicted
+	}
+	whole := WindowMetrics(views, len(views))
+	if len(whole) != 1 {
+		t.Fatal("expected one window")
+	}
+	if whole[0].Conflicted < sumConflicted {
+		t.Fatalf("window conflicted %d < per-block sum %d", whole[0].Conflicted, sumConflicted)
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"txconcur/internal/account"
+	"txconcur/internal/utxo"
+)
+
+// Metrics are the paper's per-block concurrency measurements (§III-A3).
+type Metrics struct {
+	// NumTxs is the number of regular (non-coinbase) transactions — the
+	// denominator of both conflict rates.
+	NumTxs int
+	// NumInternal is the number of internal transactions (account model).
+	NumInternal int
+	// NumInputs is the number of transaction inputs (UTXO model).
+	NumInputs int
+	// Conflicted is the number of transactions sharing a component with at
+	// least one other transaction.
+	Conflicted int
+	// LCC is the absolute size of the largest connected component,
+	// measured in regular transactions.
+	LCC int
+	// Components is the number of components containing transactions.
+	Components int
+	// GasUsed is the block's total gas consumption (account model), the
+	// weight of the paper's gas-weighted series.
+	GasUsed uint64
+	// ConflictedGas is the total gas of the conflicted transactions: the
+	// numerator of the gas-weighted single-transaction conflict rate. The
+	// paper's Ethereum query passes per-transaction gas costs into the UDF
+	// for exactly this purpose (§III-C).
+	ConflictedGas uint64
+	// LCCGas is the largest per-component gas sum: the gas-weighted
+	// analogue of the absolute LCC size (the sequential floor measured in
+	// execution cost rather than transaction count).
+	LCCGas uint64
+}
+
+// SingleRate returns the single-transaction conflict rate: conflicted
+// transactions over total transactions. Zero for an empty block.
+func (m Metrics) SingleRate() float64 {
+	if m.NumTxs == 0 {
+		return 0
+	}
+	return float64(m.Conflicted) / float64(m.NumTxs)
+}
+
+// GroupRate returns the group conflict rate: the relative LCC size. Zero
+// for an empty block.
+func (m Metrics) GroupRate() float64 {
+	if m.NumTxs == 0 {
+		return 0
+	}
+	return float64(m.LCC) / float64(m.NumTxs)
+}
+
+// SingleRateGas returns the gas-weighted single-transaction conflict rate:
+// the share of the block's gas consumed by conflicted transactions.
+func (m Metrics) SingleRateGas() float64 {
+	if m.GasUsed == 0 {
+		return 0
+	}
+	return float64(m.ConflictedGas) / float64(m.GasUsed)
+}
+
+// GroupRateGas returns the gas-weighted group conflict rate: the share of
+// the block's gas in the heaviest connected component.
+func (m Metrics) GroupRateGas() float64 {
+	if m.GasUsed == 0 {
+		return 0
+	}
+	return float64(m.LCCGas) / float64(m.GasUsed)
+}
+
+// FromTDG reduces a TDG to its metrics.
+func FromTDG(t *TDG) Metrics {
+	return Metrics{
+		NumTxs:      t.NumTxs,
+		NumInternal: t.NumInternal,
+		NumInputs:   t.NumInputs,
+		Conflicted:  t.Conflicted(),
+		LCC:         t.LCCTxs(),
+		Components:  t.NumComponents(),
+	}
+}
+
+// MeasureUTXOBlock computes the metrics of a UTXO block.
+func MeasureUTXOBlock(b *utxo.Block) Metrics {
+	return FromTDG(BuildUTXO(b))
+}
+
+// MeasureAccountBlock computes the metrics of an executed account block.
+func MeasureAccountBlock(b *account.Block, receipts []*account.Receipt) Metrics {
+	return MeasureAccountView(ViewFromReceipts(b, receipts))
+}
+
+// MeasureAccountView computes the metrics of an account block view (used
+// for fixture blocks and for the approximate-TDG extension).
+func MeasureAccountView(v *AccountBlockView) Metrics {
+	tdg := BuildAccount(v)
+	m := FromTDG(tdg)
+	m.GasUsed, m.ConflictedGas, m.LCCGas = tdg.GasMetrics(v.GasUsed)
+	return m
+}
+
+// LongestSpendChain returns the length (in transactions) of the longest
+// intra-block spend chain of a UTXO block: the longest path in the DAG whose
+// edges connect a transaction to one spending its output within the block.
+// The paper's Figure 6 shows such a chain of 18 transactions in Bitcoin
+// block 500000; chains force fully sequential execution.
+func LongestSpendChain(b *utxo.Block) int {
+	regular := make([]*utxo.Transaction, 0, len(b.Txs))
+	index := make(map[[32]byte]int, len(b.Txs))
+	for _, tx := range b.Txs {
+		if tx.IsCoinbase() {
+			continue
+		}
+		index[tx.ID()] = len(regular)
+		regular = append(regular, tx)
+	}
+	if len(regular) == 0 {
+		return 0
+	}
+	// Transactions appear after everything they spend (block validity), so
+	// a single pass in block order computes the longest chain ending at
+	// each transaction.
+	depth := make([]int, len(regular))
+	best := 1
+	for i, tx := range regular {
+		depth[i] = 1
+		for _, in := range tx.Inputs {
+			if j, ok := index[in.Prev.TxID]; ok && j < i && depth[j]+1 > depth[i] {
+				depth[i] = depth[j] + 1
+			}
+		}
+		if depth[i] > best {
+			best = depth[i]
+		}
+	}
+	return best
+}

@@ -1,0 +1,288 @@
+// Package core implements the paper's primary contribution: the transaction
+// dependency graph (TDG, §III-A1), the two concurrency metrics derived from
+// its connected components (single-transaction conflict rate and group
+// conflict rate, §III-A3), and the analytical execution speed-up model
+// (§V, equations (1) and (2)).
+package core
+
+import (
+	"sort"
+
+	"txconcur/internal/account"
+	"txconcur/internal/graph"
+	"txconcur/internal/types"
+	"txconcur/internal/utxo"
+)
+
+// TDG is the transaction dependency graph of one block, reduced to the
+// information the metrics need: the assignment of regular transactions to
+// connected components.
+//
+// For UTXO blocks the TDG's nodes are the block's transactions; for account
+// blocks the nodes are addresses and transactions are then mapped onto the
+// components of their endpoints (§III-A2). In both cases coinbase
+// transactions are ignored (§III-A1).
+type TDG struct {
+	// NumTxs is the number of regular (non-coinbase) transactions.
+	NumTxs int
+	// NumInternal is the number of internal transactions (account model
+	// only; always zero for UTXO blocks).
+	NumInternal int
+	// NumInputs is the total number of transaction inputs (UTXO model
+	// only; the "input TXOs" series of Figure 5a).
+	NumInputs int
+	// TxComponent maps each regular transaction (by its index among
+	// regular transactions, in block order) to a dense component ID.
+	TxComponent []int
+	// ComponentTxCount holds, for each component ID, the number of regular
+	// transactions mapped to it.
+	ComponentTxCount []int
+}
+
+// BuildUTXO constructs the TDG of a UTXO block: one node per non-coinbase
+// transaction, and an edge (a, b) whenever a TXO created by a is spent by b
+// within the same block (§III-A1).
+func BuildUTXO(b *utxo.Block) *TDG {
+	// Index regular transactions and the outputs they create.
+	regular := make([]*utxo.Transaction, 0, len(b.Txs))
+	creator := make(map[types.Hash]int, len(b.Txs)) // tx hash -> regular index
+	for _, tx := range b.Txs {
+		if tx.IsCoinbase() {
+			continue
+		}
+		creator[tx.ID()] = len(regular)
+		regular = append(regular, tx)
+	}
+	g := graph.NewUndirected(len(regular))
+	inputs := 0
+	for i, tx := range regular {
+		inputs += len(tx.Inputs)
+		for _, in := range tx.Inputs {
+			if j, ok := creator[in.Prev.TxID]; ok && j != i {
+				g.AddEdge(j, i)
+			}
+		}
+	}
+	// Coinbase inputs do not exist; count all block inputs for the series.
+	for _, tx := range b.Txs {
+		if tx.IsCoinbase() {
+			inputs += len(tx.Inputs)
+		}
+	}
+
+	ccs := g.ConnectedComponents()
+	t := &TDG{
+		NumTxs:           len(regular),
+		NumInputs:        inputs,
+		TxComponent:      make([]int, len(regular)),
+		ComponentTxCount: make([]int, len(ccs)),
+	}
+	for comp, cc := range ccs {
+		for _, node := range cc {
+			t.TxComponent[node] = comp
+		}
+		t.ComponentTxCount[comp] = len(cc)
+	}
+	return t
+}
+
+// AccountEdge is one sender→receiver interaction: a regular transaction or
+// an internal transaction.
+type AccountEdge struct {
+	From types.Address
+	To   types.Address
+}
+
+// AccountBlockView is the data the account-model TDG construction consumes:
+// the endpoints of each regular transaction and all internal-transaction
+// edges. It decouples TDG building from block execution so that fixture
+// blocks (e.g. the paper's Figure 1 examples) can be analysed without a
+// state database.
+type AccountBlockView struct {
+	// Regular holds the (sender, receiver) endpoints of each regular
+	// transaction, in block order. For contract creations the receiver is
+	// the created contract's address.
+	Regular []AccountEdge
+	// Internal holds the endpoints of each internal transaction.
+	Internal []AccountEdge
+	// GasUsed is the gas consumed per regular transaction, aligned with
+	// Regular; optional (used for gas weighting). Nil means unknown.
+	GasUsed []uint64
+}
+
+// ViewFromReceipts assembles an AccountBlockView from an executed block and
+// its receipts (which carry the internal-transaction traces).
+func ViewFromReceipts(b *account.Block, receipts []*account.Receipt) *AccountBlockView {
+	v := &AccountBlockView{
+		Regular: make([]AccountEdge, len(b.Txs)),
+		GasUsed: make([]uint64, len(b.Txs)),
+	}
+	for i, tx := range b.Txs {
+		to := tx.To
+		if i < len(receipts) && tx.IsCreation() {
+			to = receipts[i].To
+		}
+		v.Regular[i] = AccountEdge{From: tx.From, To: to}
+		if i < len(receipts) {
+			v.GasUsed[i] = receipts[i].GasUsed
+			for _, itx := range receipts[i].Internal {
+				v.Internal = append(v.Internal, AccountEdge{From: itx.From, To: itx.To})
+			}
+		}
+	}
+	return v
+}
+
+// InternalEdgesByTx extracts each transaction's internal edges from its
+// receipt, aligned with the block's transactions — the per-transaction
+// grouping the sharding analysis needs.
+func InternalEdgesByTx(receipts []*account.Receipt) [][]AccountEdge {
+	out := make([][]AccountEdge, len(receipts))
+	for i, r := range receipts {
+		for _, itx := range r.Internal {
+			out[i] = append(out[i], AccountEdge{From: itx.From, To: itx.To})
+		}
+	}
+	return out
+}
+
+// BuildAccount constructs the TDG of an account block: one node per address
+// referenced by a (possibly internal) transaction, and an edge (a, b) for
+// every transaction with sender a and receiver b (§III-A1). Regular
+// transactions are then assigned to the component containing their
+// endpoints, the extra mapping step the paper describes for its Ethereum
+// query (§III-C).
+func BuildAccount(v *AccountBlockView) *TDG {
+	in := graph.NewInterner[types.Address](2 * len(v.Regular))
+	g := graph.NewUndirected(0)
+	addEdge := func(e AccountEdge) {
+		a, b := in.ID(e.From), in.ID(e.To)
+		g.Grow(in.Len())
+		g.AddEdge(a, b)
+	}
+	for _, e := range v.Regular {
+		addEdge(e)
+	}
+	for _, e := range v.Internal {
+		addEdge(e)
+	}
+
+	ccs := g.ConnectedComponents()
+	addrComp := make([]int, in.Len())
+	for comp, cc := range ccs {
+		for _, node := range cc {
+			addrComp[node] = comp
+		}
+	}
+
+	t := &TDG{
+		NumTxs:           len(v.Regular),
+		NumInternal:      len(v.Internal),
+		TxComponent:      make([]int, len(v.Regular)),
+		ComponentTxCount: make([]int, len(ccs)),
+	}
+	for i, e := range v.Regular {
+		// Sender and receiver are in the same component by construction
+		// (the edge between them was added above).
+		id, _ := in.Lookup(e.From)
+		comp := addrComp[id]
+		t.TxComponent[i] = comp
+		t.ComponentTxCount[comp]++
+	}
+	return t
+}
+
+// BuildAccountApprox constructs the approximate TDG the paper's §V-C
+// proposes as future work: internal transactions are not available a priori,
+// so only the regular transactions' endpoints contribute edges.
+func BuildAccountApprox(v *AccountBlockView) *TDG {
+	return BuildAccount(&AccountBlockView{Regular: v.Regular, GasUsed: v.GasUsed})
+}
+
+// Conflicted returns the number of conflicted regular transactions: those
+// whose component contains at least one other regular transaction
+// (§III-A2).
+func (t *TDG) Conflicted() int {
+	n := 0
+	for _, comp := range t.TxComponent {
+		if t.ComponentTxCount[comp] >= 2 {
+			n++
+		}
+	}
+	return n
+}
+
+// LCCTxs returns the absolute LCC size L: the largest number of regular
+// transactions in any single component (§V-B uses this as the length of the
+// unavoidable sequential schedule).
+func (t *TDG) LCCTxs() int {
+	max := 0
+	for _, c := range t.ComponentTxCount {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// NumComponents returns the number of connected components that contain at
+// least one regular transaction.
+func (t *TDG) NumComponents() int {
+	n := 0
+	for _, c := range t.ComponentTxCount {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// GasMetrics computes the gas-weighted conflict numerators given the
+// per-transaction gas costs (aligned with the regular transactions): total
+// block gas, gas of conflicted transactions, and the largest per-component
+// gas sum. A nil gas slice yields zeros.
+func (t *TDG) GasMetrics(gas []uint64) (total, conflicted, lccGas uint64) {
+	if len(gas) == 0 {
+		return 0, 0, 0
+	}
+	compGas := make([]uint64, len(t.ComponentTxCount))
+	for i, comp := range t.TxComponent {
+		if i >= len(gas) {
+			break
+		}
+		total += gas[i]
+		compGas[comp] += gas[i]
+		if t.ComponentTxCount[comp] >= 2 {
+			conflicted += gas[i]
+		}
+	}
+	for _, g := range compGas {
+		if g > lccGas {
+			lccGas = g
+		}
+	}
+	return total, conflicted, lccGas
+}
+
+// TxGroups returns the regular-transaction indices grouped by component,
+// largest group first — the unit of scheduling for the group-concurrency
+// executor. Only components with at least one transaction are returned.
+func (t *TDG) TxGroups() [][]int {
+	byComp := make(map[int][]int)
+	for i, comp := range t.TxComponent {
+		byComp[comp] = append(byComp[comp], i)
+	}
+	groups := make([][]int, 0, len(byComp))
+	for _, g := range byComp {
+		groups = append(groups, g)
+	}
+	// Sort by size descending, ties by first transaction index, for
+	// determinism across map iteration orders.
+	sort.Slice(groups, func(i, j int) bool {
+		if len(groups[i]) != len(groups[j]) {
+			return len(groups[i]) > len(groups[j])
+		}
+		return groups[i][0] < groups[j][0]
+	})
+	return groups
+}

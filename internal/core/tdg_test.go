@@ -1,0 +1,332 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"txconcur/internal/graph"
+	"txconcur/internal/types"
+	"txconcur/internal/utxo"
+)
+
+func addr(tag string, i uint64) types.Address { return types.AddressFromUint64(tag, i) }
+
+func TestFig1a(t *testing.T) {
+	m := MeasureAccountView(Fig1aView())
+	if m.NumTxs != 5 {
+		t.Fatalf("NumTxs = %d, want 5", m.NumTxs)
+	}
+	if m.Components != 4 {
+		t.Fatalf("components = %d, want 4 (paper: 3 of size 1 and 1 of size 2)", m.Components)
+	}
+	if m.Conflicted != 2 {
+		t.Fatalf("conflicted = %d, want 2 (transactions 3 and 4)", m.Conflicted)
+	}
+	if got := m.SingleRate(); got != 0.4 {
+		t.Fatalf("single-transaction conflict rate = %v, want 0.40", got)
+	}
+	if got := m.GroupRate(); got != 0.4 {
+		t.Fatalf("group conflict rate = %v, want 0.40", got)
+	}
+}
+
+func TestFig1b(t *testing.T) {
+	v := Fig1bView()
+	if len(v.Internal) != 18 {
+		t.Fatalf("fixture has %d internal txs, want 18", len(v.Internal))
+	}
+	m := MeasureAccountView(v)
+	if m.NumTxs != 16 {
+		t.Fatalf("NumTxs = %d, want 16", m.NumTxs)
+	}
+	if m.NumInternal != 18 {
+		t.Fatalf("NumInternal = %d, want 18", m.NumInternal)
+	}
+	if m.Components != 5 {
+		t.Fatalf("components = %d, want 5", m.Components)
+	}
+	if m.Conflicted != 14 {
+		t.Fatalf("conflicted = %d, want 14", m.Conflicted)
+	}
+	if got := m.SingleRate(); got != 0.875 {
+		t.Fatalf("single-transaction conflict rate = %v, want 0.875", got)
+	}
+	if m.LCC != 9 {
+		t.Fatalf("LCC = %d, want 9 (transactions 1-9)", m.LCC)
+	}
+	if got := m.GroupRate(); got != 0.5625 {
+		t.Fatalf("group conflict rate = %v, want 0.5625", got)
+	}
+}
+
+func TestFig1bApproxTDG(t *testing.T) {
+	// Without internal transactions (paper §V-C future work), 10-12 are
+	// still conflicted — they share the receiving contract — so for this
+	// block the approximation happens to be exact.
+	v := Fig1bView()
+	m := FromTDG(BuildAccountApprox(v))
+	if m.NumInternal != 0 {
+		t.Fatalf("approx TDG should drop internals, has %d", m.NumInternal)
+	}
+	if m.Conflicted != 14 || m.LCC != 9 {
+		t.Fatalf("approx: conflicted=%d LCC=%d, want 14/9", m.Conflicted, m.LCC)
+	}
+}
+
+func TestApproxTDGMissesInternalOnlyConflicts(t *testing.T) {
+	// Two transactions to different contracts that both internally call the
+	// same token contract: the full TDG sees one component, the approximate
+	// TDG (regular edges only) sees two.
+	token := addr("approx", 99)
+	cA, cB := addr("approx", 1), addr("approx", 2)
+	v := &AccountBlockView{
+		Regular: []AccountEdge{
+			{From: addr("approx-s", 1), To: cA},
+			{From: addr("approx-s", 2), To: cB},
+		},
+		Internal: []AccountEdge{
+			{From: cA, To: token},
+			{From: cB, To: token},
+		},
+	}
+	full := FromTDG(BuildAccount(v))
+	if full.Conflicted != 2 || full.LCC != 2 {
+		t.Fatalf("full TDG: %+v, want both conflicted", full)
+	}
+	apx := FromTDG(BuildAccountApprox(v))
+	if apx.Conflicted != 0 || apx.LCC != 1 {
+		t.Fatalf("approx TDG: %+v, want no conflicts", apx)
+	}
+}
+
+// randHash is a test helper for synthetic outpoints outside the block.
+func randHash(rng *rand.Rand) types.Hash {
+	return types.HashUint64("core-test-ext", rng.Uint64())
+}
+
+// makeUTXOBlock builds a block of nTx transactions where spends[i] = j means
+// transaction i spends an output of transaction j (j < i); spends[i] = -1
+// means transaction i spends an external outpoint.
+func makeUTXOBlock(t *testing.T, spends []int) *utxo.Block {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	coinbase := utxo.NewTransaction(nil, []utxo.TxOut{{Value: 50}})
+	txs := []*utxo.Transaction{coinbase}
+	regular := make([]*utxo.Transaction, 0, len(spends))
+	for i, sp := range spends {
+		var prev utxo.Outpoint
+		if sp >= 0 {
+			if sp >= i {
+				t.Fatalf("bad fixture: spends[%d] = %d", i, sp)
+			}
+			prev = regular[sp].Outpoint(0)
+		} else {
+			prev = utxo.Outpoint{TxID: randHash(rng), Index: 0}
+		}
+		tx := utxo.NewTransaction(
+			[]utxo.TxIn{{Prev: prev}},
+			[]utxo.TxOut{{Value: utxo.Amount(10 + i)}},
+		)
+		regular = append(regular, tx)
+		txs = append(txs, tx)
+	}
+	return &utxo.Block{Height: 1, Txs: txs}
+}
+
+func TestUTXOTDGIndependent(t *testing.T) {
+	// All transactions spend external outputs: no conflicts, like a typical
+	// Bitcoin block (paper: group conflict rate around 1%).
+	b := makeUTXOBlock(t, []int{-1, -1, -1, -1})
+	m := MeasureUTXOBlock(b)
+	if m.NumTxs != 4 || m.Conflicted != 0 || m.LCC != 1 || m.Components != 4 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.SingleRate() != 0 {
+		t.Fatalf("single rate = %v, want 0", m.SingleRate())
+	}
+	if m.GroupRate() != 0.25 {
+		t.Fatalf("group rate = %v, want 0.25 (LCC of 1 tx over 4)", m.GroupRate())
+	}
+	if got := LongestSpendChain(b); got != 1 {
+		t.Fatalf("longest chain = %d, want 1", got)
+	}
+}
+
+func TestUTXOTDGChain(t *testing.T) {
+	// An 18-transaction spend chain like the paper's Figure 6 (Bitcoin
+	// block 500000): one component, everything conflicted.
+	spends := make([]int, 18)
+	for i := range spends {
+		spends[i] = i - 1 // tx i spends tx i-1's output; tx 0 external
+	}
+	b := makeUTXOBlock(t, spends)
+	m := MeasureUTXOBlock(b)
+	if m.NumTxs != 18 || m.Conflicted != 18 || m.LCC != 18 || m.Components != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if got := LongestSpendChain(b); got != 18 {
+		t.Fatalf("longest chain = %d, want 18", got)
+	}
+}
+
+func TestUTXOTDGMixed(t *testing.T) {
+	// Two chains of 3 and 2, plus 3 independent transactions.
+	b := makeUTXOBlock(t, []int{-1, 0, 1, -1, 3, -1, -1, -1})
+	m := MeasureUTXOBlock(b)
+	if m.NumTxs != 8 {
+		t.Fatalf("NumTxs = %d", m.NumTxs)
+	}
+	if m.Conflicted != 5 {
+		t.Fatalf("conflicted = %d, want 5", m.Conflicted)
+	}
+	if m.LCC != 3 {
+		t.Fatalf("LCC = %d, want 3", m.LCC)
+	}
+	if m.Components != 5 {
+		t.Fatalf("components = %d, want 5", m.Components)
+	}
+	if got := LongestSpendChain(b); got != 3 {
+		t.Fatalf("longest chain = %d, want 3", got)
+	}
+}
+
+func TestUTXOCoinbaseIgnored(t *testing.T) {
+	// A transaction spending the block's own coinbase output: the paper
+	// ignores coinbase transactions, so this creates no edge.
+	coinbase := utxo.NewTransaction(nil, []utxo.TxOut{{Value: 50}})
+	spend := utxo.NewTransaction(
+		[]utxo.TxIn{{Prev: coinbase.Outpoint(0)}},
+		[]utxo.TxOut{{Value: 50}},
+	)
+	b := &utxo.Block{Height: 0, Txs: []*utxo.Transaction{coinbase, spend}}
+	m := MeasureUTXOBlock(b)
+	if m.NumTxs != 1 {
+		t.Fatalf("NumTxs = %d, want 1 (coinbase excluded)", m.NumTxs)
+	}
+	if m.Conflicted != 0 {
+		t.Fatalf("conflicted = %d, want 0", m.Conflicted)
+	}
+}
+
+func TestTDGEmptyBlock(t *testing.T) {
+	coinbaseOnly := &utxo.Block{Height: 0, Txs: []*utxo.Transaction{
+		utxo.NewTransaction(nil, []utxo.TxOut{{Value: 50}}),
+	}}
+	m := MeasureUTXOBlock(coinbaseOnly)
+	if m.NumTxs != 0 || m.SingleRate() != 0 || m.GroupRate() != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	av := MeasureAccountView(&AccountBlockView{})
+	if av.NumTxs != 0 || av.SingleRate() != 0 || av.GroupRate() != 0 {
+		t.Fatalf("account metrics = %+v", av)
+	}
+}
+
+func TestTxGroups(t *testing.T) {
+	v := Fig1bView()
+	tdg := BuildAccount(v)
+	groups := tdg.TxGroups()
+	if len(groups) != 5 {
+		t.Fatalf("groups = %d, want 5", len(groups))
+	}
+	if len(groups[0]) != 9 {
+		t.Fatalf("largest group = %d txs, want 9", len(groups[0]))
+	}
+	// Groups partition the transactions.
+	seen := make(map[int]bool)
+	total := 0
+	for _, g := range groups {
+		for _, tx := range g {
+			if seen[tx] {
+				t.Fatalf("tx %d in two groups", tx)
+			}
+			seen[tx] = true
+			total++
+		}
+	}
+	if total != 16 {
+		t.Fatalf("groups cover %d txs, want 16", total)
+	}
+	// Descending sizes.
+	for i := 1; i < len(groups); i++ {
+		if len(groups[i]) > len(groups[i-1]) {
+			t.Fatal("groups not sorted by size")
+		}
+	}
+}
+
+// TestUTXOTDGMatchesBruteForce cross-checks the TDG component assignment
+// against a direct union-find over the same spend relation, on random
+// blocks.
+func TestUTXOTDGMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(40)
+		spends := make([]int, n)
+		for i := range spends {
+			if i > 0 && rng.Float64() < 0.4 {
+				spends[i] = rng.Intn(i)
+			} else {
+				spends[i] = -1
+			}
+		}
+		b := makeUTXOBlock(t, spends)
+		tdg := BuildUTXO(b)
+
+		uf := graph.NewUnionFind(n)
+		for i, sp := range spends {
+			if sp >= 0 {
+				uf.Union(i, sp)
+			}
+		}
+		wantConflicted := 0
+		wantLCC := 0
+		for i := 0; i < n; i++ {
+			if s := uf.SetSize(i); s >= 2 {
+				wantConflicted++
+			}
+			if s := uf.SetSize(i); s > wantLCC {
+				wantLCC = s
+			}
+		}
+		if got := tdg.Conflicted(); got != wantConflicted {
+			t.Fatalf("trial %d: conflicted = %d, want %d", trial, got, wantConflicted)
+		}
+		if got := tdg.LCCTxs(); got != wantLCC {
+			t.Fatalf("trial %d: LCC = %d, want %d", trial, got, wantLCC)
+		}
+	}
+}
+
+// TestMetricsInvariants verifies the paper's §IV-B observation as an
+// invariant: whenever any transaction is conflicted, the single-transaction
+// conflict rate is at least the group conflict rate ("the single-transaction
+// conflict must always be at least as high as the group conflict rate").
+func TestMetricsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(50)
+		spends := make([]int, n)
+		for i := range spends {
+			if i > 0 && rng.Float64() < 0.5 {
+				spends[i] = rng.Intn(i)
+			} else {
+				spends[i] = -1
+			}
+		}
+		m := MeasureUTXOBlock(makeUTXOBlock(t, spends))
+		single, group := m.SingleRate(), m.GroupRate()
+		if single < 0 || single > 1 || group < 0 || group > 1 {
+			t.Fatalf("rates out of range: %v %v", single, group)
+		}
+		if m.LCC >= 2 && single < group {
+			t.Fatalf("trial %d: single %v < group %v with LCC %d", trial, single, group, m.LCC)
+		}
+		if m.LCC <= 1 && m.Conflicted != 0 {
+			t.Fatalf("trial %d: LCC %d but %d conflicted", trial, m.LCC, m.Conflicted)
+		}
+		if m.Conflicted == 0 && m.LCC > 1 {
+			t.Fatalf("trial %d: no conflicts but LCC %d", trial, m.LCC)
+		}
+	}
+}

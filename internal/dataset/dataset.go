@@ -1,0 +1,356 @@
+// Package dataset reproduces the paper's data-collection methodology
+// (§III-B, §III-C): chain histories are exported into tables following the
+// Google BigQuery public-dataset schemas, and the paper's SQL + JavaScript
+// UDF pipeline (Figures 2 and 3) is re-implemented over those tables. The
+// pipeline's per-block outputs (num_transactions, num_conflict_txs,
+// max_lcc_size) are validated against the direct implementation in package
+// core, giving two independent paths to every metric.
+package dataset
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"txconcur/internal/account"
+	"txconcur/internal/core"
+	"txconcur/internal/graph"
+	"txconcur/internal/types"
+	"txconcur/internal/utxo"
+)
+
+// TxInputRow mirrors one element of the BigQuery `inputs` array of a
+// UTXO-chain transaction row (crypto_bitcoin.transactions schema).
+type TxInputRow struct {
+	SpentTransactionHash types.Hash `json:"spent_transaction_hash"`
+	SpentOutputIndex     uint32     `json:"spent_output_index"`
+}
+
+// UTXOTxRow is one row of the UTXO-model transactions table.
+type UTXOTxRow struct {
+	BlockNumber uint64       `json:"block_number"`
+	BlockTime   int64        `json:"block_timestamp"`
+	Hash        types.Hash   `json:"hash"`
+	IsCoinbase  bool         `json:"is_coinbase"`
+	Inputs      []TxInputRow `json:"inputs"`
+	OutputCount int          `json:"output_count"`
+}
+
+// AccountTxRow is one row of the account-model traces table (the union of
+// regular transactions and internal-call traces, as in the BigQuery
+// crypto_ethereum.traces schema).
+type AccountTxRow struct {
+	BlockNumber uint64        `json:"block_number"`
+	BlockTime   int64         `json:"block_timestamp"`
+	Hash        types.Hash    `json:"transaction_hash"`
+	From        types.Address `json:"from_address"`
+	To          types.Address `json:"to_address"`
+	GasUsed     uint64        `json:"gas_used"`
+	IsInternal  bool          `json:"is_internal"` // trace rows that are not regular transactions
+}
+
+// FromUTXOBlock exports a UTXO block into table rows.
+func FromUTXOBlock(b *utxo.Block) []UTXOTxRow {
+	rows := make([]UTXOTxRow, 0, len(b.Txs))
+	for _, tx := range b.Txs {
+		row := UTXOTxRow{
+			BlockNumber: b.Height,
+			BlockTime:   b.Time,
+			Hash:        tx.ID(),
+			IsCoinbase:  tx.IsCoinbase(),
+			OutputCount: len(tx.Outputs),
+		}
+		for _, in := range tx.Inputs {
+			row.Inputs = append(row.Inputs, TxInputRow{
+				SpentTransactionHash: in.Prev.TxID,
+				SpentOutputIndex:     in.Prev.Index,
+			})
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FromAccountBlock exports an executed account block into trace-table rows:
+// one row per regular transaction plus one per internal transaction.
+func FromAccountBlock(b *account.Block, receipts []*account.Receipt) []AccountTxRow {
+	rows := make([]AccountTxRow, 0, len(b.Txs))
+	for i, tx := range b.Txs {
+		to := tx.To
+		var gas uint64
+		if i < len(receipts) {
+			gas = receipts[i].GasUsed
+			if tx.IsCreation() {
+				to = receipts[i].To
+			}
+		}
+		rows = append(rows, AccountTxRow{
+			BlockNumber: b.Height,
+			BlockTime:   b.Time,
+			Hash:        tx.Hash(),
+			From:        tx.From,
+			To:          to,
+			GasUsed:     gas,
+		})
+		if i < len(receipts) {
+			for _, itx := range receipts[i].Internal {
+				rows = append(rows, AccountTxRow{
+					BlockNumber: b.Height,
+					BlockTime:   b.Time,
+					Hash:        tx.Hash(),
+					From:        itx.From,
+					To:          itx.To,
+					IsInternal:  true,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// BlockResult mirrors the output row of the paper's Figure 2 query:
+// per-block transaction count, conflicted-transaction count, and largest
+// connected component size (plus the gas-weighted inputs the Ethereum
+// variant of the query passes to its UDF).
+type BlockResult struct {
+	BlockNumber     uint64 `json:"block_number"`
+	BlockTime       int64  `json:"block_timestamp"`
+	NumTransactions int    `json:"num_transactions"`
+	NumConflictTxs  int    `json:"num_conflict_txs"`
+	MaxLCCSize      int    `json:"max_lcc_size"`
+	NumInputs       int    `json:"num_inputs"`
+	NumInternal     int    `json:"num_internal"`
+	GasUsed         uint64 `json:"gas_used"`
+	ConflictGas     uint64 `json:"conflict_gas"`
+	MaxLCCGas       uint64 `json:"max_lcc_gas"`
+}
+
+// ProcessUTXOGraph is the paper's process_graph UDF for UTXO chains
+// (Figures 2–3): given the per-block arrays txs[i] (hash of the transaction
+// spending input i) and spentTxs[i] (hash of the transaction that created
+// input i), it builds the TDG — an edge whenever both endpoints are
+// transactions of the block — and derives the metrics via breadth-first
+// search.
+func ProcessUTXOGraph(blockTxs []types.Hash, txs, spentTxs []types.Hash) (numTx, numConflict, maxLCC int, err error) {
+	if len(txs) != len(spentTxs) {
+		return 0, 0, 0, fmt.Errorf("dataset: array length mismatch: %d vs %d", len(txs), len(spentTxs))
+	}
+	in := graph.NewInterner[types.Hash](len(blockTxs))
+	for _, h := range blockTxs {
+		in.ID(h)
+	}
+	g := graph.NewUndirected(in.Len())
+	for i := range txs {
+		spender, ok1 := in.Lookup(txs[i])
+		creator, ok2 := in.Lookup(spentTxs[i])
+		if ok1 && ok2 && spender != creator {
+			g.AddEdge(creator, spender)
+		}
+	}
+	st := graph.Stats(g.ConnectedComponents())
+	numTx = in.Len()
+	numConflict = numTx - st.Singletons
+	maxLCC = st.Largest
+	return numTx, numConflict, maxLCC, nil
+}
+
+// AccountGraphResult is the output of the account-model UDF, including the
+// gas-weighted numerators the paper's Ethereum query collects ("for
+// Ethereum we also pass a list of transaction gas costs to the UDF",
+// §III-C).
+type AccountGraphResult struct {
+	NumTx       int
+	NumConflict int
+	MaxLCC      int
+	Gas         uint64
+	ConflictGas uint64
+	MaxLCCGas   uint64
+}
+
+// ProcessAccountGraph is the account-model variant of the UDF: nodes are
+// addresses, edges are (from, to) pairs of regular and internal
+// transactions, and the component decomposition of the addresses is mapped
+// back onto the regular transactions (the paper's "one more step", §III-C).
+func ProcessAccountGraph(rows []AccountTxRow) AccountGraphResult {
+	in := graph.NewInterner[types.Address](2 * len(rows))
+	g := graph.NewUndirected(0)
+	for _, r := range rows {
+		a, b := in.ID(r.From), in.ID(r.To)
+		g.Grow(in.Len())
+		g.AddEdge(a, b)
+	}
+	comp := make([]int, in.Len())
+	ccs := g.ConnectedComponents()
+	for ci, cc := range ccs {
+		for _, node := range cc {
+			comp[node] = ci
+		}
+	}
+	txPerComp := make(map[int]int, len(ccs))
+	gasPerComp := make(map[int]uint64, len(ccs))
+	for _, r := range rows {
+		if r.IsInternal {
+			continue
+		}
+		id, _ := in.Lookup(r.From)
+		txPerComp[comp[id]]++
+		gasPerComp[comp[id]] += r.GasUsed
+	}
+	var out AccountGraphResult
+	for _, r := range rows {
+		if r.IsInternal {
+			continue
+		}
+		out.NumTx++
+		out.Gas += r.GasUsed
+		id, _ := in.Lookup(r.From)
+		if txPerComp[comp[id]] >= 2 {
+			out.NumConflict++
+			out.ConflictGas += r.GasUsed
+		}
+	}
+	for ci, c := range txPerComp {
+		if c > out.MaxLCC {
+			out.MaxLCC = c
+		}
+		if g := gasPerComp[ci]; g > out.MaxLCCGas {
+			out.MaxLCCGas = g
+		}
+	}
+	return out
+}
+
+// QueryUTXO runs the Figure 2 pipeline over a UTXO transactions table:
+// group rows by block, build the per-block input arrays, and apply the UDF.
+// Results are ordered by block number (the query's ORDER BY).
+func QueryUTXO(rows []UTXOTxRow) ([]BlockResult, error) {
+	byBlock := make(map[uint64][]UTXOTxRow)
+	for _, r := range rows {
+		byBlock[r.BlockNumber] = append(byBlock[r.BlockNumber], r)
+	}
+	blocks := make([]uint64, 0, len(byBlock))
+	for b := range byBlock {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+
+	out := make([]BlockResult, 0, len(blocks))
+	for _, bn := range blocks {
+		group := byBlock[bn]
+		var blockTxs, txs, spentTxs []types.Hash
+		inputs := 0
+		var t int64
+		for _, r := range group {
+			t = r.BlockTime
+			inputs += len(r.Inputs)
+			if r.IsCoinbase {
+				continue // the paper ignores coinbase transactions
+			}
+			blockTxs = append(blockTxs, r.Hash)
+			for _, in := range r.Inputs {
+				txs = append(txs, r.Hash)
+				spentTxs = append(spentTxs, in.SpentTransactionHash)
+			}
+		}
+		numTx, numConflict, maxLCC, err := ProcessUTXOGraph(blockTxs, txs, spentTxs)
+		if err != nil {
+			return nil, fmt.Errorf("block %d: %w", bn, err)
+		}
+		out = append(out, BlockResult{
+			BlockNumber:     bn,
+			BlockTime:       t,
+			NumTransactions: numTx,
+			NumConflictTxs:  numConflict,
+			MaxLCCSize:      maxLCC,
+			NumInputs:       inputs,
+		})
+	}
+	return out, nil
+}
+
+// QueryAccount runs the Ethereum-variant pipeline over an account traces
+// table.
+func QueryAccount(rows []AccountTxRow) ([]BlockResult, error) {
+	byBlock := make(map[uint64][]AccountTxRow)
+	for _, r := range rows {
+		byBlock[r.BlockNumber] = append(byBlock[r.BlockNumber], r)
+	}
+	blocks := make([]uint64, 0, len(byBlock))
+	for b := range byBlock {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+
+	out := make([]BlockResult, 0, len(blocks))
+	for _, bn := range blocks {
+		group := byBlock[bn]
+		res := ProcessAccountGraph(group)
+		internal := 0
+		var t int64
+		for _, r := range group {
+			t = r.BlockTime
+			if r.IsInternal {
+				internal++
+			}
+		}
+		out = append(out, BlockResult{
+			BlockNumber:     bn,
+			BlockTime:       t,
+			NumTransactions: res.NumTx,
+			NumConflictTxs:  res.NumConflict,
+			MaxLCCSize:      res.MaxLCC,
+			NumInternal:     internal,
+			GasUsed:         res.Gas,
+			ConflictGas:     res.ConflictGas,
+			MaxLCCGas:       res.MaxLCCGas,
+		})
+	}
+	return out, nil
+}
+
+// Metrics converts a BlockResult into the core metric type, so dataset
+// results flow into the analysis pipeline.
+func (r BlockResult) Metrics() core.Metrics {
+	return core.Metrics{
+		NumTxs:        r.NumTransactions,
+		NumInternal:   r.NumInternal,
+		NumInputs:     r.NumInputs,
+		Conflicted:    r.NumConflictTxs,
+		LCC:           r.MaxLCCSize,
+		GasUsed:       r.GasUsed,
+		ConflictedGas: r.ConflictGas,
+		LCCGas:        r.MaxLCCGas,
+	}
+}
+
+// ErrBadRecord reports a malformed line in a table file.
+var ErrBadRecord = errors.New("dataset: malformed record")
+
+// WriteJSONL writes rows as JSON Lines.
+func WriteJSONL[T any](w io.Writer, rows []T) error {
+	enc := json.NewEncoder(w)
+	for i := range rows {
+		if err := enc.Encode(rows[i]); err != nil {
+			return fmt.Errorf("dataset: encode row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL reads a JSON Lines table.
+func ReadJSONL[T any](r io.Reader) ([]T, error) {
+	dec := json.NewDecoder(r)
+	var out []T
+	for {
+		var row T
+		if err := dec.Decode(&row); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, fmt.Errorf("%w: row %d: %v", ErrBadRecord, len(out), err)
+		}
+		out = append(out, row)
+	}
+}

@@ -1,0 +1,230 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"txconcur/internal/chainsim"
+	"txconcur/internal/core"
+	"txconcur/internal/types"
+)
+
+// TestUTXOQueryMatchesCore is the central cross-validation: the BigQuery-
+// style pipeline (export to tables, group by block, process_graph UDF) must
+// produce exactly the same per-block metrics as the direct implementation
+// in package core, over a generated Bitcoin-like history.
+func TestUTXOQueryMatchesCore(t *testing.T) {
+	g, err := chainsim.NewUTXOGen(chainsim.BitcoinProfile(), 24, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []UTXOTxRow
+	want := make(map[uint64]core.Metrics)
+	for {
+		blk, ok, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, FromUTXOBlock(blk)...)
+		want[blk.Height] = core.MeasureUTXOBlock(blk)
+	}
+	results, err := QueryUTXO(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(want) {
+		t.Fatalf("results = %d blocks, want %d", len(results), len(want))
+	}
+	prev := uint64(0)
+	for i, r := range results {
+		if i > 0 && r.BlockNumber <= prev {
+			t.Fatal("results not ordered by block number")
+		}
+		prev = r.BlockNumber
+		m, ok := want[r.BlockNumber]
+		if !ok {
+			t.Fatalf("unexpected block %d", r.BlockNumber)
+		}
+		if r.NumTransactions != m.NumTxs || r.NumConflictTxs != m.Conflicted || r.MaxLCCSize != m.LCC {
+			t.Fatalf("block %d: pipeline (%d,%d,%d) != core (%d,%d,%d)",
+				r.BlockNumber, r.NumTransactions, r.NumConflictTxs, r.MaxLCCSize,
+				m.NumTxs, m.Conflicted, m.LCC)
+		}
+		if r.NumInputs != m.NumInputs {
+			t.Fatalf("block %d: inputs %d != %d", r.BlockNumber, r.NumInputs, m.NumInputs)
+		}
+	}
+}
+
+// TestAccountQueryMatchesCore: same cross-validation for the Ethereum-style
+// traces pipeline, including gas totals.
+func TestAccountQueryMatchesCore(t *testing.T) {
+	g, err := chainsim.NewAcctGen(chainsim.EthereumProfile(), 10, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []AccountTxRow
+	want := make(map[uint64]core.Metrics)
+	for {
+		blk, receipts, ok, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, FromAccountBlock(blk, receipts)...)
+		want[blk.Height] = core.MeasureAccountBlock(blk, receipts)
+	}
+	results, err := QueryAccount(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(want) {
+		t.Fatalf("results = %d blocks, want %d", len(results), len(want))
+	}
+	for _, r := range results {
+		m := want[r.BlockNumber]
+		if r.NumTransactions != m.NumTxs || r.NumConflictTxs != m.Conflicted || r.MaxLCCSize != m.LCC {
+			t.Fatalf("block %d: pipeline (%d,%d,%d) != core (%d,%d,%d)",
+				r.BlockNumber, r.NumTransactions, r.NumConflictTxs, r.MaxLCCSize,
+				m.NumTxs, m.Conflicted, m.LCC)
+		}
+		if r.NumInternal != m.NumInternal {
+			t.Fatalf("block %d: internal %d != %d", r.BlockNumber, r.NumInternal, m.NumInternal)
+		}
+		if r.GasUsed != m.GasUsed {
+			t.Fatalf("block %d: gas %d != %d", r.BlockNumber, r.GasUsed, m.GasUsed)
+		}
+		if r.ConflictGas != m.ConflictedGas || r.MaxLCCGas != m.LCCGas {
+			t.Fatalf("block %d: gas numerators (%d,%d) != (%d,%d)",
+				r.BlockNumber, r.ConflictGas, r.MaxLCCGas, m.ConflictedGas, m.LCCGas)
+		}
+		conv := r.Metrics()
+		if conv.SingleRate() != m.SingleRate() || conv.GroupRate() != m.GroupRate() {
+			t.Fatalf("block %d: converted rates differ", r.BlockNumber)
+		}
+		if conv.SingleRateGas() != m.SingleRateGas() || conv.GroupRateGas() != m.GroupRateGas() {
+			t.Fatalf("block %d: converted gas rates differ", r.BlockNumber)
+		}
+	}
+}
+
+func TestProcessUTXOGraphDirect(t *testing.T) {
+	h := func(i uint64) types.Hash { return types.HashUint64("udf", i) }
+	// Three transactions; t1 spends t0's output, t2 spends an external
+	// output.
+	blockTxs := []types.Hash{h(0), h(1), h(2)}
+	txs := []types.Hash{h(1), h(2)}
+	spent := []types.Hash{h(0), h(99)}
+	numTx, numConflict, maxLCC, err := ProcessUTXOGraph(blockTxs, txs, spent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numTx != 3 || numConflict != 2 || maxLCC != 2 {
+		t.Fatalf("got (%d,%d,%d), want (3,2,2)", numTx, numConflict, maxLCC)
+	}
+	// Mismatched arrays error.
+	if _, _, _, err := ProcessUTXOGraph(blockTxs, txs, spent[:1]); err == nil {
+		t.Fatal("mismatched arrays accepted")
+	}
+	// Empty block.
+	numTx, numConflict, maxLCC, err = ProcessUTXOGraph(nil, nil, nil)
+	if err != nil || numTx != 0 || numConflict != 0 || maxLCC != 0 {
+		t.Fatalf("empty block: (%d,%d,%d), %v", numTx, numConflict, maxLCC, err)
+	}
+}
+
+func TestProcessAccountGraphFig1b(t *testing.T) {
+	// Rebuild the paper's Figure 1b from table rows and check the exact
+	// published numbers: 16 transactions, 14 conflicted (87.5%), LCC 9.
+	addr := func(tag string, i uint64) types.Address { return types.AddressFromUint64(tag, i) }
+	poloniex := addr("x", 1)
+	contractA, contractB, elcoin := addr("x", 2), addr("x", 3), addr("x", 4)
+	dwarf := addr("x", 5)
+	var rows []AccountTxRow
+	add := func(from, to types.Address, internal bool) {
+		rows = append(rows, AccountTxRow{
+			BlockNumber: 1000124,
+			Hash:        types.HashUint64("tx", uint64(len(rows))),
+			From:        from, To: to, IsInternal: internal,
+		})
+	}
+	add(addr("s", 0), addr("r", 0), false)
+	for i := uint64(1); i <= 9; i++ {
+		add(addr("s", i), poloniex, false)
+	}
+	for i := uint64(10); i <= 12; i++ {
+		add(addr("s", i), contractA, false)
+		add(contractA, contractB, true)
+		add(contractB, elcoin, true)
+	}
+	add(dwarf, addr("r", 13), false)
+	add(dwarf, addr("r", 14), false)
+	add(addr("s", 15), addr("r", 15), false)
+
+	res := ProcessAccountGraph(rows)
+	if res.NumTx != 16 || res.NumConflict != 14 || res.MaxLCC != 9 {
+		t.Fatalf("got (%d,%d,%d), want (16,14,9)", res.NumTx, res.NumConflict, res.MaxLCC)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	rows := []UTXOTxRow{
+		{
+			BlockNumber: 7,
+			Hash:        types.HashUint64("jl", 1),
+			Inputs: []TxInputRow{
+				{SpentTransactionHash: types.HashUint64("jl", 2), SpentOutputIndex: 3},
+			},
+			OutputCount: 2,
+		},
+		{BlockNumber: 8, Hash: types.HashUint64("jl", 3), IsCoinbase: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL[UTXOTxRow](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	if got[0].Hash != rows[0].Hash || got[0].Inputs[0].SpentOutputIndex != 3 {
+		t.Fatalf("row mismatch: %+v", got[0])
+	}
+	if !got[1].IsCoinbase {
+		t.Fatal("coinbase flag lost")
+	}
+	// Malformed input errors.
+	if _, err := ReadJSONL[UTXOTxRow](bytes.NewBufferString("{bad json")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestAccountRowJSON(t *testing.T) {
+	rows := []AccountTxRow{{
+		BlockNumber: 5,
+		Hash:        types.HashUint64("aj", 1),
+		From:        types.AddressFromUint64("aj", 2),
+		To:          types.AddressFromUint64("aj", 3),
+		GasUsed:     21000,
+		IsInternal:  true,
+	}}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL[AccountTxRow](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].From != rows[0].From || got[0].GasUsed != 21000 || !got[0].IsInternal {
+		t.Fatalf("row mismatch: %+v", got[0])
+	}
+}

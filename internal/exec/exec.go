@@ -1,0 +1,525 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"txconcur/internal/account"
+	"txconcur/internal/core"
+	"txconcur/internal/sched"
+	"txconcur/internal/types"
+)
+
+// Engine errors.
+var (
+	// ErrNoWorkers reports an executor configured with fewer than one
+	// worker.
+	ErrNoWorkers = errors.New("exec: need at least one worker")
+	// ErrGroupOverlap reports an oracle-TDG group schedule whose groups
+	// touched overlapping state — a serial-equivalence violation (always a
+	// bug: TDG components share no addresses).
+	ErrGroupOverlap = errors.New("exec: scheduled groups touched overlapping state")
+)
+
+// Result is the outcome of executing one block.
+type Result struct {
+	// Receipts are the per-transaction receipts, in block order.
+	Receipts []*account.Receipt
+	// Root is the state root after the block (fees and reward included).
+	Root types.Hash
+	// Stats describes the execution schedule.
+	Stats Stats
+}
+
+// Stats quantifies one engine run in the paper's unit-cost model plus wall
+// time.
+type Stats struct {
+	// Workers is the configured core count n.
+	Workers int
+	// Txs is the number of transactions x.
+	Txs int
+	// Conflicted is the number of transactions the engine serialised: the
+	// speculative bin of [17], the grouped engine's non-singleton
+	// components, or STM aborts.
+	Conflicted int
+	// SeqUnits is the sequential execution time T = x under the paper's
+	// unit-cost model.
+	SeqUnits int
+	// ParUnits is the engine's schedule length T′ in time units.
+	ParUnits int
+	// Speedup is SeqUnits/ParUnits — directly comparable to the paper's
+	// equations (1) and (2).
+	Speedup float64
+	// GasSeq and GasPar are the same two quantities under gas costs
+	// (real per-transaction weights) instead of unit costs.
+	GasSeq uint64
+	GasPar uint64
+	// GasSpeedup is GasSeq/GasPar.
+	GasSpeedup float64
+	// Wall is the wall-clock duration of the execution phases.
+	Wall time.Duration
+	// Retries counts re-executions (STM aborts, speculative bin size).
+	Retries int
+}
+
+func (s *Stats) finish() {
+	s.Speedup = 1
+	if s.ParUnits > 0 {
+		s.Speedup = float64(s.SeqUnits) / float64(s.ParUnits)
+	}
+	s.GasSpeedup = 1
+	if s.GasPar > 0 {
+		s.GasSpeedup = float64(s.GasSeq) / float64(s.GasPar)
+	}
+}
+
+// procDeferred is the shared transaction processor configuration: fees are
+// credited in one batch so that per-transaction coinbase payments do not
+// serialise parallel schedules (see account.Processor.DeferCoinbase).
+var procDeferred = account.Processor{DeferCoinbase: true}
+
+// finalizeBlock credits the deferred fees and the block reward, exactly as
+// the sequential ApplyBlock does.
+func finalizeBlock(st *account.StateDB, blk *account.Block, receipts []*account.Receipt) {
+	st.AddBalance(blk.Coinbase, account.Fees(blk.Txs, receipts))
+	st.AddBalance(blk.Coinbase, account.BlockReward)
+	st.DiscardJournal()
+}
+
+// Sequential executes the block in order on st — the baseline every public
+// blockchain implements (§II-A). st is mutated.
+func Sequential(st *account.StateDB, blk *account.Block) (*Result, error) {
+	start := time.Now()
+	x := len(blk.Txs)
+	receipts := make([]*account.Receipt, 0, x)
+	for i, tx := range blk.Txs {
+		rcpt, err := procDeferred.ApplyTransaction(st, blk, tx)
+		if err != nil {
+			return nil, fmt.Errorf("exec: sequential tx %d: %w", i, err)
+		}
+		receipts = append(receipts, rcpt)
+	}
+	finalizeBlock(st, blk, receipts)
+	res := &Result{Receipts: receipts, Root: st.Root()}
+	res.Stats = Stats{
+		Workers:  1,
+		Txs:      x,
+		SeqUnits: x,
+		ParUnits: x,
+		GasSeq:   account.GasUsed(receipts),
+		GasPar:   account.GasUsed(receipts),
+		Wall:     time.Since(start),
+	}
+	res.Stats.finish()
+	return res, nil
+}
+
+// Speculative is the two-phase engine of Saraph & Herlihy [17], modelled by
+// the paper's equation (1): phase one executes every transaction
+// concurrently against the pre-block state, recording read/write sets at
+// storage granularity; any transaction touching state written by another is
+// moved to a bin; phase two re-executes the bin sequentially.
+type Speculative struct {
+	// Workers is the core count n used for schedule-length accounting.
+	// Phase one runs on min(Workers, GOMAXPROCS) OS threads, so simulated
+	// speed-ups for n = 64 remain meaningful on small machines.
+	Workers int
+}
+
+// Execute runs the block on st (mutated on success).
+//
+// Soundness: winners (unconflicted transactions) are pairwise independent
+// by the symmetric conflict rule, so their phase-1 results equal their
+// sequential results. The one hazard is phase 2 itself: a binned
+// transaction's *re-execution* can write keys phase 1 never saw it touch
+// (different branch after seeing different values, or an envelope failure
+// that produced no phase-1 write set). If such a write lands on a key that
+// a *later-ordered* winner touched, that winner's phase-1 result is stale.
+// Execute therefore stages everything in overlays, validates winners
+// against the per-transaction phase-2 write logs, and falls back to plain
+// sequential execution of the whole block (from the untouched pre-state)
+// when the validation fails — rare in practice, counted in Stats.Retries.
+func (e Speculative) Execute(st *account.StateDB, blk *account.Block) (*Result, error) {
+	if e.Workers < 1 {
+		return nil, ErrNoWorkers
+	}
+	start := time.Now()
+	x := len(blk.Txs)
+
+	// Phase 1: every transaction runs on its own overlay over the
+	// immutable pre-block state, all in parallel.
+	overlays := make([]*overlay, x)
+	phase1Receipts := make([]*account.Receipt, x)
+	phase1Fail := make([]bool, x)
+	parallelFor(x, e.Workers, func(i int) {
+		o := newOverlay(st)
+		rcpt, err := procDeferred.ApplyTransaction(o, blk, blk.Txs[i])
+		if err != nil {
+			// Envelope failure against the pre-block state (e.g. a nonce
+			// that depends on an earlier in-block transaction): binned for
+			// sequential re-execution, like any other conflict.
+			phase1Fail[i] = true
+		} else {
+			phase1Receipts[i] = rcpt
+		}
+		overlays[i] = o
+	})
+
+	// Conflict detection: symmetric storage-layer rule of [17] — every
+	// transaction involved in a collision goes to the sequential bin (the
+	// conservative reading the paper discusses in §III-A5).
+	ac := countAccesses(overlays)
+	binned := make([]bool, x)
+	numBinned := 0
+	for i, o := range overlays {
+		if phase1Fail[i] || o.conflicted(ac) {
+			binned[i] = true
+			numBinned++
+		}
+	}
+
+	// Stage winners into an accumulator overlay (nothing touches st yet).
+	acc := newOverlay(st)
+	receipts := make([]*account.Receipt, x)
+	for i, o := range overlays {
+		if !binned[i] {
+			o.applyTo(acc)
+			receipts[i] = phase1Receipts[i]
+		}
+	}
+
+	// Phase 2: re-execute the bin sequentially in block order on top of
+	// the staged winners, logging each transaction's writes.
+	// phase2MinWriter[k] is the smallest binned index that wrote k.
+	phase2MinWriter := make(map[StateKey]int)
+	for i, tx := range blk.Txs {
+		if !binned[i] {
+			continue
+		}
+		o := newOverlay(acc)
+		rcpt, err := procDeferred.ApplyTransaction(o, blk, tx)
+		if err != nil {
+			return nil, fmt.Errorf("exec: speculative phase 2, tx %d: %w", i, err)
+		}
+		receipts[i] = rcpt
+		for k := range o.writes {
+			if _, seen := phase2MinWriter[k]; !seen {
+				phase2MinWriter[k] = i
+			}
+		}
+		o.applyTo(acc)
+	}
+
+	// Validate winners: a winner is stale if a binned transaction that
+	// precedes it in block order wrote a key the winner touched.
+	valid := true
+	if len(phase2MinWriter) > 0 {
+	validate:
+		for i, o := range overlays {
+			if binned[i] {
+				continue
+			}
+			for k := range o.writes {
+				if j, ok := phase2MinWriter[k]; ok && j < i {
+					valid = false
+					break validate
+				}
+			}
+			for k := range o.reads {
+				if j, ok := phase2MinWriter[k]; ok && j < i {
+					valid = false
+					break validate
+				}
+			}
+		}
+	}
+
+	retried := 0
+	if valid {
+		acc.applyTo(st)
+	} else {
+		// Sound fallback: the pre-state is untouched; execute the whole
+		// block sequentially.
+		for i, tx := range blk.Txs {
+			rcpt, err := procDeferred.ApplyTransaction(st, blk, tx)
+			if err != nil {
+				return nil, fmt.Errorf("exec: speculative fallback tx %d: %w", i, err)
+			}
+			receipts[i] = rcpt
+			retried++
+		}
+	}
+	finalizeBlock(st, blk, receipts)
+
+	var gasBin uint64
+	for i, r := range receipts {
+		if binned[i] {
+			gasBin += r.GasUsed
+		}
+	}
+	res := &Result{Receipts: receipts, Root: st.Root()}
+	res.Stats = Stats{
+		Workers:    e.Workers,
+		Txs:        x,
+		Conflicted: numBinned,
+		SeqUnits:   x,
+		// T′ = ⌈x/n⌉ + c·x: the exact form of the paper's equation (1)
+		// (⌊x/n⌋+1 is its printed upper bound), plus the rare full
+		// sequential fallback.
+		ParUnits: ceilDiv(x, e.Workers) + numBinned + retried,
+		GasSeq:   account.GasUsed(receipts),
+		GasPar:   ceilDivU(account.GasUsed(receipts), uint64(e.Workers)) + gasBin,
+		Retries:  numBinned + retried,
+		Wall:     time.Since(start),
+	}
+	if x == 0 {
+		res.Stats.ParUnits = 0
+	}
+	res.Stats.finish()
+	return res, nil
+}
+
+// Grouped is the group-concurrency engine the paper's equation (2) models:
+// connected components of the TDG are scheduled onto workers with LPT and
+// executed in parallel; transactions within a component run sequentially in
+// block order. Components share no addresses, so workers never race.
+type Grouped struct {
+	// Workers is the core count n.
+	Workers int
+	// Approx builds the TDG from regular transactions only (no internal
+	// transactions), the a-priori approximation of §V-C. Hidden conflicts
+	// are detected by write-set overlap and repaired by sequential
+	// re-execution, and counted in Stats.Retries.
+	Approx bool
+	// Receipts optionally supplies the block's known receipts (oracle
+	// TDG). When nil, a sequential pre-run on a copy derives them — the
+	// pre-processing step whose cost the paper calls K.
+	Receipts []*account.Receipt
+}
+
+// Execute runs the block on st (mutated on success).
+func (e Grouped) Execute(st *account.StateDB, blk *account.Block) (*Result, error) {
+	if e.Workers < 1 {
+		return nil, ErrNoWorkers
+	}
+	start := time.Now()
+	x := len(blk.Txs)
+
+	receipts := e.Receipts
+	if receipts == nil {
+		pre := st.Copy()
+		seq, err := Sequential(pre, blk)
+		if err != nil {
+			return nil, fmt.Errorf("exec: grouped pre-run: %w", err)
+		}
+		receipts = seq.Receipts
+	}
+	groups := groupsFromReceipts(blk, receipts, e.Approx)
+
+	// LPT-schedule groups onto workers, unit cost per transaction.
+	jobs := make([]int, len(groups))
+	for gi, g := range groups {
+		jobs[gi] = len(g)
+	}
+	schedule, err := sched.LPT(jobs, e.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("exec: grouped: %w", err)
+	}
+	gasJobs := scheduleGas(groups, receipts)
+	gasSchedule, err := sched.LPT(gasJobs, e.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("exec: grouped: %w", err)
+	}
+
+	// Execute: one overlay per worker; groups within a worker run
+	// sequentially, transactions within a group in block order. Each
+	// worker records its own transactions' receipts (disjoint slots, so no
+	// synchronisation is needed): the supplied receipts drive *scheduling*
+	// only, never the result.
+	workerOverlays := make([]*overlay, e.Workers)
+	workerErrs := make([]error, e.Workers)
+	workerReceipts := make([]*account.Receipt, x)
+	parallelFor(e.Workers, e.Workers, func(w int) {
+		o := newOverlay(st)
+		workerOverlays[w] = o
+		for _, gi := range schedule.Assignments[w] {
+			for _, ti := range groups[gi] {
+				rcpt, err := procDeferred.ApplyTransaction(o, blk, blk.Txs[ti])
+				if err != nil {
+					workerErrs[w] = fmt.Errorf("group %d tx %d: %w", gi, ti, err)
+					return
+				}
+				workerReceipts[ti] = rcpt
+			}
+		}
+	})
+
+	// Validate: with the oracle TDG, workers can never overlap (components
+	// share no addresses) and never fail (per-sender order is preserved
+	// inside components). With the approximate TDG of §V-C, internal
+	// transactions are invisible, so hidden cross-group conflicts are
+	// possible; they are detected here and repaired by discarding the
+	// parallel attempt and executing the block sequentially — a sound
+	// fallback whose frequency is exactly the "effectiveness of the
+	// approximate TDG" the paper leaves as future work. Nothing is
+	// committed until validation passes, so repair needs no rollback.
+	clean := !anyOverlap(workerOverlays, workerErrs)
+	retried := 0
+	finalReceipts := make([]*account.Receipt, x)
+	if clean {
+		for _, o := range workerOverlays {
+			o.applyTo(st)
+		}
+		copy(finalReceipts, workerReceipts)
+	} else {
+		if !e.Approx {
+			return nil, ErrGroupOverlap
+		}
+		for i, tx := range blk.Txs {
+			rcpt, err := procDeferred.ApplyTransaction(st, blk, tx)
+			if err != nil {
+				return nil, fmt.Errorf("exec: grouped fallback tx %d: %w", i, err)
+			}
+			finalReceipts[i] = rcpt
+			retried++
+		}
+	}
+	finalizeBlock(st, blk, finalReceipts)
+
+	conflicted := 0
+	for _, g := range groups {
+		if len(g) >= 2 {
+			conflicted += len(g)
+		}
+	}
+	parUnits := schedule.Makespan + retried
+	gasPar := uint64(gasSchedule.Makespan)
+	if retried > 0 {
+		gasPar += account.GasUsed(finalReceipts)
+	}
+	res := &Result{Receipts: finalReceipts, Root: st.Root()}
+	res.Stats = Stats{
+		Workers:    e.Workers,
+		Txs:        x,
+		Conflicted: conflicted,
+		SeqUnits:   x,
+		ParUnits:   parUnits,
+		GasSeq:     account.GasUsed(finalReceipts),
+		GasPar:     gasPar,
+		Retries:    retried,
+		Wall:       time.Since(start),
+	}
+	res.Stats.finish()
+	return res, nil
+}
+
+// anyOverlap reports whether any worker failed or any state key was written
+// by one worker and read or written by another.
+func anyOverlap(overlays []*overlay, errs []error) bool {
+	for _, err := range errs {
+		if err != nil {
+			return true
+		}
+	}
+	writer := make(map[StateKey]int)
+	for w, o := range overlays {
+		if o == nil {
+			continue
+		}
+		for k := range o.writes {
+			if prev, ok := writer[k]; ok && prev != w {
+				return true
+			}
+			writer[k] = w
+		}
+	}
+	for w, o := range overlays {
+		if o == nil {
+			continue
+		}
+		for k := range o.reads {
+			if fw, ok := writer[k]; ok && fw != w {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parallelFor runs fn(i) for i in [0, n) on up to `workers` goroutines
+// (capped by GOMAXPROCS; extra logical workers add no parallelism).
+func parallelFor(n, workers int, fn func(int)) {
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// ceilDiv returns ⌈a/b⌉ for ints.
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// ceilDivU returns ⌈a/b⌉ for uint64s.
+func ceilDivU(a, b uint64) uint64 {
+	if b == 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// groupsFromReceipts builds the TDG transaction groups for a block given
+// its receipts (oracle mode) or from regular transactions only (approx).
+func groupsFromReceipts(blk *account.Block, receipts []*account.Receipt, approx bool) [][]int {
+	v := core.ViewFromReceipts(blk, receipts)
+	var tdg *core.TDG
+	if approx {
+		tdg = core.BuildAccountApprox(v)
+	} else {
+		tdg = core.BuildAccount(v)
+	}
+	return tdg.TxGroups()
+}
+
+// scheduleGas converts transaction groups into gas-weighted job lengths.
+func scheduleGas(groups [][]int, receipts []*account.Receipt) []int {
+	jobs := make([]int, len(groups))
+	for gi, g := range groups {
+		for _, ti := range g {
+			if ti < len(receipts) && receipts[ti] != nil {
+				jobs[gi] += int(receipts[ti].GasUsed)
+			}
+		}
+	}
+	return jobs
+}

@@ -1,0 +1,274 @@
+// Package exec implements the parallel transaction execution engines whose
+// absence the paper names as its main limitation (§VII: "we have not
+// designed and implemented an execution engine that can exploit the
+// available concurrency"):
+//
+//   - Sequential: the baseline all public blockchains use today (§II-A).
+//   - Speculative: the two-phase scheme of Saraph & Herlihy [17] that the
+//     paper's equation (1) models — execute everything in parallel against
+//     the pre-block state, then re-execute conflicted transactions
+//     sequentially.
+//   - Grouped: the TDG/group-concurrency engine the paper's equation (2)
+//     models — connected components are scheduled onto workers (LPT) and
+//     run in parallel, since components share no addresses.
+//   - STMExec: an optimistic engine that commits transactions in block
+//     order through per-key version validation, retrying aborted ones (the
+//     design direction of Dickerson et al. [6] and of later systems such as
+//     Block-STM).
+//
+// Every engine proves serial equivalence: its final state root must equal
+// the sequential root, and the tests enforce it.
+package exec
+
+import (
+	"txconcur/internal/account"
+	"txconcur/internal/types"
+	"txconcur/internal/vm"
+)
+
+// keyKind distinguishes the classes of state a transaction can touch.
+type keyKind uint8
+
+// Key kinds. Values start at one so the zero StateKey is invalid.
+const (
+	kindBalance keyKind = iota + 1
+	kindNonce
+	kindCode
+	kindStorage
+)
+
+// StateKey identifies one unit of state at conflict-detection granularity:
+// an account's balance, nonce or code, or a single storage slot. This is
+// the storage-layer granularity of [17], strictly finer than the paper's
+// address-level TDG.
+type StateKey struct {
+	Kind keyKind
+	Addr types.Address
+	Slot uint64
+}
+
+// overlay is a read/write-recording state layered over an immutable base
+// (a StateDB, or another overlay for chaining). Phase-1 speculative
+// executions run on one overlay per transaction; the overlay records
+// exactly which keys were touched.
+//
+// The base must not be mutated while overlays over it are live (concurrent
+// map reads are only safe without writers).
+type overlay struct {
+	base account.State
+
+	balances map[types.Address]int64
+	nonces   map[types.Address]uint64
+	codes    map[types.Address][]byte
+	storage  map[account.StorageKey]uint64
+
+	reads  map[StateKey]struct{}
+	writes map[StateKey]struct{}
+
+	journal []func(*overlay)
+}
+
+var _ account.State = (*overlay)(nil)
+
+func newOverlay(base account.State) *overlay {
+	return &overlay{
+		base:     base,
+		balances: make(map[types.Address]int64),
+		nonces:   make(map[types.Address]uint64),
+		codes:    make(map[types.Address][]byte),
+		storage:  make(map[account.StorageKey]uint64),
+		reads:    make(map[StateKey]struct{}),
+		writes:   make(map[StateKey]struct{}),
+	}
+}
+
+func (o *overlay) read(k StateKey)  { o.reads[k] = struct{}{} }
+func (o *overlay) write(k StateKey) { o.writes[k] = struct{}{} }
+
+// GetBalance implements vm.State.
+func (o *overlay) GetBalance(a types.Address) int64 {
+	o.read(StateKey{Kind: kindBalance, Addr: a})
+	if v, ok := o.balances[a]; ok {
+		return v
+	}
+	return o.base.GetBalance(a)
+}
+
+// AddBalance implements vm.State.
+func (o *overlay) AddBalance(a types.Address, v int64) {
+	cur := o.GetBalance(a)
+	k := StateKey{Kind: kindBalance, Addr: a}
+	o.write(k)
+	prev, had := o.balances[a]
+	o.journal = append(o.journal, func(o *overlay) {
+		if had {
+			o.balances[a] = prev
+		} else {
+			delete(o.balances, a)
+		}
+	})
+	o.balances[a] = cur + v
+}
+
+// SubBalance implements vm.State.
+func (o *overlay) SubBalance(a types.Address, v int64) { o.AddBalance(a, -v) }
+
+// GetNonce implements account.State.
+func (o *overlay) GetNonce(a types.Address) uint64 {
+	o.read(StateKey{Kind: kindNonce, Addr: a})
+	if v, ok := o.nonces[a]; ok {
+		return v
+	}
+	return o.base.GetNonce(a)
+}
+
+// SetNonce implements account.State.
+func (o *overlay) SetNonce(a types.Address, n uint64) {
+	o.write(StateKey{Kind: kindNonce, Addr: a})
+	prev, had := o.nonces[a]
+	o.journal = append(o.journal, func(o *overlay) {
+		if had {
+			o.nonces[a] = prev
+		} else {
+			delete(o.nonces, a)
+		}
+	})
+	o.nonces[a] = n
+}
+
+// GetCode implements vm.State.
+func (o *overlay) GetCode(a types.Address) []byte {
+	o.read(StateKey{Kind: kindCode, Addr: a})
+	if c, ok := o.codes[a]; ok {
+		return c
+	}
+	return o.base.GetCode(a)
+}
+
+// SetCode implements account.State.
+func (o *overlay) SetCode(a types.Address, code []byte) {
+	o.write(StateKey{Kind: kindCode, Addr: a})
+	prev, had := o.codes[a]
+	o.journal = append(o.journal, func(o *overlay) {
+		if had {
+			o.codes[a] = prev
+		} else {
+			delete(o.codes, a)
+		}
+	})
+	c := make([]byte, len(code))
+	copy(c, code)
+	o.codes[a] = c
+}
+
+// GetStorage implements vm.State.
+func (o *overlay) GetStorage(a types.Address, slot uint64) uint64 {
+	o.read(StateKey{Kind: kindStorage, Addr: a, Slot: slot})
+	if v, ok := o.storage[account.StorageKey{Addr: a, Slot: slot}]; ok {
+		return v
+	}
+	return o.base.GetStorage(a, slot)
+}
+
+// SetStorage implements vm.State.
+func (o *overlay) SetStorage(a types.Address, slot, value uint64) {
+	o.write(StateKey{Kind: kindStorage, Addr: a, Slot: slot})
+	sk := account.StorageKey{Addr: a, Slot: slot}
+	prev, had := o.storage[sk]
+	o.journal = append(o.journal, func(o *overlay) {
+		if had {
+			o.storage[sk] = prev
+		} else {
+			delete(o.storage, sk)
+		}
+	})
+	o.storage[sk] = value
+}
+
+// Snapshot implements vm.State.
+func (o *overlay) Snapshot() int { return len(o.journal) }
+
+// RevertToSnapshot implements vm.State. Reverts values only; read/write
+// sets keep reverted keys, which is conservative (may flag extra conflicts,
+// never misses one).
+func (o *overlay) RevertToSnapshot(snap int) {
+	for i := len(o.journal) - 1; i >= snap; i-- {
+		o.journal[i](o)
+	}
+	o.journal = o.journal[:snap]
+}
+
+// applyTo writes the overlay's accumulated values into dst. Callers
+// guarantee disjointness (or intended ordering) between overlays.
+func (o *overlay) applyTo(dst account.State) {
+	for a, v := range o.balances {
+		dst.AddBalance(a, v-dst.GetBalance(a))
+	}
+	for a, n := range o.nonces {
+		dst.SetNonce(a, n)
+	}
+	for a, c := range o.codes {
+		dst.SetCode(a, c)
+	}
+	for sk, v := range o.storage {
+		dst.SetStorage(sk.Addr, sk.Slot, v)
+	}
+}
+
+// accessCounts aggregates, per state key, how many phase-1 transactions
+// read and wrote it.
+type accessCounts struct {
+	writers map[StateKey]int
+	readers map[StateKey]int
+}
+
+func countAccesses(overlays []*overlay) accessCounts {
+	ac := accessCounts{
+		writers: make(map[StateKey]int),
+		readers: make(map[StateKey]int),
+	}
+	for _, o := range overlays {
+		if o == nil {
+			continue
+		}
+		for k := range o.writes {
+			ac.writers[k]++
+		}
+		for k := range o.reads {
+			ac.readers[k]++
+		}
+	}
+	return ac
+}
+
+// conflicted reports whether this overlay's transaction conflicts with any
+// other transaction, symmetrically (as in [17], where *all* transactions
+// involved in a collision go to the sequential bin): another writer of a
+// key we wrote, another reader of a key we wrote, or any writer of a key we
+// read.
+func (o *overlay) conflicted(ac accessCounts) bool {
+	for k := range o.writes {
+		if ac.writers[k] >= 2 {
+			return true
+		}
+		selfReads := 0
+		if _, ours := o.reads[k]; ours {
+			selfReads = 1
+		}
+		if ac.readers[k] > selfReads {
+			return true
+		}
+	}
+	for k := range o.reads {
+		if _, ours := o.writes[k]; ours {
+			continue // covered by the writer rules above
+		}
+		if ac.writers[k] >= 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// interface check: overlays satisfy the VM contract too.
+var _ vm.State = (*overlay)(nil)

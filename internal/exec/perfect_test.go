@@ -1,0 +1,123 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"txconcur/internal/account"
+	"txconcur/internal/chainsim"
+	"txconcur/internal/core"
+)
+
+func TestPerfectSpeculativeWorkedExample(t *testing.T) {
+	// A Figure-1b-shaped block: 16 txs, 14 conflicted. With perfect
+	// information and 16 cores, T' = ⌈2/16⌉ + 14 = 15 — same as the blind
+	// engine here, which is the paper's §V-A point that perfect knowledge
+	// brings little once the conflict rate is high.
+	txs := make([]*account.Transaction, 0, 16)
+	for i := uint64(0); i < 9; i++ {
+		txs = append(txs, transfer(i, 30, 0, 10))
+	}
+	for i := uint64(9); i < 12; i++ {
+		txs = append(txs, transfer(i, 31, 0, 10))
+	}
+	txs = append(txs, transfer(12, 20, 0, 10), transfer(12, 21, 1, 10))
+	txs = append(txs, transfer(13, 22, 0, 10), transfer(14, 23, 0, 10))
+	st := fundedStateFor(t, txs)
+	blk := testBlock(txs...)
+
+	seq, err := Sequential(st.Copy(), blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PerfectSpeculative{Workers: 16, Receipts: seq.Receipts}.Execute(st.Copy(), blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Root != seq.Root {
+		t.Fatal("root mismatch")
+	}
+	if res.Stats.Conflicted != 14 {
+		t.Fatalf("conflicted = %d, want 14", res.Stats.Conflicted)
+	}
+	if res.Stats.ParUnits != 15 {
+		t.Fatalf("T' = %d, want 15", res.Stats.ParUnits)
+	}
+	// The preprocessing cost K shifts the schedule length as in the model.
+	withK, err := PerfectSpeculative{Workers: 16, Receipts: seq.Receipts, PreprocessCost: 5}.Execute(st.Copy(), blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withK.Stats.ParUnits != 20 {
+		t.Fatalf("T' with K=5 = %d, want 20", withK.Stats.ParUnits)
+	}
+}
+
+func TestPerfectSpeculativeDerivesOracle(t *testing.T) {
+	// Without supplied receipts the engine pre-runs sequentially; result
+	// must still match.
+	st := fundedState(10)
+	blk := testBlock(
+		transfer(0, 5, 0, 100),
+		transfer(1, 5, 0, 100),
+		transfer(2, 6, 0, 100),
+	)
+	seq, err := Sequential(st.Copy(), blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PerfectSpeculative{Workers: 4}.Execute(st.Copy(), blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Root != seq.Root {
+		t.Fatal("root mismatch")
+	}
+	if res.Stats.Conflicted != 2 {
+		t.Fatalf("conflicted = %d, want 2 (shared receiver)", res.Stats.Conflicted)
+	}
+}
+
+func TestPerfectSpeculativeValidation(t *testing.T) {
+	st := fundedState(2)
+	blk := testBlock(transfer(0, 1, 0, 1))
+	if _, err := (PerfectSpeculative{}).Execute(st.Copy(), blk); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("no workers: %v", err)
+	}
+	if _, err := (PerfectSpeculative{Workers: 2}).Execute(st.Copy(), testBlock()); err != nil {
+		t.Fatalf("empty block: %v", err)
+	}
+}
+
+// TestPerfectTracksModel: over a generated workload, the engine's unit
+// schedule must match core.PerfectInfoSpeedup's denominator (with the exact
+// ceil refinement) to within one unit per block.
+func TestPerfectTracksModel(t *testing.T) {
+	g, err := chainsim.NewAcctGen(chainsim.EthereumProfile(), 6, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		pre := g.Chain().State().Copy()
+		blk, receipts, ok, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if len(blk.Txs) == 0 {
+			continue
+		}
+		m := core.MeasureAccountBlock(blk, receipts)
+		res, err := PerfectSpeculative{Workers: 8, Receipts: receipts}.Execute(pre, blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Engine: ceil((1-c)x/n) + cx. Model (printed): floor((1-c)x/n)+1+cx.
+		want := ceilDiv(m.NumTxs-m.Conflicted, 8) + m.Conflicted
+		if res.Stats.ParUnits != want {
+			t.Fatalf("block %d: ParUnits = %d, want %d", blk.Height, res.Stats.ParUnits, want)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"txconcur/internal/chainsim"
+	"txconcur/internal/core"
+	"txconcur/internal/utxo"
+)
+
+// setsEqual compares two UTXO sets exactly.
+func setsEqual(a, b *utxo.Set) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	equal := true
+	a.Range(func(op utxo.Outpoint, out utxo.TxOut) bool {
+		got, ok := b.Get(op)
+		if !ok || got.Value != out.Value {
+			equal = false
+			return false
+		}
+		return true
+	})
+	return equal
+}
+
+// TestGroupedUTXOMatchesSequential: on generated Bitcoin-like blocks, the
+// parallel validator's final set must equal the sequential ApplyBlock's,
+// and its unit speed-up must respect the eq. (2) bound.
+func TestGroupedUTXOMatchesSequential(t *testing.T) {
+	g, err := chainsim.NewUTXOGen(chainsim.BitcoinProfile(), 12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use the generator's own chain as the sequential reference: snapshot
+	// before each block, replay in parallel on the snapshot.
+	const subsidy = 1 << 50 // the generator's premine option
+	for {
+		pre := g.Chain().UTXOSet().Clone()
+		blk, ok, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		engine := GroupedUTXO{Workers: 8, Subsidy: subsidy, VerifyScripts: false}
+		res, err := engine.Execute(pre, blk)
+		if err != nil {
+			t.Fatalf("block %d: %v", blk.Height, err)
+		}
+		if !setsEqual(pre, g.Chain().UTXOSet()) {
+			t.Fatalf("block %d: parallel set differs from sequential", blk.Height)
+		}
+		// Speed-up bound: min(n, x/LCC).
+		m := core.MeasureUTXOBlock(blk)
+		if m.NumTxs == 0 {
+			continue
+		}
+		bound := float64(res.Stats.Workers)
+		if lccBound := float64(m.NumTxs) / float64(m.LCC); lccBound < bound {
+			bound = lccBound
+		}
+		if res.Stats.Speedup > bound+1e-9 {
+			t.Fatalf("block %d: speed-up %v exceeds bound %v", blk.Height, res.Stats.Speedup, bound)
+		}
+		// Bitcoin-like blocks have ~1% group rate: with hundreds of txs the
+		// speed-up should be close to the worker count.
+		if m.NumTxs > 500 && res.Stats.Speedup < 6 {
+			t.Fatalf("block %d (%d txs): speed-up %v too low for a near-conflict-free block",
+				blk.Height, m.NumTxs, res.Stats.Speedup)
+		}
+	}
+}
+
+func TestGroupedUTXOWithScripts(t *testing.T) {
+	g, err := chainsim.NewUTXOGen(chainsim.LitecoinProfile(), 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		pre := g.Chain().UTXOSet().Clone()
+		blk, ok, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		engine := GroupedUTXO{Workers: 4, Subsidy: 1 << 50, VerifyScripts: true}
+		if _, err := engine.Execute(pre, blk); err != nil {
+			t.Fatalf("block %d with scripts: %v", blk.Height, err)
+		}
+		if !setsEqual(pre, g.Chain().UTXOSet()) {
+			t.Fatalf("block %d: set mismatch", blk.Height)
+		}
+	}
+}
+
+// utxoFixture builds a tiny spendable world for hand-crafted blocks.
+func utxoFixture(t *testing.T) (*utxo.Set, *utxo.Transaction) {
+	t.Helper()
+	set := utxo.NewSet()
+	funding := utxo.NewTransaction(nil, []utxo.TxOut{
+		{Value: 100}, {Value: 200}, {Value: 300},
+	})
+	created := map[utxo.Outpoint]utxo.TxOut{}
+	for k := range funding.Outputs {
+		created[funding.Outpoint(k)] = funding.Outputs[k]
+	}
+	if err := set.ApplyDelta(nil, created); err != nil {
+		t.Fatal(err)
+	}
+	return set, funding
+}
+
+func TestGroupedUTXOCrossComponentDoubleSpend(t *testing.T) {
+	set, funding := utxoFixture(t)
+	// Two independent-looking transactions spend the same funding output:
+	// no TDG edge between them, so only the merge check can catch it.
+	t1 := utxo.NewTransaction(
+		[]utxo.TxIn{{Prev: funding.Outpoint(0)}},
+		[]utxo.TxOut{{Value: 90}},
+	)
+	t2 := utxo.NewTransaction(
+		[]utxo.TxIn{{Prev: funding.Outpoint(0)}},
+		[]utxo.TxOut{{Value: 80}},
+	)
+	cb := utxo.NewTransaction(nil, []utxo.TxOut{{Value: 50}})
+	blk := &utxo.Block{Height: 1, Txs: []*utxo.Transaction{cb, t1, t2}}
+	engine := GroupedUTXO{Workers: 4, Subsidy: 100}
+	_, err := engine.Execute(set, blk)
+	if !errors.Is(err, utxo.ErrDuplicateSpend) {
+		t.Fatalf("err = %v, want ErrDuplicateSpend", err)
+	}
+	if set.Len() != 3 {
+		t.Fatal("failed validation mutated the set")
+	}
+}
+
+func TestGroupedUTXOCoinbaseRules(t *testing.T) {
+	set, funding := utxoFixture(t)
+	// Coinbase overspends subsidy + fees.
+	t1 := utxo.NewTransaction(
+		[]utxo.TxIn{{Prev: funding.Outpoint(0)}},
+		[]utxo.TxOut{{Value: 95}}, // fee 5
+	)
+	fatCb := utxo.NewTransaction(nil, []utxo.TxOut{{Value: 100}})
+	blk := &utxo.Block{Height: 1, Txs: []*utxo.Transaction{fatCb, t1}}
+	engine := GroupedUTXO{Workers: 2, Subsidy: 50}
+	if _, err := engine.Execute(set, blk); !errors.Is(err, utxo.ErrBadCoinbase) {
+		t.Fatalf("overspend: err = %v, want ErrBadCoinbase", err)
+	}
+	// Exactly subsidy + fees is accepted.
+	okCb := utxo.NewTransaction(nil, []utxo.TxOut{{Value: 55}})
+	blk = &utxo.Block{Height: 1, Txs: []*utxo.Transaction{okCb, t1}}
+	if _, err := engine.Execute(set, blk); err != nil {
+		t.Fatalf("exact coinbase: %v", err)
+	}
+}
+
+func TestGroupedUTXOSpendOwnCoinbase(t *testing.T) {
+	set, _ := utxoFixture(t)
+	cb := utxo.NewTransaction(nil, []utxo.TxOut{{Value: 50}})
+	spend := utxo.NewTransaction(
+		[]utxo.TxIn{{Prev: cb.Outpoint(0)}},
+		[]utxo.TxOut{{Value: 50}},
+	)
+	blk := &utxo.Block{Height: 1, Txs: []*utxo.Transaction{cb, spend}}
+	engine := GroupedUTXO{Workers: 2, Subsidy: 50}
+	if _, err := engine.Execute(set, blk); err != nil {
+		t.Fatalf("in-block coinbase spend: %v", err)
+	}
+	if set.Contains(cb.Outpoint(0)) {
+		t.Fatal("spent coinbase output in set")
+	}
+	if !set.Contains(spend.Outpoint(0)) {
+		t.Fatal("spender's output missing")
+	}
+}
+
+func TestGroupedUTXOErrors(t *testing.T) {
+	set, funding := utxoFixture(t)
+	cb := utxo.NewTransaction(nil, []utxo.TxOut{{Value: 50}})
+	if _, err := (GroupedUTXO{Subsidy: 50}).Execute(set, &utxo.Block{Txs: []*utxo.Transaction{cb}}); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("no workers: %v", err)
+	}
+	// Missing coinbase.
+	t1 := utxo.NewTransaction([]utxo.TxIn{{Prev: funding.Outpoint(0)}}, []utxo.TxOut{{Value: 1}})
+	if _, err := (GroupedUTXO{Workers: 2, Subsidy: 50}).Execute(set, &utxo.Block{Txs: []*utxo.Transaction{t1}}); err == nil {
+		t.Fatal("missing coinbase accepted")
+	}
+	// Unknown input.
+	bogus := utxo.NewTransaction(
+		[]utxo.TxIn{{Prev: utxo.Outpoint{Index: 77}}},
+		[]utxo.TxOut{{Value: 1}},
+	)
+	blk := &utxo.Block{Height: 1, Txs: []*utxo.Transaction{cb, bogus}}
+	if _, err := (GroupedUTXO{Workers: 2, Subsidy: 50}).Execute(set, blk); !errors.Is(err, ErrParallelValidation) {
+		t.Fatalf("unknown input: %v", err)
+	}
+	// Value inflation.
+	inflate := utxo.NewTransaction(
+		[]utxo.TxIn{{Prev: funding.Outpoint(1)}},
+		[]utxo.TxOut{{Value: 500}},
+	)
+	blk = &utxo.Block{Height: 1, Txs: []*utxo.Transaction{cb, inflate}}
+	if _, err := (GroupedUTXO{Workers: 2, Subsidy: 50}).Execute(set, blk); !errors.Is(err, ErrParallelValidation) {
+		t.Fatalf("inflation: %v", err)
+	}
+}

@@ -1,0 +1,248 @@
+// Package graph provides the graph algorithms underlying the transaction
+// dependency graph (TDG) analysis of the paper: an undirected graph with
+// dense integer node IDs, connected components via breadth-first search (a
+// faithful port of the JavaScript UDF in the paper's Figure 3), and a
+// union-find structure used as an independently implemented cross-check.
+//
+// The TDG construction in package core interns transaction hashes or
+// addresses into dense IDs and then runs these algorithms; keeping the
+// algorithms ID-based avoids re-implementing them per key type.
+package graph
+
+import "sort"
+
+// Undirected is an undirected graph over nodes 0..n-1 represented with
+// adjacency lists. The zero value is an empty graph; use NewUndirected or
+// Grow to size it.
+type Undirected struct {
+	adj [][]int32
+}
+
+// NewUndirected returns a graph with n isolated nodes.
+func NewUndirected(n int) *Undirected {
+	return &Undirected{adj: make([][]int32, n)}
+}
+
+// Len returns the number of nodes.
+func (g *Undirected) Len() int { return len(g.adj) }
+
+// Grow ensures the graph has at least n nodes.
+func (g *Undirected) Grow(n int) {
+	for len(g.adj) < n {
+		g.adj = append(g.adj, nil)
+	}
+}
+
+// AddEdge adds an undirected edge between a and b, growing the graph if
+// needed. Self-loops are recorded once (a single adjacency entry); parallel
+// edges are kept, which — as in the paper's UDF — does not change the
+// component structure.
+func (g *Undirected) AddEdge(a, b int) {
+	max := a
+	if b > max {
+		max = b
+	}
+	g.Grow(max + 1)
+	if a == b {
+		g.adj[a] = append(g.adj[a], int32(a))
+		return
+	}
+	g.adj[a] = append(g.adj[a], int32(b))
+	g.adj[b] = append(g.adj[b], int32(a))
+}
+
+// Neighbors returns the adjacency list of node a. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Undirected) Neighbors(a int) []int32 {
+	if a < 0 || a >= len(g.adj) {
+		return nil
+	}
+	return g.adj[a]
+}
+
+// Degree returns the number of adjacency entries of node a (parallel edges
+// counted individually).
+func (g *Undirected) Degree(a int) int { return len(g.Neighbors(a)) }
+
+// ConnectedComponents computes the connected components of the graph using
+// breadth-first search. It is a faithful port of the JavaScript UDF shown in
+// the paper's Figure 3: an outer loop over all nodes, an expanding frontier
+// set, and a visited map. Each component is returned as a slice of node IDs;
+// components are ordered by their smallest (first-visited) node and each
+// component lists its nodes in BFS-discovery order, exactly as the ccs array
+// in the paper is filled.
+func (g *Undirected) ConnectedComponents() [][]int {
+	visited := make([]bool, len(g.adj))
+	var ccs [][]int
+	for i := range g.adj {
+		if visited[i] {
+			continue
+		}
+		// Mirrors Figure 3: cc = [txs[i]]; frontier = neighbors(txs[i]).
+		cc := []int{i}
+		visited[i] = true
+		frontier := make(map[int32]struct{})
+		for _, nb := range g.adj[i] {
+			if !visited[nb] {
+				frontier[nb] = struct{}{}
+			}
+		}
+		for len(frontier) > 0 {
+			next := make(map[int32]struct{})
+			for nb := range frontier {
+				cc = append(cc, int(nb))
+				visited[nb] = true
+			}
+			for nb := range frontier {
+				for _, nnb := range g.adj[nb] {
+					if !visited[nnb] {
+						next[nnb] = struct{}{}
+					}
+				}
+			}
+			frontier = next
+		}
+		ccs = append(ccs, cc)
+	}
+	return ccs
+}
+
+// ComponentStats summarises a component decomposition the way the paper's
+// metrics consume it.
+type ComponentStats struct {
+	// NumComponents is the number of connected components.
+	NumComponents int
+	// Largest is the size of the largest connected component (the paper's
+	// absolute LCC size L). Zero for an empty graph.
+	Largest int
+	// Singletons is the number of components of size one (unconflicted
+	// nodes in the paper's terminology).
+	Singletons int
+	// Sizes holds all component sizes in descending order.
+	Sizes []int
+}
+
+// Stats computes summary statistics for a component decomposition as
+// returned by ConnectedComponents.
+func Stats(ccs [][]int) ComponentStats {
+	st := ComponentStats{NumComponents: len(ccs), Sizes: make([]int, 0, len(ccs))}
+	for _, cc := range ccs {
+		n := len(cc)
+		st.Sizes = append(st.Sizes, n)
+		if n > st.Largest {
+			st.Largest = n
+		}
+		if n == 1 {
+			st.Singletons++
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(st.Sizes)))
+	return st
+}
+
+// UnionFind is a disjoint-set forest with union by size and path
+// compression. It is used as an independent implementation of connectivity
+// to property-test the BFS port, and by the scheduler to group transactions.
+type UnionFind struct {
+	parent []int32
+	size   []int32
+	count  int
+}
+
+// NewUnionFind returns a union-find over n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]int32, n),
+		size:   make([]int32, n),
+		count:  n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+// Len returns the number of elements.
+func (u *UnionFind) Len() int { return len(u.parent) }
+
+// Count returns the current number of disjoint sets.
+func (u *UnionFind) Count() int { return u.count }
+
+// Find returns the canonical representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	root := int32(x)
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	// Path compression.
+	for int32(x) != root {
+		next := u.parent[x]
+		u.parent[x] = root
+		x = int(next)
+	}
+	return int(root)
+}
+
+// Union merges the sets containing a and b and reports whether a merge
+// happened (false if they were already in the same set).
+func (u *UnionFind) Union(a, b int) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = int32(ra)
+	u.size[ra] += u.size[rb]
+	u.count--
+	return true
+}
+
+// Connected reports whether a and b are in the same set.
+func (u *UnionFind) Connected(a, b int) bool { return u.Find(a) == u.Find(b) }
+
+// SetSize returns the size of the set containing x.
+func (u *UnionFind) SetSize(x int) int { return int(u.size[u.Find(x)]) }
+
+// Components returns the disjoint sets as slices of element IDs. Components
+// are ordered by their smallest element, with elements ascending, so the
+// output is canonical and comparable across implementations.
+func (u *UnionFind) Components() [][]int {
+	byRoot := make(map[int][]int)
+	order := make([]int, 0)
+	for i := range u.parent {
+		r := u.Find(i)
+		if _, seen := byRoot[r]; !seen {
+			order = append(order, r)
+		}
+		byRoot[r] = append(byRoot[r], i)
+	}
+	sort.Slice(order, func(i, j int) bool { return byRoot[order[i]][0] < byRoot[order[j]][0] })
+	out := make([][]int, 0, len(order))
+	for _, r := range order {
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
+// Canonicalize sorts each component's node list ascending and orders
+// components by their smallest node, allowing decompositions from different
+// algorithms to be compared with reflect.DeepEqual.
+func Canonicalize(ccs [][]int) [][]int {
+	out := make([][]int, len(ccs))
+	for i, cc := range ccs {
+		c := make([]int, len(cc))
+		copy(c, cc)
+		sort.Ints(c)
+		out[i] = c
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) == 0 || len(out[j]) == 0 {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}

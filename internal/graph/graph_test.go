@@ -1,0 +1,275 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewUndirected(0)
+	if ccs := g.ConnectedComponents(); len(ccs) != 0 {
+		t.Fatalf("empty graph has %d components, want 0", len(ccs))
+	}
+	st := Stats(nil)
+	if st.Largest != 0 || st.NumComponents != 0 || st.Singletons != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+func TestIsolatedNodes(t *testing.T) {
+	g := NewUndirected(5)
+	ccs := g.ConnectedComponents()
+	if len(ccs) != 5 {
+		t.Fatalf("5 isolated nodes give %d components, want 5", len(ccs))
+	}
+	st := Stats(ccs)
+	if st.Largest != 1 || st.Singletons != 5 {
+		t.Fatalf("stats = %+v, want largest 1 singletons 5", st)
+	}
+}
+
+func TestSingleEdge(t *testing.T) {
+	g := NewUndirected(3)
+	g.AddEdge(0, 2)
+	ccs := Canonicalize(g.ConnectedComponents())
+	want := [][]int{{0, 2}, {1}}
+	if !reflect.DeepEqual(ccs, want) {
+		t.Fatalf("components = %v, want %v", ccs, want)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := NewUndirected(2)
+	g.AddEdge(1, 1)
+	ccs := g.ConnectedComponents()
+	if len(ccs) != 2 {
+		t.Fatalf("self loop should not merge components: %v", ccs)
+	}
+	st := Stats(ccs)
+	if st.Largest != 1 {
+		t.Fatalf("self loop inflated component size: %+v", st)
+	}
+}
+
+func TestParallelEdges(t *testing.T) {
+	g := NewUndirected(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	ccs := g.ConnectedComponents()
+	if len(ccs) != 1 || len(ccs[0]) != 2 {
+		t.Fatalf("parallel edges broke components: %v", ccs)
+	}
+}
+
+func TestChainComponent(t *testing.T) {
+	// A path of 18 transactions, like the Bitcoin block 500000 sequence in
+	// the paper's Figure 6: one component of size 18.
+	g := NewUndirected(18)
+	for i := 0; i < 17; i++ {
+		g.AddEdge(i, i+1)
+	}
+	st := Stats(g.ConnectedComponents())
+	if st.NumComponents != 1 || st.Largest != 18 {
+		t.Fatalf("chain stats = %+v, want 1 component of size 18", st)
+	}
+}
+
+func TestBFSDiscoveryOrder(t *testing.T) {
+	// Star centred at 0: BFS from 0 must list 0 first, then the leaves.
+	g := NewUndirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	ccs := g.ConnectedComponents()
+	if len(ccs) != 1 {
+		t.Fatalf("star has %d components", len(ccs))
+	}
+	if ccs[0][0] != 0 {
+		t.Fatalf("BFS order should start at node 0, got %v", ccs[0])
+	}
+	if len(ccs[0]) != 4 {
+		t.Fatalf("star component has %d nodes, want 4", len(ccs[0]))
+	}
+}
+
+func TestGrow(t *testing.T) {
+	g := NewUndirected(0)
+	g.AddEdge(5, 9)
+	if g.Len() != 10 {
+		t.Fatalf("Len = %d after AddEdge(5,9), want 10", g.Len())
+	}
+	if g.Degree(5) != 1 || g.Degree(9) != 1 || g.Degree(0) != 0 {
+		t.Fatal("degrees wrong after growth")
+	}
+	if g.Degree(-1) != 0 || g.Degree(100) != 0 {
+		t.Fatal("out-of-range degree should be 0")
+	}
+}
+
+func TestUnionFindBasics(t *testing.T) {
+	uf := NewUnionFind(6)
+	if uf.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", uf.Count())
+	}
+	if !uf.Union(0, 1) {
+		t.Fatal("first union should merge")
+	}
+	if uf.Union(1, 0) {
+		t.Fatal("repeated union should not merge")
+	}
+	uf.Union(2, 3)
+	uf.Union(0, 2)
+	if uf.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", uf.Count())
+	}
+	if !uf.Connected(1, 3) {
+		t.Fatal("1 and 3 should be connected via 0-2")
+	}
+	if uf.Connected(0, 5) {
+		t.Fatal("0 and 5 should not be connected")
+	}
+	if uf.SetSize(3) != 4 {
+		t.Fatalf("SetSize(3) = %d, want 4", uf.SetSize(3))
+	}
+	if uf.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", uf.Len())
+	}
+}
+
+func TestUnionFindComponents(t *testing.T) {
+	uf := NewUnionFind(5)
+	uf.Union(4, 2)
+	uf.Union(0, 3)
+	got := uf.Components()
+	want := [][]int{{0, 3}, {1}, {2, 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Components = %v, want %v", got, want)
+	}
+}
+
+// TestBFSMatchesUnionFind is the central cross-check: the paper's BFS
+// algorithm (Figure 3) and an independent union-find must produce identical
+// component decompositions on random graphs.
+func TestBFSMatchesUnionFind(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		m := rng.Intn(2 * n)
+		g := NewUndirected(n)
+		uf := NewUnionFind(n)
+		for e := 0; e < m; e++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			g.AddEdge(a, b)
+			uf.Union(a, b)
+		}
+		bfs := Canonicalize(g.ConnectedComponents())
+		ufc := Canonicalize(uf.Components())
+		if !reflect.DeepEqual(bfs, ufc) {
+			t.Fatalf("trial %d (n=%d m=%d): BFS %v != UF %v", trial, n, m, bfs, ufc)
+		}
+	}
+}
+
+// TestComponentSizesInvariant checks that component sizes always sum to the
+// node count, with quick-generated edge lists.
+func TestComponentSizesInvariant(t *testing.T) {
+	f := func(edges []uint16) bool {
+		const n = 64
+		g := NewUndirected(n)
+		for i := 0; i+1 < len(edges); i += 2 {
+			g.AddEdge(int(edges[i]%n), int(edges[i+1]%n))
+		}
+		st := Stats(g.ConnectedComponents())
+		total := 0
+		for _, s := range st.Sizes {
+			total += s
+		}
+		return total == n && st.NumComponents == len(st.Sizes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStatsSorted checks Sizes is descending and Largest/Singletons agree
+// with it.
+func TestStatsSorted(t *testing.T) {
+	g := NewUndirected(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	st := Stats(g.ConnectedComponents())
+	want := []int{3, 2, 1, 1}
+	if !reflect.DeepEqual(st.Sizes, want) {
+		t.Fatalf("Sizes = %v, want %v", st.Sizes, want)
+	}
+	if st.Largest != 3 || st.Singletons != 2 || st.NumComponents != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInterner(t *testing.T) {
+	in := NewInterner[string](4)
+	a := in.ID("alpha")
+	b := in.ID("beta")
+	if a == b {
+		t.Fatal("distinct keys got same ID")
+	}
+	if got := in.ID("alpha"); got != a {
+		t.Fatalf("re-interning changed ID: %d vs %d", got, a)
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", in.Len())
+	}
+	if in.Key(a) != "alpha" || in.Key(b) != "beta" {
+		t.Fatal("Key lookup mismatch")
+	}
+	if id, ok := in.Lookup("beta"); !ok || id != b {
+		t.Fatal("Lookup(beta) failed")
+	}
+	if _, ok := in.Lookup("gamma"); ok {
+		t.Fatal("Lookup(gamma) should miss")
+	}
+}
+
+func TestInternerDenseIDs(t *testing.T) {
+	in := NewInterner[int](0)
+	for i := 0; i < 100; i++ {
+		if id := in.ID(i * 7); id != i {
+			t.Fatalf("IDs not dense: got %d for %dth key", id, i)
+		}
+	}
+}
+
+func BenchmarkConnectedComponentsBFS(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 2000
+	g := NewUndirected(n)
+	for e := 0; e < n; e++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ConnectedComponents()
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 2000
+	type edge struct{ a, b int }
+	edges := make([]edge, n)
+	for i := range edges {
+		edges[i] = edge{rng.Intn(n), rng.Intn(n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uf := NewUnionFind(n)
+		for _, e := range edges {
+			uf.Union(e.a, e.b)
+		}
+	}
+}

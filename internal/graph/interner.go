@@ -1,0 +1,42 @@
+package graph
+
+// Interner maps arbitrary comparable keys (transaction hashes, addresses) to
+// dense integer node IDs. The TDG builders in package core intern every
+// endpoint they see and feed the resulting IDs to Undirected / UnionFind.
+type Interner[K comparable] struct {
+	ids  map[K]int
+	keys []K
+}
+
+// NewInterner returns an empty interner. The capacity hint sizes the
+// internal map.
+func NewInterner[K comparable](capacity int) *Interner[K] {
+	return &Interner[K]{
+		ids:  make(map[K]int, capacity),
+		keys: make([]K, 0, capacity),
+	}
+}
+
+// ID returns the dense ID for key, assigning the next free ID on first use.
+func (in *Interner[K]) ID(key K) int {
+	if id, ok := in.ids[key]; ok {
+		return id
+	}
+	id := len(in.keys)
+	in.ids[key] = id
+	in.keys = append(in.keys, key)
+	return id
+}
+
+// Lookup returns the ID for key without assigning one, and whether it was
+// present.
+func (in *Interner[K]) Lookup(key K) (int, bool) {
+	id, ok := in.ids[key]
+	return id, ok
+}
+
+// Key returns the key for a previously assigned ID.
+func (in *Interner[K]) Key(id int) K { return in.keys[id] }
+
+// Len returns the number of interned keys.
+func (in *Interner[K]) Len() int { return len(in.keys) }

@@ -1,0 +1,158 @@
+// Package sched implements multiprocessor scheduling of transaction groups
+// (connected components) onto a fixed number of cores. The paper's §V-B
+// notes that computing the optimal schedule is the NP-hard multiprocessor
+// scheduling problem [11] and approximates the speed-up as min(n, 1/l);
+// this package provides the classic list-scheduling algorithms (greedy and
+// LPT) whose makespans bound how good that approximation is in practice —
+// the evaluation the paper leaves to future work.
+package sched
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrNoWorkers reports a schedule request with fewer than one worker.
+var ErrNoWorkers = errors.New("sched: need at least one worker")
+
+// Schedule is an assignment of jobs to workers.
+type Schedule struct {
+	// Assignments[w] lists the job indices run by worker w, in order.
+	Assignments [][]int
+	// Makespan is the completion time of the busiest worker.
+	Makespan int
+	// Total is the sum of all job lengths (sequential execution time).
+	Total int
+}
+
+// Speedup returns Total / Makespan: the parallel speed-up of the schedule
+// under the paper's unit-cost model.
+func (s *Schedule) Speedup() float64 {
+	if s.Makespan == 0 {
+		return 1
+	}
+	return float64(s.Total) / float64(s.Makespan)
+}
+
+// workerHeap is a min-heap of (load, worker) pairs.
+type workerHeap struct {
+	load []int
+	id   []int
+}
+
+func (h *workerHeap) Len() int { return len(h.load) }
+func (h *workerHeap) Less(i, j int) bool {
+	if h.load[i] != h.load[j] {
+		return h.load[i] < h.load[j]
+	}
+	return h.id[i] < h.id[j]
+}
+func (h *workerHeap) Swap(i, j int) {
+	h.load[i], h.load[j] = h.load[j], h.load[i]
+	h.id[i], h.id[j] = h.id[j], h.id[i]
+}
+func (h *workerHeap) Push(x any) {
+	p := x.([2]int)
+	h.load = append(h.load, p[0])
+	h.id = append(h.id, p[1])
+}
+func (h *workerHeap) Pop() any {
+	n := len(h.load) - 1
+	p := [2]int{h.load[n], h.id[n]}
+	h.load = h.load[:n]
+	h.id = h.id[:n]
+	return p
+}
+
+// List builds a greedy list schedule: jobs are assigned in the given order,
+// each to the least-loaded worker. Graham's bound guarantees a makespan
+// within (2 − 1/n) of optimal.
+func List(jobs []int, workers int) (*Schedule, error) {
+	return listSchedule(jobs, workers, nil)
+}
+
+// LPT builds a longest-processing-time schedule: jobs are sorted by
+// decreasing length first, tightening Graham's bound to (4/3 − 1/(3n)) of
+// optimal. This is the scheduler the group-concurrency executor uses.
+func LPT(jobs []int, workers int) (*Schedule, error) {
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return jobs[order[a]] > jobs[order[b]] })
+	return listSchedule(jobs, workers, order)
+}
+
+func listSchedule(jobs []int, workers int, order []int) (*Schedule, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrNoWorkers, workers)
+	}
+	for i, j := range jobs {
+		if j < 0 {
+			return nil, fmt.Errorf("sched: job %d has negative length %d", i, j)
+		}
+	}
+	s := &Schedule{Assignments: make([][]int, workers)}
+	h := &workerHeap{load: make([]int, 0, workers), id: make([]int, 0, workers)}
+	for w := 0; w < workers; w++ {
+		h.load = append(h.load, 0)
+		h.id = append(h.id, w)
+	}
+	heap.Init(h)
+	pick := func(i int) int {
+		if order != nil {
+			return order[i]
+		}
+		return i
+	}
+	for i := range jobs {
+		j := pick(i)
+		p := heap.Pop(h).([2]int)
+		load, w := p[0], p[1]
+		s.Assignments[w] = append(s.Assignments[w], j)
+		load += jobs[j]
+		if load > s.Makespan {
+			s.Makespan = load
+		}
+		s.Total += jobs[j]
+		heap.Push(h, [2]int{load, w})
+	}
+	return s, nil
+}
+
+// LowerBound returns the trivial makespan lower bound:
+// max(⌈total/workers⌉, longest job). The paper's min(n, 1/l) speed-up model
+// is exactly Total / LowerBound under unit costs.
+func LowerBound(jobs []int, workers int) int {
+	if workers < 1 || len(jobs) == 0 {
+		return 0
+	}
+	total, longest := 0, 0
+	for _, j := range jobs {
+		total += j
+		if j > longest {
+			longest = j
+		}
+	}
+	lb := (total + workers - 1) / workers
+	if longest > lb {
+		lb = longest
+	}
+	return lb
+}
+
+// ModelSpeedup evaluates the paper's eq. (2) bound for a set of component
+// sizes: min(n, total/longest), i.e. min(n, 1/l) with l = longest/total.
+func ModelSpeedup(jobs []int, workers int) float64 {
+	lb := LowerBound(jobs, workers)
+	if lb == 0 {
+		return 1
+	}
+	total := 0
+	for _, j := range jobs {
+		total += j
+	}
+	return float64(total) / float64(lb)
+}

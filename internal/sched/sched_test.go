@@ -1,0 +1,224 @@
+package sched
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestListBasics(t *testing.T) {
+	s, err := List([]int{3, 3, 3, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 6 || s.Total != 12 {
+		t.Fatalf("schedule = %+v", s)
+	}
+	if s.Speedup() != 2 {
+		t.Fatalf("speedup = %v", s.Speedup())
+	}
+}
+
+func TestLPTBeatsNaiveOrder(t *testing.T) {
+	// Classic example where greedy in given order is suboptimal: the long
+	// job arrives last.
+	jobs := []int{2, 2, 2, 2, 6}
+	greedy, err := List(jobs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpt, err := LPT(jobs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lpt.Makespan >= greedy.Makespan {
+		t.Fatalf("LPT %d should beat greedy %d here", lpt.Makespan, greedy.Makespan)
+	}
+	// Optimal is 8 ({6,2} vs {2,2,2}); greedy-in-order ends at 10.
+	if lpt.Makespan != 8 {
+		t.Fatalf("LPT makespan = %d, want 8", lpt.Makespan)
+	}
+	if greedy.Makespan != 10 {
+		t.Fatalf("greedy makespan = %d, want 10", greedy.Makespan)
+	}
+}
+
+func TestSingleWorkerIsSequential(t *testing.T) {
+	jobs := []int{5, 1, 9}
+	s, err := LPT(jobs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 15 || s.Speedup() != 1 {
+		t.Fatalf("schedule = %+v", s)
+	}
+}
+
+func TestMoreWorkersThanJobs(t *testing.T) {
+	jobs := []int{4, 2}
+	s, err := LPT(jobs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 4 {
+		t.Fatalf("makespan = %d, want 4 (longest job)", s.Makespan)
+	}
+}
+
+func TestEmptyJobs(t *testing.T) {
+	s, err := LPT(nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 0 || s.Speedup() != 1 {
+		t.Fatalf("empty schedule = %+v", s)
+	}
+	if LowerBound(nil, 4) != 0 {
+		t.Fatal("lower bound of no jobs")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := LPT([]int{1}, 0); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("zero workers: %v", err)
+	}
+	if _, err := List([]int{-1}, 2); err == nil {
+		t.Fatal("negative job accepted")
+	}
+}
+
+func TestAssignmentsPartitionJobs(t *testing.T) {
+	jobs := []int{5, 3, 8, 1, 9, 2, 7}
+	s, err := LPT(jobs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, w := range s.Assignments {
+		for _, j := range w {
+			if seen[j] {
+				t.Fatalf("job %d scheduled twice", j)
+			}
+			seen[j] = true
+		}
+	}
+	if len(seen) != len(jobs) {
+		t.Fatalf("scheduled %d of %d jobs", len(seen), len(jobs))
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	if lb := LowerBound([]int{4, 4, 4}, 3); lb != 4 {
+		t.Fatalf("lb = %d, want 4", lb)
+	}
+	if lb := LowerBound([]int{10, 1, 1}, 3); lb != 10 {
+		t.Fatalf("lb = %d, want 10 (longest job)", lb)
+	}
+	if lb := LowerBound([]int{5, 5, 5, 5}, 2); lb != 10 {
+		t.Fatalf("lb = %d, want 10 (total/workers)", lb)
+	}
+}
+
+func TestModelSpeedupMatchesPaperEq2(t *testing.T) {
+	// 100 unit transactions, LCC of 20: l = 0.2, speed-up min(n, 5).
+	jobs := make([]int, 81)
+	jobs[0] = 20
+	for i := 1; i < len(jobs); i++ {
+		jobs[i] = 1
+	}
+	if got := ModelSpeedup(jobs, 4); got != 4 {
+		t.Fatalf("n=4: %v, want 4", got)
+	}
+	if got := ModelSpeedup(jobs, 8); got != 5 {
+		t.Fatalf("n=8: %v, want 5 (1/l)", got)
+	}
+	if got := ModelSpeedup(jobs, 64); got != 5 {
+		t.Fatalf("n=64: %v, want 5", got)
+	}
+	if got := ModelSpeedup(nil, 4); got != 1 {
+		t.Fatalf("empty: %v", got)
+	}
+}
+
+// TestGrahamBounds property-checks the approximation guarantees: for any
+// job set, LB ≤ LPT ≤ (4/3 − 1/(3n))·OPT ≤ (4/3 − 1/(3n))·LPT and greedy ≤
+// (2 − 1/n)·LB.
+func TestGrahamBounds(t *testing.T) {
+	f := func(raw []uint8, wRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		jobs := make([]int, len(raw))
+		for i, r := range raw {
+			jobs[i] = int(r%50) + 1
+		}
+		n := int(wRaw%8) + 1
+		lb := LowerBound(jobs, n)
+		lpt, err := LPT(jobs, n)
+		if err != nil {
+			return false
+		}
+		greedy, err := List(jobs, n)
+		if err != nil {
+			return false
+		}
+		if lpt.Makespan < lb || greedy.Makespan < lb {
+			return false
+		}
+		// OPT >= lb, so the Graham factors must hold against lb.
+		if float64(lpt.Makespan) > (4.0/3.0)*float64(lb)+1 {
+			return false
+		}
+		if float64(greedy.Makespan) > (2.0-1.0/float64(n))*float64(lb)+1 {
+			return false
+		}
+		return lpt.Makespan <= greedy.Makespan+lb // LPT is usually better; allow slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLPTNearModel measures how close LPT gets to the paper's min(n, 1/l)
+// approximation on component-size distributions typical of generated
+// blocks (one big component, many singletons) — the paper's §V-B open
+// question. LPT must be within 1 time unit of the bound for these shapes.
+func TestLPTNearModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		jobs := []int{10 + rng.Intn(40)} // the LCC
+		for i := 0; i < 50+rng.Intn(200); i++ {
+			jobs = append(jobs, 1+rng.Intn(3))
+		}
+		for _, n := range []int{2, 4, 8, 16} {
+			lb := LowerBound(jobs, n)
+			lpt, err := LPT(jobs, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lpt.Makespan > lb+3 {
+				t.Fatalf("trial %d n=%d: LPT %d far above bound %d", trial, n, lpt.Makespan, lb)
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	jobs := []int{5, 5, 3, 3, 2, 2, 2}
+	a, _ := LPT(jobs, 3)
+	b, _ := LPT(jobs, 3)
+	if a.Makespan != b.Makespan {
+		t.Fatal("nondeterministic makespan")
+	}
+	for w := range a.Assignments {
+		if len(a.Assignments[w]) != len(b.Assignments[w]) {
+			t.Fatal("nondeterministic assignment")
+		}
+		for i := range a.Assignments[w] {
+			if a.Assignments[w][i] != b.Assignments[w][i] {
+				t.Fatal("nondeterministic assignment order")
+			}
+		}
+	}
+}

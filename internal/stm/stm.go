@@ -1,0 +1,213 @@
+// Package stm implements a small software transactional memory: a versioned
+// key-value store with optimistic transactions (read-set validation at
+// commit, buffered writes, abort/retry). It is the concurrency-control
+// substrate of the speculative execution engines in package exec, standing
+// in for the STM that Dickerson et al. [6] use for smart-contract
+// speculation (paper §VI).
+//
+// The design follows TL2: each key carries a version; a transaction records
+// the versions it read and buffers its writes; commit takes the global lock,
+// validates that no read key changed, then applies writes and bumps
+// versions. Transactions from concurrent goroutines are safe; aborted
+// transactions can simply be retried.
+package stm
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrConflict reports a commit whose read set was invalidated by another
+// committed transaction.
+var ErrConflict = errors.New("stm: read set invalidated")
+
+// ErrFinished reports use of a transaction after commit or abort.
+var ErrFinished = errors.New("stm: transaction already finished")
+
+// Store is a versioned key-value store supporting optimistic transactions.
+// The zero value is not usable; call NewStore.
+type Store[K comparable, V any] struct {
+	mu      sync.RWMutex
+	data    map[K]V
+	version map[K]uint64
+	clock   uint64
+	commits uint64
+	aborts  uint64
+}
+
+// NewStore returns an empty store.
+func NewStore[K comparable, V any]() *Store[K, V] {
+	return &Store[K, V]{
+		data:    make(map[K]V),
+		version: make(map[K]uint64),
+	}
+}
+
+// Get reads a key outside any transaction (snapshot-free).
+func (s *Store[K, V]) Get(k K) (V, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[k]
+	return v, ok
+}
+
+// Set writes a key outside any transaction, bumping its version.
+func (s *Store[K, V]) Set(k K, v V) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock++
+	s.data[k] = v
+	s.version[k] = s.clock
+}
+
+// Len returns the number of keys.
+func (s *Store[K, V]) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Stats returns the number of committed and aborted transactions.
+func (s *Store[K, V]) Stats() (commits, aborts uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.commits, s.aborts
+}
+
+// Range calls fn for every committed key/value pair until fn returns false.
+// The iteration order is unspecified. fn must not call back into the store.
+func (s *Store[K, V]) Range(fn func(K, V) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for k, v := range s.data {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// Tx is one optimistic transaction. A Tx is not safe for concurrent use by
+// multiple goroutines (each worker owns its own transactions).
+type Tx[K comparable, V any] struct {
+	store    *Store[K, V]
+	reads    map[K]uint64
+	writes   map[K]V
+	finished bool
+}
+
+// Begin starts a transaction.
+func (s *Store[K, V]) Begin() *Tx[K, V] {
+	return &Tx[K, V]{
+		store:  s,
+		reads:  make(map[K]uint64),
+		writes: make(map[K]V),
+	}
+}
+
+// Read returns the value of k as seen by the transaction: its own buffered
+// write if present, else the committed value (recording the read version).
+func (t *Tx[K, V]) Read(k K) (V, bool, error) {
+	var zero V
+	if t.finished {
+		return zero, false, ErrFinished
+	}
+	if v, ok := t.writes[k]; ok {
+		return v, true, nil
+	}
+	t.store.mu.RLock()
+	v, ok := t.store.data[k]
+	ver := t.store.version[k]
+	t.store.mu.RUnlock()
+	if prev, seen := t.reads[k]; seen && prev != ver {
+		// The key changed between two of our own reads: doomed.
+		return zero, false, ErrConflict
+	}
+	t.reads[k] = ver
+	return v, ok, nil
+}
+
+// Write buffers a write of k.
+func (t *Tx[K, V]) Write(k K, v V) error {
+	if t.finished {
+		return ErrFinished
+	}
+	t.writes[k] = v
+	return nil
+}
+
+// ReadSet returns the keys read (excluding write-only keys).
+func (t *Tx[K, V]) ReadSet() []K {
+	out := make([]K, 0, len(t.reads))
+	for k := range t.reads {
+		out = append(out, k)
+	}
+	return out
+}
+
+// WriteSet returns the keys written.
+func (t *Tx[K, V]) WriteSet() []K {
+	out := make([]K, 0, len(t.writes))
+	for k := range t.writes {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Commit validates the read set and atomically applies the writes. On
+// ErrConflict the transaction is finished and its writes are discarded; the
+// caller may Begin a fresh transaction and retry.
+func (t *Tx[K, V]) Commit() error {
+	if t.finished {
+		return ErrFinished
+	}
+	t.finished = true
+	s := t.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, ver := range t.reads {
+		if s.version[k] != ver {
+			s.aborts++
+			return ErrConflict
+		}
+	}
+	s.clock++
+	for k, v := range t.writes {
+		s.data[k] = v
+		s.version[k] = s.clock
+	}
+	s.commits++
+	return nil
+}
+
+// Abort discards the transaction.
+func (t *Tx[K, V]) Abort() {
+	if !t.finished {
+		t.finished = true
+		t.store.mu.Lock()
+		t.store.aborts++
+		t.store.mu.Unlock()
+	}
+}
+
+// Atomically runs fn inside transactions until one commits, retrying on
+// conflict. fn must be safe to re-run.
+func Atomically[K comparable, V any](s *Store[K, V], fn func(*Tx[K, V]) error) error {
+	for {
+		tx := s.Begin()
+		if err := fn(tx); err != nil {
+			if errors.Is(err, ErrConflict) {
+				tx.Abort()
+				continue
+			}
+			tx.Abort()
+			return err
+		}
+		err := tx.Commit()
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrConflict) {
+			return err
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package stm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestReadYourWrites(t *testing.T) {
+	s := NewStore[string, int]()
+	tx := s.Begin()
+	if err := tx.Write("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tx.Read("a")
+	if err != nil || !ok || v != 1 {
+		t.Fatalf("read-your-write: %v %v %v", v, ok, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get("a"); !ok || v != 1 {
+		t.Fatalf("committed value = %v %v", v, ok)
+	}
+}
+
+func TestIsolationUntilCommit(t *testing.T) {
+	s := NewStore[string, int]()
+	tx := s.Begin()
+	if err := tx.Write("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("uncommitted write visible")
+	}
+	tx.Abort()
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("aborted write visible")
+	}
+}
+
+func TestConflictDetection(t *testing.T) {
+	s := NewStore[string, int]()
+	s.Set("a", 0)
+
+	t1 := s.Begin()
+	if _, _, err := t1.Read("a"); err != nil {
+		t.Fatal(err)
+	}
+	// A competing writer commits between t1's read and commit.
+	t2 := s.Begin()
+	if err := t2.Write("a", 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := t1.Write("b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("commit = %v, want ErrConflict", err)
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("conflicted transaction's write applied")
+	}
+}
+
+func TestWriteOnlyNoConflict(t *testing.T) {
+	// Blind writes never conflict (last writer wins), as in TL2.
+	s := NewStore[string, int]()
+	t1 := s.Begin()
+	t2 := s.Begin()
+	if err := t1.Write("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write("a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get("a"); v != 2 {
+		t.Fatalf("a = %d, want 2", v)
+	}
+}
+
+func TestDisjointTxsCommit(t *testing.T) {
+	s := NewStore[string, int]()
+	s.Set("a", 1)
+	s.Set("b", 2)
+	t1 := s.Begin()
+	t2 := s.Begin()
+	v1, _, _ := t1.Read("a")
+	v2, _, _ := t2.Read("b")
+	if err := t1.Write("a", v1+10); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write("b", v2+10); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("t1: %v", err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("t2 (disjoint) : %v", err)
+	}
+}
+
+func TestFinishedTxRejected(t *testing.T) {
+	s := NewStore[string, int]()
+	tx := s.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tx.Read("a"); !errors.Is(err, ErrFinished) {
+		t.Fatalf("read after commit: %v", err)
+	}
+	if err := tx.Write("a", 1); !errors.Is(err, ErrFinished) {
+		t.Fatalf("write after commit: %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrFinished) {
+		t.Fatalf("double commit: %v", err)
+	}
+}
+
+func TestReadWriteSets(t *testing.T) {
+	s := NewStore[string, int]()
+	s.Set("r", 1)
+	tx := s.Begin()
+	if _, _, err := tx.Read("r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write("w", 2); err != nil {
+		t.Fatal(err)
+	}
+	if rs := tx.ReadSet(); len(rs) != 1 || rs[0] != "r" {
+		t.Fatalf("read set = %v", rs)
+	}
+	if ws := tx.WriteSet(); len(ws) != 1 || ws[0] != "w" {
+		t.Fatalf("write set = %v", ws)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewStore[string, int]()
+	s.Set("a", 0)
+	t1 := s.Begin()
+	if _, _, err := t1.Read("a"); err != nil {
+		t.Fatal(err)
+	}
+	s.Set("a", 1) // invalidate
+	if err := t1.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatal(err)
+	}
+	t2 := s.Begin()
+	if err := t2.Write("b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	commits, aborts := s.Stats()
+	if commits != 1 || aborts != 1 {
+		t.Fatalf("stats = %d/%d, want 1/1", commits, aborts)
+	}
+}
+
+// TestConcurrentCounter is the classic STM smoke test: many goroutines
+// increment one counter through Atomically; no increment may be lost.
+func TestConcurrentCounter(t *testing.T) {
+	s := NewStore[string, int]()
+	s.Set("counter", 0)
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				err := Atomically(s, func(tx *Tx[string, int]) error {
+					v, _, err := tx.Read("counter")
+					if err != nil {
+						return err
+					}
+					return tx.Write("counter", v+1)
+				})
+				if err != nil {
+					t.Errorf("atomically: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v, _ := s.Get("counter"); v != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", v, workers*perWorker)
+	}
+}
+
+// TestConcurrentDisjointWorkers: workers on disjoint keys should (almost)
+// never abort; the final state must contain every write.
+func TestConcurrentDisjointWorkers(t *testing.T) {
+	s := NewStore[int, int]()
+	const workers = 8
+	const keysPer = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keysPer; i++ {
+				k := w*keysPer + i
+				err := Atomically(s, func(tx *Tx[int, int]) error {
+					return tx.Write(k, k)
+				})
+				if err != nil {
+					t.Errorf("atomically: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != workers*keysPer {
+		t.Fatalf("len = %d, want %d", s.Len(), workers*keysPer)
+	}
+	for k := 0; k < workers*keysPer; k++ {
+		if v, ok := s.Get(k); !ok || v != k {
+			t.Fatalf("key %d = %v %v", k, v, ok)
+		}
+	}
+}
+
+func TestAtomicallyPropagatesErrors(t *testing.T) {
+	s := NewStore[string, int]()
+	sentinel := errors.New("boom")
+	err := Atomically(s, func(tx *Tx[string, int]) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}

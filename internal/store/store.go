@@ -1,0 +1,215 @@
+// Package store persists generated chain histories to disk and loads them
+// back, so expensive workload generation (a full seven-chain run) happens
+// once and the analysis, executor and benchmark tooling can replay it. The
+// format is a gob stream with a versioned header, one file per chain.
+package store
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"txconcur/internal/account"
+	"txconcur/internal/utxo"
+)
+
+// magic identifies txconcur history files; version gates format changes.
+const (
+	magic   = "txconcur-history"
+	version = 1
+)
+
+// Kind distinguishes the two data models in the header.
+type Kind int
+
+// History kinds. Values start at one so the zero value is invalid.
+const (
+	KindUTXO Kind = iota + 1
+	KindAccount
+)
+
+// Header opens every history file.
+type Header struct {
+	Magic   string
+	Version int
+	Kind    Kind
+	Chain   string
+	Blocks  int
+}
+
+// Store errors.
+var (
+	// ErrBadHeader reports a missing or foreign header.
+	ErrBadHeader = errors.New("store: not a txconcur history file")
+	// ErrVersion reports an unsupported format version.
+	ErrVersion = errors.New("store: unsupported history version")
+	// ErrKind reports a history of the wrong data model.
+	ErrKind = errors.New("store: history has wrong kind")
+)
+
+// utxoRecord is the gob payload for one UTXO block. Transactions are
+// flattened because utxo.Transaction caches its ID privately.
+type utxoRecord struct {
+	Height   uint64
+	PrevHash [32]byte
+	Time     int64
+	Txs      []utxoTxRecord
+}
+
+type utxoTxRecord struct {
+	Inputs  []utxo.TxIn
+	Outputs []utxo.TxOut
+}
+
+// acctRecord is the gob payload for one account block with its receipts.
+type acctRecord struct {
+	Block    *account.Block
+	Receipts []*account.Receipt
+}
+
+// WriteUTXO writes a UTXO history to w.
+func WriteUTXO(w io.Writer, chain string, blocks []*utxo.Block) error {
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	hdr := Header{Magic: magic, Version: version, Kind: KindUTXO, Chain: chain, Blocks: len(blocks)}
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("store: header: %w", err)
+	}
+	for i, b := range blocks {
+		rec := utxoRecord{Height: b.Height, PrevHash: b.PrevHash, Time: b.Time}
+		for _, tx := range b.Txs {
+			rec.Txs = append(rec.Txs, utxoTxRecord{Inputs: tx.Inputs, Outputs: tx.Outputs})
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("store: block %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadUTXO reads a UTXO history from r.
+func ReadUTXO(r io.Reader) (string, []*utxo.Block, error) {
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	hdr, err := readHeader(dec, KindUTXO)
+	if err != nil {
+		return "", nil, err
+	}
+	blocks := make([]*utxo.Block, 0, hdr.Blocks)
+	for i := 0; i < hdr.Blocks; i++ {
+		var rec utxoRecord
+		if err := dec.Decode(&rec); err != nil {
+			return "", nil, fmt.Errorf("store: block %d: %w", i, err)
+		}
+		b := &utxo.Block{Height: rec.Height, PrevHash: rec.PrevHash, Time: rec.Time}
+		for _, tr := range rec.Txs {
+			b.Txs = append(b.Txs, utxo.NewTransaction(tr.Inputs, tr.Outputs))
+		}
+		blocks = append(blocks, b)
+	}
+	return hdr.Chain, blocks, nil
+}
+
+// WriteAccount writes an account history (blocks with receipts) to w.
+func WriteAccount(w io.Writer, chain string, blocks []*account.Block, receipts [][]*account.Receipt) error {
+	if len(blocks) != len(receipts) {
+		return fmt.Errorf("store: %d blocks but %d receipt sets", len(blocks), len(receipts))
+	}
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	hdr := Header{Magic: magic, Version: version, Kind: KindAccount, Chain: chain, Blocks: len(blocks)}
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("store: header: %w", err)
+	}
+	for i := range blocks {
+		if err := enc.Encode(acctRecord{Block: blocks[i], Receipts: receipts[i]}); err != nil {
+			return fmt.Errorf("store: block %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAccount reads an account history from r.
+func ReadAccount(r io.Reader) (string, []*account.Block, [][]*account.Receipt, error) {
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	hdr, err := readHeader(dec, KindAccount)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	blocks := make([]*account.Block, 0, hdr.Blocks)
+	receipts := make([][]*account.Receipt, 0, hdr.Blocks)
+	for i := 0; i < hdr.Blocks; i++ {
+		var rec acctRecord
+		if err := dec.Decode(&rec); err != nil {
+			return "", nil, nil, fmt.Errorf("store: block %d: %w", i, err)
+		}
+		blocks = append(blocks, rec.Block)
+		receipts = append(receipts, rec.Receipts)
+	}
+	return hdr.Chain, blocks, receipts, nil
+}
+
+func readHeader(dec *gob.Decoder, want Kind) (Header, error) {
+	var hdr Header
+	if err := dec.Decode(&hdr); err != nil {
+		return hdr, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if hdr.Magic != magic {
+		return hdr, ErrBadHeader
+	}
+	if hdr.Version != version {
+		return hdr, fmt.Errorf("%w: %d", ErrVersion, hdr.Version)
+	}
+	if hdr.Kind != want {
+		return hdr, fmt.Errorf("%w: have %d, want %d", ErrKind, hdr.Kind, want)
+	}
+	return hdr, nil
+}
+
+// SaveUTXOFile writes a UTXO history to path.
+func SaveUTXOFile(path, chain string, blocks []*utxo.Block) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteUTXO(f, chain, blocks); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadUTXOFile reads a UTXO history from path.
+func LoadUTXOFile(path string) (string, []*utxo.Block, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", nil, err
+	}
+	defer f.Close()
+	return ReadUTXO(f)
+}
+
+// SaveAccountFile writes an account history to path.
+func SaveAccountFile(path, chain string, blocks []*account.Block, receipts [][]*account.Receipt) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteAccount(f, chain, blocks, receipts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadAccountFile reads an account history from path.
+func LoadAccountFile(path string) (string, []*account.Block, [][]*account.Receipt, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	defer f.Close()
+	return ReadAccount(f)
+}

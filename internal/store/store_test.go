@@ -1,0 +1,161 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"txconcur/internal/account"
+	"txconcur/internal/chainsim"
+	"txconcur/internal/core"
+	"txconcur/internal/utxo"
+)
+
+func generateUTXO(t *testing.T, blocks int) []*utxo.Block {
+	t.Helper()
+	g, err := chainsim.NewUTXOGen(chainsim.DogecoinProfile(), blocks, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*utxo.Block
+	for {
+		blk, ok, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		out = append(out, blk)
+	}
+	return out
+}
+
+func generateAccount(t *testing.T, blocks int) ([]*account.Block, [][]*account.Receipt) {
+	t.Helper()
+	g, err := chainsim.NewAcctGen(chainsim.EthereumClassicProfile(), blocks, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bs []*account.Block
+	var rs [][]*account.Receipt
+	for {
+		blk, receipts, ok, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		bs = append(bs, blk)
+		rs = append(rs, receipts)
+	}
+	return bs, rs
+}
+
+func TestUTXORoundTrip(t *testing.T) {
+	blocks := generateUTXO(t, 5)
+	var buf bytes.Buffer
+	if err := WriteUTXO(&buf, "Dogecoin", blocks); err != nil {
+		t.Fatal(err)
+	}
+	chain, got, err := ReadUTXO(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain != "Dogecoin" || len(got) != len(blocks) {
+		t.Fatalf("chain %q, %d blocks", chain, len(got))
+	}
+	for i := range blocks {
+		// Block hashes cover every transaction ID: equality means the
+		// round trip preserved the exact content.
+		if got[i].Hash() != blocks[i].Hash() {
+			t.Fatalf("block %d hash mismatch", i)
+		}
+		a := core.MeasureUTXOBlock(blocks[i])
+		b := core.MeasureUTXOBlock(got[i])
+		if a != b {
+			t.Fatalf("block %d metrics changed: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestAccountRoundTrip(t *testing.T) {
+	blocks, receipts := generateAccount(t, 5)
+	var buf bytes.Buffer
+	if err := WriteAccount(&buf, "Ethereum Classic", blocks, receipts); err != nil {
+		t.Fatal(err)
+	}
+	chain, gotB, gotR, err := ReadAccount(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain != "Ethereum Classic" || len(gotB) != len(blocks) {
+		t.Fatalf("chain %q, %d blocks", chain, len(gotB))
+	}
+	for i := range blocks {
+		if gotB[i].Hash() != blocks[i].Hash() {
+			t.Fatalf("block %d hash mismatch", i)
+		}
+		a := core.MeasureAccountBlock(blocks[i], receipts[i])
+		b := core.MeasureAccountBlock(gotB[i], gotR[i])
+		if a != b {
+			t.Fatalf("block %d metrics changed: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	blocks := generateUTXO(t, 3)
+	upath := filepath.Join(dir, "doge.hist")
+	if err := SaveUTXOFile(upath, "Dogecoin", blocks); err != nil {
+		t.Fatal(err)
+	}
+	if _, got, err := LoadUTXOFile(upath); err != nil || len(got) != len(blocks) {
+		t.Fatalf("load: %d blocks, %v", len(got), err)
+	}
+
+	ab, ar := generateAccount(t, 3)
+	apath := filepath.Join(dir, "etc.hist")
+	if err := SaveAccountFile(apath, "Ethereum Classic", ab, ar); err != nil {
+		t.Fatal(err)
+	}
+	if _, gb, gr, err := LoadAccountFile(apath); err != nil || len(gb) != len(ab) || len(gr) != len(ar) {
+		t.Fatalf("load: %d/%d, %v", len(gb), len(gr), err)
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	// Wrong kind.
+	blocks := generateUTXO(t, 2)
+	var buf bytes.Buffer
+	if err := WriteUTXO(&buf, "X", blocks); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadAccount(&buf); !errors.Is(err, ErrKind) {
+		t.Fatalf("kind: %v", err)
+	}
+	// Garbage.
+	if _, _, err := ReadUTXO(bytes.NewBufferString("not a gob stream")); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("garbage: %v", err)
+	}
+	// Truncated stream.
+	buf.Reset()
+	if err := WriteUTXO(&buf, "X", blocks); err != nil {
+		t.Fatal(err)
+	}
+	trunc := bytes.NewBuffer(buf.Bytes()[:buf.Len()/2])
+	if _, _, err := ReadUTXO(trunc); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	// Mismatched receipts length.
+	if err := WriteAccount(&buf, "X", make([]*account.Block, 2), make([][]*account.Receipt, 1)); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	// Missing file.
+	if _, _, err := LoadUTXOFile(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

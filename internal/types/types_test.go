@@ -1,0 +1,159 @@
+package types
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDataDeterministic(t *testing.T) {
+	a := HashData([]byte("hello"), []byte("world"))
+	b := HashData([]byte("helloworld"))
+	if a != b {
+		t.Fatalf("concatenation should not affect hash: %s vs %s", a, b)
+	}
+	c := HashData([]byte("hello"), []byte("World"))
+	if a == c {
+		t.Fatalf("different inputs must hash differently")
+	}
+}
+
+func TestHashUint64Distinct(t *testing.T) {
+	seen := make(map[Hash]struct{})
+	for i := uint64(0); i < 1000; i++ {
+		h := HashUint64("tx", i)
+		if _, dup := seen[h]; dup {
+			t.Fatalf("duplicate hash for index %d", i)
+		}
+		seen[h] = struct{}{}
+	}
+	if HashUint64("tx", 1) == HashUint64("block", 1) {
+		t.Fatal("tag must namespace hashes")
+	}
+	if HashUint64("tx", 1, 2) == HashUint64("tx", 2, 1) {
+		t.Fatal("argument order must matter")
+	}
+}
+
+func TestAddressFromUint64Distinct(t *testing.T) {
+	seen := make(map[Address]struct{})
+	for i := uint64(0); i < 1000; i++ {
+		a := AddressFromUint64("user", i)
+		if _, dup := seen[a]; dup {
+			t.Fatalf("duplicate address for index %d", i)
+		}
+		seen[a] = struct{}{}
+	}
+}
+
+func TestZeroValues(t *testing.T) {
+	if !ZeroHash.IsZero() {
+		t.Error("ZeroHash.IsZero() = false")
+	}
+	if !ZeroAddress.IsZero() {
+		t.Error("ZeroAddress.IsZero() = false")
+	}
+	if HashUint64("x", 1).IsZero() {
+		t.Error("derived hash should not be zero")
+	}
+}
+
+func TestHashStringRoundTrip(t *testing.T) {
+	h := HashUint64("roundtrip", 42)
+	parsed, err := ParseHash(h.String())
+	if err != nil {
+		t.Fatalf("ParseHash(%q): %v", h.String(), err)
+	}
+	if parsed != h {
+		t.Fatalf("round trip mismatch: %s vs %s", parsed, h)
+	}
+	// 0x prefix is accepted too.
+	parsed, err = ParseHash("0x" + h.String())
+	if err != nil {
+		t.Fatalf("ParseHash with 0x: %v", err)
+	}
+	if parsed != h {
+		t.Fatal("0x round trip mismatch")
+	}
+}
+
+func TestAddressStringRoundTrip(t *testing.T) {
+	a := AddressFromUint64("roundtrip", 7)
+	s := a.String()
+	if !strings.HasPrefix(s, "0x") {
+		t.Fatalf("address string %q should have 0x prefix", s)
+	}
+	parsed, err := ParseAddress(s)
+	if err != nil {
+		t.Fatalf("ParseAddress(%q): %v", s, err)
+	}
+	if parsed != a {
+		t.Fatalf("round trip mismatch: %s vs %s", parsed, a)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseHash("zzzz"); err == nil {
+		t.Error("ParseHash should reject non-hex")
+	}
+	if _, err := ParseHash("abcd"); err == nil {
+		t.Error("ParseHash should reject short input")
+	}
+	if _, err := ParseAddress("0xdeadbeef"); err == nil {
+		t.Error("ParseAddress should reject short input")
+	}
+}
+
+func TestShortForms(t *testing.T) {
+	h, err := ParseHash("1836000000000000000000000000000000000000000000000000000000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Short(); got != "1836" {
+		t.Errorf("Short() = %q, want 1836 (paper Fig. 6 notation)", got)
+	}
+	a, err := ParseAddress("0x2a65000000000000000000000000000000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Short(); got != "0x2a6" {
+		t.Errorf("Short() = %q, want 0x2a6 (paper Fig. 1 notation)", got)
+	}
+}
+
+func TestBytesAreCopies(t *testing.T) {
+	h := HashUint64("copy", 1)
+	b := h.Bytes()
+	b[0] ^= 0xff
+	if h.Bytes()[0] == b[0] {
+		t.Error("Hash.Bytes must return a copy")
+	}
+	a := AddressFromUint64("copy", 1)
+	ab := a.Bytes()
+	ab[0] ^= 0xff
+	if a.Bytes()[0] == ab[0] {
+		t.Error("Address.Bytes must return a copy")
+	}
+}
+
+func TestHashRoundTripProperty(t *testing.T) {
+	f := func(raw [HashSize]byte) bool {
+		h := Hash(raw)
+		parsed, err := ParseHash(h.String())
+		return err == nil && parsed == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddressRoundTripProperty(t *testing.T) {
+	f := func(raw [AddressSize]byte) bool {
+		a := Address(raw)
+		parsed, err := ParseAddress(a.String())
+		return err == nil && parsed == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,88 @@
+package utxo
+
+import (
+	"errors"
+	"fmt"
+
+	"txconcur/internal/types"
+)
+
+// Chain is a validated sequence of UTXO blocks with the resulting UTXO set,
+// supporting append and rollback (reorganisation).
+type Chain struct {
+	opts   BlockOptions
+	blocks []*Block
+	undos  []*Undo
+	set    *Set
+}
+
+// Chain errors.
+var (
+	// ErrBadLink reports a block whose height or previous-hash does not
+	// extend the current tip.
+	ErrBadLink = errors.New("utxo: block does not extend chain tip")
+	// ErrEmptyChain reports a rollback on an empty chain.
+	ErrEmptyChain = errors.New("utxo: chain is empty")
+)
+
+// NewChain returns an empty chain with the given validation options.
+func NewChain(opts BlockOptions) *Chain {
+	return &Chain{opts: opts, set: NewSet()}
+}
+
+// Height returns the number of blocks in the chain.
+func (c *Chain) Height() int { return len(c.blocks) }
+
+// TipHash returns the hash of the last block, or the zero hash for an empty
+// chain.
+func (c *Chain) TipHash() types.Hash {
+	if len(c.blocks) == 0 {
+		return types.ZeroHash
+	}
+	return c.blocks[len(c.blocks)-1].Hash()
+}
+
+// Block returns the block at height i (0-based).
+func (c *Chain) Block(i int) *Block { return c.blocks[i] }
+
+// Blocks returns the full block sequence. The slice is a copy; blocks are
+// shared.
+func (c *Chain) Blocks() []*Block {
+	out := make([]*Block, len(c.blocks))
+	copy(out, c.blocks)
+	return out
+}
+
+// UTXOSet returns the chain's current UTXO set. Callers must not mutate it;
+// use Clone for speculative work.
+func (c *Chain) UTXOSet() *Set { return c.set }
+
+// Append validates b against the tip and the UTXO set and appends it.
+func (c *Chain) Append(b *Block) error {
+	if b.Height != uint64(len(c.blocks)) {
+		return fmt.Errorf("%w: height %d, want %d", ErrBadLink, b.Height, len(c.blocks))
+	}
+	if b.PrevHash != c.TipHash() {
+		return fmt.Errorf("%w: prev hash mismatch at height %d", ErrBadLink, b.Height)
+	}
+	undo, err := c.set.ApplyBlock(b, c.opts)
+	if err != nil {
+		return err
+	}
+	c.blocks = append(c.blocks, b)
+	c.undos = append(c.undos, undo)
+	return nil
+}
+
+// Rollback removes the tip block, restoring the UTXO set, and returns it.
+func (c *Chain) Rollback() (*Block, error) {
+	if len(c.blocks) == 0 {
+		return nil, ErrEmptyChain
+	}
+	last := len(c.blocks) - 1
+	b := c.blocks[last]
+	c.set.UndoBlock(c.undos[last])
+	c.blocks = c.blocks[:last]
+	c.undos = c.undos[:last]
+	return b, nil
+}

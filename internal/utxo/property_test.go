@@ -1,0 +1,137 @@
+package utxo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildRandomHistory applies n random valid blocks to a fresh chain, using
+// a small wallet pool. Returns the chain and the subsidy used.
+func buildRandomHistory(t *testing.T, n int, seed int64) (*Chain, Amount) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const subsidy = Amount(50_000)
+	wallets := make([]*testWallet, 8)
+	for i := range wallets {
+		wallets[i] = newWallet(uint64(i + 1))
+	}
+	type outp struct {
+		op  Outpoint
+		val Amount
+		w   int
+	}
+	var pool []outp
+
+	chain := NewChain(BlockOptions{Subsidy: subsidy, VerifyScripts: true})
+	for height := 0; height < n; height++ {
+		var txs []*Transaction
+		var fees Amount
+		// Up to three spends of existing outputs.
+		nSpend := rng.Intn(4)
+		if len(pool) < nSpend {
+			nSpend = len(pool)
+		}
+		var newOuts []outp
+		for s := 0; s < nSpend; s++ {
+			idx := rng.Intn(len(pool))
+			src := pool[idx]
+			pool[idx] = pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+			fee := src.val / 100
+			pay := src.val - fee
+			dst := rng.Intn(len(wallets))
+			tx := payTo(wallets[src.w], []Outpoint{src.op}, []*testWallet{wallets[dst]}, []Amount{pay})
+			txs = append(txs, tx)
+			fees += fee
+			newOuts = append(newOuts, outp{op: tx.Outpoint(0), val: pay, w: dst})
+		}
+		cbDst := rng.Intn(len(wallets))
+		cb := coinbaseAt(wallets[cbDst], subsidy+fees, uint64(height))
+		blk := &Block{
+			Height:   uint64(height),
+			PrevHash: chain.TipHash(),
+			Time:     int64(height * 600),
+			Txs:      append([]*Transaction{cb}, txs...),
+		}
+		if err := chain.Append(blk); err != nil {
+			t.Fatalf("height %d: %v", height, err)
+		}
+		pool = append(pool, outp{op: cb.Outpoint(0), val: subsidy + fees, w: cbDst})
+		pool = append(pool, newOuts...)
+	}
+	return chain, subsidy
+}
+
+// TestValueConservationProperty: over any random valid history, the UTXO
+// set's total value equals the number of blocks times the subsidy — fees
+// are redistributed to miners, never destroyed or minted.
+func TestValueConservationProperty(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		chain, subsidy := buildRandomHistory(t, 25, seed)
+		want := Amount(chain.Height()) * subsidy
+		if got := chain.UTXOSet().TotalValue(); got != want {
+			t.Fatalf("seed %d: total value %d, want %d", seed, got, want)
+		}
+	}
+}
+
+// TestRollbackReplayProperty: rolling back the whole chain and re-applying
+// the same blocks reproduces the same tip hash and UTXO set size.
+func TestRollbackReplayProperty(t *testing.T) {
+	chain, _ := buildRandomHistory(t, 20, 42)
+	tip := chain.TipHash()
+	setLen := chain.UTXOSet().Len()
+	total := chain.UTXOSet().TotalValue()
+
+	var blocks []*Block
+	for chain.Height() > 0 {
+		b, err := chain.Rollback()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, b)
+	}
+	if chain.UTXOSet().Len() != 0 {
+		t.Fatalf("rolled-back set has %d entries", chain.UTXOSet().Len())
+	}
+	// Re-apply in original (reverse of rollback) order.
+	for i := len(blocks) - 1; i >= 0; i-- {
+		if err := chain.Append(blocks[i]); err != nil {
+			t.Fatalf("replay height %d: %v", blocks[i].Height, err)
+		}
+	}
+	if chain.TipHash() != tip {
+		t.Fatal("replayed tip differs")
+	}
+	if chain.UTXOSet().Len() != setLen || chain.UTXOSet().TotalValue() != total {
+		t.Fatal("replayed set differs")
+	}
+}
+
+// TestPartialRollback: rolling back k blocks then extending with different
+// blocks is a valid reorganisation.
+func TestPartialRollback(t *testing.T) {
+	chain, subsidy := buildRandomHistory(t, 10, 7)
+	for i := 0; i < 3; i++ {
+		if _, err := chain.Rollback(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if chain.Height() != 7 {
+		t.Fatalf("height = %d", chain.Height())
+	}
+	// Extend with a fresh empty block.
+	alice := newWallet(99)
+	blk := &Block{
+		Height:   uint64(chain.Height()),
+		PrevHash: chain.TipHash(),
+		Txs:      []*Transaction{coinbaseAt(alice, subsidy, 1000)},
+	}
+	if err := chain.Append(blk); err != nil {
+		t.Fatalf("reorg extension: %v", err)
+	}
+	want := Amount(chain.Height()) * subsidy
+	if got := chain.UTXOSet().TotalValue(); got != want {
+		t.Fatalf("total after reorg = %d, want %d", got, want)
+	}
+}

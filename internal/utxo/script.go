@@ -1,0 +1,227 @@
+package utxo
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"txconcur/internal/types"
+)
+
+// The script system is a small Bitcoin-like stack language. It supports the
+// pay-to-pubkey-hash (P2PKH) pattern that dominates the chains the paper
+// analyses, plus enough generic opcodes (DUP, EQUAL, HASH, arithmetic) to
+// express the "higher-level protocols executed on top of Bitcoin via its
+// scripting language" that the paper cites as a source of intra-block
+// conflicts (§IV-A).
+//
+// Signatures are simulated: a "signature" by key k over transaction t is
+// SHA-256("sig" || k || t). This keeps the module dependency-free while
+// preserving the validation structure (unlock script must match the lock
+// script's committed key hash).
+
+// Opcode is a script operation.
+type Opcode byte
+
+// Script opcodes. Values are stable for encoding.
+const (
+	OpPush        Opcode = iota + 1 // push the associated data item
+	OpDup                           // duplicate top of stack
+	OpHash                          // replace top with SHA-256(top)
+	OpEqual                         // pop two, push 1 if equal else 0
+	OpVerify                        // pop top, fail if not truthy
+	OpEqualVerify                   // OpEqual then OpVerify
+	OpCheckSig                      // pop pubkey, sig; verify simulated signature
+	OpTrue                          // push 1 (anyone-can-spend)
+	OpReturn                        // unconditionally fail (data-carrier outputs)
+)
+
+// Instruction is one script step: an opcode plus optional pushed data.
+type Instruction struct {
+	Op   Opcode
+	Data []byte
+}
+
+// Script is a sequence of instructions.
+type Script []Instruction
+
+// Script execution errors.
+var (
+	ErrScriptStack    = errors.New("utxo: script stack underflow")
+	ErrScriptFailed   = errors.New("utxo: script verification failed")
+	ErrScriptTooLong  = errors.New("utxo: script exceeds instruction budget")
+	ErrScriptBadOp    = errors.New("utxo: unknown opcode")
+	ErrScriptOpReturn = errors.New("utxo: OP_RETURN output is unspendable")
+)
+
+// maxScriptSteps bounds script execution, mirroring Bitcoin's limits.
+const maxScriptSteps = 256
+
+// P2PKH returns the canonical pay-to-pubkey-hash locking script for the
+// given public key hash.
+func P2PKH(pubKeyHash types.Hash) Script {
+	return Script{
+		{Op: OpDup},
+		{Op: OpHash},
+		{Op: OpPush, Data: pubKeyHash.Bytes()},
+		{Op: OpEqualVerify},
+		{Op: OpCheckSig},
+	}
+}
+
+// AnyoneCanSpend returns a trivially spendable locking script.
+func AnyoneCanSpend() Script { return Script{{Op: OpTrue}} }
+
+// DataCarrier returns an unspendable OP_RETURN output embedding data.
+func DataCarrier(data []byte) Script {
+	return Script{{Op: OpReturn, Data: data}}
+}
+
+// Unlock returns the unlocking script (signature + pubkey) for a P2PKH
+// output, given the spender's key and the spending transaction's ID.
+func Unlock(key PrivateKey, txID types.Hash) Script {
+	return Script{
+		{Op: OpPush, Data: key.Sign(txID)},
+		{Op: OpPush, Data: key.Public()},
+	}
+}
+
+// PrivateKey is a simulated signing key: an arbitrary byte seed.
+type PrivateKey []byte
+
+// NewKey derives a deterministic key for a user index; the workload
+// generators use one key per simulated user.
+func NewKey(tag string, idx uint64) PrivateKey {
+	h := types.HashUint64("key/"+tag, idx)
+	return PrivateKey(h.Bytes())
+}
+
+// Public returns the simulated public key (hash of the private key).
+func (k PrivateKey) Public() []byte {
+	h := types.HashData([]byte("pub"), k)
+	return h.Bytes()
+}
+
+// PubKeyHash returns the hash of the public key, as committed in P2PKH
+// locking scripts.
+func (k PrivateKey) PubKeyHash() types.Hash {
+	return types.HashData([]byte("pkh"), k.Public())
+}
+
+// Sign produces the simulated signature over a transaction ID.
+func (k PrivateKey) Sign(txID types.Hash) []byte {
+	h := types.HashData([]byte("sig"), k.Public(), txID[:])
+	return h.Bytes()
+}
+
+// verifySig checks a simulated signature: sig == SHA-256("sig"||pub||txID).
+// Real Bitcoin uses ECDSA here; the structural property preserved is that
+// only the holder of the key whose hash is committed in the locking script
+// can produce a valid unlock.
+func verifySig(sig, pub []byte, txID types.Hash) bool {
+	want := types.HashData([]byte("sig"), pub, txID[:])
+	return bytes.Equal(sig, want[:])
+}
+
+// Run executes unlock followed by lock against a fresh stack, as Bitcoin
+// evaluates scriptSig then scriptPubKey, and reports whether the result is a
+// single truthy value.
+func Run(unlock, lock Script, txID types.Hash) error {
+	var stack [][]byte
+	steps := 0
+	exec := func(s Script) error {
+		for _, ins := range s {
+			steps++
+			if steps > maxScriptSteps {
+				return ErrScriptTooLong
+			}
+			switch ins.Op {
+			case OpPush:
+				stack = append(stack, ins.Data)
+			case OpDup:
+				if len(stack) < 1 {
+					return ErrScriptStack
+				}
+				stack = append(stack, stack[len(stack)-1])
+			case OpHash:
+				if len(stack) < 1 {
+					return ErrScriptStack
+				}
+				h := types.HashData([]byte("pkh"), stack[len(stack)-1])
+				stack[len(stack)-1] = h.Bytes()
+			case OpEqual, OpEqualVerify:
+				if len(stack) < 2 {
+					return ErrScriptStack
+				}
+				a, b := stack[len(stack)-2], stack[len(stack)-1]
+				stack = stack[:len(stack)-2]
+				eq := bytes.Equal(a, b)
+				if ins.Op == OpEqual {
+					stack = append(stack, boolBytes(eq))
+				} else if !eq {
+					return fmt.Errorf("%w: EQUALVERIFY", ErrScriptFailed)
+				}
+			case OpVerify:
+				if len(stack) < 1 {
+					return ErrScriptStack
+				}
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if !truthy(top) {
+					return fmt.Errorf("%w: VERIFY", ErrScriptFailed)
+				}
+			case OpCheckSig:
+				if len(stack) < 2 {
+					return ErrScriptStack
+				}
+				pub := stack[len(stack)-1]
+				sig := stack[len(stack)-2]
+				stack = stack[:len(stack)-2]
+				stack = append(stack, boolBytes(verifySig(sig, pub, txID)))
+			case OpTrue:
+				stack = append(stack, boolBytes(true))
+			case OpReturn:
+				return ErrScriptOpReturn
+			default:
+				return fmt.Errorf("%w: %d", ErrScriptBadOp, ins.Op)
+			}
+		}
+		return nil
+	}
+	if err := exec(unlock); err != nil {
+		return err
+	}
+	if err := exec(lock); err != nil {
+		return err
+	}
+	if len(stack) == 0 || !truthy(stack[len(stack)-1]) {
+		return ErrScriptFailed
+	}
+	return nil
+}
+
+func truthy(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func boolBytes(b bool) []byte {
+	if b {
+		return []byte{1}
+	}
+	return []byte{0}
+}
+
+// encode serialises the script for hashing.
+func (s Script) encode() []byte {
+	buf := make([]byte, 0, len(s)*4)
+	for _, ins := range s {
+		buf = append(buf, byte(ins.Op), byte(len(ins.Data)))
+		buf = append(buf, ins.Data...)
+	}
+	return buf
+}

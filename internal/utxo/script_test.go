@@ -1,0 +1,174 @@
+package utxo
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"txconcur/internal/types"
+)
+
+func TestP2PKHHappyPath(t *testing.T) {
+	key := NewKey("script", 1)
+	txID := types.HashUint64("tx", 1)
+	lock := P2PKH(key.PubKeyHash())
+	unlock := Unlock(key, txID)
+	if err := Run(unlock, lock, txID); err != nil {
+		t.Fatalf("valid P2PKH spend rejected: %v", err)
+	}
+}
+
+func TestP2PKHWrongKey(t *testing.T) {
+	owner := NewKey("script", 1)
+	thief := NewKey("script", 2)
+	txID := types.HashUint64("tx", 1)
+	lock := P2PKH(owner.PubKeyHash())
+	unlock := Unlock(thief, txID)
+	if err := Run(unlock, lock, txID); err == nil {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestP2PKHWrongTx(t *testing.T) {
+	key := NewKey("script", 1)
+	lock := P2PKH(key.PubKeyHash())
+	unlock := Unlock(key, types.HashUint64("tx", 1))
+	// Replaying the signature against a different transaction must fail.
+	if err := Run(unlock, lock, types.HashUint64("tx", 2)); err == nil {
+		t.Fatal("signature replay accepted")
+	}
+}
+
+func TestP2PKHForgedSignature(t *testing.T) {
+	key := NewKey("script", 1)
+	txID := types.HashUint64("tx", 1)
+	lock := P2PKH(key.PubKeyHash())
+	forged := Script{
+		{Op: OpPush, Data: make([]byte, 32)},
+		{Op: OpPush, Data: key.Public()},
+	}
+	if err := Run(forged, lock, txID); err == nil {
+		t.Fatal("forged signature accepted")
+	}
+}
+
+func TestAnyoneCanSpend(t *testing.T) {
+	if err := Run(nil, AnyoneCanSpend(), types.ZeroHash); err != nil {
+		t.Fatalf("anyone-can-spend rejected: %v", err)
+	}
+}
+
+func TestOpReturnUnspendable(t *testing.T) {
+	err := Run(nil, DataCarrier([]byte("hello")), types.ZeroHash)
+	if !errors.Is(err, ErrScriptOpReturn) {
+		t.Fatalf("OP_RETURN: err = %v, want ErrScriptOpReturn", err)
+	}
+}
+
+func TestStackUnderflow(t *testing.T) {
+	cases := []Script{
+		{{Op: OpDup}},
+		{{Op: OpHash}},
+		{{Op: OpEqual}},
+		{{Op: OpVerify}},
+		{{Op: OpCheckSig}},
+		{{Op: OpPush, Data: []byte{1}}, {Op: OpEqualVerify}},
+	}
+	for i, s := range cases {
+		if err := Run(nil, s, types.ZeroHash); !errors.Is(err, ErrScriptStack) {
+			t.Errorf("case %d: err = %v, want ErrScriptStack", i, err)
+		}
+	}
+}
+
+func TestEmptyScriptFails(t *testing.T) {
+	if err := Run(nil, nil, types.ZeroHash); !errors.Is(err, ErrScriptFailed) {
+		t.Fatalf("empty scripts: err = %v, want ErrScriptFailed", err)
+	}
+}
+
+func TestFalseTopFails(t *testing.T) {
+	lock := Script{{Op: OpPush, Data: []byte{0}}}
+	if err := Run(nil, lock, types.ZeroHash); !errors.Is(err, ErrScriptFailed) {
+		t.Fatalf("false top: err = %v, want ErrScriptFailed", err)
+	}
+}
+
+func TestVerifyConsumesTruthy(t *testing.T) {
+	lock := Script{
+		{Op: OpPush, Data: []byte{1}},
+		{Op: OpVerify},
+		{Op: OpTrue},
+	}
+	if err := Run(nil, lock, types.ZeroHash); err != nil {
+		t.Fatalf("verify-then-true rejected: %v", err)
+	}
+}
+
+func TestEqualOpcode(t *testing.T) {
+	eq := Script{
+		{Op: OpPush, Data: []byte("a")},
+		{Op: OpPush, Data: []byte("a")},
+		{Op: OpEqual},
+	}
+	if err := Run(nil, eq, types.ZeroHash); err != nil {
+		t.Fatalf("equal values: %v", err)
+	}
+	ne := Script{
+		{Op: OpPush, Data: []byte("a")},
+		{Op: OpPush, Data: []byte("b")},
+		{Op: OpEqual},
+	}
+	if err := Run(nil, ne, types.ZeroHash); !errors.Is(err, ErrScriptFailed) {
+		t.Fatalf("unequal values: err = %v, want ErrScriptFailed", err)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	long := make(Script, maxScriptSteps+1)
+	for i := range long {
+		long[i] = Instruction{Op: OpTrue}
+	}
+	if err := Run(nil, long, types.ZeroHash); !errors.Is(err, ErrScriptTooLong) {
+		t.Fatalf("budget: err = %v, want ErrScriptTooLong", err)
+	}
+}
+
+func TestUnknownOpcode(t *testing.T) {
+	bad := Script{{Op: Opcode(200)}}
+	if err := Run(nil, bad, types.ZeroHash); !errors.Is(err, ErrScriptBadOp) {
+		t.Fatalf("unknown opcode: err = %v, want ErrScriptBadOp", err)
+	}
+}
+
+// TestP2PKHSoundnessProperty: for random key indices and transaction IDs,
+// the rightful owner's unlock always validates and a different key's unlock
+// never does.
+func TestP2PKHSoundnessProperty(t *testing.T) {
+	f := func(ownerIdx, otherIdx uint16, txSeed uint32) bool {
+		if ownerIdx == otherIdx {
+			return true
+		}
+		owner := NewKey("prop", uint64(ownerIdx))
+		other := NewKey("prop", uint64(otherIdx))
+		txID := types.HashUint64("prop-tx", uint64(txSeed))
+		lock := P2PKH(owner.PubKeyHash())
+		if Run(Unlock(owner, txID), lock, txID) != nil {
+			return false
+		}
+		return Run(Unlock(other, txID), lock, txID) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyDerivationDistinct(t *testing.T) {
+	k1, k2 := NewKey("a", 1), NewKey("a", 2)
+	if k1.PubKeyHash() == k2.PubKeyHash() {
+		t.Fatal("distinct keys share a pubkey hash")
+	}
+	if string(NewKey("a", 1)) != string(k1) {
+		t.Fatal("key derivation not deterministic")
+	}
+}

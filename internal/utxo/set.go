@@ -1,0 +1,230 @@
+package utxo
+
+import (
+	"fmt"
+)
+
+// Set is the UTXO set: every currently unspent transaction output. The
+// paper's §II-A: "Nodes keep track of unspent TXOs (or UTXOs). A transaction
+// is valid if the total value of the output TXOs matches that of the input
+// TXOs (minus some transaction fees), and if the input TXOs are in the
+// current UTXO set."
+type Set struct {
+	entries map[Outpoint]TxOut
+}
+
+// NewSet returns an empty UTXO set.
+func NewSet() *Set {
+	return &Set{entries: make(map[Outpoint]TxOut)}
+}
+
+// Get returns the output at op and whether it is unspent.
+func (s *Set) Get(op Outpoint) (TxOut, bool) {
+	out, ok := s.entries[op]
+	return out, ok
+}
+
+// Contains reports whether op is in the set.
+func (s *Set) Contains(op Outpoint) bool {
+	_, ok := s.entries[op]
+	return ok
+}
+
+// Len returns the number of unspent outputs.
+func (s *Set) Len() int { return len(s.entries) }
+
+// TotalValue returns the sum of all unspent output values (the monetary
+// supply held in the set).
+func (s *Set) TotalValue() Amount {
+	var total Amount
+	for _, out := range s.entries {
+		total += out.Value
+	}
+	return total
+}
+
+// add records a new unspent output.
+func (s *Set) add(op Outpoint, out TxOut) { s.entries[op] = out }
+
+// spend removes an output, returning it.
+func (s *Set) spend(op Outpoint) (TxOut, bool) {
+	out, ok := s.entries[op]
+	if ok {
+		delete(s.entries, op)
+	}
+	return out, ok
+}
+
+// Range calls fn for every unspent output until fn returns false. The
+// iteration order is unspecified; fn must not mutate the set.
+func (s *Set) Range(fn func(Outpoint, TxOut) bool) {
+	for op, out := range s.entries {
+		if !fn(op, out) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy of the set; the workload generator uses clones
+// to explore candidate blocks without committing them.
+func (s *Set) Clone() *Set {
+	c := &Set{entries: make(map[Outpoint]TxOut, len(s.entries))}
+	for op, out := range s.entries {
+		c.entries[op] = out
+	}
+	return c
+}
+
+// spentEntry records a spent output for undo.
+type spentEntry struct {
+	op  Outpoint
+	out TxOut
+}
+
+// Undo captures the changes a block made to the set so the block can be
+// rolled back (chain reorganisation support).
+type Undo struct {
+	spent   []spentEntry
+	created []Outpoint
+}
+
+// BlockOptions parameterises block validation.
+type BlockOptions struct {
+	// Subsidy is the maximum value a coinbase may mint beyond collected
+	// fees.
+	Subsidy Amount
+	// VerifyScripts enables script execution on every input. The analysis
+	// pipeline disables it for speed; consensus-critical paths enable it.
+	VerifyScripts bool
+}
+
+// ApplyBlock validates the block against the set and, if valid, applies it,
+// returning the undo record. On error the set is unchanged.
+//
+// Intra-block spends are allowed and are precisely the TDG edges of the
+// paper's UTXO model: an input may reference an output created by an earlier
+// transaction in the same block.
+func (s *Set) ApplyBlock(b *Block, opts BlockOptions) (*Undo, error) {
+	if len(b.Txs) == 0 || !b.Txs[0].IsCoinbase() {
+		return nil, fmt.Errorf("%w: block %d must start with a coinbase", ErrBadCoinbase, b.Height)
+	}
+	undo := &Undo{}
+	// Stage changes so a failure mid-block leaves the set untouched.
+	staged := make(map[Outpoint]TxOut)
+	spentNow := make(map[Outpoint]spentEntry)
+
+	lookup := func(op Outpoint) (TxOut, bool) {
+		if out, ok := staged[op]; ok {
+			return out, true
+		}
+		if _, gone := spentNow[op]; gone {
+			return TxOut{}, false
+		}
+		return s.Get(op)
+	}
+
+	var fees Amount
+	for i, tx := range b.Txs {
+		if i > 0 && tx.IsCoinbase() {
+			return nil, fmt.Errorf("%w: coinbase at index %d", ErrBadCoinbase, i)
+		}
+		if !tx.IsCoinbase() && (len(tx.Inputs) == 0 || len(tx.Outputs) == 0) {
+			return nil, fmt.Errorf("%w: tx %d in block %d", ErrEmptyTx, i, b.Height)
+		}
+		var inValue Amount
+		for j, in := range tx.Inputs {
+			out, ok := lookup(in.Prev)
+			if !ok {
+				return nil, fmt.Errorf("%w: block %d tx %d input %d (%s)",
+					ErrMissingUTXO, b.Height, i, j, in.Prev)
+			}
+			if opts.VerifyScripts {
+				if err := Run(in.Unlock, out.Script, tx.ID()); err != nil {
+					return nil, fmt.Errorf("%w: block %d tx %d input %d: %v",
+						ErrScriptReject, b.Height, i, j, err)
+				}
+			}
+			inValue += out.Value
+			if _, dup := spentNow[in.Prev]; dup {
+				return nil, fmt.Errorf("%w: %s", ErrDuplicateSpend, in.Prev)
+			}
+			spentNow[in.Prev] = spentEntry{op: in.Prev, out: out}
+			delete(staged, in.Prev)
+		}
+		outValue := tx.OutputValue()
+		// The coinbase value check is deferred until fees are known.
+		if !tx.IsCoinbase() {
+			if outValue > inValue {
+				return nil, fmt.Errorf("%w: block %d tx %d: in %d < out %d",
+					ErrValueConservation, b.Height, i, inValue, outValue)
+			}
+			fees += inValue - outValue
+		}
+		for k := range tx.Outputs {
+			op := tx.Outpoint(k)
+			// BIP30-style rule: creating an outpoint that already exists
+			// unspent would silently shadow it (the historical Bitcoin
+			// duplicate-coinbase bug); reject it.
+			if _, dup := staged[op]; dup {
+				return nil, fmt.Errorf("%w: duplicate transaction %s in block", ErrDuplicateCreate, tx.ID().Short())
+			}
+			if _, gone := spentNow[op]; !gone && s.Contains(op) {
+				return nil, fmt.Errorf("%w: %s already unspent", ErrDuplicateCreate, op)
+			}
+			staged[op] = tx.Outputs[k]
+		}
+	}
+	if cb := b.Txs[0]; cb.OutputValue() > opts.Subsidy+fees {
+		return nil, fmt.Errorf("%w: coinbase mints %d > subsidy %d + fees %d",
+			ErrBadCoinbase, cb.OutputValue(), opts.Subsidy, fees)
+	}
+
+	// Commit: remove spends, add creations (a created-and-spent-in-block
+	// outpoint never touches the set: it was staged then deleted).
+	for op, se := range spentNow {
+		if _, existed := s.entries[op]; existed {
+			s.spend(op)
+			undo.spent = append(undo.spent, se)
+		}
+	}
+	for op, out := range staged {
+		s.add(op, out)
+		undo.created = append(undo.created, op)
+	}
+	return undo, nil
+}
+
+// UndoBlock reverses a previously applied block using its undo record.
+func (s *Set) UndoBlock(u *Undo) {
+	for _, op := range u.created {
+		delete(s.entries, op)
+	}
+	for _, se := range u.spent {
+		s.entries[se.op] = se.out
+	}
+}
+
+// ApplyDelta applies an externally validated block delta atomically:
+// every outpoint in spent is removed and every entry of created inserted.
+// It errors (leaving the set unchanged) if a spent outpoint is absent or a
+// created one already present — the parallel validator in package exec uses
+// this as its commit step.
+func (s *Set) ApplyDelta(spent []Outpoint, created map[Outpoint]TxOut) error {
+	for _, op := range spent {
+		if !s.Contains(op) {
+			return fmt.Errorf("%w: delta spends %v", ErrMissingUTXO, op)
+		}
+	}
+	for op := range created {
+		if s.Contains(op) {
+			return fmt.Errorf("%w: delta creates %v", ErrDuplicateCreate, op)
+		}
+	}
+	for _, op := range spent {
+		delete(s.entries, op)
+	}
+	for op, out := range created {
+		s.entries[op] = out
+	}
+	return nil
+}

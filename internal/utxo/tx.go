@@ -1,0 +1,172 @@
+// Package utxo implements the UTXO-based blockchain substrate used by the
+// paper's four Bitcoin-family subjects (Bitcoin, Bitcoin Cash, Litecoin,
+// Dogecoin): transactions over unspent transaction outputs, a Bitcoin-like
+// script interpreter, a UTXO set with apply/undo, and a validated chain of
+// blocks.
+//
+// The paper's TDG analysis for this data model needs, per block, the edge
+// set "TXO created by transaction a is spent by transaction b in the same
+// block" (paper §III-A1). This package provides real, executable blocks so
+// that the analysis operates on the same information the BigQuery datasets
+// expose (transaction hashes and their inputs' spent_transaction_hash).
+package utxo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"txconcur/internal/types"
+)
+
+// Amount is a token amount in the chain's base unit (satoshi-like).
+type Amount int64
+
+// Outpoint identifies a transaction output: the creating transaction's hash
+// and the output index within it.
+type Outpoint struct {
+	TxID  types.Hash
+	Index uint32
+}
+
+// String renders the outpoint as "hash:index".
+func (o Outpoint) String() string {
+	return fmt.Sprintf("%s:%d", o.TxID.Short(), o.Index)
+}
+
+// TxOut is a transaction output: a value locked by a script.
+type TxOut struct {
+	Value  Amount
+	Script Script
+}
+
+// TxIn is a transaction input: a reference to the output it spends plus the
+// unlocking script (scriptSig).
+type TxIn struct {
+	Prev   Outpoint
+	Unlock Script
+}
+
+// Transaction is a UTXO-model transaction. A coinbase transaction has no
+// inputs and mints the block subsidy plus fees.
+type Transaction struct {
+	Inputs  []TxIn
+	Outputs []TxOut
+
+	id    types.Hash
+	hasID bool
+}
+
+// NewTransaction builds a transaction and precomputes its ID.
+func NewTransaction(inputs []TxIn, outputs []TxOut) *Transaction {
+	tx := &Transaction{Inputs: inputs, Outputs: outputs}
+	tx.ID()
+	return tx
+}
+
+// ID returns the transaction hash, computed over the spent outpoints and
+// the outputs. Unlock scripts are excluded — as Bitcoin's txid excludes
+// witness data — so a transaction can be identified (and signed: signatures
+// commit to the ID) before or after its inputs are signed, and persisted
+// transactions hash identically whether or not signatures are attached.
+func (tx *Transaction) ID() types.Hash {
+	if tx.hasID {
+		return tx.id
+	}
+	buf := make([]byte, 0, 64+len(tx.Inputs)*36+len(tx.Outputs)*16)
+	var tmp [8]byte
+	for _, in := range tx.Inputs {
+		buf = append(buf, in.Prev.TxID[:]...)
+		binary.BigEndian.PutUint32(tmp[:4], in.Prev.Index)
+		buf = append(buf, tmp[:4]...)
+	}
+	for _, out := range tx.Outputs {
+		binary.BigEndian.PutUint64(tmp[:], uint64(out.Value))
+		buf = append(buf, tmp[:]...)
+		buf = append(buf, out.Script.encode()...)
+	}
+	tx.id = types.HashData([]byte("utxo-tx"), buf)
+	tx.hasID = true
+	return tx.id
+}
+
+// IsCoinbase reports whether the transaction is a coinbase (no inputs).
+func (tx *Transaction) IsCoinbase() bool { return len(tx.Inputs) == 0 }
+
+// OutputValue returns the sum of all output values.
+func (tx *Transaction) OutputValue() Amount {
+	var total Amount
+	for _, out := range tx.Outputs {
+		total += out.Value
+	}
+	return total
+}
+
+// Outpoint returns the outpoint for the i-th output of this transaction.
+func (tx *Transaction) Outpoint(i int) Outpoint {
+	return Outpoint{TxID: tx.ID(), Index: uint32(i)}
+}
+
+// Block is a block of UTXO transactions. By convention (as in Bitcoin) the
+// first transaction is the coinbase.
+type Block struct {
+	Height   uint64
+	PrevHash types.Hash
+	Time     int64 // unix seconds, set by the generator
+	Txs      []*Transaction
+}
+
+// Hash returns the block hash, computed over the header fields and the
+// transaction IDs.
+func (b *Block) Hash() types.Hash {
+	buf := make([]byte, 16, 16+len(b.Txs)*types.HashSize)
+	binary.BigEndian.PutUint64(buf[:8], b.Height)
+	binary.BigEndian.PutUint64(buf[8:16], uint64(b.Time))
+	buf = append(buf, b.PrevHash[:]...)
+	for _, tx := range b.Txs {
+		id := tx.ID()
+		buf = append(buf, id[:]...)
+	}
+	return types.HashData([]byte("utxo-block"), buf)
+}
+
+// NumTxs returns the number of transactions in the block, including the
+// coinbase.
+func (b *Block) NumTxs() int { return len(b.Txs) }
+
+// NumInputs returns the total number of inputs across all transactions
+// (the "input TXOs" series of the paper's Figure 5a).
+func (b *Block) NumInputs() int {
+	n := 0
+	for _, tx := range b.Txs {
+		n += len(tx.Inputs)
+	}
+	return n
+}
+
+// Validation errors.
+var (
+	// ErrMissingUTXO reports an input whose referenced output is not in the
+	// current UTXO set (already spent, or never created).
+	ErrMissingUTXO = errors.New("utxo: input refers to unknown or spent output")
+	// ErrValueConservation reports a transaction whose outputs exceed its
+	// inputs.
+	ErrValueConservation = errors.New("utxo: outputs exceed inputs")
+	// ErrScriptReject reports an input whose unlock script failed against
+	// the locking script.
+	ErrScriptReject = errors.New("utxo: script rejected input")
+	// ErrBadCoinbase reports a malformed coinbase (wrong position, wrong
+	// count, or value above subsidy plus fees).
+	ErrBadCoinbase = errors.New("utxo: invalid coinbase")
+	// ErrEmptyTx reports a non-coinbase transaction without inputs or
+	// without outputs.
+	ErrEmptyTx = errors.New("utxo: transaction has no inputs or outputs")
+	// ErrDuplicateSpend reports two inputs in the same block spending the
+	// same outpoint.
+	ErrDuplicateSpend = errors.New("utxo: outpoint spent twice in block")
+	// ErrDuplicateCreate reports a transaction recreating an outpoint that
+	// already exists unspent — the historical Bitcoin duplicate-coinbase
+	// hazard that BIP30 forbids (overwriting would silently destroy the
+	// earlier output's value).
+	ErrDuplicateCreate = errors.New("utxo: outpoint created twice")
+)

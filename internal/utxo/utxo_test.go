@@ -1,0 +1,305 @@
+package utxo
+
+import (
+	"errors"
+	"testing"
+
+	"txconcur/internal/types"
+)
+
+// testWallet bundles a key with convenience builders.
+type testWallet struct {
+	key PrivateKey
+}
+
+func newWallet(idx uint64) *testWallet {
+	return &testWallet{key: NewKey("test", idx)}
+}
+
+func (w *testWallet) lock() Script { return P2PKH(w.key.PubKeyHash()) }
+
+// payTo builds a signed transaction spending the given outpoints (all owned
+// by w) into one output per (wallet, amount) pair.
+func payTo(w *testWallet, prevs []Outpoint, dests []*testWallet, amounts []Amount) *Transaction {
+	outs := make([]TxOut, len(dests))
+	for i := range dests {
+		outs[i] = TxOut{Value: amounts[i], Script: dests[i].lock()}
+	}
+	ins := make([]TxIn, len(prevs))
+	for i, p := range prevs {
+		ins[i] = TxIn{Prev: p}
+	}
+	tx := NewTransaction(ins, outs)
+	// Sign after the ID is fixed. Input scripts are excluded from our tx ID
+	// only via reconstruction: rebuild with unlock scripts, preserving ID
+	// semantics by signing the unsigned form.
+	id := tx.ID()
+	for i := range ins {
+		ins[i].Unlock = Unlock(w.key, id)
+	}
+	signed := &Transaction{Inputs: ins, Outputs: outs, id: id, hasID: true}
+	return signed
+}
+
+func coinbase(w *testWallet, value Amount) *Transaction {
+	return NewTransaction(nil, []TxOut{{Value: value, Script: w.lock()}})
+}
+
+// coinbaseAt is coinbase with a BIP34-style height marker, so identical
+// (wallet, value) coinbases at different heights stay unique.
+func coinbaseAt(w *testWallet, value Amount, height uint64) *Transaction {
+	return NewTransaction(nil, []TxOut{
+		{Value: value, Script: w.lock()},
+		{Value: 0, Script: DataCarrier([]byte{byte(height >> 8), byte(height)})},
+	})
+}
+
+func TestCoinbaseAndSpend(t *testing.T) {
+	alice, bob := newWallet(1), newWallet(2)
+	opts := BlockOptions{Subsidy: 50, VerifyScripts: true}
+	chain := NewChain(opts)
+
+	cb := coinbase(alice, 50)
+	b0 := &Block{Height: 0, Txs: []*Transaction{cb}}
+	if err := chain.Append(b0); err != nil {
+		t.Fatalf("append genesis: %v", err)
+	}
+	if chain.UTXOSet().Len() != 1 {
+		t.Fatalf("UTXO set size = %d, want 1", chain.UTXOSet().Len())
+	}
+
+	// Alice pays Bob 30 with 18 change and 2 fee.
+	pay := payTo(alice, []Outpoint{cb.Outpoint(0)}, []*testWallet{bob, alice}, []Amount{30, 18})
+	cb1 := coinbase(alice, 52) // 50 subsidy + 2 fee
+	b1 := &Block{Height: 1, PrevHash: b0.Hash(), Txs: []*Transaction{cb1, pay}}
+	if err := chain.Append(b1); err != nil {
+		t.Fatalf("append block 1: %v", err)
+	}
+	set := chain.UTXOSet()
+	if set.Len() != 3 {
+		t.Fatalf("UTXO set size = %d, want 3", set.Len())
+	}
+	if set.Contains(cb.Outpoint(0)) {
+		t.Fatal("spent outpoint still in set")
+	}
+	if got := set.TotalValue(); got != 100 {
+		t.Fatalf("total value = %d, want 100 (2x subsidy)", got)
+	}
+}
+
+func TestIntraBlockSpend(t *testing.T) {
+	// A transaction spends an output created earlier in the same block —
+	// the TDG edge of the paper's UTXO model.
+	alice, bob, carol := newWallet(1), newWallet(2), newWallet(3)
+	opts := BlockOptions{Subsidy: 50, VerifyScripts: true}
+	chain := NewChain(opts)
+	cb := coinbase(alice, 50)
+	if err := chain.Append(&Block{Height: 0, Txs: []*Transaction{cb}}); err != nil {
+		t.Fatal(err)
+	}
+
+	t1 := payTo(alice, []Outpoint{cb.Outpoint(0)}, []*testWallet{bob}, []Amount{50})
+	t2 := payTo(bob, []Outpoint{t1.Outpoint(0)}, []*testWallet{carol}, []Amount{50})
+	b1 := &Block{Height: 1, PrevHash: chain.TipHash(), Txs: []*Transaction{coinbaseAt(alice, 50, 1), t1, t2}}
+	if err := chain.Append(b1); err != nil {
+		t.Fatalf("intra-block spend rejected: %v", err)
+	}
+	set := chain.UTXOSet()
+	if set.Contains(t1.Outpoint(0)) {
+		t.Fatal("intermediate outpoint should be spent")
+	}
+	if !set.Contains(t2.Outpoint(0)) {
+		t.Fatal("final outpoint should be unspent")
+	}
+}
+
+func TestForwardReferenceRejected(t *testing.T) {
+	// Spending an output created *later* in the block must fail: blocks are
+	// executed in order.
+	alice, bob := newWallet(1), newWallet(2)
+	opts := BlockOptions{Subsidy: 50}
+	chain := NewChain(opts)
+	cb := coinbase(alice, 50)
+	if err := chain.Append(&Block{Height: 0, Txs: []*Transaction{cb}}); err != nil {
+		t.Fatal(err)
+	}
+	t1 := payTo(alice, []Outpoint{cb.Outpoint(0)}, []*testWallet{bob}, []Amount{50})
+	t2 := payTo(bob, []Outpoint{t1.Outpoint(0)}, []*testWallet{alice}, []Amount{50})
+	b1 := &Block{Height: 1, PrevHash: chain.TipHash(), Txs: []*Transaction{coinbaseAt(alice, 50, 1), t2, t1}}
+	err := chain.Append(b1)
+	if !errors.Is(err, ErrMissingUTXO) {
+		t.Fatalf("forward reference: err = %v, want ErrMissingUTXO", err)
+	}
+	if chain.Height() != 1 {
+		t.Fatal("failed append should not extend chain")
+	}
+}
+
+func TestDoubleSpendRejected(t *testing.T) {
+	alice, bob := newWallet(1), newWallet(2)
+	opts := BlockOptions{Subsidy: 50}
+	chain := NewChain(opts)
+	cb := coinbase(alice, 50)
+	if err := chain.Append(&Block{Height: 0, Txs: []*Transaction{cb}}); err != nil {
+		t.Fatal(err)
+	}
+	t1 := payTo(alice, []Outpoint{cb.Outpoint(0)}, []*testWallet{bob}, []Amount{49})
+	t2 := payTo(alice, []Outpoint{cb.Outpoint(0)}, []*testWallet{alice}, []Amount{49})
+	b1 := &Block{Height: 1, PrevHash: chain.TipHash(), Txs: []*Transaction{coinbaseAt(alice, 50, 1), t1, t2}}
+	err := chain.Append(b1)
+	if !errors.Is(err, ErrDuplicateSpend) && !errors.Is(err, ErrMissingUTXO) {
+		t.Fatalf("double spend: err = %v, want duplicate-spend/missing", err)
+	}
+}
+
+func TestValueConservation(t *testing.T) {
+	alice, bob := newWallet(1), newWallet(2)
+	opts := BlockOptions{Subsidy: 50}
+	chain := NewChain(opts)
+	cb := coinbase(alice, 50)
+	if err := chain.Append(&Block{Height: 0, Txs: []*Transaction{cb}}); err != nil {
+		t.Fatal(err)
+	}
+	inflate := payTo(alice, []Outpoint{cb.Outpoint(0)}, []*testWallet{bob}, []Amount{51})
+	b1 := &Block{Height: 1, PrevHash: chain.TipHash(), Txs: []*Transaction{coinbaseAt(alice, 50, 1), inflate}}
+	if err := chain.Append(b1); !errors.Is(err, ErrValueConservation) {
+		t.Fatalf("inflation: err = %v, want ErrValueConservation", err)
+	}
+}
+
+func TestCoinbaseLimits(t *testing.T) {
+	alice := newWallet(1)
+	opts := BlockOptions{Subsidy: 50}
+	chain := NewChain(opts)
+	// Coinbase above subsidy with no fees.
+	if err := chain.Append(&Block{Height: 0, Txs: []*Transaction{coinbase(alice, 51)}}); !errors.Is(err, ErrBadCoinbase) {
+		t.Fatalf("oversized coinbase: err = %v, want ErrBadCoinbase", err)
+	}
+	// Block without coinbase.
+	tx := NewTransaction([]TxIn{{Prev: Outpoint{Index: 0}}}, []TxOut{{Value: 1}})
+	if err := chain.Append(&Block{Height: 0, Txs: []*Transaction{tx}}); !errors.Is(err, ErrBadCoinbase) {
+		t.Fatalf("missing coinbase: err = %v, want ErrBadCoinbase", err)
+	}
+	// Second coinbase mid-block.
+	if err := chain.Append(&Block{Height: 0, Txs: []*Transaction{coinbase(alice, 50), coinbase(alice, 50)}}); !errors.Is(err, ErrBadCoinbase) {
+		t.Fatalf("mid-block coinbase: err = %v, want ErrBadCoinbase", err)
+	}
+	if chain.Height() != 0 {
+		t.Fatal("no block should have been accepted")
+	}
+}
+
+func TestScriptRejectsWrongKey(t *testing.T) {
+	alice, bob, eve := newWallet(1), newWallet(2), newWallet(666)
+	opts := BlockOptions{Subsidy: 50, VerifyScripts: true}
+	chain := NewChain(opts)
+	cb := coinbase(alice, 50)
+	if err := chain.Append(&Block{Height: 0, Txs: []*Transaction{cb}}); err != nil {
+		t.Fatal(err)
+	}
+	// Eve tries to spend Alice's output.
+	steal := payTo(eve, []Outpoint{cb.Outpoint(0)}, []*testWallet{eve}, []Amount{50})
+	b1 := &Block{Height: 1, PrevHash: chain.TipHash(), Txs: []*Transaction{coinbase(bob, 50), steal}}
+	if err := chain.Append(b1); !errors.Is(err, ErrScriptReject) {
+		t.Fatalf("theft: err = %v, want ErrScriptReject", err)
+	}
+}
+
+func TestRollback(t *testing.T) {
+	alice, bob := newWallet(1), newWallet(2)
+	opts := BlockOptions{Subsidy: 50, VerifyScripts: true}
+	chain := NewChain(opts)
+	cb := coinbase(alice, 50)
+	if err := chain.Append(&Block{Height: 0, Txs: []*Transaction{cb}}); err != nil {
+		t.Fatal(err)
+	}
+	before := chain.UTXOSet().Clone()
+
+	pay := payTo(alice, []Outpoint{cb.Outpoint(0)}, []*testWallet{bob, alice}, []Amount{30, 18})
+	b1 := &Block{Height: 1, PrevHash: chain.TipHash(), Txs: []*Transaction{coinbase(alice, 52), pay}}
+	if err := chain.Append(b1); err != nil {
+		t.Fatal(err)
+	}
+	blk, err := chain.Rollback()
+	if err != nil {
+		t.Fatalf("rollback: %v", err)
+	}
+	if blk.Hash() != b1.Hash() {
+		t.Fatal("rollback returned wrong block")
+	}
+	after := chain.UTXOSet()
+	if after.Len() != before.Len() {
+		t.Fatalf("set size after rollback = %d, want %d", after.Len(), before.Len())
+	}
+	if !after.Contains(cb.Outpoint(0)) {
+		t.Fatal("rollback should restore the spent coinbase outpoint")
+	}
+	// Chain can be re-extended after rollback.
+	if err := chain.Append(b1); err != nil {
+		t.Fatalf("re-append after rollback: %v", err)
+	}
+	if _, err := chain.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chain.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chain.Rollback(); !errors.Is(err, ErrEmptyChain) {
+		t.Fatalf("rollback of empty chain: err = %v, want ErrEmptyChain", err)
+	}
+}
+
+func TestBadLink(t *testing.T) {
+	alice := newWallet(1)
+	chain := NewChain(BlockOptions{Subsidy: 50})
+	if err := chain.Append(&Block{Height: 1, Txs: []*Transaction{coinbase(alice, 50)}}); !errors.Is(err, ErrBadLink) {
+		t.Fatalf("wrong height: err = %v, want ErrBadLink", err)
+	}
+	if err := chain.Append(&Block{Height: 0, Txs: []*Transaction{coinbase(alice, 50)}}); err != nil {
+		t.Fatal(err)
+	}
+	wrongPrev := &Block{Height: 1, PrevHash: types.HashUint64("bogus", 1), Txs: []*Transaction{coinbase(alice, 50)}}
+	if err := chain.Append(wrongPrev); !errors.Is(err, ErrBadLink) {
+		t.Fatalf("wrong prev: err = %v, want ErrBadLink", err)
+	}
+}
+
+func TestEmptyTxRejected(t *testing.T) {
+	alice := newWallet(1)
+	chain := NewChain(BlockOptions{Subsidy: 50})
+	cb := coinbase(alice, 50)
+	if err := chain.Append(&Block{Height: 0, Txs: []*Transaction{cb}}); err != nil {
+		t.Fatal(err)
+	}
+	noOut := &Transaction{Inputs: []TxIn{{Prev: cb.Outpoint(0)}}}
+	b := &Block{Height: 1, PrevHash: chain.TipHash(), Txs: []*Transaction{coinbaseAt(alice, 50, 1), noOut}}
+	if err := chain.Append(b); !errors.Is(err, ErrEmptyTx) {
+		t.Fatalf("no-output tx: err = %v, want ErrEmptyTx", err)
+	}
+}
+
+func TestTxIDStability(t *testing.T) {
+	alice := newWallet(1)
+	tx1 := coinbase(alice, 50)
+	tx2 := coinbase(alice, 50)
+	if tx1.ID() != tx2.ID() {
+		t.Fatal("identical transactions must have identical IDs")
+	}
+	tx3 := coinbase(alice, 51)
+	if tx1.ID() == tx3.ID() {
+		t.Fatal("different values must change the ID")
+	}
+}
+
+func TestBlockCounters(t *testing.T) {
+	alice, bob := newWallet(1), newWallet(2)
+	cb := coinbase(alice, 50)
+	t1 := payTo(alice, []Outpoint{cb.Outpoint(0)}, []*testWallet{bob}, []Amount{25})
+	b := &Block{Height: 0, Txs: []*Transaction{cb, t1}}
+	if b.NumTxs() != 2 {
+		t.Fatalf("NumTxs = %d, want 2", b.NumTxs())
+	}
+	if b.NumInputs() != 1 {
+		t.Fatalf("NumInputs = %d, want 1", b.NumInputs())
+	}
+}

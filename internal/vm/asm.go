@@ -1,0 +1,95 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Asm is a tiny fluent assembler for VM code, used by the workload
+// generators and tests to build contracts without hand-encoding immediates.
+//
+//	code := vm.NewAsm().
+//		Push(1).Push(2).Op(OpAdd).
+//		Push(0).Op(OpSwap).Op(OpSstore). // storage[0] = 3
+//		Op(OpStop).Bytes()
+type Asm struct {
+	code   []byte
+	labels map[string]int
+	// fixups records label references to patch: code offset -> label name.
+	fixups map[int]string
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{
+		labels: make(map[string]int),
+		fixups: make(map[int]string),
+	}
+}
+
+// Op appends a plain opcode.
+func (a *Asm) Op(ops ...Opcode) *Asm {
+	for _, op := range ops {
+		a.code = append(a.code, byte(op))
+	}
+	return a
+}
+
+// Push appends PUSH with a 64-bit immediate.
+func (a *Asm) Push(v uint64) *Asm {
+	a.code = append(a.code, byte(OpPush))
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], v)
+	a.code = append(a.code, tmp[:]...)
+	return a
+}
+
+// PushAddr appends PUSHADDR with an address-table index.
+func (a *Asm) PushAddr(idx int) *Asm {
+	a.code = append(a.code, byte(OpPushAddr), byte(idx))
+	return a
+}
+
+// Label defines a jump target at the current position.
+func (a *Asm) Label(name string) *Asm {
+	a.labels[name] = len(a.code)
+	return a
+}
+
+// PushLabel pushes the (eventually resolved) position of a label, for use
+// before OpJump/OpJumpI.
+func (a *Asm) PushLabel(name string) *Asm {
+	a.code = append(a.code, byte(OpPush))
+	a.fixups[len(a.code)] = name
+	a.code = append(a.code, make([]byte, 8)...)
+	return a
+}
+
+// Sstore appends code to write value into slot: storage[slot] = value.
+// OpSstore pops the value from the top of the stack and the slot beneath it.
+func (a *Asm) Sstore(slot, value uint64) *Asm {
+	return a.Push(slot).Push(value).Op(OpSstore)
+}
+
+// Call appends code to call the address-table entry idx with the given
+// value and argument, leaving the success flag on the stack. OpCall pops the
+// table index from the top, then the argument, then the value.
+func (a *Asm) Call(idx int, value, arg uint64) *Asm {
+	return a.Push(value).Push(arg).PushAddr(idx).Op(OpCall)
+}
+
+// Bytes resolves labels and returns the final code. It panics on an
+// undefined label, which is a programming error in the caller (assembly
+// happens at workload-construction time, not at run time).
+func (a *Asm) Bytes() []byte {
+	for off, name := range a.fixups {
+		pos, ok := a.labels[name]
+		if !ok {
+			panic(fmt.Sprintf("vm: undefined label %q", name))
+		}
+		binary.BigEndian.PutUint64(a.code[off:], uint64(pos))
+	}
+	out := make([]byte, len(a.code))
+	copy(out, a.code)
+	return out
+}

@@ -1,0 +1,102 @@
+package vm
+
+import (
+	"testing"
+
+	"txconcur/internal/types"
+)
+
+func TestOpSelf(t *testing.T) {
+	st := newFakeState()
+	code := NewAsm().Op(OpSelf, OpReturn).Bytes()
+	to := deploy(st, 0, Contract{Code: code})
+	res, err := Call(st, testCtx(), addr(1), to, 0, 0, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != AddressFingerprint(to) {
+		t.Fatalf("SELF = %d, want %d", res.Ret, AddressFingerprint(to))
+	}
+}
+
+func TestOpGas(t *testing.T) {
+	// GAS pushes the gas remaining *after* the GAS opcode's own cost.
+	code := NewAsm().Op(OpGas, OpReturn).Bytes()
+	res, err := run(t, newFakeState(), Contract{Code: code}, 0, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(1000 - GasQuick); res.Ret != want {
+		t.Fatalf("GAS = %d, want %d", res.Ret, want)
+	}
+}
+
+func TestOpPC(t *testing.T) {
+	// PC pushes the position of the PC opcode itself. The first PUSH takes
+	// 9 bytes (opcode + 8-byte immediate), POP one, so PC sits at offset
+	// 10.
+	code := NewAsm().Push(0).Op(OpPop, OpPC, OpReturn).Bytes()
+	res, err := run(t, newFakeState(), Contract{Code: code}, 0, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 10 {
+		t.Fatalf("PC = %d, want 10", res.Ret)
+	}
+}
+
+func TestConditionalJumpNotTaken(t *testing.T) {
+	// JUMPI with a false condition falls through.
+	code := NewAsm().
+		Push(0).                       // condition: false
+		PushLabel("skip").Op(OpJumpI). // not taken
+		Push(42).Op(OpReturn).         // executed
+		Label("skip").Push(7).Op(OpReturn).
+		Bytes()
+	res, err := run(t, newFakeState(), Contract{Code: code}, 0, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 42 {
+		t.Fatalf("fall-through returned %d, want 42", res.Ret)
+	}
+}
+
+func TestImplicitStop(t *testing.T) {
+	// Running off the end of the code halts successfully (like STOP).
+	code := NewAsm().Push(1).Push(2).Op(OpAdd).Bytes()
+	res, err := run(t, newFakeState(), Contract{Code: code}, 0, 0, 1000)
+	if err != nil {
+		t.Fatalf("implicit stop: %v", err)
+	}
+	if res.Ret != 0 {
+		t.Fatalf("no RETURN executed, ret = %d", res.Ret)
+	}
+}
+
+func TestTruncatedPushAddr(t *testing.T) {
+	code := []byte{byte(OpPushAddr)} // immediate missing
+	if _, err := run(t, newFakeState(), Contract{Code: code}, 0, 0, 1000); err == nil {
+		t.Fatal("truncated PUSHADDR accepted")
+	}
+}
+
+func TestValueCallRequiresBalance(t *testing.T) {
+	// A contract forwarding more value than it holds: the inner call fails
+	// (insufficient balance), the outer frame continues with success flag
+	// 0, and no value moves.
+	st := newFakeState()
+	payee := addr(2)
+	code := NewAsm().Call(0, 1_000_000, 0).Op(OpReturn).Bytes()
+	to := deploy(st, 0, Contract{Code: code, AddrTable: []types.Address{payee}})
+	res, err := Call(st, testCtx(), addr(1), to, 0, 0, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 0 {
+		t.Fatalf("success flag = %d, want 0", res.Ret)
+	}
+	if st.GetBalance(payee) != 0 {
+		t.Fatal("value moved despite failed call")
+	}
+}

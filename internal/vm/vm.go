@@ -1,0 +1,608 @@
+// Package vm implements a gas-metered stack virtual machine in the style of
+// the Ethereum Virtual Machine, scaled down to 64-bit words. It exists so
+// that the account-model workloads of the paper execute *real* contract
+// code: the CALL opcode emits the internal-transaction traces that the
+// paper's transaction dependency graph requires (§II-A), and gas consumption
+// drives the gas-weighted conflict metrics of §III-A3.
+//
+// Differences from the real EVM, and why they do not matter for the paper's
+// analysis: words are 64-bit rather than 256-bit (the TDG only needs
+// sender/receiver/value of calls); contracts address each other through a
+// per-contract address table rather than raw 160-bit pushes (same
+// reachability, simpler encoding); constructor semantics are elided
+// (deployments install code verbatim). Gas prices follow the relative
+// ordering of Ethereum's schedule (storage writes ≫ storage reads ≫
+// arithmetic).
+package vm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"txconcur/internal/types"
+)
+
+// State is the mutable world the VM runs against. *account.StateDB
+// implements it.
+type State interface {
+	GetBalance(types.Address) int64
+	AddBalance(types.Address, int64)
+	SubBalance(types.Address, int64)
+	GetCode(types.Address) []byte
+	GetStorage(addr types.Address, slot uint64) uint64
+	SetStorage(addr types.Address, slot, value uint64)
+	Snapshot() int
+	RevertToSnapshot(int)
+}
+
+// Opcode is a VM instruction.
+type Opcode byte
+
+// Instruction set. Values are part of the code encoding.
+const (
+	OpStop Opcode = iota + 1
+	OpPush        // 8-byte big-endian immediate
+	OpPop
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // division by zero yields zero, as in the EVM
+	OpMod
+	OpLT
+	OpGT
+	OpEQ
+	OpIsZero
+	OpAnd
+	OpOr
+	OpXor
+	OpNot
+	OpDup  // duplicate top of stack
+	OpSwap // swap top two
+	OpJump // absolute, operand from stack
+	OpJumpI
+	OpPC
+	OpSload  // pop slot, push value
+	OpSstore // pop slot, value
+	OpCaller // push fingerprint of caller address
+	OpSelf   // push fingerprint of executing contract address
+	OpCallValue
+	OpArg      // push the call argument word
+	OpBalance  // push balance of executing contract
+	OpHeight   // push block height
+	OpTime     // push block timestamp
+	OpGas      // push remaining gas
+	OpPushAddr // 1-byte immediate: index into the contract's address table
+	OpCall     // pop arg, value, addr-table-index; call; push 1 on success else 0
+	OpLog      // pop a word into the log
+	OpReturn   // pop a word, halt successfully with it
+	OpRevert   // halt, reverting this frame's state changes
+)
+
+// Gas costs, mirroring the relative ordering of Ethereum's schedule.
+const (
+	GasQuick    uint64 = 2        // PC, CALLER, CALLVALUE, ...
+	GasFast     uint64 = 3        // arithmetic, push, dup
+	GasMid      uint64 = 5        // mul/div/mod
+	GasJump     uint64 = 8        // jumps, log
+	GasBalance  uint64 = 20       // balance lookup
+	GasSload    uint64 = 50       // storage read
+	GasSstore   uint64 = 200      // storage write
+	GasCallBase uint64 = 40       // call overhead (callee gas is forwarded)
+	GasTransfer uint64 = 9000 / 4 // value-bearing call surcharge, scaled down
+
+	// MaxCallDepth bounds call nesting, as the EVM's 1024 does; kept small
+	// because workload call chains are shallow.
+	MaxCallDepth = 64
+)
+
+// VM execution errors.
+var (
+	ErrOutOfGas       = errors.New("vm: out of gas")
+	ErrStackUnderflow = errors.New("vm: stack underflow")
+	ErrStackOverflow  = errors.New("vm: stack overflow")
+	ErrBadJump        = errors.New("vm: jump destination out of range")
+	ErrBadOpcode      = errors.New("vm: illegal opcode")
+	ErrTruncatedCode  = errors.New("vm: truncated immediate operand")
+	ErrCallDepth      = errors.New("vm: max call depth exceeded")
+	ErrInsufficient   = errors.New("vm: insufficient balance for call value")
+	ErrBadAddrIndex   = errors.New("vm: address table index out of range")
+	ErrReverted       = errors.New("vm: execution reverted")
+)
+
+// maxStack bounds the operand stack per frame.
+const maxStack = 1024
+
+// InternalTx records one message call made during contract execution — the
+// paper's "internal transaction". The TDG adds an edge From→To for each.
+type InternalTx struct {
+	From  types.Address
+	To    types.Address
+	Value int64
+	Depth int
+}
+
+// Context carries per-transaction execution context.
+type Context struct {
+	Origin      types.Address // transaction sender
+	BlockHeight uint64
+	BlockTime   int64
+}
+
+// Result is the outcome of running a call frame.
+type Result struct {
+	// Ret is the word passed to RETURN, zero otherwise.
+	Ret uint64
+	// GasUsed is the gas consumed by this frame and its children.
+	GasUsed uint64
+	// Internal lists every message call made during execution, in order.
+	Internal []InternalTx
+	// Logs collects the words passed to LOG.
+	Logs []uint64
+}
+
+// Contract is the static part of a deployed contract: its code and address
+// table (the other contracts and accounts it may call).
+type Contract struct {
+	Code      []byte
+	AddrTable []types.Address
+}
+
+// EncodeContract serialises a contract (code plus address table) into the
+// byte string stored in the account's code field.
+func EncodeContract(c Contract) []byte {
+	buf := make([]byte, 0, 2+len(c.AddrTable)*types.AddressSize+len(c.Code))
+	buf = append(buf, byte(len(c.AddrTable)))
+	for _, a := range c.AddrTable {
+		buf = append(buf, a[:]...)
+	}
+	return append(buf, c.Code...)
+}
+
+// DecodeContract parses a stored code blob back into a Contract.
+func DecodeContract(blob []byte) (Contract, error) {
+	if len(blob) == 0 {
+		return Contract{}, nil
+	}
+	n := int(blob[0])
+	need := 1 + n*types.AddressSize
+	if len(blob) < need {
+		return Contract{}, fmt.Errorf("%w: address table", ErrTruncatedCode)
+	}
+	c := Contract{AddrTable: make([]types.Address, n)}
+	for i := 0; i < n; i++ {
+		copy(c.AddrTable[i][:], blob[1+i*types.AddressSize:])
+	}
+	c.Code = blob[need:]
+	return c, nil
+}
+
+// AddressFingerprint maps an address to the 64-bit word CALLER/SELF push.
+func AddressFingerprint(a types.Address) uint64 {
+	return binary.BigEndian.Uint64(a[:8])
+}
+
+// Call runs the contract (or plain transfer) at 'to' with the given value,
+// argument and gas budget, against the state. It is the entry point used by
+// the block processor for the top-level message and recursively by OpCall.
+//
+// On any error the frame's state changes are reverted; gas consumed up to
+// the failure point is still reported in Result.GasUsed (as in the EVM,
+// failed frames consume their gas except for explicit REVERT refund
+// semantics, which we do not model).
+func Call(st State, ctx *Context, caller, to types.Address, value int64, arg uint64, gas uint64) (Result, error) {
+	return call(st, ctx, caller, to, value, arg, gas, 0)
+}
+
+func call(st State, ctx *Context, caller, to types.Address, value int64, arg uint64, gas uint64, depth int) (Result, error) {
+	var res Result
+	if depth > MaxCallDepth {
+		return res, ErrCallDepth
+	}
+	snap := st.Snapshot()
+	if value != 0 {
+		if st.GetBalance(caller) < value {
+			return res, fmt.Errorf("%w: %s has %d, needs %d", ErrInsufficient, caller.Short(), st.GetBalance(caller), value)
+		}
+		st.SubBalance(caller, value)
+		st.AddBalance(to, value)
+	}
+	blob := st.GetCode(to)
+	if len(blob) == 0 {
+		// Plain transfer to an externally owned account.
+		return res, nil
+	}
+	contract, err := DecodeContract(blob)
+	if err != nil {
+		st.RevertToSnapshot(snap)
+		return res, err
+	}
+	in := interp{
+		st:       st,
+		ctx:      ctx,
+		self:     to,
+		caller:   caller,
+		value:    value,
+		arg:      arg,
+		gas:      gas,
+		contract: contract,
+		depth:    depth,
+	}
+	err = in.run()
+	res.Ret = in.ret
+	res.GasUsed = gas - in.gas
+	res.Internal = in.internal
+	res.Logs = in.logs
+	if err != nil {
+		st.RevertToSnapshot(snap)
+		res.Internal = nil
+		res.Logs = nil
+		return res, err
+	}
+	return res, nil
+}
+
+// interp is one executing call frame.
+type interp struct {
+	st       State
+	ctx      *Context
+	self     types.Address
+	caller   types.Address
+	value    int64
+	arg      uint64
+	gas      uint64
+	contract Contract
+	depth    int
+
+	stack    []uint64
+	pc       int
+	ret      uint64
+	internal []InternalTx
+	logs     []uint64
+}
+
+func (in *interp) useGas(g uint64) error {
+	if in.gas < g {
+		in.gas = 0
+		return ErrOutOfGas
+	}
+	in.gas -= g
+	return nil
+}
+
+func (in *interp) push(v uint64) error {
+	if len(in.stack) >= maxStack {
+		return ErrStackOverflow
+	}
+	in.stack = append(in.stack, v)
+	return nil
+}
+
+func (in *interp) pop() (uint64, error) {
+	if len(in.stack) == 0 {
+		return 0, ErrStackUnderflow
+	}
+	v := in.stack[len(in.stack)-1]
+	in.stack = in.stack[:len(in.stack)-1]
+	return v, nil
+}
+
+func (in *interp) pop2() (a, b uint64, err error) {
+	if b, err = in.pop(); err != nil {
+		return
+	}
+	a, err = in.pop()
+	return
+}
+
+func (in *interp) run() error {
+	code := in.contract.Code
+	for in.pc < len(code) {
+		op := Opcode(code[in.pc])
+		in.pc++
+		switch op {
+		case OpStop:
+			return nil
+		case OpPush:
+			if err := in.useGas(GasFast); err != nil {
+				return err
+			}
+			if in.pc+8 > len(code) {
+				return ErrTruncatedCode
+			}
+			v := binary.BigEndian.Uint64(code[in.pc:])
+			in.pc += 8
+			if err := in.push(v); err != nil {
+				return err
+			}
+		case OpPop:
+			if err := in.useGas(GasQuick); err != nil {
+				return err
+			}
+			if _, err := in.pop(); err != nil {
+				return err
+			}
+		case OpAdd, OpSub, OpLT, OpGT, OpEQ, OpAnd, OpOr, OpXor:
+			if err := in.useGas(GasFast); err != nil {
+				return err
+			}
+			a, b, err := in.pop2()
+			if err != nil {
+				return err
+			}
+			var v uint64
+			switch op {
+			case OpAdd:
+				v = a + b
+			case OpSub:
+				v = a - b
+			case OpLT:
+				v = b2u(a < b)
+			case OpGT:
+				v = b2u(a > b)
+			case OpEQ:
+				v = b2u(a == b)
+			case OpAnd:
+				v = a & b
+			case OpOr:
+				v = a | b
+			case OpXor:
+				v = a ^ b
+			}
+			if err := in.push(v); err != nil {
+				return err
+			}
+		case OpMul, OpDiv, OpMod:
+			if err := in.useGas(GasMid); err != nil {
+				return err
+			}
+			a, b, err := in.pop2()
+			if err != nil {
+				return err
+			}
+			var v uint64
+			switch op {
+			case OpMul:
+				v = a * b
+			case OpDiv:
+				if b != 0 {
+					v = a / b
+				}
+			case OpMod:
+				if b != 0 {
+					v = a % b
+				}
+			}
+			if err := in.push(v); err != nil {
+				return err
+			}
+		case OpIsZero, OpNot:
+			if err := in.useGas(GasFast); err != nil {
+				return err
+			}
+			a, err := in.pop()
+			if err != nil {
+				return err
+			}
+			v := ^a
+			if op == OpIsZero {
+				v = b2u(a == 0)
+			}
+			if err := in.push(v); err != nil {
+				return err
+			}
+		case OpDup:
+			if err := in.useGas(GasFast); err != nil {
+				return err
+			}
+			if len(in.stack) == 0 {
+				return ErrStackUnderflow
+			}
+			if err := in.push(in.stack[len(in.stack)-1]); err != nil {
+				return err
+			}
+		case OpSwap:
+			if err := in.useGas(GasFast); err != nil {
+				return err
+			}
+			n := len(in.stack)
+			if n < 2 {
+				return ErrStackUnderflow
+			}
+			in.stack[n-1], in.stack[n-2] = in.stack[n-2], in.stack[n-1]
+		case OpJump, OpJumpI:
+			if err := in.useGas(GasJump); err != nil {
+				return err
+			}
+			dest, err := in.pop()
+			if err != nil {
+				return err
+			}
+			take := true
+			if op == OpJumpI {
+				cond, err := in.pop()
+				if err != nil {
+					return err
+				}
+				take = cond != 0
+			}
+			if take {
+				if dest > uint64(len(code)) {
+					return fmt.Errorf("%w: %d", ErrBadJump, dest)
+				}
+				in.pc = int(dest)
+			}
+		case OpPC:
+			if err := in.useGas(GasQuick); err != nil {
+				return err
+			}
+			if err := in.push(uint64(in.pc - 1)); err != nil {
+				return err
+			}
+		case OpSload:
+			if err := in.useGas(GasSload); err != nil {
+				return err
+			}
+			slot, err := in.pop()
+			if err != nil {
+				return err
+			}
+			if err := in.push(in.st.GetStorage(in.self, slot)); err != nil {
+				return err
+			}
+		case OpSstore:
+			if err := in.useGas(GasSstore); err != nil {
+				return err
+			}
+			slot, val, err := in.pop2()
+			if err != nil {
+				return err
+			}
+			in.st.SetStorage(in.self, slot, val)
+		case OpCaller:
+			if err := in.useGas(GasQuick); err != nil {
+				return err
+			}
+			if err := in.push(AddressFingerprint(in.caller)); err != nil {
+				return err
+			}
+		case OpSelf:
+			if err := in.useGas(GasQuick); err != nil {
+				return err
+			}
+			if err := in.push(AddressFingerprint(in.self)); err != nil {
+				return err
+			}
+		case OpCallValue:
+			if err := in.useGas(GasQuick); err != nil {
+				return err
+			}
+			if err := in.push(uint64(in.value)); err != nil {
+				return err
+			}
+		case OpArg:
+			if err := in.useGas(GasQuick); err != nil {
+				return err
+			}
+			if err := in.push(in.arg); err != nil {
+				return err
+			}
+		case OpBalance:
+			if err := in.useGas(GasBalance); err != nil {
+				return err
+			}
+			if err := in.push(uint64(in.st.GetBalance(in.self))); err != nil {
+				return err
+			}
+		case OpHeight:
+			if err := in.useGas(GasQuick); err != nil {
+				return err
+			}
+			if err := in.push(in.ctx.BlockHeight); err != nil {
+				return err
+			}
+		case OpTime:
+			if err := in.useGas(GasQuick); err != nil {
+				return err
+			}
+			if err := in.push(uint64(in.ctx.BlockTime)); err != nil {
+				return err
+			}
+		case OpGas:
+			if err := in.useGas(GasQuick); err != nil {
+				return err
+			}
+			if err := in.push(in.gas); err != nil {
+				return err
+			}
+		case OpPushAddr:
+			if err := in.useGas(GasFast); err != nil {
+				return err
+			}
+			if in.pc >= len(code) {
+				return ErrTruncatedCode
+			}
+			idx := uint64(code[in.pc])
+			in.pc++
+			if err := in.push(idx); err != nil {
+				return err
+			}
+		case OpCall:
+			if err := in.opCall(); err != nil {
+				return err
+			}
+		case OpLog:
+			if err := in.useGas(GasJump); err != nil {
+				return err
+			}
+			v, err := in.pop()
+			if err != nil {
+				return err
+			}
+			in.logs = append(in.logs, v)
+		case OpReturn:
+			if err := in.useGas(GasQuick); err != nil {
+				return err
+			}
+			v, err := in.pop()
+			if err != nil {
+				return err
+			}
+			in.ret = v
+			return nil
+		case OpRevert:
+			return ErrReverted
+		default:
+			return fmt.Errorf("%w: 0x%02x at pc %d", ErrBadOpcode, byte(op), in.pc-1)
+		}
+	}
+	return nil
+}
+
+// opCall implements the CALL opcode: pop arg, value, address-table index;
+// execute the callee with all remaining gas; push a success flag. A failed
+// callee consumes the gas it used but does not abort the caller — exactly
+// the EVM's containment semantics.
+func (in *interp) opCall() error {
+	gasCost := GasCallBase
+	idx, err := in.pop()
+	if err != nil {
+		return err
+	}
+	value, arg, err := in.pop2()
+	if err != nil {
+		return err
+	}
+	if value != 0 {
+		gasCost += GasTransfer
+	}
+	if err := in.useGas(gasCost); err != nil {
+		return err
+	}
+	if idx >= uint64(len(in.contract.AddrTable)) {
+		return fmt.Errorf("%w: %d of %d", ErrBadAddrIndex, idx, len(in.contract.AddrTable))
+	}
+	to := in.contract.AddrTable[idx]
+	in.internal = append(in.internal, InternalTx{
+		From:  in.self,
+		To:    to,
+		Value: int64(value),
+		Depth: in.depth + 1,
+	})
+	res, err := call(in.st, in.ctx, in.self, to, int64(value), arg, in.gas, in.depth+1)
+	in.gas -= res.GasUsed
+	if err != nil {
+		// The callee's internal calls were rolled back with its state.
+		return in.push(0)
+	}
+	in.internal = append(in.internal, res.Internal...)
+	in.logs = append(in.logs, res.Logs...)
+	return in.push(1)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
