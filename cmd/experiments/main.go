@@ -7,7 +7,8 @@
 //	experiments [-blocks N] [-buckets N] [-seed N] [-run regexp]
 //
 // The -run filter selects experiments by name (tableI, fig1, fig4, fig5,
-// fig6, fig7, fig8, fig9, fig10, summary, exec, sched, approxtdg).
+// fig6, fig7, fig8, fig9, fig10, summary, exec, sched, approxtdg,
+// interblock, utxoexec, sharding, census, pipeline).
 package main
 
 import (
@@ -130,6 +131,17 @@ func run(args []string) error {
 		tbl, err := bench.ApproxTDGEffectiveness(*execBlocks, *seed, 8)
 		if err != nil {
 			return fmt.Errorf("approxtdg: %w", err)
+		}
+		if err := bench.RenderTable(out, tbl); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("pipeline") {
+		tbl, err := bench.PipelineComparison(*execBlocks, *seed,
+			[]string{"Ethereum", "Ethereum Classic"}, []int{2, 4, 8, 64})
+		if err != nil {
+			return fmt.Errorf("pipeline: %w", err)
 		}
 		if err := bench.RenderTable(out, tbl); err != nil {
 			return err

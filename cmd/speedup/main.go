@@ -1,6 +1,8 @@
 // Command speedup evaluates the paper's execution speed-up model (§V) for
 // given block parameters: equation (1) for speculative single-transaction
-// concurrency and equation (2) for group concurrency, across core counts.
+// concurrency, the pipelined two-phase variant (phases overlapped across
+// blocks, see internal/exec.Pipeline), and equation (2) for group
+// concurrency, across core counts.
 //
 // Usage:
 //
@@ -47,7 +49,7 @@ func run(args []string) error {
 	t := bench.Table{
 		Title: fmt.Sprintf("Speed-up model: x=%d, c=%.2f, l=%.2f, K=%.1f", *txs, *single, *group, *k),
 		Headers: []string{
-			"Cores", "Eq.(1) speculative", "Exact speculative", "Perfect info", "Eq.(2) group", "Group with K",
+			"Cores", "Eq.(1) speculative", "Exact speculative", "Perfect info", "Pipelined", "Eq.(2) group", "Group with K",
 		},
 	}
 	for _, n := range cores {
@@ -60,6 +62,10 @@ func run(args []string) error {
 			return err
 		}
 		perfect, err := core.PerfectInfoSpeedup(*txs, *single, n, *k)
+		if err != nil {
+			return err
+		}
+		pipe, err := core.PipelineSpeedup(*txs, *single, n)
 		if err != nil {
 			return err
 		}
@@ -76,6 +82,7 @@ func run(args []string) error {
 			fmt.Sprintf("%.2fx", eq1),
 			fmt.Sprintf("%.2fx", exact),
 			fmt.Sprintf("%.2fx", perfect),
+			fmt.Sprintf("%.2fx", pipe),
 			fmt.Sprintf("%.2fx", eq2),
 			fmt.Sprintf("%.2fx", eq2k),
 		})

@@ -13,9 +13,16 @@
 // going beyond the paper — working parallel execution engines that validate
 // the model.
 //
-// See README.md for the layout, DESIGN.md for the system inventory and
-// substitutions, and EXPERIMENTS.md for the reproduced tables and figures.
-// The benchmarks in bench_test.go regenerate every table and figure:
+// Four execution engines are implemented — sequential, speculative
+// two-phase, oracle-TDG groups, and ordered STM — plus a fifth that goes
+// past all of them: a multi-version, cross-block pipelined engine
+// (internal/mvstore + internal/exec.Pipeline) whose speed-up is not
+// bounded by a single global commit lock.
+//
+// See README.md for the layout, the paper-section → package map, and how
+// to run each command; see docs/ARCHITECTURE.md for the execution
+// engines, their serial-equivalence guarantees, and when each wins. The
+// benchmarks in bench_test.go regenerate every table and figure:
 //
 //	go test -bench=. -benchmem
 package txconcur

@@ -1,0 +1,3 @@
+module txconcur
+
+go 1.24

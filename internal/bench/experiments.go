@@ -8,6 +8,7 @@ import (
 	"txconcur/internal/core"
 	"txconcur/internal/exec"
 	"txconcur/internal/sched"
+	"txconcur/internal/types"
 	"txconcur/internal/utxo"
 )
 
@@ -125,6 +126,130 @@ func ExecutorComparison(blocks int, seed int64, cores []int) (Table, error) {
 			fmt.Sprintf("%d", binned),
 			fmt.Sprintf("%d", retries),
 		})
+	}
+	return t, nil
+}
+
+// prepareChain generates a history for the profile and returns the state
+// before the first block plus the block sequence — the whole-chain inputs
+// the pipelined engine consumes. Unlike prepareAccountBlocks, the receipts
+// and per-block pre-states are *not* taken from the generator: the
+// generator injects era contracts directly into state between blocks, so
+// chain-level engines use a sequential replay of the blocks themselves as
+// ground truth.
+func prepareChain(profile string, blocks int, seed int64) (*account.StateDB, []*account.Block, error) {
+	p, ok := chainsim.ProfileByName(profile)
+	if !ok {
+		return nil, nil, fmt.Errorf("bench: unknown chain %q", profile)
+	}
+	g, err := chainsim.NewAcctGen(p, blocks, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	pre := g.Chain().State().Copy()
+	var out []*account.Block
+	for {
+		blk, _, ok, err := g.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, blk)
+	}
+	return pre, out, nil
+}
+
+// PipelineComparison is experiment E7: chain-level speed-ups of the four
+// execution engines — serial baseline, ordered STM, oracle-TDG groups, and
+// the mvstore-backed two-phase pipeline — over whole generated histories.
+// The per-block engines cannot overlap consecutive blocks, so their chain
+// speed-up is ΣT / ΣT′ over blocks; the pipeline's is ΣT over its
+// two-stage flow-shop makespan, which overlaps validation of block b with
+// execution of block b+1. This is the experiment where the speed-up is no
+// longer bounded by a single global commit lock; every engine's final root
+// is checked against the sequential replay.
+func PipelineComparison(blocks int, seed int64, profiles []string, cores []int) (Table, error) {
+	t := Table{
+		Name:  "pipeline",
+		Title: "E7: chain-level engine speed-ups (serial baseline = 1.00x, unit-cost and gas)",
+		Headers: []string{
+			"Chain", "Cores", "STM", "Oracle TDG", "Pipeline", "Pipeline (gas)", "Reexec", "Mean lag",
+		},
+	}
+	for _, profile := range profiles {
+		pre, blks, err := prepareChain(profile, blocks, seed)
+		if err != nil {
+			return t, err
+		}
+		// Sequential replay: ground truth root, per-block pre-states and
+		// receipts for the per-block engines.
+		work := pre.Copy()
+		pres := make([]*account.StateDB, len(blks))
+		oracles := make([][]*account.Receipt, len(blks))
+		roots := make([]types.Hash, len(blks))
+		for i, blk := range blks {
+			pres[i] = work.Copy()
+			res, err := exec.Sequential(work, blk)
+			if err != nil {
+				return t, fmt.Errorf("%s replay block %d: %w", profile, i, err)
+			}
+			oracles[i] = res.Receipts
+			roots[i] = res.Root
+		}
+		seqRoot := work.Root()
+
+		for _, n := range cores {
+			var stmSeq, stmPar, grpSeq, grpPar int
+			for i, blk := range blks {
+				stm, err := exec.STMExec{Workers: n}.Execute(pres[i].Copy(), blk)
+				if err != nil {
+					return t, fmt.Errorf("%s stm n=%d: %w", profile, n, err)
+				}
+				if stm.Root != roots[i] {
+					return t, fmt.Errorf("%s stm n=%d block %d: root diverged from sequential replay", profile, n, i)
+				}
+				grp, err := exec.Grouped{Workers: n, Receipts: oracles[i]}.Execute(pres[i].Copy(), blk)
+				if err != nil {
+					return t, fmt.Errorf("%s grouped n=%d: %w", profile, n, err)
+				}
+				if grp.Root != roots[i] {
+					return t, fmt.Errorf("%s grouped n=%d block %d: root diverged from sequential replay", profile, n, i)
+				}
+				stmSeq += stm.Stats.SeqUnits
+				stmPar += stm.Stats.ParUnits
+				grpSeq += grp.Stats.SeqUnits
+				grpPar += grp.Stats.ParUnits
+			}
+			pipe, err := exec.Pipeline{Workers: n, Depth: 2}.ExecuteChain(pre.Copy(), blks)
+			if err != nil {
+				return t, fmt.Errorf("%s pipeline n=%d: %w", profile, n, err)
+			}
+			if pipe.Root != seqRoot {
+				return t, fmt.Errorf("%s pipeline n=%d: root diverged from sequential replay", profile, n)
+			}
+			var lag int
+			for _, bs := range pipe.Blocks {
+				lag += bs.Lag
+			}
+			ratio := func(seq, par int) float64 {
+				if par <= 0 {
+					return 1
+				}
+				return float64(seq) / float64(par)
+			}
+			t.Rows = append(t.Rows, []string{
+				profile,
+				fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.2fx", ratio(stmSeq, stmPar)),
+				fmt.Sprintf("%.2fx", ratio(grpSeq, grpPar)),
+				fmt.Sprintf("%.2fx", pipe.Stats.Speedup),
+				fmt.Sprintf("%.2fx", pipe.Stats.GasSpeedup),
+				fmt.Sprintf("%.1f%%", 100*float64(pipe.Stats.Retries)/float64(max(pipe.Stats.Txs, 1))),
+				fmt.Sprintf("%.2f", float64(lag)/float64(max(len(blks), 1))),
+			})
+		}
 	}
 	return t, nil
 }

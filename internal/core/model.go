@@ -143,6 +143,33 @@ func GroupSpeedupWithCost(x int, l float64, n int, k float64) (float64, error) {
 	return math.Min(coreBound, lccBound), nil
 }
 
+// PipelineSpeedup models the steady-state throughput of the two-phase
+// pipelined engine (internal/exec.Pipeline): per block, phase 1 executes
+// all x transactions speculatively in ⌈x/n⌉ units on n cores and phase 2
+// re-executes the c·x conflicted ones sequentially; with phase 1 of block
+// b+1 overlapping phase 2 of block b, a long chain completes one block
+// every max(⌈x/n⌉, c·x) units, so
+//
+//	R = x / max(⌈x/n⌉, c·x)
+//
+// Compare with equation (1): the speculative engine pays ⌈x/n⌉ + c·x per
+// block because its two phases cannot overlap across blocks. The pipeline
+// hides the cheaper phase entirely, which is why its speed-up is not
+// bounded by a single global commit lock.
+func PipelineSpeedup(x int, c float64, n int) (float64, error) {
+	if err := checkDomain(x, n, c); err != nil {
+		return 0, err
+	}
+	if x == 0 {
+		return 1, nil
+	}
+	perBlock := math.Ceil(float64(x) / float64(n))
+	if reexec := c * float64(x); reexec > perBlock {
+		perBlock = reexec
+	}
+	return float64(x) / perBlock, nil
+}
+
 // BlockSpeedups evaluates all model variants for one measured block.
 type BlockSpeedups struct {
 	// Speculative is equation (1) with the block's single-transaction

@@ -263,3 +263,55 @@ func TestSpeedupsForBlock(t *testing.T) {
 		t.Fatal("n=0 accepted")
 	}
 }
+
+func TestPipelineSpeedup(t *testing.T) {
+	cases := []struct {
+		x    int
+		c    float64
+		n    int
+		want float64
+	}{
+		// Validation hidden behind execution: bound is ⌈x/n⌉.
+		{100, 0.1, 8, 100.0 / 13.0},
+		// Re-execution dominates: one block per c·x units — better than
+		// eq. (1)'s ⌈x/n⌉ + c·x because the phases overlap across blocks.
+		{100, 0.5, 8, 2},
+		// No conflicts: perfect core scaling.
+		{64, 0, 64, 64},
+		// Fully conflicted: no worse than sequential.
+		{100, 1, 8, 1},
+		// Empty block.
+		{0, 0.5, 8, 1},
+	}
+	for _, tc := range cases {
+		got, err := PipelineSpeedup(tc.x, tc.c, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, tc.want) {
+			t.Fatalf("PipelineSpeedup(%d, %v, %d) = %v, want %v", tc.x, tc.c, tc.n, got, tc.want)
+		}
+	}
+	// The pipeline never loses to the non-overlapped speculative engine.
+	for _, c := range []float64{0, 0.1, 0.3, 0.7, 1} {
+		for _, n := range []int{2, 8, 64} {
+			pipe, err := PipelineSpeedup(200, c, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := SpeculativeSpeedupExact(200, c, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pipe+1e-9 < spec {
+				t.Fatalf("c=%v n=%d: pipeline %v < speculative %v", c, n, pipe, spec)
+			}
+		}
+	}
+	if _, err := PipelineSpeedup(10, 1.5, 4); err == nil {
+		t.Fatal("rate out of domain accepted")
+	}
+	if _, err := PipelineSpeedup(10, 0.5, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}

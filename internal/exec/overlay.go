@@ -15,6 +15,10 @@
 //     order through per-key version validation, retrying aborted ones (the
 //     design direction of Dickerson et al. [6] and of later systems such as
 //     Block-STM).
+//   - Pipeline: the Octopus-style two-phase engine over the multi-version
+//     cache of package mvstore — optimistic execution against pinned
+//     snapshots, in-order validation with per-transaction repair, and
+//     phase 1 of block b+1 overlapping phase 2 of block b across a chain.
 //
 // Every engine proves serial equivalence: its final state root must equal
 // the sequential root, and the tests enforce it.

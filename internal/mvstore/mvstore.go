@@ -1,0 +1,316 @@
+// Package mvstore implements a multi-version key-value state cache: every
+// key carries a chain of timestamped versions, readers see a consistent
+// snapshot of the store at any logical timestamp without taking locks, and
+// superseded versions are reclaimed by an epoch-style garbage collector
+// driven by the oldest pinned snapshot.
+//
+// The store exists to remove the single-version bottleneck of package stm:
+// there, every commit bumps a global clock under one lock and invalidates
+// concurrent readers, so execution and validation of consecutive blocks
+// serialise on the store. With per-key version chains, block b+1 can
+// execute optimistically against the snapshot left by block b-1 while block
+// b is still validating and committing — the multi-version substrate behind
+// the pipelined two-phase engine in package exec (Octopus-style two-phase
+// pipelining; see docs/ARCHITECTURE.md).
+//
+// Concurrency contract:
+//
+//   - Get/ChangedSince/Snapshot.Get are lock-free: one atomic map load plus
+//     a walk over immutable version nodes.
+//   - Commit calls must carry strictly increasing timestamps and are
+//     serialised by the store (the pipeline commits blocks in order, so
+//     this costs nothing).
+//   - A snapshot at timestamp T observes exactly the versions with ts ≤ T,
+//     provided Commit(T, …) had returned before the snapshot was taken.
+//   - TruncateBelow never reclaims versions visible to a pinned snapshot.
+package mvstore
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrNonMonotonic reports a commit whose timestamp does not exceed the
+// store's latest committed timestamp.
+var ErrNonMonotonic = errors.New("mvstore: commit timestamp not increasing")
+
+// version is one immutable entry of a key's version chain: the value
+// written at logical timestamp ts, linked to the previous (older) version.
+// prev is atomic only so the garbage collector can unlink reclaimed tails
+// while readers walk the chain.
+type version[V any] struct {
+	ts   uint64
+	val  V
+	prev atomic.Pointer[version[V]]
+}
+
+// keyChain is the per-key chain head. Newest version first.
+type keyChain[V any] struct {
+	head atomic.Pointer[version[V]]
+}
+
+// Store is a multi-version key-value cache. The zero value is not usable;
+// call NewStore.
+type Store[K comparable, V any] struct {
+	chains sync.Map // K → *keyChain[V]
+
+	// commitMu serialises writers (Commit) and the garbage collector.
+	// Readers never take it.
+	commitMu sync.Mutex
+	latest   atomic.Uint64
+	// multi tracks the keys whose chains hold more than one live version —
+	// the only chains garbage collection can shorten — so TruncateBelow is
+	// proportional to superseded keys, not to the whole key space. Guarded
+	// by commitMu.
+	multi map[K]struct{}
+
+	// pinMu guards pins. PinLatest reads latest and registers the pin under
+	// pinMu, and TruncateBelow computes the reclaim horizon under pinMu, so
+	// a snapshot is either visible to the collector or taken after the
+	// collection it could have raced with.
+	pinMu sync.Mutex
+	pins  map[uint64]int
+
+	keys      atomic.Int64
+	versions  atomic.Int64
+	reclaimed atomic.Int64
+}
+
+// NewStore returns an empty store whose latest committed timestamp is 0:
+// timestamp 0 denotes "before the first commit", so snapshots at 0 see
+// nothing and fall through to whatever base state the caller layers under
+// the cache.
+func NewStore[K comparable, V any]() *Store[K, V] {
+	return &Store[K, V]{
+		pins:  make(map[uint64]int),
+		multi: make(map[K]struct{}),
+	}
+}
+
+// Latest returns the highest committed timestamp (0 before any commit).
+func (s *Store[K, V]) Latest() uint64 { return s.latest.Load() }
+
+// Commit installs writes as new versions at timestamp ts. ts must be
+// strictly greater than every previously committed timestamp; commits are
+// serialised internally. An empty write set is legal and still advances the
+// clock (an empty block is still a block). The new snapshot becomes
+// observable — Latest() returns ts — only after every version is installed,
+// so readers taking fresh snapshots never see a half-applied commit.
+func (s *Store[K, V]) Commit(ts uint64, writes map[K]V) error {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	if prev := s.latest.Load(); ts <= prev {
+		return fmt.Errorf("%w: ts %d, latest %d", ErrNonMonotonic, ts, prev)
+	}
+	for k, v := range writes {
+		c := s.chain(k)
+		n := &version[V]{ts: ts, val: v}
+		if head := c.head.Load(); head != nil {
+			n.prev.Store(head)
+			s.multi[k] = struct{}{}
+		}
+		c.head.Store(n)
+		s.versions.Add(1)
+	}
+	s.latest.Store(ts)
+	return nil
+}
+
+// chain returns the version chain for k, creating it if absent.
+func (s *Store[K, V]) chain(k K) *keyChain[V] {
+	if c, ok := s.chains.Load(k); ok {
+		return c.(*keyChain[V])
+	}
+	c, loaded := s.chains.LoadOrStore(k, new(keyChain[V]))
+	if !loaded {
+		s.keys.Add(1)
+	}
+	return c.(*keyChain[V])
+}
+
+// Get returns the value of k as of timestamp ts: the newest version whose
+// timestamp is ≤ ts. ok is false when no such version exists (the key was
+// not written at or before ts); callers layering the cache over a base
+// state fall through to the base in that case. Lock-free.
+func (s *Store[K, V]) Get(k K, ts uint64) (val V, ok bool) {
+	c, found := s.chains.Load(k)
+	if !found {
+		return val, false
+	}
+	for n := c.(*keyChain[V]).head.Load(); n != nil; n = n.prev.Load() {
+		if n.ts <= ts {
+			return n.val, true
+		}
+	}
+	return val, false
+}
+
+// ChangedSince reports whether k was written at any timestamp strictly
+// greater than ts — the validation primitive of the pipelined executor: a
+// speculative read at snapshot ts is stale iff the key changed since.
+// Lock-free.
+func (s *Store[K, V]) ChangedSince(k K, ts uint64) bool {
+	c, found := s.chains.Load(k)
+	if !found {
+		return false
+	}
+	head := c.(*keyChain[V]).head.Load()
+	return head != nil && head.ts > ts
+}
+
+// RangeLatest calls fn with the newest version of every key until fn
+// returns false. Iteration order is unspecified. Intended for folding the
+// cache back into a materialised state once the pipeline drains; running it
+// concurrently with Commit yields a mix of old and new values, so callers
+// should quiesce writers first.
+func (s *Store[K, V]) RangeLatest(fn func(K, V) bool) {
+	s.chains.Range(func(k, c any) bool {
+		if n := c.(*keyChain[V]).head.Load(); n != nil {
+			return fn(k.(K), n.val)
+		}
+		return true
+	})
+}
+
+// Stats describes the store's occupancy.
+type Stats struct {
+	// Keys is the number of distinct keys ever written.
+	Keys int
+	// Versions is the number of live (unreclaimed) versions.
+	Versions int
+	// Reclaimed is the cumulative number of versions garbage-collected.
+	Reclaimed int
+	// Latest is the highest committed timestamp.
+	Latest uint64
+}
+
+// StoreStats returns current occupancy counters.
+func (s *Store[K, V]) StoreStats() Stats {
+	return Stats{
+		Keys:      int(s.keys.Load()),
+		Versions:  int(s.versions.Load()),
+		Reclaimed: int(s.reclaimed.Load()),
+		Latest:    s.latest.Load(),
+	}
+}
+
+// Snapshot is a read-only view of the store at a fixed timestamp. A
+// snapshot from PinLatest additionally pins its timestamp against garbage
+// collection until released. Snapshots are safe for concurrent use.
+type Snapshot[K comparable, V any] struct {
+	store   *Store[K, V]
+	ts      uint64
+	release func()
+}
+
+// TS returns the snapshot's timestamp.
+func (sn *Snapshot[K, V]) TS() uint64 { return sn.ts }
+
+// Get returns the value of k as seen by the snapshot.
+func (sn *Snapshot[K, V]) Get(k K) (V, bool) { return sn.store.Get(k, sn.ts) }
+
+// Release unpins a pinned snapshot, allowing the collector to reclaim the
+// versions it was holding. Safe to call more than once; a no-op for
+// unpinned snapshots.
+func (sn *Snapshot[K, V]) Release() {
+	if sn.release != nil {
+		sn.release()
+		sn.release = nil
+	}
+}
+
+// At returns an unpinned snapshot at ts. The caller must ensure no
+// concurrent TruncateBelow reclaims below ts (e.g. the pipeline's committer
+// reads through At(ts) only for timestamps it has not yet collected).
+func (s *Store[K, V]) At(ts uint64) *Snapshot[K, V] {
+	return &Snapshot[K, V]{store: s, ts: ts}
+}
+
+// PinLatest atomically takes the latest committed timestamp and pins it:
+// TruncateBelow will not reclaim any version the returned snapshot can see
+// until Release is called. This is the epoch-entry point of the pipeline's
+// speculative phase.
+func (s *Store[K, V]) PinLatest() *Snapshot[K, V] {
+	s.pinMu.Lock()
+	ts := s.latest.Load()
+	s.pins[ts]++
+	s.pinMu.Unlock()
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			s.pinMu.Lock()
+			if s.pins[ts]--; s.pins[ts] <= 0 {
+				delete(s.pins, ts)
+			}
+			s.pinMu.Unlock()
+		})
+	}
+	return &Snapshot[K, V]{store: s, ts: ts, release: release}
+}
+
+// minPinned returns the smallest pinned timestamp, or max-uint64 when
+// nothing is pinned. Caller holds pinMu.
+func (s *Store[K, V]) minPinned() uint64 {
+	min := uint64(math.MaxUint64)
+	for ts := range s.pins {
+		if ts < min {
+			min = ts
+		}
+	}
+	return min
+}
+
+// TruncateBelow reclaims versions that no snapshot at or above
+// min(horizon, oldest pinned timestamp) can observe: for every key, the
+// newest version at or below that cut survives (it is the value such
+// snapshots read) and everything older is unlinked. Returns the number of
+// versions reclaimed. Safe to run concurrently with readers; serialised
+// against Commit.
+func (s *Store[K, V]) TruncateBelow(horizon uint64) int {
+	s.pinMu.Lock()
+	cut := s.minPinned()
+	s.pinMu.Unlock()
+	if horizon < cut {
+		cut = horizon
+	}
+	if cut == 0 {
+		return 0
+	}
+
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	reclaimed := 0
+	for k := range s.multi {
+		c, found := s.chains.Load(k)
+		if !found {
+			delete(s.multi, k)
+			continue
+		}
+		// Find the newest version with ts ≤ cut; it must survive. Versions
+		// strictly older can no longer be observed: every live snapshot has
+		// ts ≥ cut and resolves to this version or a newer one.
+		head := c.(*keyChain[V]).head.Load()
+		n := head
+		for n != nil && n.ts > cut {
+			n = n.prev.Load()
+		}
+		if n == nil {
+			continue
+		}
+		for old := n.prev.Load(); old != nil; old = old.prev.Load() {
+			reclaimed++
+		}
+		n.prev.Store(nil)
+		if n == head {
+			// The chain is back to a single version; nothing left to
+			// collect until the key is rewritten.
+			delete(s.multi, k)
+		}
+	}
+	s.versions.Add(int64(-reclaimed))
+	s.reclaimed.Add(int64(reclaimed))
+	return reclaimed
+}

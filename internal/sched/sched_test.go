@@ -141,9 +141,11 @@ func TestModelSpeedupMatchesPaperEq2(t *testing.T) {
 	}
 }
 
-// TestGrahamBounds property-checks the approximation guarantees: for any
-// job set, LB ≤ LPT ≤ (4/3 − 1/(3n))·OPT ≤ (4/3 − 1/(3n))·LPT and greedy ≤
-// (2 − 1/n)·LB.
+// TestGrahamBounds property-checks the approximation guarantees. Graham's
+// factors are relative to OPT, which is NP-hard to compute; every achieved
+// makespan is an upper bound on OPT, so each algorithm is checked against
+// the other's makespan. (Checking against LowerBound is not sound — OPT
+// can exceed it by up to 4/3, and rare quick-check inputs found the gap.)
 func TestGrahamBounds(t *testing.T) {
 	f := func(raw []uint8, wRaw uint8) bool {
 		if len(raw) == 0 {
@@ -166,11 +168,12 @@ func TestGrahamBounds(t *testing.T) {
 		if lpt.Makespan < lb || greedy.Makespan < lb {
 			return false
 		}
-		// OPT >= lb, so the Graham factors must hold against lb.
-		if float64(lpt.Makespan) > (4.0/3.0)*float64(lb)+1 {
+		// LPT ≤ (4/3 − 1/(3n))·OPT ≤ (4/3 − 1/(3n))·greedy, and
+		// greedy ≤ (2 − 1/n)·OPT ≤ (2 − 1/n)·LPT.
+		if float64(lpt.Makespan) > (4.0/3.0-1.0/(3.0*float64(n)))*float64(greedy.Makespan)+1 {
 			return false
 		}
-		if float64(greedy.Makespan) > (2.0-1.0/float64(n))*float64(lb)+1 {
+		if float64(greedy.Makespan) > (2.0-1.0/float64(n))*float64(lpt.Makespan)+1 {
 			return false
 		}
 		return lpt.Makespan <= greedy.Makespan+lb // LPT is usually better; allow slack
