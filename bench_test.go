@@ -17,6 +17,7 @@ import (
 	"txconcur/internal/chainsim"
 	"txconcur/internal/core"
 	"txconcur/internal/exec"
+	"txconcur/internal/mvstore"
 	"txconcur/internal/sched"
 )
 
@@ -156,6 +157,17 @@ func BenchmarkUTXOValidation(b *testing.B) {
 	}
 }
 
+func BenchmarkOpLevelComparison(b *testing.B) {
+	// E8 at benchmark scale; the recorded baseline lives in
+	// docs/bench/E8-baseline.json (regenerate with
+	// `go run ./cmd/experiments -run oplevel -json`).
+	for i := 0; i < b.N; i++ {
+		tbl, err := bench.OpLevelComparison(benchExecBlk, int64(2020+i), bench.OpLevelProfiles(), []int{8})
+		renderAll(b, err)
+		renderAll(b, bench.RenderTable(io.Discard, tbl))
+	}
+}
+
 // Micro-benchmarks of the pipeline stages.
 
 func BenchmarkTDGBuildAccount(b *testing.B) {
@@ -180,6 +192,61 @@ func BenchmarkTDGBuildAccount(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.BuildAccount(view)
+	}
+}
+
+func BenchmarkTDGBuildAccountRefined(b *testing.B) {
+	// The operation-level refinement hot path on a hot-key block, where
+	// most edges are droppable delta–delta credits.
+	g, err := chainsim.NewAcctGen(chainsim.HotWalletProfile(), 3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var blk *account.Block
+	var receipts []*account.Receipt
+	for {
+		bb, rr, ok, err := g.Next()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		blk, receipts = bb, rr
+	}
+	view := core.ViewFromReceipts(blk, receipts)
+	b.ReportMetric(float64(len(blk.Txs)), "txs/block")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.BuildAccountRefined(view)
+	}
+}
+
+func BenchmarkMVStoreResolveDeltas(b *testing.B) {
+	// Snapshot read of a hot key whose chain carries pending deltas from
+	// several committed blocks — the read path operation-level pipelining
+	// leans on. The chain is GC-compacted to the pipeline-depth shape.
+	store := mvstore.NewStoreDelta[string, int64](func(a, d int64) int64 { return a + d })
+	const depth = 4
+	for ts := uint64(1); ts <= 64; ts++ {
+		err := store.CommitWrites(ts, map[string]mvstore.Write[int64]{
+			"hot":                  {Kind: mvstore.DeltaAdd, Val: int64(ts)},
+			fmt.Sprintf("k%d", ts): {Kind: mvstore.Put, Val: int64(ts)},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ts > depth {
+			store.TruncateBelow(ts - depth)
+		}
+	}
+	snap := store.PinLatest()
+	defer snap.Release()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := snap.Resolve("hot", 0); v == 0 {
+			b.Fatal("delta chain lost")
+		}
 	}
 }
 

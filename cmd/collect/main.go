@@ -22,17 +22,26 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "collect:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	blocks := flag.Int("blocks", 40, "history blocks to generate and serve")
-	seed := flag.Int64("seed", 2020, "generator seed")
-	interval := flag.Duration("interval", 2*time.Millisecond, "request spacing (the paper saw ~250ms against mainnet)")
-	flag.Parse()
+func run(args []string) error {
+	fs := flag.NewFlagSet("collect", flag.ContinueOnError)
+	blocks := fs.Int("blocks", 40, "history blocks to generate and serve")
+	seed := fs.Int64("seed", 2020, "generator seed")
+	interval := fs.Duration("interval", 2*time.Millisecond, "request spacing (the paper saw ~250ms against mainnet)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *blocks < 1 {
+		return fmt.Errorf("-blocks must be positive, got %d", *blocks)
+	}
+	if *interval < 0 {
+		return fmt.Errorf("-interval must not be negative, got %v", *interval)
+	}
 
 	// Generate the history and export it to table rows.
 	gen, err := chainsim.NewAcctGen(chainsim.ZilliqaProfile(), *blocks, *seed)

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"txconcur/internal/chainsim"
+	"txconcur/internal/client"
+	"txconcur/internal/dataset"
+)
+
+// TestRunRoundTrip drives the whole loop the command implements — generate,
+// serve, collect, analyse — at a test-friendly scale.
+func TestRunRoundTrip(t *testing.T) {
+	if err := run([]string{"-blocks", "5", "-seed", "7", "-interval", "0s"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-blocks", "many"}); err == nil {
+		t.Fatal("non-numeric -blocks accepted")
+	}
+	if err := run([]string{"-blocks", "0"}); err == nil {
+		t.Fatal("zero -blocks accepted")
+	}
+	if err := run([]string{"-interval", "-1s"}); err == nil {
+		t.Fatal("negative -interval accepted")
+	}
+	if err := run([]string{"-nosuchflag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestCollectorAgainstTestServer is the round-trip at the package level:
+// the command's collector must reproduce, row for row, the table served by
+// internal/client's chain server — including across injected transient
+// failures, which exercise the retry path the command relies on.
+func TestCollectorAgainstTestServer(t *testing.T) {
+	gen, err := chainsim.NewAcctGen(chainsim.ZilliqaProfile(), 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []dataset.AccountTxRow
+	for {
+		blk, receipts, ok, err := gen.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, dataset.FromAccountBlock(blk, receipts)...)
+	}
+
+	srv := client.NewChainServer(rows)
+	srv.SetFailEvery(7) // transient 503s; the collector must retry through
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	c := &client.Collector{URL: "http://" + ln.Addr().String(), Interval: 0, MaxRetries: 5}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	collected, err := c.CollectAll(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var regular int
+	byHash := make(map[string]dataset.AccountTxRow)
+	for _, r := range rows {
+		if r.IsInternal {
+			continue
+		}
+		regular++
+		byHash[r.Hash.String()] = r
+	}
+	if len(collected) != regular {
+		t.Fatalf("collected %d rows, served %d regular transactions", len(collected), regular)
+	}
+	for _, got := range collected {
+		want, ok := byHash[got.Hash.String()]
+		if !ok {
+			t.Fatalf("collected unknown transaction %s", got.Hash.String())
+		}
+		if got.BlockNumber != want.BlockNumber || got.From != want.From ||
+			got.To != want.To || got.GasUsed != want.GasUsed {
+			t.Fatalf("row mismatch: got %+v want %+v", got, want)
+		}
+	}
+}

@@ -4,16 +4,20 @@
 //
 // Usage:
 //
-//	experiments [-blocks N] [-buckets N] [-seed N] [-run regexp]
+//	experiments [-blocks N] [-buckets N] [-seed N] [-run regexp] [-json]
 //
 // The -run filter selects experiments by name (tableI, fig1, fig4, fig5,
 // fig6, fig7, fig8, fig9, fig10, summary, exec, sched, approxtdg,
-// interblock, utxoexec, sharding, census, pipeline).
+// interblock, utxoexec, sharding, census, pipeline, oplevel). With -json,
+// table experiments emit one JSON object per table (figures stay text) —
+// the format of the recorded benchmark baselines.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 
@@ -34,6 +38,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 2020, "generator seed")
 	filter := fs.String("run", "", "regexp of experiment names to run")
 	execBlocks := fs.Int("execblocks", 20, "blocks for the executor experiments")
+	jsonOut := fs.Bool("json", false, "emit table experiments as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,18 +53,28 @@ func run(args []string) error {
 
 	r := bench.NewRunner(*blocks, *buckets, *seed)
 	out := os.Stdout
+	renderTable := func(w io.Writer, tbl bench.Table) error {
+		if *jsonOut {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(tbl)
+		}
+		if err := bench.RenderTable(w, tbl); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
 
 	if want("tableI") {
-		if err := bench.RenderTable(out, bench.TableI()); err != nil {
+		if err := renderTable(out, bench.TableI()); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
 	}
 	if want("fig1") {
-		if err := bench.RenderTable(out, bench.Fig1()); err != nil {
+		if err := renderTable(out, bench.Fig1()); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
 	}
 
 	figures := []struct {
@@ -92,50 +107,45 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("fig6: %w", err)
 		}
-		if err := bench.RenderTable(out, tbl); err != nil {
+		if err := renderTable(out, tbl); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
 	}
 	if want("summary") {
 		tbl, err := r.SummaryTable()
 		if err != nil {
 			return fmt.Errorf("summary: %w", err)
 		}
-		if err := bench.RenderTable(out, tbl); err != nil {
+		if err := renderTable(out, tbl); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
 	}
 	if want("exec") {
 		tbl, err := bench.ExecutorComparison(*execBlocks, *seed, []int{2, 4, 8, 64})
 		if err != nil {
 			return fmt.Errorf("exec: %w", err)
 		}
-		if err := bench.RenderTable(out, tbl); err != nil {
+		if err := renderTable(out, tbl); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
 	}
 	if want("sched") {
 		tbl, err := bench.SchedulingQuality(*execBlocks, *seed, []int{2, 4, 8, 64})
 		if err != nil {
 			return fmt.Errorf("sched: %w", err)
 		}
-		if err := bench.RenderTable(out, tbl); err != nil {
+		if err := renderTable(out, tbl); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
 	}
 	if want("approxtdg") {
 		tbl, err := bench.ApproxTDGEffectiveness(*execBlocks, *seed, 8)
 		if err != nil {
 			return fmt.Errorf("approxtdg: %w", err)
 		}
-		if err := bench.RenderTable(out, tbl); err != nil {
+		if err := renderTable(out, tbl); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
 	}
 	if want("pipeline") {
 		tbl, err := bench.PipelineComparison(*execBlocks, *seed,
@@ -143,50 +153,54 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("pipeline: %w", err)
 		}
-		if err := bench.RenderTable(out, tbl); err != nil {
+		if err := renderTable(out, tbl); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
+	}
+	if want("oplevel") {
+		tbl, err := bench.OpLevelComparison(*execBlocks, *seed, bench.OpLevelProfiles(), []int{2, 4, 8, 64})
+		if err != nil {
+			return fmt.Errorf("oplevel: %w", err)
+		}
+		if err := renderTable(out, tbl); err != nil {
+			return err
+		}
 	}
 	if want("interblock") {
 		tbl, err := bench.InterBlockConcurrency(*execBlocks, *seed, []int{1, 2, 4, 8}, 8)
 		if err != nil {
 			return fmt.Errorf("interblock: %w", err)
 		}
-		if err := bench.RenderTable(out, tbl); err != nil {
+		if err := renderTable(out, tbl); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
 	}
 	if want("utxoexec") {
 		tbl, err := bench.UTXOValidation(*execBlocks, *seed, []int{2, 4, 8, 64})
 		if err != nil {
 			return fmt.Errorf("utxoexec: %w", err)
 		}
-		if err := bench.RenderTable(out, tbl); err != nil {
+		if err := renderTable(out, tbl); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
 	}
 	if want("sharding") {
 		tbl, err := bench.ShardingAnalysis(*execBlocks, *seed, []int{2, 4, 8, 16})
 		if err != nil {
 			return fmt.Errorf("sharding: %w", err)
 		}
-		if err := bench.RenderTable(out, tbl); err != nil {
+		if err := renderTable(out, tbl); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
 	}
 	if want("census") {
 		tbl, err := bench.CensusTable(*execBlocks, *seed)
 		if err != nil {
 			return fmt.Errorf("census: %w", err)
 		}
-		if err := bench.RenderTable(out, tbl); err != nil {
+		if err := renderTable(out, tbl); err != nil {
 			return err
 		}
-		fmt.Fprintln(out)
 	}
 	return nil
 }

@@ -23,3 +23,12 @@ func TestRunBadFilter(t *testing.T) {
 		t.Fatal("bad regexp accepted")
 	}
 }
+
+func TestRunOpLevelJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs executors")
+	}
+	if err := run([]string{"-run", "oplevel", "-execblocks", "3", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,3 +22,12 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal("out-of-domain rate accepted")
 	}
 }
+
+func TestRunOpLevelColumn(t *testing.T) {
+	if err := run([]string{"-txs", "120", "-single", "0.9", "-group", "0.8", "-groupop", "0.04", "-cores", "8,64"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-groupop", "1.5"}); err == nil {
+		t.Fatal("out-of-domain op-level rate accepted")
+	}
+}

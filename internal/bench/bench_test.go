@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -331,5 +332,47 @@ func TestRendering(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "s1") || !strings.Contains(sb.String(), "(no data)") {
 		t.Fatalf("figure render wrong:\n%s", sb.String())
+	}
+}
+
+// TestOpLevelComparison enforces E8's headline property: on hot-key
+// profiles every engine's measured speed-up is strictly higher under
+// operation-level refinement than under the key-level TDG, and on the
+// delta-free control profile the two modes report identical results.
+// (Root equality against the sequential replay is asserted inside
+// OpLevelComparison itself.)
+func TestOpLevelComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs executors")
+	}
+	tbl, err := OpLevelComparison(5, 3, OpLevelProfiles(), []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	parsePair := func(cell string) (key, op float64) {
+		if _, err := fmt.Sscanf(cell, "%fx -> %fx", &key, &op); err != nil {
+			t.Fatalf("unparseable speed-up cell %q: %v", cell, err)
+		}
+		return key, op
+	}
+	for _, row := range tbl.Rows {
+		chain := row[0]
+		for col := 4; col < len(row); col++ {
+			key, op := parsePair(row[col])
+			engine := tbl.Headers[col]
+			switch chain {
+			case "Contract Crowd":
+				if key != op {
+					t.Errorf("%s/%s: delta-free profile diverged: %s", chain, engine, row[col])
+				}
+			default:
+				if op <= key {
+					t.Errorf("%s/%s: op-level %v not strictly above key-level %v", chain, engine, op, key)
+				}
+			}
+		}
 	}
 }

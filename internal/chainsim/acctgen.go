@@ -79,6 +79,7 @@ type AcctGen struct {
 	devNonces []uint64
 	devNext   int
 	exchanges []types.Address
+	hot       []types.Address // hot receivers: credit-only, never send
 	contracts []deployedContract
 	miners    []types.Address
 
@@ -106,13 +107,16 @@ func NewAcctGen(p Profile, numBlocks int, seed int64) (*AcctGen, error) {
 		time:     p.Eras[0].StartTime,
 	}
 
-	maxUsers, maxExchanges := 0, 0
+	maxUsers, maxExchanges, maxHot := 0, 0, 0
 	for _, e := range p.Eras {
 		if e.Users > maxUsers {
 			maxUsers = e.Users
 		}
 		if e.Exchanges > maxExchanges {
 			maxExchanges = e.Exchanges
+		}
+		if e.HotReceivers > maxHot {
+			maxHot = e.HotReceivers
 		}
 	}
 	if maxUsers > maxUserPool {
@@ -142,6 +146,10 @@ func NewAcctGen(p Profile, numBlocks int, seed int64) (*AcctGen, error) {
 	g.exchanges = make([]types.Address, maxExchanges)
 	for i := range g.exchanges {
 		g.exchanges[i] = types.AddressFromUint64("exchange/"+p.Name, uint64(i))
+	}
+	g.hot = make([]types.Address, maxHot)
+	for i := range g.hot {
+		g.hot[i] = types.AddressFromUint64("hot/"+p.Name, uint64(i))
 	}
 	g.miners = make([]types.Address, 4)
 	for i := range g.miners {
@@ -356,14 +364,24 @@ func (g *AcctGen) buildBlock(era *Era) *account.Block {
 	nCreate := frac(era.CreationFrac)
 	nContract := frac(era.ContractFrac)
 	nDeposit := frac(era.ExchangeFrac)
+	// The hot-receiver draw happens only when the knob is set, so profiles
+	// without it consume exactly the historical random stream.
+	nHot := 0
+	if era.HotReceiverFrac > 0 && era.HotReceivers > 0 && len(g.hot) > 0 {
+		nHot = frac(era.HotReceiverFrac)
+	}
 	if len(g.contracts) == 0 {
 		nContract = 0
 	}
 	if len(g.exchanges) == 0 || era.Exchanges == 0 {
 		nDeposit = 0
 	}
-	if nCreate+nContract+nDeposit > target {
-		nDeposit = target - nCreate - nContract
+	if nCreate+nContract+nDeposit+nHot > target {
+		nHot = target - nCreate - nContract - nDeposit
+		if nHot < 0 {
+			nDeposit += nHot
+			nHot = 0
+		}
 		if nDeposit < 0 {
 			nContract += nDeposit
 			nDeposit = 0
@@ -373,7 +391,7 @@ func (g *AcctGen) buildBlock(era *Era) *account.Block {
 			nContract = 0
 		}
 	}
-	nP2P := target - nCreate - nContract - nDeposit
+	nP2P := target - nCreate - nContract - nDeposit - nHot
 
 	// Active sender set: distinct uniform draws from the pool, partitioned
 	// by role in proportion to the role budgets.
@@ -385,7 +403,7 @@ func (g *AcctGen) buildBlock(era *Era) *account.Block {
 	for i := range active {
 		active[i] = g.smp.rng.Intn(pool)
 	}
-	nonCreate := nContract + nDeposit + nP2P
+	nonCreate := nContract + nDeposit + nHot + nP2P
 	segment := func(role, total int) []int {
 		if nonCreate == 0 || total == 0 {
 			return active[:1]
@@ -413,6 +431,16 @@ func (g *AcctGen) buildBlock(era *Era) *account.Block {
 	if off >= activeN {
 		off = activeN - 1
 	}
+	// The hot-sender segment exists only when hot transfers do, so the p2p
+	// segment (and the random stream) is untouched for legacy profiles.
+	hotSenders := active[:0]
+	if nHot > 0 {
+		hotSenders = segment(off, nHot)
+		off += len(hotSenders)
+		if off >= activeN {
+			off = activeN - 1
+		}
+	}
 	p2pSenders := segment(off, nP2P)
 
 	exchQ := newZipfQuantile(1.5, mini(era.Exchanges, len(g.exchanges)))
@@ -428,6 +456,16 @@ func (g *AcctGen) buildBlock(era *Era) *account.Block {
 		s := contractSenders[g.smp.rng.Intn(len(contractSenders))]
 		c := g.contracts[contractQ.index(g.userRawC[s])]
 		txs = append(txs, g.callTx(s, c.addr))
+	}
+	if nHot > 0 {
+		// Hot transfers: a per-transaction Zipf draw across the hot pool —
+		// a flash crowd converges on the head address, a token sale spreads
+		// a little further down.
+		hotQ := newZipfQuantile(1.3, mini(era.HotReceivers, len(g.hot)))
+		for i := 0; i < nHot; i++ {
+			s := hotSenders[g.smp.rng.Intn(len(hotSenders))]
+			txs = append(txs, g.transferTx(s, g.hot[hotQ.index(g.smp.rng.Float64())]))
+		}
 	}
 	for i := 0; i < nP2P; i++ {
 		s := p2pSenders[g.smp.rng.Intn(len(p2pSenders))]

@@ -102,6 +102,14 @@ type Era struct {
 	InternalDepth float64
 	// Contracts is the number of popular deployed contracts.
 	Contracts int
+	// HotReceiverFrac is the fraction of transactions that are plain value
+	// transfers to one of a few hot receiver addresses (a token sale, an
+	// airdrop payout, a flash-crowd target). Hot receivers never send and
+	// carry no code, so their balance is only ever credited — the pure
+	// delta–delta pattern operation-level conflict refinement exploits.
+	HotReceiverFrac float64
+	// HotReceivers is the number of distinct hot receiver addresses.
+	HotReceivers int
 }
 
 // Profile describes one blockchain: its Table I characteristics and its
@@ -162,10 +170,32 @@ func AllProfiles() []Profile {
 	}
 }
 
+// HotKeyProfiles returns the hot-key stress workloads used by the
+// operation-level experiments (E8). They are not part of the paper's Table I
+// (AllProfiles): each one concentrates traffic on a handful of addresses so
+// that the key-level TDG collapses the block into one component, which is
+// exactly where delta-write refinement matters. "Contract Crowd" is the
+// delta-free control: its hot keys are contracts whose storage is genuinely
+// shared, so refinement must change nothing.
+func HotKeyProfiles() []Profile {
+	return []Profile{
+		TokenHotKeyProfile(),
+		HotWalletProfile(),
+		FlashCrowdProfile(),
+		ContractCrowdProfile(),
+	}
+}
+
 // ProfileByName returns the profile with the given name and whether it
-// exists.
+// exists, searching the paper's Table I chains and the hot-key extension
+// profiles.
 func ProfileByName(name string) (Profile, bool) {
 	for _, p := range AllProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range HotKeyProfiles() {
 		if p.Name == name {
 			return p, true
 		}
@@ -320,6 +350,85 @@ func EthereumClassicProfile() Profile {
 				TxPerBlock: 11, TxPerBlockJitter: 0.8, Users: 2500,
 				ActiveFrac: 0.30, ExchangeFrac: 0.72, Exchanges: 1,
 				ContractFrac: 0.06, CreationFrac: 0.008, InternalDepth: 1.3, Contracts: 60},
+		},
+	}
+}
+
+// TokenHotKeyProfile models a token-distribution period: most transactions
+// are plain transfers into a few sale/airdrop collection addresses, with a
+// modest background of contract calls and peer payments. Key-level, the
+// collection addresses merge most of the block into one component;
+// operation-level, the credits commute and the block is almost embarrassingly
+// parallel.
+func TokenHotKeyProfile() Profile {
+	return Profile{
+		Name: "Token Hot-Key", Model: Account, Consensus: "PoW",
+		SmartContracts: true, DataSource: "Synthetic", LaunchYear: 2020,
+		Eras: []Era{
+			{Name: "sale", Weight: 1, StartTime: jan1(2020), BlockInterval: 15,
+				TxPerBlock: 100, TxPerBlockJitter: 0.3, Users: 30000,
+				ActiveFrac: 2.0, ExchangeFrac: 0.05, Exchanges: 1,
+				ContractFrac: 0.08, CreationFrac: 0.01, InternalDepth: 1.2, Contracts: 40,
+				HotReceiverFrac: 0.65, HotReceivers: 4},
+			{Name: "frenzy", Weight: 1, StartTime: jan1(2020) + 90*86400, BlockInterval: 15,
+				TxPerBlock: 140, TxPerBlockJitter: 0.4, Users: 50000,
+				ActiveFrac: 2.4, ExchangeFrac: 0.05, Exchanges: 1,
+				ContractFrac: 0.06, CreationFrac: 0.005, InternalDepth: 1.2, Contracts: 40,
+				HotReceiverFrac: 0.75, HotReceivers: 3},
+		},
+	}
+}
+
+// HotWalletProfile models an exchange hot wallet absorbing most of the
+// chain's traffic: deposits from a wide sender population into a single
+// exchange address — the Poloniex pattern of the paper's Figure 1b pushed to
+// the workload's limit.
+func HotWalletProfile() Profile {
+	return Profile{
+		Name: "Hot Wallet", Model: Account, Consensus: "PoW",
+		SmartContracts: true, DataSource: "Synthetic", LaunchYear: 2020,
+		Eras: []Era{
+			{Name: "steady", Weight: 1, StartTime: jan1(2020), BlockInterval: 15,
+				TxPerBlock: 120, TxPerBlockJitter: 0.3, Users: 40000,
+				ActiveFrac: 2.5, ExchangeFrac: 0.82, Exchanges: 1,
+				ContractFrac: 0.03, CreationFrac: 0.005, InternalDepth: 1.1, Contracts: 20,
+				HotReceiverFrac: 0, HotReceivers: 0},
+		},
+	}
+}
+
+// FlashCrowdProfile models a flash crowd: nearly every transaction in the
+// block pays the same single address (a viral fundraiser, an NFT mint
+// treasury), with bursty block sizes. The extreme case where the key-level
+// speed-up is pinned at ~1.
+func FlashCrowdProfile() Profile {
+	return Profile{
+		Name: "Flash Crowd", Model: Account, Consensus: "PoW",
+		SmartContracts: false, DataSource: "Synthetic", LaunchYear: 2020,
+		Eras: []Era{
+			{Name: "crowd", Weight: 1, StartTime: jan1(2020), BlockInterval: 15,
+				TxPerBlock: 150, TxPerBlockJitter: 0.8, Users: 50000,
+				ActiveFrac: 3.0, ExchangeFrac: 0, Exchanges: 0,
+				ContractFrac: 0, CreationFrac: 0, InternalDepth: 0, Contracts: 0,
+				HotReceiverFrac: 0.92, HotReceivers: 1},
+		},
+	}
+}
+
+// ContractCrowdProfile is the delta-free control for E8: every transaction
+// invokes a contract from a small popular population, so the hot keys are
+// contract storage — real shared state that commutes with nothing. Key-level
+// and operation-level analyses must agree exactly on this workload.
+func ContractCrowdProfile() Profile {
+	return Profile{
+		Name: "Contract Crowd", Model: Account, Consensus: "PoW",
+		SmartContracts: true, DataSource: "Synthetic", LaunchYear: 2020,
+		Eras: []Era{
+			{Name: "crowd", Weight: 1, StartTime: jan1(2020), BlockInterval: 15,
+				TxPerBlock: 80, TxPerBlockJitter: 0.3, Users: 20000,
+				ActiveFrac: 2.0, ExchangeFrac: 0, Exchanges: 0,
+				ContractFrac: 1.0, CreationFrac: 0, InternalDepth: 1.5, Contracts: 12,
+				HotReceiverFrac: 0, HotReceivers: 0},
 		},
 	}
 }

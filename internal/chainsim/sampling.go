@@ -148,6 +148,8 @@ func interpolate(a, b *Era, frac float64) Era {
 	out.CreationFrac = lerp(a.CreationFrac, b.CreationFrac)
 	out.InternalDepth = lerp(a.InternalDepth, b.InternalDepth)
 	out.Contracts = int(lerp(float64(a.Contracts), float64(b.Contracts)))
+	out.HotReceiverFrac = lerp(a.HotReceiverFrac, b.HotReceiverFrac)
+	out.HotReceivers = int(lerp(float64(a.HotReceivers), float64(b.HotReceivers)))
 	return out
 }
 

@@ -103,6 +103,16 @@ func MeasureAccountView(v *AccountBlockView) Metrics {
 	return m
 }
 
+// MeasureAccountViewRefined computes the metrics of an account block view
+// under the operation-level TDG (BuildAccountRefined): commutative
+// delta–delta edges do not count as conflicts.
+func MeasureAccountViewRefined(v *AccountBlockView) Metrics {
+	tdg := BuildAccountRefined(v)
+	m := FromTDG(tdg)
+	m.GasUsed, m.ConflictedGas, m.LCCGas = tdg.GasMetrics(v.GasUsed)
+	return m
+}
+
 // LongestSpendChain returns the length (in transactions) of the longest
 // intra-block spend chain of a UTXO block: the longest path in the DAG whose
 // edges connect a transaction to one spending its output within the block.

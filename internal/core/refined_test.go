@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"txconcur/internal/types"
+)
+
+func refAddr(i uint64) types.Address { return types.AddressFromUint64("refined", i) }
+
+// hotDepositView models the degenerate hot-key block: n distinct senders
+// all paying one exchange wallet via pure transfers.
+func hotDepositView(n int) *AccountBlockView {
+	hot := refAddr(1000)
+	v := &AccountBlockView{
+		Regular:  make([]AccountEdge, n),
+		Transfer: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		v.Regular[i] = AccountEdge{From: refAddr(uint64(i)), To: hot}
+		v.Transfer[i] = true
+	}
+	return v
+}
+
+func TestRefinedDropsPureDeltaEdges(t *testing.T) {
+	v := hotDepositView(6)
+	key := BuildAccount(v)
+	if key.LCCTxs() != 6 || key.Conflicted() != 6 {
+		t.Fatalf("key-level TDG: LCC %d conflicted %d, want 6/6", key.LCCTxs(), key.Conflicted())
+	}
+	op := BuildAccountRefined(v)
+	if op.DroppedDeltaEdges != 6 {
+		t.Fatalf("dropped %d edges, want 6", op.DroppedDeltaEdges)
+	}
+	if op.LCCTxs() != 1 || op.Conflicted() != 0 {
+		t.Fatalf("refined TDG: LCC %d conflicted %d, want 1/0", op.LCCTxs(), op.Conflicted())
+	}
+	if op.NumTxs != 6 || len(op.TxComponent) != 6 {
+		t.Fatalf("refined TDG lost transactions: %+v", op)
+	}
+}
+
+func TestRefinedKeepsReaderDependencies(t *testing.T) {
+	// The hot address sends once (to one of the depositors, itself a
+	// sender): its balance is read, so every credit to it materialises and
+	// all edges must stay.
+	v := hotDepositView(4)
+	hot := v.Regular[0].To
+	v.Regular = append(v.Regular, AccountEdge{From: hot, To: refAddr(0)})
+	v.Transfer = append(v.Transfer, true)
+	op := BuildAccountRefined(v)
+	if op.DroppedDeltaEdges != 0 {
+		t.Fatalf("dropped %d edges despite the receiver sending", op.DroppedDeltaEdges)
+	}
+	if op.LCCTxs() != 5 {
+		t.Fatalf("refined LCC %d, want 5", op.LCCTxs())
+	}
+
+	// A non-transfer interaction (contract call) with the hot address also
+	// pins every edge: the callee's state is really shared.
+	v2 := hotDepositView(4)
+	v2.Regular = append(v2.Regular, AccountEdge{From: refAddr(55), To: v2.Regular[0].To})
+	v2.Transfer = append(v2.Transfer, false)
+	op2 := BuildAccountRefined(v2)
+	if op2.DroppedDeltaEdges != 0 {
+		t.Fatalf("dropped %d edges despite a non-transfer target", op2.DroppedDeltaEdges)
+	}
+	if op2.LCCTxs() != 5 {
+		t.Fatalf("refined LCC %d, want 5", op2.LCCTxs())
+	}
+}
+
+func TestRefinedMatchesKeyLevelWithoutTransfers(t *testing.T) {
+	// With no transfer classification (nil Transfer) or no transfers at all,
+	// the refined TDG must equal the paper's key-level TDG.
+	v := hotDepositView(5)
+	v.Transfer = nil
+	key, op := BuildAccount(v), BuildAccountRefined(v)
+	if op.DroppedDeltaEdges != 0 || op.LCCTxs() != key.LCCTxs() || op.Conflicted() != key.Conflicted() {
+		t.Fatalf("nil Transfer: refined diverged (dropped %d)", op.DroppedDeltaEdges)
+	}
+
+	// Self-transfers are never droppable: the sender reads its own balance.
+	self := &AccountBlockView{
+		Regular:  []AccountEdge{{From: refAddr(1), To: refAddr(1)}},
+		Transfer: []bool{true},
+	}
+	if got := BuildAccountRefined(self).DroppedDeltaEdges; got != 0 {
+		t.Fatalf("self-transfer dropped %d edges", got)
+	}
+
+	// Internal transactions targeting an address keep its edges even when a
+	// regular transfer also pays it.
+	vi := hotDepositView(3)
+	vi.Internal = []AccountEdge{{From: refAddr(60), To: vi.Regular[0].To}}
+	if got := BuildAccountRefined(vi).DroppedDeltaEdges; got != 0 {
+		t.Fatalf("internal-targeted receiver dropped %d edges", got)
+	}
+}

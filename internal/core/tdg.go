@@ -37,6 +37,10 @@ type TDG struct {
 	// ComponentTxCount holds, for each component ID, the number of regular
 	// transactions mapped to it.
 	ComponentTxCount []int
+	// DroppedDeltaEdges is the number of pure delta–delta edges the
+	// operation-level refinement removed (BuildAccountRefined only; zero
+	// for the paper's key-level construction).
+	DroppedDeltaEdges int
 }
 
 // BuildUTXO constructs the TDG of a UTXO block: one node per non-coinbase
@@ -108,14 +112,21 @@ type AccountBlockView struct {
 	// GasUsed is the gas consumed per regular transaction, aligned with
 	// Regular; optional (used for gas weighting). Nil means unknown.
 	GasUsed []uint64
+	// Transfer marks regular transactions that are pure successful value
+	// transfers — no code executed, no internal transactions — whose only
+	// effect on the receiver is a commutative balance credit. Aligned with
+	// Regular; optional (nil treats every transaction as a potential
+	// reader, which disables the operation-level refinement).
+	Transfer []bool
 }
 
 // ViewFromReceipts assembles an AccountBlockView from an executed block and
 // its receipts (which carry the internal-transaction traces).
 func ViewFromReceipts(b *account.Block, receipts []*account.Receipt) *AccountBlockView {
 	v := &AccountBlockView{
-		Regular: make([]AccountEdge, len(b.Txs)),
-		GasUsed: make([]uint64, len(b.Txs)),
+		Regular:  make([]AccountEdge, len(b.Txs)),
+		GasUsed:  make([]uint64, len(b.Txs)),
+		Transfer: make([]bool, len(b.Txs)),
 	}
 	for i, tx := range b.Txs {
 		to := tx.To
@@ -124,8 +135,15 @@ func ViewFromReceipts(b *account.Block, receipts []*account.Receipt) *AccountBlo
 		}
 		v.Regular[i] = AccountEdge{From: tx.From, To: to}
 		if i < len(receipts) {
-			v.GasUsed[i] = receipts[i].GasUsed
-			for _, itx := range receipts[i].Internal {
+			r := receipts[i]
+			v.GasUsed[i] = r.GasUsed
+			// Exactly the intrinsic gas means no code ran: the receiver was
+			// only credited. Failed transactions (status 0) revert their
+			// credit but burn extra gas, so they classify as non-transfers,
+			// which is the conservative direction.
+			v.Transfer[i] = !tx.IsCreation() && r.Status == 1 &&
+				r.GasUsed == account.GasTx && len(r.Internal) == 0
+			for _, itx := range r.Internal {
 				v.Internal = append(v.Internal, AccountEdge{From: itx.From, To: itx.To})
 			}
 		}
@@ -153,6 +171,44 @@ func InternalEdgesByTx(receipts []*account.Receipt) [][]AccountEdge {
 // endpoints, the extra mapping step the paper describes for its Ethereum
 // query (§III-C).
 func BuildAccount(v *AccountBlockView) *TDG {
+	return buildAccount(v, false)
+}
+
+// BuildAccountRefined constructs the operation-level TDG: like
+// BuildAccount, but edges whose only shared state is a commutative balance
+// credit are dropped. A transfer's edge to its receiver is pure delta–delta
+// when the receiver is credit-only within the block — it never sends (no
+// balance/nonce read), is never called or created, and receives value only
+// through pure transfers — so deposits to a hot wallet or payouts to a
+// flash-crowd address no longer collapse the block into one component.
+// (Lin et al. 2022 and Garamvölgyi et al. 2022 make the same observation
+// at the execution layer: commutative balance updates need not conflict.)
+// The transaction itself stays in its sender's component, which still
+// carries its real read–write dependencies.
+func BuildAccountRefined(v *AccountBlockView) *TDG {
+	return buildAccount(v, true)
+}
+
+func buildAccount(v *AccountBlockView, refined bool) *TDG {
+	// Classify receivers for the refinement: an address is credit-only iff
+	// it never appears as a sender (its balance and nonce are never read)
+	// and every interaction targeting it is a pure transfer credit.
+	var sender, nonCredit map[types.Address]bool
+	if refined {
+		sender = make(map[types.Address]bool, len(v.Regular))
+		nonCredit = make(map[types.Address]bool)
+		for i, e := range v.Regular {
+			sender[e.From] = true
+			if i >= len(v.Transfer) || !v.Transfer[i] {
+				nonCredit[e.To] = true
+			}
+		}
+		for _, e := range v.Internal {
+			sender[e.From] = true
+			nonCredit[e.To] = true
+		}
+	}
+
 	in := graph.NewInterner[types.Address](2 * len(v.Regular))
 	g := graph.NewUndirected(0)
 	addEdge := func(e AccountEdge) {
@@ -160,7 +216,18 @@ func BuildAccount(v *AccountBlockView) *TDG {
 		g.Grow(in.Len())
 		g.AddEdge(a, b)
 	}
-	for _, e := range v.Regular {
+	dropped := 0
+	for i, e := range v.Regular {
+		if refined && i < len(v.Transfer) && v.Transfer[i] && e.From != e.To &&
+			!sender[e.To] && !nonCredit[e.To] {
+			// Pure delta–delta edge: the receiver's state is only ever
+			// credited, commutatively. Keep the sender as a node so the
+			// transaction still maps to a component.
+			in.ID(e.From)
+			g.Grow(in.Len())
+			dropped++
+			continue
+		}
 		addEdge(e)
 	}
 	for _, e := range v.Internal {
@@ -176,14 +243,16 @@ func BuildAccount(v *AccountBlockView) *TDG {
 	}
 
 	t := &TDG{
-		NumTxs:           len(v.Regular),
-		NumInternal:      len(v.Internal),
-		TxComponent:      make([]int, len(v.Regular)),
-		ComponentTxCount: make([]int, len(ccs)),
+		NumTxs:            len(v.Regular),
+		NumInternal:       len(v.Internal),
+		TxComponent:       make([]int, len(v.Regular)),
+		ComponentTxCount:  make([]int, len(ccs)),
+		DroppedDeltaEdges: dropped,
 	}
 	for i, e := range v.Regular {
-		// Sender and receiver are in the same component by construction
-		// (the edge between them was added above).
+		// The sender is always interned (a refined-dropped edge still
+		// interns it), and shares its component with the receiver whenever
+		// the edge was added.
 		id, _ := in.Lookup(e.From)
 		comp := addrComp[id]
 		t.TxComponent[i] = comp

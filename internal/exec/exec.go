@@ -127,21 +127,31 @@ type Speculative struct {
 	// Phase one runs on min(Workers, GOMAXPROCS) OS threads, so simulated
 	// speed-ups for n = 64 remain meaningful on small machines.
 	Workers int
+	// OpLevel enables operation-level conflict refinement: balance credits
+	// and debits are recorded as commutative deltas, so transactions that
+	// only *add* to a shared account (hot-wallet deposits, flash-crowd
+	// payments) no longer conflict with each other — only with readers and
+	// absolute writers of that balance. Off, the engine uses the key-level
+	// read/write rule of [17] that the paper's equation (1) models.
+	OpLevel bool
 }
 
 // Execute runs the block on st (mutated on success).
 //
 // Soundness: winners (unconflicted transactions) are pairwise independent
 // by the symmetric conflict rule, so their phase-1 results equal their
-// sequential results. The one hazard is phase 2 itself: a binned
-// transaction's *re-execution* can write keys phase 1 never saw it touch
-// (different branch after seeing different values, or an envelope failure
-// that produced no phase-1 write set). If such a write lands on a key that
-// a *later-ordered* winner touched, that winner's phase-1 result is stale.
-// Execute therefore stages everything in overlays, validates winners
-// against the per-transaction phase-2 write logs, and falls back to plain
-// sequential execution of the whole block (from the untouched pre-state)
-// when the validation fails — rare in practice, counted in Stats.Retries.
+// sequential results. The hazard is phase 2 itself: a binned transaction's
+// *re-execution* can touch keys phase 1 never saw it touch (different
+// branch after seeing different values, or an envelope failure that
+// produced no phase-1 access sets) — in both directions. Its re-execution
+// must not *observe* a later-ordered winner's write, so Execute stages the
+// block into the accumulator strictly in block order (a binned transaction
+// sees exactly its sequential prefix, never a later winner). And if its
+// re-execution *writes* a key that a later-ordered winner touched, that
+// winner's phase-1 result is stale: winners are validated against the
+// per-transaction phase-2 write logs, with a fallback to plain sequential
+// execution of the whole block (from the untouched pre-state) when the
+// validation fails — rare in practice, counted in Stats.Retries.
 func (e Speculative) Execute(st *account.StateDB, blk *account.Block) (*Result, error) {
 	if e.Workers < 1 {
 		return nil, ErrNoWorkers
@@ -155,7 +165,7 @@ func (e Speculative) Execute(st *account.StateDB, blk *account.Block) (*Result, 
 	phase1Receipts := make([]*account.Receipt, x)
 	phase1Fail := make([]bool, x)
 	parallelFor(x, e.Workers, func(i int) {
-		o := newOverlay(st)
+		o := newOverlayOp(st, e.OpLevel)
 		rcpt, err := procDeferred.ApplyTransaction(o, blk, blk.Txs[i])
 		if err != nil {
 			// Envelope failure against the pre-block state (e.g. a nonce
@@ -181,40 +191,49 @@ func (e Speculative) Execute(st *account.StateDB, blk *account.Block) (*Result, 
 		}
 	}
 
-	// Stage winners into an accumulator overlay (nothing touches st yet).
-	acc := newOverlay(st)
+	// Phase 2: stage the block into an accumulator overlay strictly in
+	// block order (nothing touches st yet) — winners contribute their
+	// phase-1 overlays, binned transactions re-execute against the exact
+	// prefix staged so far. Ordered staging matters: a binned transaction's
+	// re-execution may read keys its phase-1 run never touched, and those
+	// reads must observe only *earlier* transactions, never a later
+	// winner's write. Each binned transaction's writes are logged (delta
+	// writes included: a winner that *read* a delta-written balance is
+	// stale); phase2MinWriter[k] is the smallest binned index that wrote k.
+	acc := newOverlayOp(st, e.OpLevel)
 	receipts := make([]*account.Receipt, x)
-	for i, o := range overlays {
-		if !binned[i] {
-			o.applyTo(acc)
-			receipts[i] = phase1Receipts[i]
+	phase2MinWriter := make(map[StateKey]int)
+	logWriter := func(k StateKey, i int) {
+		if _, seen := phase2MinWriter[k]; !seen {
+			phase2MinWriter[k] = i
 		}
 	}
-
-	// Phase 2: re-execute the bin sequentially in block order on top of
-	// the staged winners, logging each transaction's writes.
-	// phase2MinWriter[k] is the smallest binned index that wrote k.
-	phase2MinWriter := make(map[StateKey]int)
 	for i, tx := range blk.Txs {
 		if !binned[i] {
+			overlays[i].applyTo(acc)
+			receipts[i] = phase1Receipts[i]
 			continue
 		}
-		o := newOverlay(acc)
+		o := newOverlayOp(acc, e.OpLevel)
 		rcpt, err := procDeferred.ApplyTransaction(o, blk, tx)
 		if err != nil {
 			return nil, fmt.Errorf("exec: speculative phase 2, tx %d: %w", i, err)
 		}
 		receipts[i] = rcpt
 		for k := range o.writes {
-			if _, seen := phase2MinWriter[k]; !seen {
-				phase2MinWriter[k] = i
-			}
+			logWriter(k, i)
+		}
+		for a := range o.deltas {
+			logWriter(deltaKey(a), i)
 		}
 		o.applyTo(acc)
 	}
 
 	// Validate winners: a winner is stale if a binned transaction that
-	// precedes it in block order wrote a key the winner touched.
+	// precedes it in block order wrote a key the winner read or absolutely
+	// wrote. A winner's *delta* writes need no check: deltas commute with
+	// every phase-2 write to the same balance (absolute balance writes do
+	// not exist in op-level mode), so the accumulated sum is order-free.
 	valid := true
 	if len(phase2MinWriter) > 0 {
 	validate:
@@ -294,6 +313,15 @@ type Grouped struct {
 	// are detected by write-set overlap and repaired by sequential
 	// re-execution, and counted in Stats.Retries.
 	Approx bool
+	// Refined schedules on the operation-level TDG
+	// (core.BuildAccountRefined): pure delta–delta edges — transfers whose
+	// receiver is only ever credited within the block — do not merge
+	// components, so hot-key deposits spread across workers instead of
+	// serialising in one giant group. Workers then record balance credits
+	// as commutative deltas, which the overlap validation permits across
+	// workers (the credits commute); everything else still overlaps as
+	// before.
+	Refined bool
 	// Receipts optionally supplies the block's known receipts (oracle
 	// TDG). When nil, a sequential pre-run on a copy derives them — the
 	// pre-processing step whose cost the paper calls K.
@@ -317,7 +345,7 @@ func (e Grouped) Execute(st *account.StateDB, blk *account.Block) (*Result, erro
 		}
 		receipts = seq.Receipts
 	}
-	groups := groupsFromReceipts(blk, receipts, e.Approx)
+	groups := groupsFromReceipts(blk, receipts, e.Approx, e.Refined)
 
 	// LPT-schedule groups onto workers, unit cost per transaction.
 	jobs := make([]int, len(groups))
@@ -343,7 +371,7 @@ func (e Grouped) Execute(st *account.StateDB, blk *account.Block) (*Result, erro
 	workerErrs := make([]error, e.Workers)
 	workerReceipts := make([]*account.Receipt, x)
 	parallelFor(e.Workers, e.Workers, func(w int) {
-		o := newOverlay(st)
+		o := newOverlayOp(st, e.Refined)
 		workerOverlays[w] = o
 		for _, gi := range schedule.Assignments[w] {
 			for _, ti := range groups[gi] {
@@ -417,7 +445,10 @@ func (e Grouped) Execute(st *account.StateDB, blk *account.Block) (*Result, erro
 }
 
 // anyOverlap reports whether any worker failed or any state key was written
-// by one worker and read or written by another.
+// by one worker and read or written by another. Delta writes are exempt
+// from the delta–delta case only: two workers blindly crediting the same
+// balance commute, but a delta still overlaps with another worker's read or
+// absolute write of that key.
 func anyOverlap(overlays []*overlay, errs []error) bool {
 	for _, err := range errs {
 		if err != nil {
@@ -436,12 +467,34 @@ func anyOverlap(overlays []*overlay, errs []error) bool {
 			writer[k] = w
 		}
 	}
+	// deltaOwner[k] is the sole delta-writing worker, or -1 once several
+	// workers delta-write k (legal between themselves).
+	deltaOwner := make(map[StateKey]int)
+	for w, o := range overlays {
+		if o == nil {
+			continue
+		}
+		for a := range o.deltas {
+			k := deltaKey(a)
+			if fw, ok := writer[k]; ok && fw != w {
+				return true
+			}
+			if prev, ok := deltaOwner[k]; !ok {
+				deltaOwner[k] = w
+			} else if prev != w {
+				deltaOwner[k] = -1
+			}
+		}
+	}
 	for w, o := range overlays {
 		if o == nil {
 			continue
 		}
 		for k := range o.reads {
 			if fw, ok := writer[k]; ok && fw != w {
+				return true
+			}
+			if dw, ok := deltaOwner[k]; ok && dw != w {
 				return true
 			}
 		}
@@ -500,10 +553,16 @@ func ceilDivU(a, b uint64) uint64 {
 
 // groupsFromReceipts builds the TDG transaction groups for a block given
 // its receipts (oracle mode) or from regular transactions only (approx).
-func groupsFromReceipts(blk *account.Block, receipts []*account.Receipt, approx bool) [][]int {
+// refined drops pure delta–delta edges (operation-level scheduling).
+func groupsFromReceipts(blk *account.Block, receipts []*account.Receipt, approx, refined bool) [][]int {
 	v := core.ViewFromReceipts(blk, receipts)
-	var tdg *core.TDG
 	if approx {
+		v = &core.AccountBlockView{Regular: v.Regular, GasUsed: v.GasUsed, Transfer: v.Transfer}
+	}
+	var tdg *core.TDG
+	if refined {
+		tdg = core.BuildAccountRefined(v)
+	} else if approx {
 		tdg = core.BuildAccountApprox(v)
 	} else {
 		tdg = core.BuildAccount(v)

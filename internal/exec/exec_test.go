@@ -223,6 +223,63 @@ func TestEnginesAgreeContractWorkload(t *testing.T) {
 	}
 }
 
+// gateCode builds the branch-divergent contract used to pin down phase-2
+// ordering: Arg != 0 blindly writes storage[0] = Arg; Arg == 0 records
+// storage[caller] = storage[0] — a pure reader of the shared slot.
+func gateCode() []byte {
+	asm := vm.NewAsm().
+		Op(vm.OpArg).PushLabel("write").Op(vm.OpJumpI).
+		// Reader path: storage[caller] = storage[0].
+		Op(vm.OpCaller).Push(0).Op(vm.OpSload, vm.OpSstore, vm.OpStop).
+		Label("write").
+		// Blind-writer path: storage[0] = Arg, no read.
+		Push(0).Op(vm.OpArg, vm.OpSstore, vm.OpStop)
+	return vm.EncodeContract(vm.Contract{Code: asm.Bytes()})
+}
+
+// TestSpeculativeBinnedReexecSeesOnlyPrefix is a regression test for a
+// serial-equivalence bug: phase 2 used to stage ALL winners into the
+// accumulator before re-executing the bin, so a binned transaction whose
+// re-execution read a key it never touched in phase 1 (here: it never ran —
+// envelope failure) could observe a later-ordered winner's write. The block
+// below made the binned reader record the winner's future value into its
+// own storage slot, silently diverging from the sequential root; staging in
+// block order fixes it.
+func TestSpeculativeBinnedReexecSeesOnlyPrefix(t *testing.T) {
+	st := fundedState(10)
+	gate := addr(300)
+	st.SetCode(gate, gateCode())
+	st.DiscardJournal()
+
+	blk := testBlock(
+		// tx0 makes tx1 fail its phase-1 envelope (nonce gap) and shares
+		// its sender, so both are binned.
+		transfer(0, 9, 0, 100),
+		// tx1: the reader — sequentially it must see storage[0] == 0.
+		&account.Transaction{From: addr(0), To: gate, Nonce: 1, Arg: 0,
+			GasLimit: 1_000_000, GasPrice: 1},
+		// tx2: the blind writer — an unconflicted winner under the
+		// storage-level rule, ordered AFTER the reader.
+		&account.Transaction{From: addr(1), To: gate, Nonce: 0, Arg: 42,
+			GasLimit: 1_000_000, GasPrice: 1},
+	)
+	results := runAllEngines(t, st, blk, 4)
+	// Sanity: the hazard shape is as constructed — reader and its
+	// prerequisite binned, writer a winner.
+	if got := results["speculative"].Stats.Conflicted; got != 2 {
+		t.Fatalf("binned %d, want 2 (tx0, tx1)", got)
+	}
+	// And op-level mode shares the ordered-staging path.
+	seq := results["sequential"]
+	op, err := Speculative{Workers: 4, OpLevel: true}.Execute(st.Copy(), blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Root != seq.Root {
+		t.Fatal("op-level speculative diverged on binned-reader block")
+	}
+}
+
 func TestGroupedApproxHiddenConflictFallsBack(t *testing.T) {
 	// Two routers that internally write the SAME storage slot of the same
 	// token: the approximate TDG schedules them in different groups, the
@@ -451,7 +508,7 @@ func TestGroupedSpeedupBoundedByModel(t *testing.T) {
 }
 
 func groupSizes(blk *account.Block, receipts []*account.Receipt) []int {
-	groups := groupsFromReceipts(blk, receipts, false)
+	groups := groupsFromReceipts(blk, receipts, false, false)
 	sizes := make([]int, len(groups))
 	for i, g := range groups {
 		sizes[i] = len(g)

@@ -1,0 +1,188 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"txconcur/internal/account"
+	"txconcur/internal/types"
+	"txconcur/internal/vm"
+)
+
+// fuzzChain deterministically derives a funded state and a short chain of
+// envelope-valid blocks from the fuzz arguments: a mix of plain transfers
+// (skewed toward a few hot, credit-only receivers — the delta-heavy
+// pattern), calls to a caller-keyed token, calls to a shared-slot counter
+// contract (real read–write conflicts), and same-sender nonce chains.
+func fuzzChain(seed int64, users, hotN, txn, hotPct, split uint8) (*account.StateDB, []*account.Block) {
+	rng := rand.New(rand.NewSource(seed))
+	nUsers := 2 + int(users)%30
+	nHot := int(hotN) % 4
+	nTxs := int(txn) % 80
+	hp := int(hotPct) % 101
+	nBlocks := 1 + int(split)%3
+
+	st := account.NewStateDB()
+	user := func(i int) types.Address { return types.AddressFromUint64("fuzz/user", uint64(i)) }
+	hot := func(i int) types.Address { return types.AddressFromUint64("fuzz/hot", uint64(i)) }
+	for i := 0; i < nUsers; i++ {
+		st.AddBalance(user(i), 1_000_000_000)
+	}
+	token := types.AddressFromUint64("fuzz/contract", 0)
+	st.SetCode(token, vm.EncodeContract(vm.Contract{
+		Code: vm.NewAsm().Op(vm.OpCaller, vm.OpArg, vm.OpSstore, vm.OpStop).Bytes(),
+	}))
+	counter := types.AddressFromUint64("fuzz/contract", 1)
+	st.SetCode(counter, vm.EncodeContract(vm.Contract{
+		// storage[0]++ : every call reads and writes the same slot.
+		Code: vm.NewAsm().Push(0).Op(vm.OpSload).Push(1).Op(vm.OpAdd).
+			Push(0).Op(vm.OpSwap, vm.OpSstore, vm.OpStop).Bytes(),
+	}))
+	gate := types.AddressFromUint64("fuzz/contract", 2)
+	st.SetCode(gate, vm.EncodeContract(vm.Contract{
+		// Arg != 0: blind-write storage[0] = Arg. Arg == 0: record
+		// storage[caller] = storage[0] — a pure reader whose result depends
+		// on where in the block it ran (the phase-2 ordering hazard).
+		Code: vm.NewAsm().
+			Op(vm.OpArg).PushLabel("write").Op(vm.OpJumpI).
+			Op(vm.OpCaller).Push(0).Op(vm.OpSload, vm.OpSstore, vm.OpStop).
+			Label("write").
+			Push(0).Op(vm.OpArg, vm.OpSstore, vm.OpStop).Bytes(),
+	}))
+	st.DiscardJournal()
+
+	nonces := make([]uint64, nUsers)
+	mkTx := func() *account.Transaction {
+		s := rng.Intn(nUsers)
+		tx := &account.Transaction{From: user(s), Nonce: nonces[s], GasPrice: 1 + account.Amount(rng.Intn(3))}
+		nonces[s]++
+		switch roll := rng.Intn(100); {
+		case roll < 70: // transfer, hot-skewed
+			tx.Value = account.Amount(1 + rng.Intn(50_000))
+			tx.GasLimit = account.GasTx
+			if nHot > 0 && rng.Intn(100) < hp {
+				tx.To = hot(rng.Intn(nHot))
+			} else {
+				tx.To = user(rng.Intn(nUsers))
+			}
+		case roll < 82: // caller-keyed token call
+			tx.To = token
+			tx.Arg = rng.Uint64() % 1000
+			tx.GasLimit = 100_000
+		case roll < 91: // shared-counter call: guaranteed storage conflicts
+			tx.To = counter
+			tx.GasLimit = 100_000
+		default: // gate call: blind writers and pure readers of one slot
+			tx.To = gate
+			tx.Arg = uint64(rng.Intn(3)) // 0 = reader, else blind writer
+			tx.GasLimit = 100_000
+		}
+		return tx
+	}
+
+	blocks := make([]*account.Block, nBlocks)
+	per := nTxs / nBlocks
+	for b := range blocks {
+		n := per
+		if b == nBlocks-1 {
+			n = nTxs - per*(nBlocks-1)
+		}
+		txs := make([]*account.Transaction, 0, n)
+		for i := 0; i < n; i++ {
+			txs = append(txs, mkTx())
+		}
+		blocks[b] = &account.Block{
+			Height:   uint64(b),
+			Time:     1_600_000_000 + int64(b)*15,
+			Coinbase: types.AddressFromUint64("fuzz/miner", uint64(b%2)),
+			Txs:      txs,
+		}
+	}
+	return st, blocks
+}
+
+// FuzzEngineSerialEquivalence asserts, for every engine in both key-level
+// and operation-level mode, receipt and state-root equality with the
+// sequential engine on randomized (delta-heavy, hot-key-skewed) chains.
+func FuzzEngineSerialEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(2), uint8(40), uint8(80), uint8(1))
+	f.Add(int64(2), uint8(3), uint8(1), uint8(60), uint8(100), uint8(2))
+	f.Add(int64(3), uint8(20), uint8(3), uint8(79), uint8(50), uint8(0))
+	f.Add(int64(4), uint8(2), uint8(0), uint8(30), uint8(0), uint8(2))
+	f.Add(int64(5), uint8(12), uint8(1), uint8(70), uint8(95), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, users, hotN, txn, hotPct, split uint8) {
+		pre, blocks := fuzzChain(seed, users, hotN, txn, hotPct, split)
+
+		// Ground truth: sequential replay, block by block.
+		work := pre.Copy()
+		pres := make([]*account.StateDB, len(blocks))
+		seqs := make([]*Result, len(blocks))
+		for i, blk := range blocks {
+			pres[i] = work.Copy()
+			seq, err := Sequential(work, blk)
+			if err != nil {
+				t.Fatalf("fuzzChain generated an invalid block: %v", err)
+			}
+			seqs[i] = seq
+		}
+		chainRoot := work.Root()
+
+		checkReceipts := func(name string, got, want []*account.Receipt) {
+			t.Helper()
+			if len(got) != len(want) {
+				t.Fatalf("%s: %d receipts, want %d", name, len(got), len(want))
+			}
+			for i := range got {
+				a, b := got[i], want[i]
+				if a.Status != b.Status || a.GasUsed != b.GasUsed || a.TxHash != b.TxHash ||
+					len(a.Internal) != len(b.Internal) {
+					t.Fatalf("%s: receipt %d differs: %+v vs %+v", name, i, a, b)
+				}
+			}
+		}
+
+		for _, op := range []bool{false, true} {
+			mode := map[bool]string{false: "key", true: "op"}[op]
+			// Per-block engines against each block's exact pre-state.
+			for i, blk := range blocks {
+				spec, err := Speculative{Workers: 4, OpLevel: op}.Execute(pres[i].Copy(), blk)
+				if err != nil {
+					t.Fatalf("speculative/%s block %d: %v", mode, i, err)
+				}
+				if spec.Root != seqs[i].Root {
+					t.Fatalf("speculative/%s block %d: root mismatch", mode, i)
+				}
+				checkReceipts("speculative/"+mode, spec.Receipts, seqs[i].Receipts)
+
+				stm, err := STMExec{Workers: 4, OpLevel: op}.Execute(pres[i].Copy(), blk)
+				if err != nil {
+					t.Fatalf("stm/%s block %d: %v", mode, i, err)
+				}
+				if stm.Root != seqs[i].Root {
+					t.Fatalf("stm/%s block %d: root mismatch", mode, i)
+				}
+				checkReceipts("stm/"+mode, stm.Receipts, seqs[i].Receipts)
+
+				grp, err := Grouped{Workers: 4, Refined: op, Receipts: seqs[i].Receipts}.Execute(pres[i].Copy(), blk)
+				if err != nil {
+					t.Fatalf("grouped/%s block %d: %v", mode, i, err)
+				}
+				if grp.Root != seqs[i].Root {
+					t.Fatalf("grouped/%s block %d: root mismatch", mode, i)
+				}
+				checkReceipts("grouped/"+mode, grp.Receipts, seqs[i].Receipts)
+			}
+			// The pipeline over the whole chain.
+			cr, err := Pipeline{Workers: 4, Depth: 2, OpLevel: op}.ExecuteChain(pre.Copy(), blocks)
+			if err != nil {
+				t.Fatalf("pipeline/%s: %v", mode, err)
+			}
+			if cr.Root != chainRoot {
+				t.Fatalf("pipeline/%s: chain root mismatch", mode)
+			}
+			for i := range blocks {
+				checkReceipts("pipeline/"+mode, cr.Receipts[i], seqs[i].Receipts)
+			}
+		}
+	})
+}

@@ -20,6 +20,13 @@
 //     snapshots, in-order validation with per-transaction repair, and
 //     phase 1 of block b+1 overlapping phase 2 of block b across a chain.
 //
+// Every parallel engine additionally supports operation-level conflict
+// refinement (the OpLevel/Refined fields): balance credits and debits are
+// recorded as commutative deltas rather than read-modify-writes, so blind
+// credits to a hot key (exchange deposits, flash-crowd payments) do not
+// conflict with each other — only with reads and absolute writes. See
+// docs/ARCHITECTURE.md, "Operation-level conflict refinement".
+//
 // Every engine proves serial equivalence: its final state root must equal
 // the sequential root, and the tests enforce it.
 package exec
@@ -56,12 +63,24 @@ type StateKey struct {
 // executions run on one overlay per transaction; the overlay records
 // exactly which keys were touched.
 //
+// In operation-level mode (newOverlayOp) balance mutations are recorded as
+// commutative *deltas* instead of read-modify-writes: AddBalance/SubBalance
+// accumulate an increment without reading the base, so a blind credit to a
+// hot account neither depends on nor invalidates concurrent credits — only
+// an explicit GetBalance materialises the value and establishes a real
+// dependency. In key-level mode (newOverlay) balances behave like every
+// other key: an absolute write preceded by a read, the conflict granularity
+// of [17].
+//
 // The base must not be mutated while overlays over it are live (concurrent
 // map reads are only safe without writers).
 type overlay struct {
 	base account.State
+	// op selects operation-level (delta) balance semantics.
+	op bool
 
-	balances map[types.Address]int64
+	balances map[types.Address]int64 // absolute balances (key-level mode)
+	deltas   map[types.Address]int64 // balance increments (op-level mode)
 	nonces   map[types.Address]uint64
 	codes    map[types.Address][]byte
 	storage  map[account.StorageKey]uint64
@@ -78,12 +97,21 @@ func newOverlay(base account.State) *overlay {
 	return &overlay{
 		base:     base,
 		balances: make(map[types.Address]int64),
+		deltas:   make(map[types.Address]int64),
 		nonces:   make(map[types.Address]uint64),
 		codes:    make(map[types.Address][]byte),
 		storage:  make(map[account.StorageKey]uint64),
 		reads:    make(map[StateKey]struct{}),
 		writes:   make(map[StateKey]struct{}),
 	}
+}
+
+// newOverlayOp returns an overlay in operation-level (delta-write) mode
+// when opLevel is true, key-level mode otherwise.
+func newOverlayOp(base account.State, opLevel bool) *overlay {
+	o := newOverlay(base)
+	o.op = opLevel
+	return o
 }
 
 func (o *overlay) read(k StateKey)  { o.reads[k] = struct{}{} }
@@ -95,11 +123,25 @@ func (o *overlay) GetBalance(a types.Address) int64 {
 	if v, ok := o.balances[a]; ok {
 		return v
 	}
-	return o.base.GetBalance(a)
+	return o.base.GetBalance(a) + o.deltas[a]
 }
 
 // AddBalance implements vm.State.
 func (o *overlay) AddBalance(a types.Address, v int64) {
+	if o.op {
+		// Operation-level: record a blind commutative increment — no read
+		// of the current value, no absolute write.
+		prev, had := o.deltas[a]
+		o.journal = append(o.journal, func(o *overlay) {
+			if had {
+				o.deltas[a] = prev
+			} else {
+				delete(o.deltas, a)
+			}
+		})
+		o.deltas[a] = prev + v
+		return
+	}
 	cur := o.GetBalance(a)
 	k := StateKey{Kind: kindBalance, Addr: a}
 	o.write(k)
@@ -203,10 +245,14 @@ func (o *overlay) RevertToSnapshot(snap int) {
 }
 
 // applyTo writes the overlay's accumulated values into dst. Callers
-// guarantee disjointness (or intended ordering) between overlays.
+// guarantee disjointness (or intended ordering) between overlays; delta
+// entries commute, so their application order never matters.
 func (o *overlay) applyTo(dst account.State) {
 	for a, v := range o.balances {
 		dst.AddBalance(a, v-dst.GetBalance(a))
+	}
+	for a, d := range o.deltas {
+		dst.AddBalance(a, d)
 	}
 	for a, n := range o.nonces {
 		dst.SetNonce(a, n)
@@ -219,17 +265,22 @@ func (o *overlay) applyTo(dst account.State) {
 	}
 }
 
+// deltaKey builds the state key of a balance delta entry.
+func deltaKey(a types.Address) StateKey { return StateKey{Kind: kindBalance, Addr: a} }
+
 // accessCounts aggregates, per state key, how many phase-1 transactions
-// read and wrote it.
+// read, wrote, and delta-wrote it.
 type accessCounts struct {
 	writers map[StateKey]int
 	readers map[StateKey]int
+	deltas  map[StateKey]int
 }
 
 func countAccesses(overlays []*overlay) accessCounts {
 	ac := accessCounts{
 		writers: make(map[StateKey]int),
 		readers: make(map[StateKey]int),
+		deltas:  make(map[StateKey]int),
 	}
 	for _, o := range overlays {
 		if o == nil {
@@ -241,6 +292,9 @@ func countAccesses(overlays []*overlay) accessCounts {
 		for k := range o.reads {
 			ac.readers[k]++
 		}
+		for a := range o.deltas {
+			ac.deltas[deltaKey(a)]++
+		}
 	}
 	return ac
 }
@@ -249,10 +303,32 @@ func countAccesses(overlays []*overlay) accessCounts {
 // other transaction, symmetrically (as in [17], where *all* transactions
 // involved in a collision go to the sequential bin): another writer of a
 // key we wrote, another reader of a key we wrote, or any writer of a key we
-// read.
+// read. Delta writes are the exception that operation-level concurrency
+// exploits: two delta writes to the same key commute and do not conflict;
+// a delta write conflicts only with another transaction's read or absolute
+// write of that key.
 func (o *overlay) conflicted(ac accessCounts) bool {
 	for k := range o.writes {
 		if ac.writers[k] >= 2 {
+			return true
+		}
+		selfReads := 0
+		if _, ours := o.reads[k]; ours {
+			selfReads = 1
+		}
+		if ac.readers[k] > selfReads {
+			return true
+		}
+		// An absolute write vs anyone's delta: the delta's base moved.
+		// (A single overlay never both writes and delta-writes one key, so
+		// any delta counted here is another transaction's.)
+		if ac.deltas[k] >= 1 {
+			return true
+		}
+	}
+	for a := range o.deltas {
+		k := deltaKey(a)
+		if ac.writers[k] >= 1 {
 			return true
 		}
 		selfReads := 0
@@ -268,6 +344,15 @@ func (o *overlay) conflicted(ac accessCounts) bool {
 			continue // covered by the writer rules above
 		}
 		if ac.writers[k] >= 1 {
+			return true
+		}
+		selfDeltas := 0
+		if k.Kind == kindBalance {
+			if _, ours := o.deltas[k.Addr]; ours {
+				selfDeltas = 1
+			}
+		}
+		if ac.deltas[k] > selfDeltas {
 			return true
 		}
 	}

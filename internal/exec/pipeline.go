@@ -41,6 +41,24 @@ type Pipeline struct {
 	// 1. Deeper lookahead buys more overlap at the price of staler
 	// snapshots (more re-executions).
 	Depth int
+	// OpLevel records balance credits/debits as commutative deltas: blind
+	// credits carry no read of the hot key, so they neither fail validation
+	// when another transaction (or a previously committed block) credited
+	// the same account, nor invalidate later blind credits. Blocks commit
+	// delta writes to the multi-version cache as mvstore.DeltaAdd versions,
+	// which merge at read time instead of superseding each other; an
+	// explicit balance read still materialises every committed delta and
+	// re-establishes the dependency.
+	OpLevel bool
+	// FixedLag makes phase-1 snapshots deterministic: block i speculates
+	// against timestamp max(0, i−Depth−1) — the worst-case lag the channel
+	// backpressure guarantees is already committed — instead of whatever
+	// the committer happens to have finished (PinLatest). Re-execution
+	// counts and ParUnits then depend only on the workload, never on
+	// scheduler timing; E8 uses this so its key-level vs operation-level
+	// pipeline columns are exactly comparable. Slightly pessimistic: the
+	// adaptive default usually observes a smaller lag.
+	FixedLag bool
 }
 
 // BlockStats describes the pipeline's work on one block.
@@ -83,12 +101,12 @@ type snapState struct {
 
 var _ account.State = (*snapState)(nil)
 
-// GetBalance implements vm.State.
+// GetBalance implements vm.State. Balances resolve through the version
+// chain: committed delta versions fold onto the newest absolute version, or
+// onto the base state's balance when the chain holds only deltas.
 func (s *snapState) GetBalance(a types.Address) int64 {
-	if v, ok := s.snap.Get(StateKey{Kind: kindBalance, Addr: a}); ok {
-		return v.i64
-	}
-	return s.base.GetBalance(a)
+	k := StateKey{Kind: kindBalance, Addr: a}
+	return s.snap.Resolve(k, stateVal{i64: s.base.GetBalance(a)}).i64
 }
 
 // GetNonce implements account.State.
@@ -139,22 +157,27 @@ type specBlock struct {
 	snap     *mvstore.Snapshot[StateKey, stateVal]
 }
 
-// overlayWrites converts an overlay's buffered absolute values into the
-// multi-version store's cell representation.
-func overlayWrites(o *overlay) map[StateKey]stateVal {
-	w := make(map[StateKey]stateVal,
-		len(o.balances)+len(o.nonces)+len(o.codes)+len(o.storage))
+// overlayWrites converts an overlay's buffered values into the
+// multi-version store's write-set representation: absolute values as Put
+// versions, accumulated balance deltas as DeltaAdd versions that merge with
+// — rather than supersede — the chain below them.
+func overlayWrites(o *overlay) map[StateKey]mvstore.Write[stateVal] {
+	w := make(map[StateKey]mvstore.Write[stateVal],
+		len(o.balances)+len(o.deltas)+len(o.nonces)+len(o.codes)+len(o.storage))
 	for a, v := range o.balances {
-		w[StateKey{Kind: kindBalance, Addr: a}] = stateVal{i64: v}
+		w[StateKey{Kind: kindBalance, Addr: a}] = mvstore.Write[stateVal]{Kind: mvstore.Put, Val: stateVal{i64: v}}
+	}
+	for a, d := range o.deltas {
+		w[StateKey{Kind: kindBalance, Addr: a}] = mvstore.Write[stateVal]{Kind: mvstore.DeltaAdd, Val: stateVal{i64: d}}
 	}
 	for a, n := range o.nonces {
-		w[StateKey{Kind: kindNonce, Addr: a}] = stateVal{u64: n}
+		w[StateKey{Kind: kindNonce, Addr: a}] = mvstore.Write[stateVal]{Kind: mvstore.Put, Val: stateVal{u64: n}}
 	}
 	for a, c := range o.codes {
-		w[StateKey{Kind: kindCode, Addr: a}] = stateVal{bytes: c}
+		w[StateKey{Kind: kindCode, Addr: a}] = mvstore.Write[stateVal]{Kind: mvstore.Put, Val: stateVal{bytes: c}}
 	}
 	for sk, v := range o.storage {
-		w[StateKey{Kind: kindStorage, Addr: sk.Addr, Slot: sk.Slot}] = stateVal{u64: v}
+		w[StateKey{Kind: kindStorage, Addr: sk.Addr, Slot: sk.Slot}] = mvstore.Write[stateVal]{Kind: mvstore.Put, Val: stateVal{u64: v}}
 	}
 	return w
 }
@@ -187,7 +210,7 @@ func (e Pipeline) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*C
 		depth = 1
 	}
 	start := time.Now()
-	mv := mvstore.NewStore[StateKey, stateVal]()
+	mv := mvstore.NewStoreDelta[StateKey, stateVal](mergeStateVal)
 
 	// Stage 1: speculative execution, one block at a time, each transaction
 	// on its own read/write-recording overlay over a pinned snapshot. The
@@ -209,7 +232,21 @@ func (e Pipeline) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*C
 	go func() {
 		defer close(specCh)
 		for i, blk := range blocks {
-			snap := mv.PinLatest()
+			var snap *mvstore.Snapshot[StateKey, stateVal]
+			if e.FixedLag {
+				// Deterministic pessimistic snapshot. When stage 1 starts
+				// block i it has pushed blocks 0..i−1 through a channel of
+				// capacity depth, so stage 2 has received at least i−depth
+				// of them and committed all but its current one: timestamp
+				// i−depth−1 is guaranteed durable.
+				ts := 0
+				if i > depth {
+					ts = i - depth - 1
+				}
+				snap = mv.PinAt(uint64(ts))
+			} else {
+				snap = mv.PinLatest()
+			}
 			ss := &snapState{base: st, snap: snap}
 			x := len(blk.Txs)
 			sb := specBlock{
@@ -220,7 +257,7 @@ func (e Pipeline) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*C
 				snap:     snap,
 			}
 			parallelFor(x, e.Workers, func(j int) {
-				o := newOverlay(ss)
+				o := newOverlayOp(ss, e.OpLevel)
 				rcpt, err := procDeferred.ApplyTransaction(o, blk, blk.Txs[j])
 				if err != nil {
 					// Envelope failure against the snapshot (e.g. a nonce
@@ -259,8 +296,19 @@ func (e Pipeline) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*C
 
 		// acc accumulates the block's true (sequential-prefix) writes over
 		// the committed state as of the previous block.
-		acc := newOverlay(&snapState{base: st, snap: mv.At(commitTS - 1)})
+		acc := newOverlayOp(&snapState{base: st, snap: mv.At(commitTS - 1)}, e.OpLevel)
+		// blockWrites holds every key written so far by this block —
+		// absolute writes and deltas alike, since a later transaction that
+		// *read* the key missed either kind in its snapshot.
 		blockWrites := make(map[StateKey]struct{})
+		logWrites := func(o *overlay) {
+			for k := range o.writes {
+				blockWrites[k] = struct{}{}
+			}
+			for a := range o.deltas {
+				blockWrites[deltaKey(a)] = struct{}{}
+			}
+		}
 		// When the snapshot already reflects the previous block, no
 		// committed version can postdate it — only intra-block conflicts
 		// need checking.
@@ -285,16 +333,17 @@ func (e Pipeline) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*C
 			}
 			if ok {
 				// Clean reads: the phase-1 result is the sequential result.
+				// (A transaction whose only touch of a hot key is a blind
+				// delta has no read of it, so concurrent credits — intra- or
+				// cross-block — never send it here.)
 				receipts[i] = sb.receipts[i]
 				o.applyTo(acc)
-				for k := range o.writes {
-					blockWrites[k] = struct{}{}
-				}
+				logWrites(o)
 				continue
 			}
 			// Stale or failed: re-execute against the exact prefix state. An
 			// envelope error here means the block itself is invalid.
-			ro := newOverlay(acc)
+			ro := newOverlayOp(acc, e.OpLevel)
 			rcpt, err := procDeferred.ApplyTransaction(ro, blk, tx)
 			if err != nil {
 				sb.snap.Release()
@@ -303,9 +352,7 @@ func (e Pipeline) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*C
 			}
 			receipts[i] = rcpt
 			ro.applyTo(acc)
-			for k := range ro.writes {
-				blockWrites[k] = struct{}{}
-			}
+			logWrites(ro)
 			reexec++
 			gasRetried += rcpt.GasUsed
 		}
@@ -314,14 +361,26 @@ func (e Pipeline) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*C
 		acc.AddBalance(blk.Coinbase, account.Fees(blk.Txs, receipts))
 		acc.AddBalance(blk.Coinbase, account.BlockReward)
 
-		if err := mv.Commit(commitTS, overlayWrites(acc)); err != nil {
+		if err := mv.CommitWrites(commitTS, overlayWrites(acc)); err != nil {
 			sb.snap.Release()
 			abort()
 			return nil, fmt.Errorf("exec: pipeline block %d: %w", blk.Height, err)
 		}
 		sb.snap.Release()
-		// Epoch GC: reclaim versions no live snapshot can observe.
-		mv.TruncateBelow(commitTS)
+		// Epoch GC: reclaim versions no live snapshot can observe. In
+		// fixed-lag mode the horizon must stop at the oldest timestamp a
+		// *future* pin may still request (block j ≥ idx+1 pins j−depth−1):
+		// PinAt cannot resurrect collected versions, and a freer horizon
+		// would reintroduce exactly the scheduling-dependent phase-1 reads
+		// FixedLag exists to eliminate.
+		horizon := commitTS
+		if e.FixedLag {
+			horizon = 0
+			if commitTS > uint64(depth)+1 {
+				horizon = commitTS - uint64(depth) - 1
+			}
+		}
+		mv.TruncateBelow(horizon)
 
 		all[sb.idx] = receipts
 		gasBlock := account.GasUsed(receipts)
@@ -339,15 +398,20 @@ func (e Pipeline) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*C
 	}
 
 	// Fold the cache's newest values into the caller's state database.
-	mv.RangeLatest(func(k StateKey, v stateVal) bool {
-		switch k.Kind {
-		case kindBalance:
+	// Anchored chains materialise to absolute values; a balance that was
+	// only ever delta-written resolves to its accumulated delta, applied on
+	// top of the base balance in st.
+	mv.RangeLatestResolved(func(k StateKey, v stateVal, anchored bool) bool {
+		switch {
+		case k.Kind == kindBalance && !anchored:
+			st.AddBalance(k.Addr, v.i64)
+		case k.Kind == kindBalance:
 			st.AddBalance(k.Addr, v.i64-st.GetBalance(k.Addr))
-		case kindNonce:
+		case k.Kind == kindNonce:
 			st.SetNonce(k.Addr, v.u64)
-		case kindCode:
+		case k.Kind == kindCode:
 			st.SetCode(k.Addr, v.bytes)
-		case kindStorage:
+		case k.Kind == kindStorage:
 			st.SetStorage(k.Addr, k.Slot, v.u64)
 		}
 		return true
@@ -366,7 +430,7 @@ func (e Pipeline) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*C
 		SeqUnits:   seqUnits,
 		ParUnits:   flowShopMakespan(p1Units, p2Units),
 		GasSeq:     gasSeq,
-		GasPar:     flowShopMakespanU(p1Gas, p2Gas),
+		GasPar:     flowShopMakespan(p1Gas, p2Gas),
 		Retries:    conflicted,
 		Wall:       time.Since(start),
 	}
@@ -379,22 +443,10 @@ func (e Pipeline) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*C
 // processes blocks back to back; machine 2 (validation/re-execution) starts
 // block b as soon as both machine 1 finished b and machine 2 finished b-1.
 // This is exactly the pipeline's schedule length under the paper's
-// unit-cost model: validation of block b overlaps execution of block b+1.
-func flowShopMakespan(p1, p2 []int) int {
-	c1, c2 := 0, 0
-	for i := range p1 {
-		c1 += p1[i]
-		if c1 > c2 {
-			c2 = c1
-		}
-		c2 += p2[i]
-	}
-	return c2
-}
-
-// flowShopMakespanU is flowShopMakespan for gas-weighted costs.
-func flowShopMakespanU(p1, p2 []uint64) uint64 {
-	var c1, c2 uint64
+// unit-cost model (or gas-weighted costs): validation of block b overlaps
+// execution of block b+1.
+func flowShopMakespan[T int | uint64](p1, p2 []T) T {
+	var c1, c2 T
 	for i := range p1 {
 		c1 += p1[i]
 		if c1 > c2 {

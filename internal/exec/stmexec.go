@@ -25,6 +25,11 @@ import (
 type STMExec struct {
 	// Workers is the core count n; it is also the lookahead window.
 	Workers int
+	// OpLevel records AddBalance/SubBalance as blind commutative deltas
+	// (stm.Tx.WriteDelta) instead of read-modify-writes: concurrent credits
+	// to one hot account commit without aborting each other, and only an
+	// explicit balance read re-establishes a dependency on the key.
+	OpLevel bool
 }
 
 // stateVal is the uniform cell type stored in the STM: exactly one of the
@@ -42,6 +47,8 @@ type stateVal struct {
 type stmState struct {
 	base *account.StateDB
 	tx   *stm.Tx[StateKey, stateVal]
+	// op selects operation-level (delta) balance semantics.
+	op bool
 	// journal undoes buffered writes for VM Snapshot/Revert semantics.
 	journal []func(*stmState)
 	err     error
@@ -103,6 +110,18 @@ func (s *stmState) writeVal(k StateKey, v stateVal) {
 // GetBalance implements vm.State.
 func (s *stmState) GetBalance(a types.Address) int64 {
 	k := StateKey{Kind: kindBalance, Addr: a}
+	if s.op {
+		// Materialise over the base state: committed delta cells and this
+		// transaction's own pending deltas fold onto the base balance. The
+		// read is version-recorded, so later delta commits by others still
+		// invalidate us — reading re-establishes the dependency.
+		v, err := s.tx.ReadBase(k, stateVal{i64: s.base.GetBalance(a)})
+		if err != nil {
+			s.fail(err)
+			return 0
+		}
+		return v.i64
+	}
 	if v, ok := s.readVal(k); ok {
 		return v.i64
 	}
@@ -111,8 +130,21 @@ func (s *stmState) GetBalance(a types.Address) int64 {
 
 // AddBalance implements vm.State.
 func (s *stmState) AddBalance(a types.Address, v int64) {
+	k := StateKey{Kind: kindBalance, Addr: a}
+	if s.op {
+		// Blind commutative increment: no read, no read-set entry, no
+		// conflict with concurrent increments. The journal entry is the
+		// inverse delta, which restores the exact pending sum on revert.
+		s.journal = append(s.journal, func(s *stmState) {
+			_ = s.tx.WriteDelta(k, stateVal{i64: -v})
+		})
+		if err := s.tx.WriteDelta(k, stateVal{i64: v}); err != nil {
+			s.fail(err)
+		}
+		return
+	}
 	cur := s.GetBalance(a)
-	s.writeVal(StateKey{Kind: kindBalance, Addr: a}, stateVal{i64: cur + v})
+	s.writeVal(k, stateVal{i64: cur + v})
 }
 
 // SubBalance implements vm.State.
@@ -173,6 +205,13 @@ func (s *stmState) RevertToSnapshot(snap int) {
 	s.journal = s.journal[:snap]
 }
 
+// mergeStateVal folds a balance delta onto a state cell; only the i64
+// (balance) field is ever delta-written.
+func mergeStateVal(onto, delta stateVal) stateVal {
+	onto.i64 += delta.i64
+	return onto
+}
+
 // Execute runs the block on st (mutated on success).
 func (e STMExec) Execute(st *account.StateDB, blk *account.Block) (*Result, error) {
 	if e.Workers < 1 {
@@ -180,7 +219,12 @@ func (e STMExec) Execute(st *account.StateDB, blk *account.Block) (*Result, erro
 	}
 	start := time.Now()
 	x := len(blk.Txs)
-	store := stm.NewStore[StateKey, stateVal]()
+	var store *stm.Store[StateKey, stateVal]
+	if e.OpLevel {
+		store = stm.NewStoreDelta[StateKey, stateVal](mergeStateVal)
+	} else {
+		store = stm.NewStore[StateKey, stateVal]()
+	}
 	receipts := make([]*account.Receipt, x)
 
 	retries := 0
@@ -199,7 +243,7 @@ func (e STMExec) Execute(st *account.StateDB, blk *account.Block) (*Result, erro
 		specReceipts := make([]*account.Receipt, len(window))
 		specErrs := make([]error, len(window))
 		parallelFor(len(window), e.Workers, func(i int) {
-			ss := &stmState{base: st, tx: store.Begin()}
+			ss := &stmState{base: st, tx: store.Begin(), op: e.OpLevel}
 			rcpt, err := procDeferred.ApplyTransaction(ss, blk, window[i])
 			if err == nil && ss.err != nil {
 				err = ss.err
@@ -233,7 +277,7 @@ func (e STMExec) Execute(st *account.StateDB, blk *account.Block) (*Result, erro
 			// block itself is invalid.
 			retries++
 			parUnits++
-			ss := &stmState{base: st, tx: store.Begin()}
+			ss := &stmState{base: st, tx: store.Begin(), op: e.OpLevel}
 			rcpt, err := procDeferred.ApplyTransaction(ss, blk, window[i])
 			if err == nil && ss.err != nil {
 				err = ss.err
@@ -249,16 +293,20 @@ func (e STMExec) Execute(st *account.StateDB, blk *account.Block) (*Result, erro
 		committed = hi
 	}
 
-	// Fold the committed STM cells into the state database.
-	store.Range(func(k StateKey, v stateVal) bool {
-		switch k.Kind {
-		case kindBalance:
+	// Fold the committed STM cells into the state database. Anchored cells
+	// hold absolute values; unanchored balance cells hold the pure delta
+	// accumulated by blind credits, applied on top of the base balance.
+	store.RangeCells(func(k StateKey, v stateVal, anchored bool) bool {
+		switch {
+		case k.Kind == kindBalance && !anchored:
+			st.AddBalance(k.Addr, v.i64)
+		case k.Kind == kindBalance:
 			st.AddBalance(k.Addr, v.i64-st.GetBalance(k.Addr))
-		case kindNonce:
+		case k.Kind == kindNonce:
 			st.SetNonce(k.Addr, v.u64)
-		case kindCode:
+		case k.Kind == kindCode:
 			st.SetCode(k.Addr, v.bytes)
-		case kindStorage:
+		case k.Kind == kindStorage:
 			st.SetStorage(k.Addr, k.Slot, v.u64)
 		}
 		return true

@@ -1,0 +1,121 @@
+package mvstore
+
+import "testing"
+
+// FuzzDeltaChains drives a delta store through an arbitrary interleaving of
+// absolute commits, delta commits, pins, and GC passes, checking every
+// key's Resolve at the tip — and at one pinned timestamp — against a plain
+// map model after each step. This is the model-checking counterpart of the
+// permutation/GC property tests: the byte stream chooses the schedule.
+func FuzzDeltaChains(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x07, 0x99, 0x10, 0x05, 0x33, 0xfe, 0x06, 0x00})
+	f.Add([]byte{0x05, 0x01, 0x05, 0x02, 0x05, 0x03, 0x06, 0xff, 0x00, 0x7f})
+	f.Add([]byte{0x03, 0x80, 0x04, 0x81, 0x03, 0x82, 0x06, 0x01, 0x07, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nKeys = 4
+		const base = int64(10_000)
+		s := NewStoreDelta[int, int64](func(a, b int64) int64 { return a + b })
+
+		type cell struct {
+			anchored bool
+			val      int64
+		}
+		model := make(map[int]cell, nKeys)
+		resolve := func(c cell) int64 {
+			if c.anchored {
+				return c.val
+			}
+			return base + c.val
+		}
+		var history []map[int]cell // model state per timestamp
+		snapModel := func() map[int]cell {
+			c := make(map[int]cell, nKeys)
+			for k, v := range model {
+				c[k] = v
+			}
+			return c
+		}
+		history = append(history, snapModel()) // ts 0
+
+		var pin *Snapshot[int, int64]
+		var pinTS uint64
+		// gcFloor is the highest cut the collector has been allowed to
+		// apply; pinning below it would violate PinAt's contract (a pin
+		// cannot resurrect collected versions).
+		var gcFloor uint64
+		defer func() {
+			if pin != nil {
+				pin.Release()
+			}
+		}()
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], int64(int8(data[i+1]))
+			key := int(op>>4) % nKeys
+			ts := s.Latest()
+			switch op % 8 {
+			case 0, 1, 2: // delta commit
+				if err := s.CommitWrites(ts+1, map[int]Write[int64]{key: {Kind: DeltaAdd, Val: arg}}); err != nil {
+					t.Fatal(err)
+				}
+				c := model[key]
+				c.val += arg
+				model[key] = c
+				history = append(history, snapModel())
+			case 3, 4: // absolute commit
+				if err := s.CommitWrites(ts+1, map[int]Write[int64]{key: {Kind: Put, Val: arg}}); err != nil {
+					t.Fatal(err)
+				}
+				model[key] = cell{anchored: true, val: arg}
+				history = append(history, snapModel())
+			case 5: // empty commit (an empty block still advances the clock)
+				if err := s.CommitWrites(ts+1, nil); err != nil {
+					t.Fatal(err)
+				}
+				history = append(history, snapModel())
+			case 6: // GC at an arbitrary horizon
+				horizon := uint64(arg&0x3f) % (ts + 2)
+				s.TruncateBelow(horizon)
+				// The effective cut never exceeds the tip (there is nothing
+				// newer to collect below) and never exceeds the pin.
+				cut := horizon
+				if cut > ts {
+					cut = ts
+				}
+				if pin != nil && pinTS < cut {
+					cut = pinTS
+				}
+				if cut > gcFloor {
+					gcFloor = cut
+				}
+			case 7: // move the pin (never below what GC already collected)
+				if pin != nil {
+					pin.Release()
+				}
+				pinTS = gcFloor + uint64(arg&0x3f)%(ts-gcFloor+1)
+				pin = s.PinAt(pinTS)
+			}
+
+			tip := s.Latest()
+			for k := 0; k < nKeys; k++ {
+				if got, want := s.Resolve(k, tip, base), resolve(history[tip][k]); got != want {
+					t.Fatalf("step %d: Resolve(%d, tip=%d) = %d, want %d", i, k, tip, got, want)
+				}
+				if pin != nil {
+					if got, want := pin.Resolve(k, base), resolve(history[pinTS][k]); got != want {
+						t.Fatalf("step %d: pinned Resolve(%d, %d) = %d, want %d", i, k, pinTS, got, want)
+					}
+				}
+			}
+		}
+		// Final sweep: collect everything below the tip (modulo the pin)
+		// and re-verify the tip.
+		tip := s.Latest()
+		s.TruncateBelow(tip)
+		for k := 0; k < nKeys; k++ {
+			if got, want := s.Resolve(k, tip, base), resolve(history[tip][k]); got != want {
+				t.Fatalf("post-GC: Resolve(%d, tip=%d) = %d, want %d", k, tip, got, want)
+			}
+		}
+	})
+}

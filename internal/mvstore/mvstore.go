@@ -23,6 +23,22 @@
 //   - A snapshot at timestamp T observes exactly the versions with ts ≤ T,
 //     provided Commit(T, …) had returned before the snapshot was taken.
 //   - TruncateBelow never reclaims versions visible to a pinned snapshot.
+//
+// Delta (commutative) writes: a store built with NewStoreDelta additionally
+// accepts DeltaAdd writes (CommitWrites), whose version nodes hold an
+// increment rather than an absolute value. Delta versions from different
+// commits merge at read time instead of superseding each other: Resolve
+// walks the chain, folds every delta at or below the snapshot timestamp
+// onto the newest absolute (Put) version — or onto the caller-supplied base
+// value when the chain holds no absolute anchor. This is the store-level
+// half of operation-level conflict refinement: blind credits/debits to a
+// hot key (an exchange wallet, a popular payee) commute, so concurrent
+// blocks can all append deltas without invalidating one another, while a
+// materialising read still observes every committed delta (ChangedSince
+// reports delta commits like any other write, so readers re-validate).
+// The garbage collector compacts unreachable delta runs into a single
+// folded node instead of unlinking them, since a delta tail below the
+// horizon still contributes to every visible materialisation.
 package mvstore
 
 import (
@@ -37,12 +53,34 @@ import (
 // store's latest committed timestamp.
 var ErrNonMonotonic = errors.New("mvstore: commit timestamp not increasing")
 
+// ErrNoMerge reports a DeltaAdd write committed to a store built without a
+// merge function (NewStore instead of NewStoreDelta).
+var ErrNoMerge = errors.New("mvstore: delta write on a store without a merge function")
+
+// WriteKind distinguishes absolute writes from commutative delta writes.
+type WriteKind uint8
+
+const (
+	// Put installs an absolute value, superseding older versions.
+	Put WriteKind = iota
+	// DeltaAdd installs an increment that merges with — rather than
+	// supersedes — the versions below it. Requires NewStoreDelta.
+	DeltaAdd
+)
+
+// Write is one entry of a mixed-kind write set for CommitWrites.
+type Write[V any] struct {
+	Kind WriteKind
+	Val  V
+}
+
 // version is one immutable entry of a key's version chain: the value
 // written at logical timestamp ts, linked to the previous (older) version.
 // prev is atomic only so the garbage collector can unlink reclaimed tails
 // while readers walk the chain.
 type version[V any] struct {
 	ts   uint64
+	kind WriteKind
 	val  V
 	prev atomic.Pointer[version[V]]
 }
@@ -53,9 +91,15 @@ type keyChain[V any] struct {
 }
 
 // Store is a multi-version key-value cache. The zero value is not usable;
-// call NewStore.
+// call NewStore (absolute writes only) or NewStoreDelta (absolute plus
+// commutative delta writes).
 type Store[K comparable, V any] struct {
 	chains sync.Map // K → *keyChain[V]
+
+	// merge folds a delta onto a materialised value; nil for stores built
+	// with NewStore, which then reject DeltaAdd writes. Immutable after
+	// construction.
+	merge func(onto, delta V) V
 
 	// commitMu serialises writers (Commit) and the garbage collector.
 	// Readers never take it.
@@ -90,33 +134,83 @@ func NewStore[K comparable, V any]() *Store[K, V] {
 	}
 }
 
+// NewStoreDelta returns an empty store that additionally accepts DeltaAdd
+// writes, merged at read time by merge(onto, delta). merge must be
+// associative, and commutative across deltas committed at different
+// timestamps (integer addition is the canonical instance) — Resolve folds
+// deltas oldest-first, and the garbage collector folds compacted runs in
+// the same order, so associativity is what keeps the two equivalent.
+func NewStoreDelta[K comparable, V any](merge func(onto, delta V) V) *Store[K, V] {
+	s := NewStore[K, V]()
+	s.merge = merge
+	return s
+}
+
 // Latest returns the highest committed timestamp (0 before any commit).
 func (s *Store[K, V]) Latest() uint64 { return s.latest.Load() }
 
-// Commit installs writes as new versions at timestamp ts. ts must be
-// strictly greater than every previously committed timestamp; commits are
-// serialised internally. An empty write set is legal and still advances the
-// clock (an empty block is still a block). The new snapshot becomes
+// Commit installs writes as new absolute versions at timestamp ts. ts must
+// be strictly greater than every previously committed timestamp; commits
+// are serialised internally. An empty write set is legal and still advances
+// the clock (an empty block is still a block). The new snapshot becomes
 // observable — Latest() returns ts — only after every version is installed,
 // so readers taking fresh snapshots never see a half-applied commit.
 func (s *Store[K, V]) Commit(ts uint64, writes map[K]V) error {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
-	if prev := s.latest.Load(); ts <= prev {
-		return fmt.Errorf("%w: ts %d, latest %d", ErrNonMonotonic, ts, prev)
+	if err := s.checkTS(ts); err != nil {
+		return err
 	}
 	for k, v := range writes {
-		c := s.chain(k)
-		n := &version[V]{ts: ts, val: v}
-		if head := c.head.Load(); head != nil {
-			n.prev.Store(head)
-			s.multi[k] = struct{}{}
-		}
-		c.head.Store(n)
-		s.versions.Add(1)
+		s.install(k, ts, Put, v)
 	}
 	s.latest.Store(ts)
 	return nil
+}
+
+// CommitWrites is Commit for a mixed write set of absolute (Put) and
+// commutative (DeltaAdd) writes. DeltaAdd entries require a store built
+// with NewStoreDelta; on ErrNoMerge nothing is installed and the clock does
+// not advance.
+func (s *Store[K, V]) CommitWrites(ts uint64, writes map[K]Write[V]) error {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	if err := s.checkTS(ts); err != nil {
+		return err
+	}
+	if s.merge == nil {
+		for _, w := range writes {
+			if w.Kind == DeltaAdd {
+				return ErrNoMerge
+			}
+		}
+	}
+	for k, w := range writes {
+		s.install(k, ts, w.Kind, w.Val)
+	}
+	s.latest.Store(ts)
+	return nil
+}
+
+// checkTS enforces monotonic commit timestamps. Caller holds commitMu.
+func (s *Store[K, V]) checkTS(ts uint64) error {
+	if prev := s.latest.Load(); ts <= prev {
+		return fmt.Errorf("%w: ts %d, latest %d", ErrNonMonotonic, ts, prev)
+	}
+	return nil
+}
+
+// install links one new version at the head of k's chain. Caller holds
+// commitMu.
+func (s *Store[K, V]) install(k K, ts uint64, kind WriteKind, val V) {
+	c := s.chain(k)
+	n := &version[V]{ts: ts, kind: kind, val: val}
+	if head := c.head.Load(); head != nil {
+		n.prev.Store(head)
+		s.multi[k] = struct{}{}
+	}
+	c.head.Store(n)
+	s.versions.Add(1)
 }
 
 // chain returns the version chain for k, creating it if absent.
@@ -131,21 +225,63 @@ func (s *Store[K, V]) chain(k K) *keyChain[V] {
 	return c.(*keyChain[V])
 }
 
-// Get returns the value of k as of timestamp ts: the newest version whose
-// timestamp is ≤ ts. ok is false when no such version exists (the key was
-// not written at or before ts); callers layering the cache over a base
-// state fall through to the base in that case. Lock-free.
+// Get returns the value of k as of timestamp ts: the newest absolute
+// version whose timestamp is ≤ ts, with any deltas between it and ts folded
+// in. ok is false when no absolute version anchors the key at or before ts
+// (the key was never Put, or holds only deltas — deltas alone cannot be
+// materialised without a base; use Resolve for that); callers layering the
+// cache over a base state fall through to the base in that case. Lock-free.
 func (s *Store[K, V]) Get(k K, ts uint64) (val V, ok bool) {
 	c, found := s.chains.Load(k)
 	if !found {
 		return val, false
 	}
-	for n := c.(*keyChain[V]).head.Load(); n != nil; n = n.prev.Load() {
-		if n.ts <= ts {
-			return n.val, true
-		}
+	n, deltas := s.walk(c.(*keyChain[V]), ts)
+	if n == nil {
+		return val, false
 	}
-	return val, false
+	return s.fold(n.val, deltas), true
+}
+
+// Resolve returns the value of k as of timestamp ts materialised over base:
+// the newest absolute version ≤ ts if one exists (else base), with every
+// delta version between it and ts folded on top. A key with no versions at
+// or before ts resolves to base unchanged. Lock-free.
+func (s *Store[K, V]) Resolve(k K, ts uint64, base V) V {
+	c, found := s.chains.Load(k)
+	if !found {
+		return base
+	}
+	n, deltas := s.walk(c.(*keyChain[V]), ts)
+	if n != nil {
+		base = n.val
+	}
+	return s.fold(base, deltas)
+}
+
+// walk descends k's chain skipping versions newer than ts, collecting the
+// delta versions (newest first) above the first absolute version ≤ ts. It
+// returns that anchor (nil when the visible chain is delta-only or empty)
+// and the collected deltas.
+func (s *Store[K, V]) walk(c *keyChain[V], ts uint64) (anchor *version[V], deltas []V) {
+	for n := c.head.Load(); n != nil; n = n.prev.Load() {
+		if n.ts > ts {
+			continue
+		}
+		if n.kind == Put {
+			return n, deltas
+		}
+		deltas = append(deltas, n.val)
+	}
+	return nil, deltas
+}
+
+// fold applies deltas (given newest first) onto base, oldest first.
+func (s *Store[K, V]) fold(base V, deltas []V) V {
+	for i := len(deltas) - 1; i >= 0; i-- {
+		base = s.merge(base, deltas[i])
+	}
+	return base
 }
 
 // ChangedSince reports whether k was written at any timestamp strictly
@@ -162,16 +298,38 @@ func (s *Store[K, V]) ChangedSince(k K, ts uint64) bool {
 }
 
 // RangeLatest calls fn with the newest version of every key until fn
-// returns false. Iteration order is unspecified. Intended for folding the
-// cache back into a materialised state once the pipeline drains; running it
-// concurrently with Commit yields a mix of old and new values, so callers
-// should quiesce writers first.
+// returns false. Iteration order is unspecified. On delta stores the newest
+// version may be a raw delta; use RangeLatestResolved to materialise.
+// Intended for folding the cache back into a materialised state once the
+// pipeline drains; running it concurrently with Commit yields a mix of old
+// and new values, so callers should quiesce writers first.
 func (s *Store[K, V]) RangeLatest(fn func(K, V) bool) {
 	s.chains.Range(func(k, c any) bool {
 		if n := c.(*keyChain[V]).head.Load(); n != nil {
 			return fn(k.(K), n.val)
 		}
 		return true
+	})
+}
+
+// RangeLatestResolved calls fn with every key's newest materialised value
+// until fn returns false. anchored reports whether the chain bottoms out at
+// an absolute version: if true, val is the key's full value; if false, the
+// key was only ever delta-written and val is the accumulated delta, which
+// the caller must fold onto whatever base state it layers the cache over.
+// The same quiescence caveat as RangeLatest applies.
+func (s *Store[K, V]) RangeLatestResolved(fn func(k K, val V, anchored bool) bool) {
+	s.chains.Range(func(k, c any) bool {
+		ch := c.(*keyChain[V])
+		if ch.head.Load() == nil {
+			return true
+		}
+		anchor, deltas := s.walk(ch, math.MaxUint64)
+		var val V
+		if anchor != nil {
+			val = anchor.val
+		}
+		return fn(k.(K), s.fold(val, deltas), anchor != nil)
 	})
 }
 
@@ -204,22 +362,29 @@ type Snapshot[K comparable, V any] struct {
 	store   *Store[K, V]
 	ts      uint64
 	release func()
+	once    sync.Once
 }
 
 // TS returns the snapshot's timestamp.
 func (sn *Snapshot[K, V]) TS() uint64 { return sn.ts }
 
-// Get returns the value of k as seen by the snapshot.
+// Get returns the value of k as seen by the snapshot (anchored chains
+// only; see Store.Get).
 func (sn *Snapshot[K, V]) Get(k K) (V, bool) { return sn.store.Get(k, sn.ts) }
 
+// Resolve returns the value of k as seen by the snapshot, materialised over
+// base (see Store.Resolve).
+func (sn *Snapshot[K, V]) Resolve(k K, base V) V { return sn.store.Resolve(k, sn.ts, base) }
+
 // Release unpins a pinned snapshot, allowing the collector to reclaim the
-// versions it was holding. Safe to call more than once; a no-op for
-// unpinned snapshots.
+// versions it was holding. Safe to call more than once, from any
+// goroutine; a no-op for unpinned snapshots.
 func (sn *Snapshot[K, V]) Release() {
-	if sn.release != nil {
-		sn.release()
-		sn.release = nil
-	}
+	sn.once.Do(func() {
+		if sn.release != nil {
+			sn.release()
+		}
+	})
 }
 
 // At returns an unpinned snapshot at ts. The caller must ensure no
@@ -235,18 +400,35 @@ func (s *Store[K, V]) At(ts uint64) *Snapshot[K, V] {
 // speculative phase.
 func (s *Store[K, V]) PinLatest() *Snapshot[K, V] {
 	s.pinMu.Lock()
-	ts := s.latest.Load()
+	defer s.pinMu.Unlock()
+	return s.pinLocked(s.latest.Load())
+}
+
+// PinAt pins an explicit timestamp against garbage collection and returns a
+// snapshot at it. The caller must ensure Commit(ts, …) has returned (ts ≤
+// Latest()), as for At, and that no TruncateBelow call has already
+// collected above ts — a pin only prevents future reclamation, it cannot
+// resurrect versions. Unlike At, the pinned versions survive TruncateBelow
+// until Release. Used when the pinning schedule is decided externally —
+// e.g. the pipeline's deterministic fixed-lag mode, which pins timestamps
+// it has not yet passed to the collector.
+func (s *Store[K, V]) PinAt(ts uint64) *Snapshot[K, V] {
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	return s.pinLocked(ts)
+}
+
+// pinLocked registers a pin at ts and builds its releasing snapshot (the
+// snapshot's sync.Once guarantees the pin is dropped exactly once).
+// Caller holds pinMu.
+func (s *Store[K, V]) pinLocked(ts uint64) *Snapshot[K, V] {
 	s.pins[ts]++
-	s.pinMu.Unlock()
-	var once sync.Once
 	release := func() {
-		once.Do(func() {
-			s.pinMu.Lock()
-			if s.pins[ts]--; s.pins[ts] <= 0 {
-				delete(s.pins, ts)
-			}
-			s.pinMu.Unlock()
-		})
+		s.pinMu.Lock()
+		if s.pins[ts]--; s.pins[ts] <= 0 {
+			delete(s.pins, ts)
+		}
+		s.pinMu.Unlock()
 	}
 	return &Snapshot[K, V]{store: s, ts: ts, release: release}
 }
@@ -264,11 +446,18 @@ func (s *Store[K, V]) minPinned() uint64 {
 }
 
 // TruncateBelow reclaims versions that no snapshot at or above
-// min(horizon, oldest pinned timestamp) can observe: for every key, the
-// newest version at or below that cut survives (it is the value such
-// snapshots read) and everything older is unlinked. Returns the number of
-// versions reclaimed. Safe to run concurrently with readers; serialised
-// against Commit.
+// min(horizon, oldest pinned timestamp) can observe. For every key, find
+// the newest version n with ts ≤ cut — every live snapshot resolves through
+// it. If n is absolute, everything older is invisible and is unlinked, as a
+// single-version store would. If n is a delta, the tail below it still
+// contributes to every materialisation, so instead of unlinking it the
+// collector *compacts* it: the sub-chain below n folds into one node — an
+// absolute node when it contains a Put anchor, a summed delta node
+// otherwise — keeping delta chains bounded by the pipeline depth instead of
+// growing with chain length. Returns the number of versions reclaimed.
+// Safe to run concurrently with readers (nodes are immutable; a reader
+// mid-walk finishes on the old, equivalent tail); serialised against
+// Commit.
 func (s *Store[K, V]) TruncateBelow(horizon uint64) int {
 	s.pinMu.Lock()
 	cut := s.minPinned()
@@ -289,9 +478,6 @@ func (s *Store[K, V]) TruncateBelow(horizon uint64) int {
 			delete(s.multi, k)
 			continue
 		}
-		// Find the newest version with ts ≤ cut; it must survive. Versions
-		// strictly older can no longer be observed: every live snapshot has
-		// ts ≥ cut and resolves to this version or a newer one.
 		head := c.(*keyChain[V]).head.Load()
 		n := head
 		for n != nil && n.ts > cut {
@@ -300,15 +486,54 @@ func (s *Store[K, V]) TruncateBelow(horizon uint64) int {
 		if n == nil {
 			continue
 		}
-		for old := n.prev.Load(); old != nil; old = old.prev.Load() {
-			reclaimed++
+		if n.kind == Put {
+			// n must survive (it is the value visible snapshots read);
+			// everything strictly older is unobservable.
+			for old := n.prev.Load(); old != nil; old = old.prev.Load() {
+				reclaimed++
+			}
+			n.prev.Store(nil)
+			if n == head {
+				// The chain is back to a single version; nothing left to
+				// collect until the key is rewritten.
+				delete(s.multi, k)
+			}
+			continue
 		}
-		n.prev.Store(nil)
-		if n == head {
-			// The chain is back to a single version; nothing left to
-			// collect until the key is rewritten.
-			delete(s.multi, k)
+		// n is a delta: compact the tail strictly below it. Collect the
+		// sub-chain down to (and including) the first absolute anchor;
+		// anything below the anchor is unobservable.
+		sub := n.prev.Load()
+		if sub == nil {
+			continue
 		}
+		count := 0
+		var deltas []V // newest first
+		var anchor *version[V]
+		for node := sub; node != nil; node = node.prev.Load() {
+			count++
+			if node.kind == Put {
+				anchor = node
+				break
+			}
+			deltas = append(deltas, node.val)
+		}
+		if anchor != nil {
+			for old := anchor.prev.Load(); old != nil; old = old.prev.Load() {
+				count++
+			}
+		}
+		if count <= 1 {
+			continue
+		}
+		folded := version[V]{ts: sub.ts, kind: DeltaAdd}
+		if anchor != nil {
+			folded.kind = Put
+			folded.val = anchor.val
+		}
+		folded.val = s.fold(folded.val, deltas)
+		n.prev.Store(&folded)
+		reclaimed += count - 1
 	}
 	s.versions.Add(int64(-reclaimed))
 	s.reclaimed.Add(int64(reclaimed))

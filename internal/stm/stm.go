@@ -10,6 +10,15 @@
 // validates that no read key changed, then applies writes and bumps
 // versions. Transactions from concurrent goroutines are safe; aborted
 // transactions can simply be retried.
+//
+// Stores built with NewStoreDelta additionally support blind commutative
+// writes (Tx.WriteDelta): increments that carry no read dependency, merge
+// onto whatever value is committed, and therefore can never be the *cause*
+// of the writing transaction's abort — though committing one still bumps
+// the key's version, invalidating concurrent readers. A key becomes
+// "anchored" once an absolute Write commits to it; a key that only ever
+// received deltas holds the accumulated delta relative to whatever base
+// state the caller layers the store over (see Tx.ReadBase and RangeCells).
 package stm
 
 import (
@@ -24,31 +33,59 @@ var ErrConflict = errors.New("stm: read set invalidated")
 // ErrFinished reports use of a transaction after commit or abort.
 var ErrFinished = errors.New("stm: transaction already finished")
 
+// ErrNoMerge reports a WriteDelta on a store built without a merge function
+// (NewStore instead of NewStoreDelta).
+var ErrNoMerge = errors.New("stm: delta write on a store without a merge function")
+
+// cell is one committed value: anchored cells hold an absolute value,
+// unanchored cells hold a pure delta accumulated from blind writes.
+type cell[V any] struct {
+	val      V
+	anchored bool
+}
+
 // Store is a versioned key-value store supporting optimistic transactions.
 // The zero value is not usable; call NewStore.
 type Store[K comparable, V any] struct {
 	mu      sync.RWMutex
-	data    map[K]V
+	data    map[K]cell[V]
 	version map[K]uint64
 	clock   uint64
 	commits uint64
 	aborts  uint64
+
+	// merge folds a delta onto a value; nil for NewStore stores, which then
+	// reject WriteDelta. Immutable after construction.
+	merge func(onto, delta V) V
 }
 
 // NewStore returns an empty store.
 func NewStore[K comparable, V any]() *Store[K, V] {
 	return &Store[K, V]{
-		data:    make(map[K]V),
+		data:    make(map[K]cell[V]),
 		version: make(map[K]uint64),
 	}
 }
 
-// Get reads a key outside any transaction (snapshot-free).
+// NewStoreDelta returns an empty store that additionally accepts blind
+// delta writes, merged by merge(onto, delta). merge must be associative and
+// commutative across transactions (integer addition is the canonical
+// instance): committed deltas fold in commit order, which concurrent
+// deltas do not control.
+func NewStoreDelta[K comparable, V any](merge func(onto, delta V) V) *Store[K, V] {
+	s := NewStore[K, V]()
+	s.merge = merge
+	return s
+}
+
+// Get reads a key outside any transaction (snapshot-free). ok reports an
+// anchored value; delta-only keys read as absent (use RangeCells to observe
+// them).
 func (s *Store[K, V]) Get(k K) (V, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	v, ok := s.data[k]
-	return v, ok
+	c, ok := s.data[k]
+	return c.val, ok && c.anchored
 }
 
 // Set writes a key outside any transaction, bumping its version.
@@ -56,7 +93,7 @@ func (s *Store[K, V]) Set(k K, v V) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.clock++
-	s.data[k] = v
+	s.data[k] = cell[V]{val: v, anchored: true}
 	s.version[k] = s.clock
 }
 
@@ -75,12 +112,28 @@ func (s *Store[K, V]) Stats() (commits, aborts uint64) {
 }
 
 // Range calls fn for every committed key/value pair until fn returns false.
-// The iteration order is unspecified. fn must not call back into the store.
+// The iteration order is unspecified; delta-only keys yield their raw
+// accumulated delta (use RangeCells to distinguish). fn must not call back
+// into the store.
 func (s *Store[K, V]) Range(fn func(K, V) bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for k, v := range s.data {
-		if !fn(k, v) {
+	for k, c := range s.data {
+		if !fn(k, c.val) {
+			return
+		}
+	}
+}
+
+// RangeCells calls fn for every committed key until fn returns false.
+// anchored distinguishes absolute values from pure accumulated deltas that
+// the caller must fold onto its own base state. fn must not call back into
+// the store.
+func (s *Store[K, V]) RangeCells(fn func(k K, val V, anchored bool) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for k, c := range s.data {
+		if !fn(k, c.val, c.anchored) {
 			return
 		}
 	}
@@ -92,6 +145,7 @@ type Tx[K comparable, V any] struct {
 	store    *Store[K, V]
 	reads    map[K]uint64
 	writes   map[K]V
+	deltas   map[K]V
 	finished bool
 }
 
@@ -105,7 +159,10 @@ func (s *Store[K, V]) Begin() *Tx[K, V] {
 }
 
 // Read returns the value of k as seen by the transaction: its own buffered
-// write if present, else the committed value (recording the read version).
+// write if present, else the committed anchored value (recording the read
+// version). Delta-only committed cells and the transaction's own pending
+// deltas are not folded in — they are relative to a base state this store
+// does not know; use ReadBase to materialise them.
 func (t *Tx[K, V]) Read(k K) (V, bool, error) {
 	var zero V
 	if t.finished {
@@ -114,16 +171,56 @@ func (t *Tx[K, V]) Read(k K) (V, bool, error) {
 	if v, ok := t.writes[k]; ok {
 		return v, true, nil
 	}
+	c, _, err := t.readCell(k)
+	if err != nil {
+		return zero, false, err
+	}
+	return c.val, c.anchored, nil
+}
+
+// ReadBase returns the value of k materialised over base: the committed
+// cell (anchored cells replace base, delta-only cells merge onto it), then
+// the transaction's own buffered write (replacing), then its own pending
+// deltas (merged last). The committed read is version-recorded like Read,
+// so a concurrent commit to k — absolute or delta — still invalidates this
+// transaction.
+func (t *Tx[K, V]) ReadBase(k K, base V) (V, error) {
+	if t.finished {
+		return base, ErrFinished
+	}
+	val := base
+	if w, ok := t.writes[k]; ok {
+		val = w
+	} else {
+		c, present, err := t.readCell(k)
+		if err != nil {
+			return base, err
+		}
+		if present && c.anchored {
+			val = c.val
+		} else if present {
+			val = t.store.merge(val, c.val)
+		}
+	}
+	if d, ok := t.deltas[k]; ok {
+		val = t.store.merge(val, d)
+	}
+	return val, nil
+}
+
+// readCell loads k's committed cell, recording and validating the read
+// version.
+func (t *Tx[K, V]) readCell(k K) (cell[V], bool, error) {
 	t.store.mu.RLock()
-	v, ok := t.store.data[k]
+	c, present := t.store.data[k]
 	ver := t.store.version[k]
 	t.store.mu.RUnlock()
 	if prev, seen := t.reads[k]; seen && prev != ver {
 		// The key changed between two of our own reads: doomed.
-		return zero, false, ErrConflict
+		return cell[V]{}, false, ErrConflict
 	}
 	t.reads[k] = ver
-	return v, ok, nil
+	return c, present, nil
 }
 
 // Write buffers a write of k.
@@ -132,6 +229,29 @@ func (t *Tx[K, V]) Write(k K, v V) error {
 		return ErrFinished
 	}
 	t.writes[k] = v
+	return nil
+}
+
+// WriteDelta buffers a blind commutative increment of k: no read dependency
+// is recorded, so this write can never cause the transaction's own abort,
+// and concurrent transactions delta-writing the same key all commit. At
+// commit the delta merges onto the committed value (bumping the key's
+// version, which invalidates concurrent readers of k). Requires a store
+// built with NewStoreDelta.
+func (t *Tx[K, V]) WriteDelta(k K, d V) error {
+	if t.finished {
+		return ErrFinished
+	}
+	if t.store.merge == nil {
+		return ErrNoMerge
+	}
+	if t.deltas == nil {
+		t.deltas = make(map[K]V)
+	}
+	if prev, ok := t.deltas[k]; ok {
+		d = t.store.merge(prev, d)
+	}
+	t.deltas[k] = d
 	return nil
 }
 
@@ -144,18 +264,27 @@ func (t *Tx[K, V]) ReadSet() []K {
 	return out
 }
 
-// WriteSet returns the keys written.
+// WriteSet returns the keys written, including delta-written keys.
 func (t *Tx[K, V]) WriteSet() []K {
-	out := make([]K, 0, len(t.writes))
+	out := make([]K, 0, len(t.writes)+len(t.deltas))
 	for k := range t.writes {
 		out = append(out, k)
+	}
+	for k := range t.deltas {
+		if _, dup := t.writes[k]; !dup {
+			out = append(out, k)
+		}
 	}
 	return out
 }
 
-// Commit validates the read set and atomically applies the writes. On
-// ErrConflict the transaction is finished and its writes are discarded; the
-// caller may Begin a fresh transaction and retry.
+// Commit validates the read set and atomically applies the writes: absolute
+// writes install anchored values, pending deltas merge onto whatever is
+// committed (after this transaction's own absolute write to the same key,
+// if any). Deltas need no validation — they commute — but they do bump key
+// versions, invalidating concurrent readers. On ErrConflict the transaction
+// is finished and its writes are discarded; the caller may Begin a fresh
+// transaction and retry.
 func (t *Tx[K, V]) Commit() error {
 	if t.finished {
 		return ErrFinished
@@ -172,7 +301,17 @@ func (t *Tx[K, V]) Commit() error {
 	}
 	s.clock++
 	for k, v := range t.writes {
-		s.data[k] = v
+		s.data[k] = cell[V]{val: v, anchored: true}
+		s.version[k] = s.clock
+	}
+	for k, d := range t.deltas {
+		c, ok := s.data[k]
+		if ok {
+			c.val = s.merge(c.val, d)
+		} else {
+			c = cell[V]{val: d}
+		}
+		s.data[k] = c
 		s.version[k] = s.clock
 	}
 	s.commits++
