@@ -168,6 +168,17 @@ func BenchmarkOpLevelComparison(b *testing.B) {
 	}
 }
 
+func BenchmarkShardingComparison(b *testing.B) {
+	// E9 at benchmark scale; the recorded baseline lives in
+	// docs/bench/E9-baseline.json (regenerate with
+	// `go run ./cmd/experiments -run shardingexec -json`).
+	for i := 0; i < b.N; i++ {
+		tbl, err := bench.ShardingComparison(benchExecBlk, int64(2020+i), bench.ShardProfileNames(), []int{2, 8}, 8)
+		renderAll(b, err)
+		renderAll(b, bench.RenderTable(io.Discard, tbl))
+	}
+}
+
 // Micro-benchmarks of the pipeline stages.
 
 func BenchmarkTDGBuildAccount(b *testing.B) {
@@ -312,6 +323,16 @@ func BenchmarkSTMExecution(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := (exec.STMExec{Workers: 8}).Execute(pre.Copy(), blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardedExecution(b *testing.B) {
+	pre, blk := execFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (exec.Sharded{Workers: 8, Shards: 4}).Execute(pre.Copy(), blk); err != nil {
 			b.Fatal(err)
 		}
 	}

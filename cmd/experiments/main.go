@@ -8,9 +8,12 @@
 //
 // The -run filter selects experiments by name (tableI, fig1, fig4, fig5,
 // fig6, fig7, fig8, fig9, fig10, summary, exec, sched, approxtdg,
-// interblock, utxoexec, sharding, census, pipeline, oplevel). With -json,
-// table experiments emit one JSON object per table (figures stay text) —
-// the format of the recorded benchmark baselines.
+// interblock, utxoexec, sharding, shardingexec, census, pipeline,
+// oplevel). With -json, table experiments emit one JSON object per table
+// (figures stay text) — the format of the recorded benchmark baselines.
+// Note that "-run sharding" matches both the analytical E6 (sharding) and
+// the executable E9 (shardingexec); anchor the regexp ("sharding$") to run
+// E6 alone.
 package main
 
 import (
@@ -188,6 +191,15 @@ func run(args []string) error {
 		tbl, err := bench.ShardingAnalysis(*execBlocks, *seed, []int{2, 4, 8, 16})
 		if err != nil {
 			return fmt.Errorf("sharding: %w", err)
+		}
+		if err := renderTable(out, tbl); err != nil {
+			return err
+		}
+	}
+	if want("shardingexec") {
+		tbl, err := bench.ShardingComparison(*execBlocks, *seed, bench.ShardProfileNames(), []int{1, 2, 4, 8}, 8)
+		if err != nil {
+			return fmt.Errorf("shardingexec: %w", err)
 		}
 		if err := renderTable(out, tbl); err != nil {
 			return err

@@ -32,3 +32,12 @@ func TestRunOpLevelJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunShardingExecJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs executors")
+	}
+	if err := run([]string{"-run", "shardingexec", "-execblocks", "3", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}

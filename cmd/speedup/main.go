@@ -6,11 +6,16 @@
 // group conflict rate measured on the operation-level (delta-refined) TDG,
 // adding an "Eq.(2) op-level" column that shows what commutativity buys —
 // on hot-key workloads the refined rate l' is far below the key-level l.
+// The optional -shards flag adds a "Sharded" column: the sharded-engine
+// model (core.ShardedSpeedup) for s committees with cross-shard fraction
+// -cross and cross-shard abort rate -abort (a=1 is the key-level worst
+// case, a=0 the commutative-delta limit E9 measures at op level).
 //
 // Usage:
 //
 //	speedup -txs 100 -single 0.6 -group 0.2 -cores 4,8,64
 //	speedup -txs 100 -single 0.6 -group 0.8 -groupop 0.05 -cores 8,64
+//	speedup -txs 100 -single 0.3 -shards 4 -cross 0.8 -abort 0.2 -cores 8,64
 package main
 
 import (
@@ -39,6 +44,9 @@ func run(args []string) error {
 	groupOp := fs.Float64("groupop", -1, "operation-level group conflict rate (l' after delta refinement; -1 disables the column)")
 	coresFlag := fs.String("cores", "4,8,64", "comma-separated core counts")
 	k := fs.Float64("k", 0, "pre-processing cost K in time units")
+	shardsN := fs.Int("shards", 0, "shard count s for the sharded-engine column (0 disables the column)")
+	cross := fs.Float64("cross", 0.5, "cross-shard transaction fraction χ (with -shards)")
+	abortRate := fs.Float64("abort", 1, "cross-shard abort rate a: share of cross-shard txs re-executed in the merge (with -shards)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,6 +63,9 @@ func run(args []string) error {
 	if *groupOp >= 0 {
 		title += fmt.Sprintf(", l'=%.2f (op-level)", *groupOp)
 	}
+	if *shardsN > 0 {
+		title += fmt.Sprintf(", s=%d, χ=%.2f, a=%.2f (sharded)", *shardsN, *cross, *abortRate)
+	}
 	t := bench.Table{
 		Title: title,
 		Headers: []string{
@@ -63,6 +74,9 @@ func run(args []string) error {
 	}
 	if *groupOp >= 0 {
 		t.Headers = append(t.Headers, "Eq.(2) op-level")
+	}
+	if *shardsN > 0 {
+		t.Headers = append(t.Headers, "Sharded")
 	}
 	for _, n := range cores {
 		eq1, err := core.SpeculativeSpeedup(*txs, *single, n)
@@ -104,6 +118,13 @@ func run(args []string) error {
 				return err
 			}
 			row = append(row, fmt.Sprintf("%.2fx", eq2op))
+		}
+		if *shardsN > 0 {
+			sharded, err := core.ShardedSpeedup(*txs, *single, *cross, n, *shardsN, *abortRate)
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.2fx", sharded))
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -31,3 +31,15 @@ func TestRunOpLevelColumn(t *testing.T) {
 		t.Fatal("out-of-domain op-level rate accepted")
 	}
 }
+
+func TestRunShardedColumn(t *testing.T) {
+	if err := run([]string{"-txs", "100", "-single", "0.3", "-shards", "4", "-cross", "0.8", "-abort", "0.2", "-cores", "8,64"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-shards", "4", "-cross", "1.5"}); err == nil {
+		t.Fatal("out-of-domain cross fraction accepted")
+	}
+	if err := run([]string{"-shards", "4", "-abort", "-0.1"}); err == nil {
+		t.Fatal("out-of-domain abort rate accepted")
+	}
+}

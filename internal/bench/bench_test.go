@@ -376,3 +376,38 @@ func TestOpLevelComparison(t *testing.T) {
 		}
 	}
 }
+
+// TestShardingComparison runs E9 at test scale: the sharded engine must
+// beat the sequential baseline in operation-level mode on every cross-shard
+// profile and shard count, and on the skewed hot shard the commutative
+// cross-shard merge must beat the key-level one. (Root equality against the
+// sequential replay is asserted inside ShardingComparison itself.)
+func TestShardingComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs executors")
+	}
+	tbl, err := ShardingComparison(5, 3, ShardProfileNames(), []int{1, 2, 4, 8}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		chain, shards := row[0], row[1]
+		var key, op float64
+		if _, err := fmt.Sscanf(row[3], "%fx -> %fx", &key, &op); err != nil {
+			t.Fatalf("unparseable speed-up cell %q: %v", row[3], err)
+		}
+		if op <= 1 {
+			t.Errorf("%s shards=%s: op-level speed-up %.2f not above sequential baseline", chain, shards, op)
+		}
+		if chain == "Shard Hot-Shard" && shards != "1" && op <= key {
+			t.Errorf("%s shards=%s: op-level %.2f not above key-level %.2f on the hot shard", chain, shards, op, key)
+		}
+		// A single shard has no cross-shard transactions by construction.
+		if shards == "1" && row[2] != "0.0% -> 0.0%" {
+			t.Errorf("%s shards=1: cross rate %q, want zero", chain, row[2])
+		}
+	}
+}

@@ -396,6 +396,95 @@ func OpLevelProfiles() []string {
 	return []string{"Token Hot-Key", "Hot Wallet", "Flash Crowd", "Contract Crowd"}
 }
 
+// ShardingComparison is experiment E9: the sharded execution engine
+// (exec.Sharded) on the cross-shard stress workloads, per shard count. The
+// paper's §II-B notes that Zilliqa-style sharding "does not support
+// cross-shard transactions"; E6 (ShardingAnalysis) measures how many
+// transactions that design forfeits, and E9 measures what *handling* them
+// costs: chain speed-up over the sequential baseline (unit-cost, ΣT/ΣT′)
+// and the cross-shard abort rate (staged results that failed validation
+// and re-executed in the sequential merge), in key-level and
+// operation-level mode. Every engine run, in both modes and at every shard
+// count, is verified root-for-root against the sequential replay.
+func ShardingComparison(blocks int, seed int64, profiles []string, shardCounts []int, workers int) (Table, error) {
+	t := Table{
+		Name: "shardingexec",
+		Title: fmt.Sprintf(
+			"E9: sharded execution — speed-up and cross-shard abort rate vs shard count (%d workers, key-level -> op-level)",
+			workers),
+		Headers: []string{
+			"Chain", "Shards", "Cross", "Speed-up", "Abort rate", "Fallback blocks",
+		},
+	}
+	for _, profile := range profiles {
+		pre, blks, err := prepareChain(profile, blocks, seed)
+		if err != nil {
+			return t, err
+		}
+		pres, _, roots, _, err := replayChain(profile, pre, blks)
+		if err != nil {
+			return t, err
+		}
+		for _, shards := range shardCounts {
+			// Per mode: ΣT, ΣT′, cross/abort/fallback counters.
+			var seqUnits int
+			var par, crossTx, aborts, fallbacks [2]int
+			for i, blk := range blks {
+				seqUnits += len(blk.Txs)
+				for mode := 0; mode < 2; mode++ {
+					op := mode == 1
+					res, ss, err := exec.Sharded{Workers: workers, Shards: shards, OpLevel: op}.
+						ExecuteSharded(pres[i].Copy(), blk)
+					if err != nil {
+						return t, fmt.Errorf("%s sharded s=%d op=%v block %d: %w", profile, shards, op, i, err)
+					}
+					if res.Root != roots[i] {
+						return t, fmt.Errorf("%s sharded s=%d op=%v block %d: root diverged from sequential replay",
+							profile, shards, op, i)
+					}
+					par[mode] += res.Stats.ParUnits
+					crossTx[mode] += ss.Cross
+					aborts[mode] += ss.CrossAborts
+					if ss.Fallback {
+						fallbacks[mode]++
+					}
+				}
+			}
+			if seqUnits == 0 {
+				continue
+			}
+			ratio := func(p int) float64 {
+				if p <= 0 {
+					return 1
+				}
+				return float64(seqUnits) / float64(p)
+			}
+			rate := func(part, whole int) float64 {
+				if whole == 0 {
+					return 0
+				}
+				return 100 * float64(part) / float64(whole)
+			}
+			t.Rows = append(t.Rows, []string{
+				profile,
+				fmt.Sprintf("%d", shards),
+				fmt.Sprintf("%.1f%% -> %.1f%%", rate(crossTx[0], seqUnits), rate(crossTx[1], seqUnits)),
+				fmt.Sprintf("%.2fx -> %.2fx", ratio(par[0]), ratio(par[1])),
+				fmt.Sprintf("%.1f%% -> %.1f%%", rate(aborts[0], max(crossTx[0], 1)), rate(aborts[1], max(crossTx[1], 1))),
+				fmt.Sprintf("%d -> %d", fallbacks[0], fallbacks[1]),
+			})
+		}
+	}
+	return t, nil
+}
+
+// ShardProfileNames are the workloads E9 runs by default: uniform
+// cross-shard traffic, a skewed hot shard, and contract-heavy cross-shard
+// tangles.
+func ShardProfileNames() []string {
+	return []string{"Shard Uniform", "Shard Hot-Shard", "Shard Cross-Heavy"}
+}
+
 // InterBlockConcurrency is experiment E4: the paper's §VII lists
 // inter-block concurrency as an unexplored source. Windows of w consecutive
 // blocks are analysed as one batch; the table reports how both conflict

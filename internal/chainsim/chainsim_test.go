@@ -442,3 +442,43 @@ func TestGenesisAndChainTypes(t *testing.T) {
 		t.Fatalf("acct remaining = %d, want 3", ag.Remaining())
 	}
 }
+
+// TestShardProfiles checks the cross-shard extension profiles (E9): well
+// formed, reachable by name, account-model, and their generated histories
+// execute (the generator validates every block it appends).
+func TestShardProfiles(t *testing.T) {
+	ps := ShardProfiles()
+	if len(ps) != 3 {
+		t.Fatalf("shard profiles = %d, want 3", len(ps))
+	}
+	for _, p := range ps {
+		byName, ok := ProfileByName(p.Name)
+		if !ok || byName.Name != p.Name {
+			t.Fatalf("ProfileByName(%q) failed", p.Name)
+		}
+		if p.Model != Account {
+			t.Fatalf("%s: not account-model", p.Name)
+		}
+		g, err := NewAcctGen(p, 3, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs := 0
+		for {
+			blk, receipts, ok, err := g.Next()
+			if err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+			if !ok {
+				break
+			}
+			if len(receipts) != len(blk.Txs) {
+				t.Fatalf("%s: %d receipts for %d txs", p.Name, len(receipts), len(blk.Txs))
+			}
+			txs += len(blk.Txs)
+		}
+		if txs == 0 {
+			t.Fatalf("%s: empty history", p.Name)
+		}
+	}
+}

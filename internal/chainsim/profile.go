@@ -186,9 +186,27 @@ func HotKeyProfiles() []Profile {
 	}
 }
 
+// ShardProfiles returns the cross-shard stress workloads used by the
+// sharded-execution experiment (E9). Like the hot-key set they are not part
+// of Table I: each one exercises a different shape of cross-shard traffic
+// under sender-based committee assignment (core.ShardOf). "Shard Uniform"
+// spreads load evenly but makes most transfers land on a foreign shard;
+// "Shard Hot-Shard" concentrates the receivers of most transactions on a
+// couple of hot addresses, so one shard's keys absorb nearly all
+// cross-shard writes (the skew that commutative deltas dissolve); "Shard
+// Cross-Heavy" is dominated by contract calls with deep internal chains,
+// whose call targets span shards with genuinely shared storage.
+func ShardProfiles() []Profile {
+	return []Profile{
+		ShardUniformProfile(),
+		ShardHotShardProfile(),
+		ShardCrossHeavyProfile(),
+	}
+}
+
 // ProfileByName returns the profile with the given name and whether it
-// exists, searching the paper's Table I chains and the hot-key extension
-// profiles.
+// exists, searching the paper's Table I chains and the hot-key and
+// cross-shard extension profiles.
 func ProfileByName(name string) (Profile, bool) {
 	for _, p := range AllProfiles() {
 		if p.Name == name {
@@ -196,6 +214,11 @@ func ProfileByName(name string) (Profile, bool) {
 		}
 	}
 	for _, p := range HotKeyProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range ShardProfiles() {
 		if p.Name == name {
 			return p, true
 		}
@@ -428,6 +451,66 @@ func ContractCrowdProfile() Profile {
 				TxPerBlock: 80, TxPerBlockJitter: 0.3, Users: 20000,
 				ActiveFrac: 2.0, ExchangeFrac: 0, Exchanges: 0,
 				ContractFrac: 1.0, CreationFrac: 0, InternalDepth: 1.5, Contracts: 12,
+				HotReceiverFrac: 0, HotReceivers: 0},
+		},
+	}
+}
+
+// ShardUniformProfile models uniformly distributed peer-to-peer traffic: a
+// large user population paying random peers, no exchanges, no hot keys, no
+// contracts. Under sender sharding the load balances almost perfectly
+// across committees, but with uniform receivers roughly (s−1)/s of the
+// transfers are cross-shard — the workload that measures the pure overhead
+// of the cross-shard commit when almost nothing actually conflicts.
+func ShardUniformProfile() Profile {
+	return Profile{
+		Name: "Shard Uniform", Model: Account, Consensus: "PoW+Sharding",
+		SmartContracts: false, DataSource: "Synthetic", LaunchYear: 2020,
+		Eras: []Era{
+			{Name: "steady", Weight: 1, StartTime: jan1(2020), BlockInterval: 15,
+				TxPerBlock: 120, TxPerBlockJitter: 0.3, Users: 30000,
+				ActiveFrac: 2.5, ExchangeFrac: 0, Exchanges: 0,
+				ContractFrac: 0, CreationFrac: 0, InternalDepth: 0, Contracts: 0,
+				HotReceiverFrac: 0, HotReceivers: 0},
+		},
+	}
+}
+
+// ShardHotShardProfile models a skewed hot shard: most transactions are
+// plain transfers into one or two hot receiver addresses, so whichever
+// shard owns those addresses absorbs nearly every cross-shard write. At
+// key level the hot balances serialise the cross-shard commit; at
+// operation level the credits are blind deltas that merge commutatively
+// across shards, so the skew costs (almost) nothing.
+func ShardHotShardProfile() Profile {
+	return Profile{
+		Name: "Shard Hot-Shard", Model: Account, Consensus: "PoW+Sharding",
+		SmartContracts: false, DataSource: "Synthetic", LaunchYear: 2020,
+		Eras: []Era{
+			{Name: "skew", Weight: 1, StartTime: jan1(2020), BlockInterval: 15,
+				TxPerBlock: 120, TxPerBlockJitter: 0.3, Users: 30000,
+				ActiveFrac: 2.5, ExchangeFrac: 0, Exchanges: 0,
+				ContractFrac: 0, CreationFrac: 0, InternalDepth: 0, Contracts: 0,
+				HotReceiverFrac: 0.7, HotReceivers: 2},
+		},
+	}
+}
+
+// ShardCrossHeavyProfile models contract-dominated traffic whose internal
+// call chains span shards: deep router cascades against a popular contract
+// population plus exchange deposits. Cross-shard transactions here carry
+// real shared-storage conflicts that commute with nothing, so this is the
+// adversarial workload for the cross-shard commit (high abort rate, the
+// occasional whole-block fallback).
+func ShardCrossHeavyProfile() Profile {
+	return Profile{
+		Name: "Shard Cross-Heavy", Model: Account, Consensus: "PoW+Sharding",
+		SmartContracts: true, DataSource: "Synthetic", LaunchYear: 2020,
+		Eras: []Era{
+			{Name: "tangle", Weight: 1, StartTime: jan1(2020), BlockInterval: 15,
+				TxPerBlock: 100, TxPerBlockJitter: 0.3, Users: 20000,
+				ActiveFrac: 2.0, ExchangeFrac: 0.25, Exchanges: 2,
+				ContractFrac: 0.45, CreationFrac: 0.01, InternalDepth: 2.2, Contracts: 60,
 				HotReceiverFrac: 0, HotReceivers: 0},
 		},
 	}

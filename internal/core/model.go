@@ -170,6 +170,43 @@ func PipelineSpeedup(x int, c float64, n int) (float64, error) {
 	return float64(x) / perBlock, nil
 }
 
+// ShardedSpeedup models the sharded engine (internal/exec.Sharded) with s
+// committees on n cores: phase 1 executes all x transactions across the
+// per-shard pipelines in ⌈x/n⌉ units; the shard-local bins re-execute in
+// parallel across shards, costing c·(1−χ)·x/s units on the busiest shard
+// (c is the single-transaction conflict rate, χ the cross-shard fraction);
+// and the deterministic cross-shard merge re-executes its aborted share
+// a·χ·x sequentially:
+//
+//	R = x / (⌈x/n⌉ + c·(1−χ)·x/s + a·χ·x)
+//
+// With a = 1 (every cross-shard transaction re-executes — the key-level
+// worst case on a hot shard) the merge dominates exactly as E9 measures;
+// with a = 0 (all staged results validate, the commutative-delta limit)
+// sharding divides the bin cost by s and the model approaches the
+// speculative engine with an s-way parallel phase 2.
+func ShardedSpeedup(x int, c, cross float64, n, s int, abortRate float64) (float64, error) {
+	if err := checkDomain(x, n, c); err != nil {
+		return 0, err
+	}
+	if cross < 0 || cross > 1 {
+		return 0, fmt.Errorf("%w: cross = %g", ErrModelDomain, cross)
+	}
+	if abortRate < 0 || abortRate > 1 {
+		return 0, fmt.Errorf("%w: abort rate = %g", ErrModelDomain, abortRate)
+	}
+	if s < 1 {
+		return 0, fmt.Errorf("%w: shards = %d", ErrModelDomain, s)
+	}
+	if x == 0 {
+		return 1, nil
+	}
+	tPrime := math.Ceil(float64(x)/float64(n)) +
+		c*(1-cross)*float64(x)/float64(s) +
+		abortRate*cross*float64(x)
+	return float64(x) / tPrime, nil
+}
+
 // BlockSpeedups evaluates all model variants for one measured block.
 type BlockSpeedups struct {
 	// Speculative is equation (1) with the block's single-transaction

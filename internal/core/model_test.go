@@ -315,3 +315,60 @@ func TestPipelineSpeedup(t *testing.T) {
 		t.Fatal("n=0 accepted")
 	}
 }
+
+func TestShardedSpeedup(t *testing.T) {
+	// No cross-shard traffic, one shard: exactly the exact speculative
+	// model (phase 2 bin runs on the single shard).
+	got, err := ShardedSpeedup(100, 0.3, 0, 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SpeculativeSpeedupExact(100, 0.3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("s=1 χ=0: %v, want speculative %v", got, want)
+	}
+	// More shards divide the bin cost: speed-up must be monotonic in s
+	// when there is no cross-shard traffic.
+	prev := 0.0
+	for _, s := range []int{1, 2, 4, 8} {
+		r, err := ShardedSpeedup(100, 0.4, 0, 8, s, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < prev {
+			t.Fatalf("s=%d: speed-up %v below s/2 value %v", s, r, prev)
+		}
+		prev = r
+	}
+	// A fully aborting cross-shard merge (a=1) is worse than a fully
+	// commuting one (a=0).
+	abortAll, err := ShardedSpeedup(100, 0.2, 0.8, 8, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commute, err := ShardedSpeedup(100, 0.2, 0.8, 8, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abortAll >= commute {
+		t.Fatalf("a=1 speed-up %v not below a=0 %v", abortAll, commute)
+	}
+	// Degenerate and domain cases.
+	if r, err := ShardedSpeedup(0, 0.5, 0.5, 8, 4, 1); err != nil || r != 1 {
+		t.Fatalf("x=0: %v, %v", r, err)
+	}
+	for _, bad := range []func() (float64, error){
+		func() (float64, error) { return ShardedSpeedup(10, 0.5, -0.1, 8, 4, 1) },
+		func() (float64, error) { return ShardedSpeedup(10, 0.5, 1.1, 8, 4, 1) },
+		func() (float64, error) { return ShardedSpeedup(10, 0.5, 0.5, 8, 0, 1) },
+		func() (float64, error) { return ShardedSpeedup(10, 0.5, 0.5, 8, 4, 2) },
+		func() (float64, error) { return ShardedSpeedup(10, 0.5, 0.5, 0, 4, 1) },
+	} {
+		if _, err := bad(); err == nil {
+			t.Fatal("out-of-domain parameters accepted")
+		}
+	}
+}

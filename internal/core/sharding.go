@@ -1,8 +1,6 @@
 package core
 
 import (
-	"encoding/binary"
-
 	"txconcur/internal/types"
 )
 
@@ -19,14 +17,28 @@ import (
 // partitions each block's TDG, so the intra-shard concurrency can differ
 // from the global one.
 
-// ShardOf maps an address to one of n shards, by the address's leading
-// bits, as Zilliqa assigns accounts to committees.
+// fnvOffset and fnvPrime are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// ShardOf maps an address to one of n shards, as Zilliqa assigns accounts
+// to committees. The full address is mixed through FNV-1a before the
+// reduction: taking the leading 8 bytes directly skews the assignment for
+// structured or low-entropy addresses (e.g. counter-derived test addresses
+// whose leading bytes are constant, which would all land on one shard), and
+// plain truncation interacts badly with non-power-of-two n.
 func ShardOf(a types.Address, n int) int {
 	if n <= 1 {
 		return 0
 	}
-	v := binary.BigEndian.Uint64(a[:8])
-	return int(v % uint64(n))
+	h := uint64(fnvOffset)
+	for _, b := range a {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return int(h % uint64(n))
 }
 
 // ShardingReport summarises a sharded view of one block (or window).

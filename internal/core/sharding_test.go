@@ -35,6 +35,71 @@ func TestShardOf(t *testing.T) {
 	}
 }
 
+// TestShardOfStructuredAddresses is a regression test for the leading-bits
+// assignment bug: ShardOf used to reduce uint64(first 8 bytes) % n, so any
+// address family with constant leading bytes — counter-style addresses with
+// the index in the low bytes, zero-padded fixture addresses — collapsed
+// onto a single shard, and non-power-of-two n inherited whatever bias the
+// leading bytes carried. Hashing the full address must spread them.
+func TestShardOfStructuredAddresses(t *testing.T) {
+	families := map[string]func(i uint64) types.Address{
+		// Counter in the trailing bytes, leading 12 bytes all zero: the old
+		// code mapped every one of these to shard 0.
+		"low-entropy-tail": func(i uint64) types.Address {
+			var a types.Address
+			a[19] = byte(i)
+			a[18] = byte(i >> 8)
+			a[17] = byte(i >> 16)
+			return a
+		},
+		// Shared prefix with a small suffix counter (vanity/contract-factory
+		// style).
+		"shared-prefix": func(i uint64) types.Address {
+			a := addr("factory", 7)
+			a[19] = byte(i)
+			a[18] = byte(i >> 8)
+			return a
+		},
+	}
+	for name, mk := range families {
+		for _, n := range []int{2, 3, 4, 5, 8, 16} {
+			counts := make([]int, n)
+			const total = 3000
+			for i := uint64(0); i < total; i++ {
+				counts[ShardOf(mk(i), n)]++
+			}
+			want := total / n
+			for s, c := range counts {
+				if c < want/2 || c > want*2 {
+					t.Errorf("%s n=%d: shard %d has %d of %d addresses (want ~%d)",
+						name, n, s, c, total, want)
+				}
+			}
+		}
+	}
+}
+
+// TestShardOfChainsimGenerators checks shard balance over the address
+// families the chainsim generators actually mint (types.AddressFromUint64
+// with role-tagged domains), including non-power-of-two shard counts.
+func TestShardOfChainsimGenerators(t *testing.T) {
+	for _, tag := range []string{"user/Ethereum", "exchange/Zilliqa", "contract/Shard Cross-Heavy", "hot/Shard Hot-Shard"} {
+		for _, n := range []int{2, 3, 4, 7, 8} {
+			counts := make([]int, n)
+			const total = 2100
+			for i := uint64(0); i < total; i++ {
+				counts[ShardOf(types.AddressFromUint64(tag, i), n)]++
+			}
+			want := total / n
+			for s, c := range counts {
+				if c < want*2/3 || c > want*3/2 {
+					t.Errorf("tag %q n=%d: shard %d has %d of %d (want ~%d)", tag, n, s, c, total, want)
+				}
+			}
+		}
+	}
+}
+
 // shardFixture builds a view with controlled shard placement: it searches
 // for addresses landing on the desired shards.
 func addrOnShard(t *testing.T, tag string, want, n int) types.Address {

@@ -535,18 +535,23 @@ func parallelFor(n, workers int, fn func(int)) {
 	wg.Wait()
 }
 
-// ceilDiv returns ⌈a/b⌉ for ints.
+// ceilDiv returns ⌈a/b⌉ for ints. A non-positive divisor is always a
+// misconfigured worker or bin count that the caller failed to validate
+// (every engine rejects Workers < 1 with ErrNoWorkers before scheduling);
+// returning a silently, as an earlier version did, masked such bugs as
+// plausible-looking schedule lengths.
 func ceilDiv(a, b int) int {
 	if b <= 0 {
-		return a
+		panic(fmt.Sprintf("exec: ceilDiv with non-positive divisor %d", b))
 	}
 	return (a + b - 1) / b
 }
 
-// ceilDivU returns ⌈a/b⌉ for uint64s.
+// ceilDivU returns ⌈a/b⌉ for uint64s. As with ceilDiv, a zero divisor is a
+// caller bug and panics rather than masquerading as a schedule length.
 func ceilDivU(a, b uint64) uint64 {
 	if b == 0 {
-		return a
+		panic("exec: ceilDivU with zero divisor")
 	}
 	return (a + b - 1) / b
 }

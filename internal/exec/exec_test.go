@@ -456,15 +456,16 @@ func TestParallelFor(t *testing.T) {
 }
 
 func TestCeilDiv(t *testing.T) {
-	cases := [][3]int{{10, 4, 3}, {8, 4, 2}, {1, 4, 1}, {0, 4, 0}, {5, 0, 5}}
+	cases := [][3]int{{10, 4, 3}, {8, 4, 2}, {1, 4, 1}, {0, 4, 0}}
 	for _, c := range cases {
 		if got := ceilDiv(c[0], c[1]); got != c[2] {
 			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
 		}
 	}
-	if ceilDivU(10, 4) != 3 || ceilDivU(10, 0) != 10 {
+	if ceilDivU(10, 4) != 3 {
 		t.Error("ceilDivU wrong")
 	}
+	// Non-positive divisors panic; see TestCeilDivValidatesDivisor.
 }
 
 func TestGroupedSpeedupBoundedByModel(t *testing.T) {
@@ -514,4 +515,52 @@ func groupSizes(blk *account.Block, receipts []*account.Receipt) []int {
 		sizes[i] = len(g)
 	}
 	return sizes
+}
+
+// TestCeilDivValidatesDivisor is a regression test: the helpers used to
+// return the dividend unchanged on a non-positive divisor, so a
+// misconfigured worker count that slipped past engine validation produced a
+// plausible-looking (wrong) schedule length instead of failing loudly.
+func TestCeilDivValidatesDivisor(t *testing.T) {
+	if got := ceilDiv(7, 2); got != 4 {
+		t.Fatalf("ceilDiv(7,2) = %d", got)
+	}
+	if got := ceilDivU(7, 2); got != 4 {
+		t.Fatalf("ceilDivU(7,2) = %d", got)
+	}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic on invalid divisor", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("ceilDiv zero", func() { ceilDiv(5, 0) })
+	mustPanic("ceilDiv negative", func() { ceilDiv(5, -3) })
+	mustPanic("ceilDivU zero", func() { ceilDivU(5, 0) })
+}
+
+// TestEnginesRejectZeroWorkers confirms every engine validates its worker
+// count up front (ErrNoWorkers) rather than letting a zero divisor reach
+// the schedule-length accounting.
+func TestEnginesRejectZeroWorkers(t *testing.T) {
+	st := account.NewStateDB()
+	blk := &account.Block{Coinbase: addr(9000)}
+	if _, err := (Speculative{}).Execute(st, blk); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("speculative: %v", err)
+	}
+	if _, err := (Grouped{}).Execute(st, blk); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("grouped: %v", err)
+	}
+	if _, err := (STMExec{}).Execute(st, blk); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("stm: %v", err)
+	}
+	if _, err := (Pipeline{}).Execute(st, blk); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("pipeline: %v", err)
+	}
+	if _, err := (Sharded{Shards: 2}).Execute(st, blk); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("sharded: %v", err)
+	}
 }

@@ -104,12 +104,22 @@ func fuzzChain(seed int64, users, hotN, txn, hotPct, split uint8) (*account.Stat
 // FuzzEngineSerialEquivalence asserts, for every engine in both key-level
 // and operation-level mode, receipt and state-root equality with the
 // sequential engine on randomized (delta-heavy, hot-key-skewed) chains.
+// The sharded engine runs at two shard counts per input — a fixed 2 and a
+// seed-derived count in [1, 8] — so the fuzzer also explores one-shard
+// degeneration, non-power-of-two committees, and wide sharding.
 func FuzzEngineSerialEquivalence(f *testing.F) {
 	f.Add(int64(1), uint8(8), uint8(2), uint8(40), uint8(80), uint8(1))
 	f.Add(int64(2), uint8(3), uint8(1), uint8(60), uint8(100), uint8(2))
 	f.Add(int64(3), uint8(20), uint8(3), uint8(79), uint8(50), uint8(0))
 	f.Add(int64(4), uint8(2), uint8(0), uint8(30), uint8(0), uint8(2))
 	f.Add(int64(5), uint8(12), uint8(1), uint8(70), uint8(95), uint8(1))
+	// Sharded-engine seeds: nonce chains that straddle the intra/cross
+	// boundary, hot-key skew across committees, conflict-heavy contract
+	// traffic on few users, and a no-hot-key control.
+	f.Add(int64(6), uint8(25), uint8(2), uint8(77), uint8(60), uint8(2))
+	f.Add(int64(7), uint8(4), uint8(1), uint8(55), uint8(90), uint8(1))
+	f.Add(int64(8), uint8(15), uint8(3), uint8(66), uint8(35), uint8(0))
+	f.Add(int64(9), uint8(9), uint8(0), uint8(48), uint8(0), uint8(2))
 	f.Fuzz(func(t *testing.T, seed int64, users, hotN, txn, hotPct, split uint8) {
 		pre, blocks := fuzzChain(seed, users, hotN, txn, hotPct, split)
 
@@ -171,6 +181,17 @@ func FuzzEngineSerialEquivalence(f *testing.F) {
 					t.Fatalf("grouped/%s block %d: root mismatch", mode, i)
 				}
 				checkReceipts("grouped/"+mode, grp.Receipts, seqs[i].Receipts)
+
+				for _, shards := range []int{2, 1 + int(uint64(seed)%8)} {
+					shd, err := Sharded{Workers: 4, Shards: shards, OpLevel: op}.Execute(pres[i].Copy(), blk)
+					if err != nil {
+						t.Fatalf("sharded-%d/%s block %d: %v", shards, mode, i, err)
+					}
+					if shd.Root != seqs[i].Root {
+						t.Fatalf("sharded-%d/%s block %d: root mismatch", shards, mode, i)
+					}
+					checkReceipts("sharded/"+mode, shd.Receipts, seqs[i].Receipts)
+				}
 			}
 			// The pipeline over the whole chain.
 			cr, err := Pipeline{Workers: 4, Depth: 2, OpLevel: op}.ExecuteChain(pre.Copy(), blocks)

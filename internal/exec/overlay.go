@@ -19,6 +19,11 @@
 //     cache of package mvstore — optimistic execution against pinned
 //     snapshots, in-order validation with per-transaction repair, and
 //     phase 1 of block b+1 overlapping phase 2 of block b across a chain.
+//   - Sharded: state partitioned into per-shard mvstore instances
+//     (core.ShardOf), each shard running its sub-block on its own
+//     speculative pipeline, with — unlike the Zilliqa design of §II-B — a
+//     deterministic two-phase cross-shard commit for the transactions that
+//     span committees.
 //
 // Every parallel engine additionally supports operation-level conflict
 // refinement (the OpLevel/Refined fields): balance credits and debits are

@@ -157,6 +157,30 @@ type specBlock struct {
 	snap     *mvstore.Snapshot[StateKey, stateVal]
 }
 
+// foldResolvedInto returns a RangeLatestResolved callback that folds a
+// multi-version store's newest values into the given state database.
+// Anchored chains materialise to absolute values; a balance that was only
+// ever delta-written resolves to its accumulated delta, applied on top of
+// the base balance in st. Shared by the pipeline's end-of-chain fold and
+// the sharded engine's per-shard sub-block folds.
+func foldResolvedInto(st *account.StateDB) func(k StateKey, v stateVal, anchored bool) bool {
+	return func(k StateKey, v stateVal, anchored bool) bool {
+		switch {
+		case k.Kind == kindBalance && !anchored:
+			st.AddBalance(k.Addr, v.i64)
+		case k.Kind == kindBalance:
+			st.AddBalance(k.Addr, v.i64-st.GetBalance(k.Addr))
+		case k.Kind == kindNonce:
+			st.SetNonce(k.Addr, v.u64)
+		case k.Kind == kindCode:
+			st.SetCode(k.Addr, v.bytes)
+		case k.Kind == kindStorage:
+			st.SetStorage(k.Addr, k.Slot, v.u64)
+		}
+		return true
+	}
+}
+
 // overlayWrites converts an overlay's buffered values into the
 // multi-version store's write-set representation: absolute values as Put
 // versions, accumulated balance deltas as DeltaAdd versions that merge with
@@ -398,24 +422,7 @@ func (e Pipeline) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*C
 	}
 
 	// Fold the cache's newest values into the caller's state database.
-	// Anchored chains materialise to absolute values; a balance that was
-	// only ever delta-written resolves to its accumulated delta, applied on
-	// top of the base balance in st.
-	mv.RangeLatestResolved(func(k StateKey, v stateVal, anchored bool) bool {
-		switch {
-		case k.Kind == kindBalance && !anchored:
-			st.AddBalance(k.Addr, v.i64)
-		case k.Kind == kindBalance:
-			st.AddBalance(k.Addr, v.i64-st.GetBalance(k.Addr))
-		case k.Kind == kindNonce:
-			st.SetNonce(k.Addr, v.u64)
-		case k.Kind == kindCode:
-			st.SetCode(k.Addr, v.bytes)
-		case k.Kind == kindStorage:
-			st.SetStorage(k.Addr, k.Slot, v.u64)
-		}
-		return true
-	})
+	mv.RangeLatestResolved(foldResolvedInto(st))
 	st.DiscardJournal()
 
 	res := &ChainResult{Receipts: all, Root: st.Root(), Blocks: blockStats}

@@ -1,0 +1,681 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"txconcur/internal/account"
+	"txconcur/internal/core"
+	"txconcur/internal/mvstore"
+	"txconcur/internal/types"
+)
+
+// Sharded is a multi-shard execution engine. The paper's §II-B singles out
+// Zilliqa-style network sharding as a scaling route whose "major limitation
+// ... is that it does not support cross-shard transactions"; package core's
+// ShardingAnalysis (E6) measures how many transactions that limitation
+// forfeits. This engine closes the gap: the account state is partitioned
+// into per-shard multi-version stores keyed by core.ShardOf(sender), each
+// shard runs its intra-shard sub-block on its own speculative two-phase
+// worker pipeline (the per-shard instance of the Saraph–Herlihy scheme the
+// other engines use), and — unlike Zilliqa — cross-shard transactions are
+// *handled*, by a deterministic two-phase cross-shard commit:
+//
+//   - Phase 1 (parallel, per shard): every transaction executes on a
+//     recording overlay against the pinned pre-block state. Transactions
+//     whose access set stays inside their home shard are committed
+//     shard-locally (winners apply, intra-shard conflicts re-execute in
+//     block order against the shard's staged prefix), and the shard's
+//     sub-block is installed into its own mvstore at timestamp 1.
+//     Transactions that touched foreign-shard state — or whose phase-1
+//     access set overlaps an earlier cross-shard transaction's writes —
+//     stage their read/write sets for phase 2 instead.
+//   - Phase 2 (deterministic, in block order): the cross-shard commit
+//     validates each staged transaction's reads against the per-shard
+//     commits and the earlier cross-shard writes. A clean transaction's
+//     phase-1 result is applied as-is; a stale one re-executes against the
+//     merged view (every shard's pinned snapshot plus the cross-shard
+//     accumulator). Operation-level delta writes merge commutatively
+//     across shards: a blind credit staged by one shard never conflicts
+//     with another shard's blind credits to the same account, so hot-key
+//     deposit traffic stays parallel even when it is almost entirely
+//     cross-shard.
+//
+// Soundness follows the same discipline as Speculative: nothing touches st
+// until every result is validated, order-sensitive overlaps that the
+// validation cannot repair locally (a cross-shard write observed too early
+// or clobbering a later intra-shard result) trigger a sequential fallback
+// from the untouched pre-state, and the regression and fuzz tests enforce
+// receipt and state-root equality with Sequential on every profile, shard
+// count, and conflict mode.
+type Sharded struct {
+	// Workers is the total core count n. Each shard's pipeline is credited
+	// ⌈n/s⌉ logical workers; since s·⌈n/s⌉ can exceed n when s does not
+	// divide n, the schedule-length accounting is additionally floored by
+	// the total core budget (all intra-shard work over n cores), so the
+	// reported speed-up never exceeds what n cores could deliver.
+	Workers int
+	// Shards is the committee count s; values below 1 mean 1 (a single
+	// shard degenerates to a speculative two-phase engine).
+	Shards int
+	// OpLevel enables operation-level conflict refinement: balance credits
+	// and debits are recorded as commutative deltas. Deltas merge within a
+	// shard's mvstore (DeltaAdd version chains) and across shards in the
+	// cross-shard commit, so blind credits never abort each other no
+	// matter which shard staged them.
+	OpLevel bool
+}
+
+// ShardStats describes the sharded engine's work on one block, beyond the
+// generic Stats.
+type ShardStats struct {
+	// Shards is the committee count actually used.
+	Shards int
+	// Intra is the number of transactions classified intra-shard and
+	// committed shard-locally (or re-run sequentially when Fallback is
+	// set).
+	Intra int
+	// Cross is the number of transactions classified for the cross-shard
+	// commit (foreign-shard touches, ordering overlaps with cross-shard
+	// writes, and phase-1 failures rerouted by their shard). Intra+Cross
+	// always equals the block's transaction count, fallback or not.
+	Cross int
+	// CrossAborts counts cross-shard transactions whose staged phase-1
+	// result failed validation (or was never staged) and had to re-execute
+	// sequentially in the merge. On a Fallback block it equals Cross:
+	// every cross-shard transaction, accepted or not, re-ran sequentially.
+	CrossAborts int
+	// Fallback reports that an unrepairable ordering overlap forced the
+	// whole block through the sequential fallback.
+	Fallback bool
+	// PerShardTxs is the phase-1 transaction count per home shard.
+	PerShardTxs []int
+}
+
+// shardedState reads through every shard's pinned sub-block snapshot,
+// dispatching each key to the mvstore of the shard that owns its address.
+// It is the merged pre-cross-commit view of the block: pre-block state
+// plus all intra-shard commits. Writes panic, as on snapState: all
+// cross-shard execution goes through recording overlays.
+type shardedState struct {
+	shards int
+	views  []*snapState
+}
+
+var _ account.State = (*shardedState)(nil)
+
+func (s *shardedState) view(a types.Address) *snapState { return s.views[core.ShardOf(a, s.shards)] }
+
+func (s *shardedState) GetBalance(a types.Address) int64 { return s.view(a).GetBalance(a) }
+func (s *shardedState) GetNonce(a types.Address) uint64  { return s.view(a).GetNonce(a) }
+func (s *shardedState) GetCode(a types.Address) []byte   { return s.view(a).GetCode(a) }
+func (s *shardedState) GetStorage(a types.Address, slot uint64) uint64 {
+	return s.view(a).GetStorage(a, slot)
+}
+func (s *shardedState) Snapshot() int                   { return 0 }
+func (s *shardedState) RevertToSnapshot(int)            {}
+func (s *shardedState) AddBalance(types.Address, int64) { panic("exec: write to sharded view") }
+func (s *shardedState) SubBalance(types.Address, int64) { panic("exec: write to sharded view") }
+func (s *shardedState) SetNonce(types.Address, uint64)  { panic("exec: write to sharded view") }
+func (s *shardedState) SetCode(types.Address, []byte)   { panic("exec: write to sharded view") }
+func (s *shardedState) SetStorage(types.Address, uint64, uint64) {
+	panic("exec: write to sharded view")
+}
+
+// Execute runs the block on st (mutated on success), engine-interface
+// parity with the other executors.
+func (e Sharded) Execute(st *account.StateDB, blk *account.Block) (*Result, error) {
+	res, _, err := e.ExecuteSharded(st, blk)
+	return res, err
+}
+
+// touchesForeign reports whether the overlay's access set leaves the home
+// shard.
+func touchesForeign(o *overlay, home, shards int) bool {
+	for k := range o.reads {
+		if core.ShardOf(k.Addr, shards) != home {
+			return true
+		}
+	}
+	for k := range o.writes {
+		if core.ShardOf(k.Addr, shards) != home {
+			return true
+		}
+	}
+	for a := range o.deltas {
+		if core.ShardOf(a, shards) != home {
+			return true
+		}
+	}
+	return false
+}
+
+// crossWriteIndex is the per-key ordering index of the cross-shard set:
+// the smallest block position of a cross transaction that absolutely
+// writes (abs) or delta-writes (delta) the key. Missing entries mean "not
+// written"; -1 is never stored.
+type crossWriteIndex struct {
+	abs   map[StateKey]int
+	delta map[StateKey]int
+}
+
+// noteMinIdx keeps the smallest block position recorded for k, noteMaxIdx
+// the largest — the two ordering-index primitives of the cross-shard
+// commit.
+func noteMinIdx(m map[StateKey]int, k StateKey, i int) {
+	if prev, ok := m[k]; !ok || i < prev {
+		m[k] = i
+	}
+}
+
+func noteMaxIdx(m map[StateKey]int, k StateKey, i int) {
+	if prev, ok := m[k]; !ok || i > prev {
+		m[k] = i
+	}
+}
+
+// ExecuteSharded runs the block and additionally returns the sharding
+// counters the E9 experiment reports. st is mutated on success.
+func (e Sharded) ExecuteSharded(st *account.StateDB, blk *account.Block) (*Result, *ShardStats, error) {
+	if e.Workers < 1 {
+		return nil, nil, ErrNoWorkers
+	}
+	shards := e.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	wps := ceilDiv(e.Workers, shards)
+	start := time.Now()
+	x := len(blk.Txs)
+
+	// Home-shard assignment by sender, as Zilliqa assigns accounts to
+	// committees. Same-sender nonce chains therefore stay in one shard.
+	home := make([]int, x)
+	byShard := make([][]int, shards)
+	for i, tx := range blk.Txs {
+		home[i] = core.ShardOf(tx.From, shards)
+		byShard[home[i]] = append(byShard[home[i]], i)
+	}
+
+	// Phase 1: per-shard speculative pipelines, every transaction on its
+	// own recording overlay over the immutable pre-block state.
+	overlays := make([]*overlay, x)
+	p1rcpt := make([]*account.Receipt, x)
+	failed := make([]bool, x)
+	var wg sync.WaitGroup
+	for sh := 0; sh < shards; sh++ {
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			idxs := byShard[sh]
+			parallelFor(len(idxs), wps, func(j int) {
+				i := idxs[j]
+				o := newOverlayOp(st, e.OpLevel)
+				rcpt, err := procDeferred.ApplyTransaction(o, blk, blk.Txs[i])
+				if err != nil {
+					// Envelope failure against the pre-block state (e.g. a
+					// nonce chain): the shard's phase-2 bin re-executes it.
+					failed[i] = true
+				} else {
+					p1rcpt[i] = rcpt
+				}
+				overlays[i] = o
+			})
+		}(sh)
+	}
+	wg.Wait()
+
+	// Classification. A transaction whose phase-1 access set leaves its
+	// home shard joins the cross-shard set. Then, to fixpoint: an intra
+	// transaction ordered *after* a cross-shard write it touches must be
+	// ordered against it, so it joins the cross-shard set too (delta–delta
+	// contact commutes and is exempt). The fixpoint uses phase-1 access
+	// sets — predictions, not guarantees; divergent re-executions are
+	// caught by the commit-time validation below.
+	cross := make([]bool, x)
+	for i := range cross {
+		cross[i] = touchesForeign(overlays[i], home[i], shards)
+	}
+	// The fixpoint is monotone — cross membership only grows and the
+	// per-key minima in p1cw only decrease — so the index is maintained
+	// incrementally: each reclassified transaction adds its writes once,
+	// and the scan repeats until a full pass reclassifies nothing.
+	p1cw := crossWriteIndex{abs: make(map[StateKey]int), delta: make(map[StateKey]int)}
+	addCrossWrites := func(i int, o *overlay) {
+		for k := range o.writes {
+			noteMinIdx(p1cw.abs, k, i)
+		}
+		for a := range o.deltas {
+			noteMinIdx(p1cw.delta, deltaKey(a), i)
+		}
+	}
+	for i, o := range overlays {
+		if cross[i] {
+			addCrossWrites(i, o)
+		}
+	}
+	orderedAfterCross := func(i int, o *overlay) bool {
+		for k := range o.reads {
+			if j, ok := p1cw.abs[k]; ok && j < i {
+				return true
+			}
+			if j, ok := p1cw.delta[k]; ok && j < i {
+				return true
+			}
+		}
+		for k := range o.writes {
+			if j, ok := p1cw.abs[k]; ok && j < i {
+				return true
+			}
+			if j, ok := p1cw.delta[k]; ok && j < i {
+				return true
+			}
+		}
+		for a := range o.deltas {
+			// Delta–delta commutes across the intra/cross boundary; only
+			// an earlier cross *absolute* write forces ordering.
+			if j, ok := p1cw.abs[deltaKey(a)]; ok && j < i {
+				return true
+			}
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, o := range overlays {
+			if cross[i] {
+				continue
+			}
+			if orderedAfterCross(i, o) {
+				cross[i] = true
+				addCrossWrites(i, o)
+				changed = true
+			}
+		}
+	}
+
+	// Phase 2a: per-shard in-order commit of the intra-shard sub-blocks,
+	// all shards in parallel. Winners (intra transactions that pass the
+	// shard-local symmetric conflict rule) apply their phase-1 overlays in
+	// block order; binned ones re-execute against the shard's staged
+	// prefix. A re-execution that leaves the shard — or fails — is handed
+	// to the cross-shard commit: the shard prefix is not the sequential
+	// prefix, so neither its access set nor its error is authoritative.
+	type shardOutcome struct {
+		acc    *overlay
+		mv     *mvstore.Store[StateKey, stateVal]
+		err    error
+		binned int
+		gasBin uint64 // gas of the shard-local sequential re-executions
+		stale  bool   // a winner read a key the shard's bin later wrote
+	}
+	final := make([]*overlay, x) // committed intra results, by tx index
+	receipts := make([]*account.Receipt, x)
+	// reexecuted marks the distinct transactions the engine serialised at
+	// least once (shard bin or cross-shard merge) — a bin re-execution
+	// rerouted to the cross set and aborted there must not count twice.
+	reexecuted := make([]bool, x)
+	outcomes := make([]shardOutcome, shards)
+	parallelFor(shards, shards, func(sh int) {
+		out := &outcomes[sh]
+		// Shard-local conflict detection over the intra candidates.
+		intra := make([]*overlay, 0, len(byShard[sh]))
+		for _, i := range byShard[sh] {
+			if !cross[i] {
+				intra = append(intra, overlays[i])
+			}
+		}
+		ac := countAccesses(intra)
+		acc := newOverlayOp(st, e.OpLevel)
+		out.acc = acc
+		// p2min[k] is the smallest binned index that wrote k during this
+		// shard's re-executions — the winner-staleness probe of the
+		// speculative scheme, applied per shard.
+		p2min := make(map[StateKey]int)
+		logW := func(o *overlay, i int) {
+			for k := range o.writes {
+				if _, seen := p2min[k]; !seen {
+					p2min[k] = i
+				}
+			}
+			for a := range o.deltas {
+				k := deltaKey(a)
+				if _, seen := p2min[k]; !seen {
+					p2min[k] = i
+				}
+			}
+		}
+		for _, i := range byShard[sh] {
+			if cross[i] {
+				continue
+			}
+			o := overlays[i]
+			if !failed[i] && !o.conflicted(ac) {
+				o.applyTo(acc)
+				final[i] = o
+				receipts[i] = p1rcpt[i]
+				continue
+			}
+			out.binned++
+			reexecuted[i] = true
+			ro := newOverlayOp(acc, e.OpLevel)
+			rcpt, err := procDeferred.ApplyTransaction(ro, blk, blk.Txs[i])
+			if err != nil || touchesForeign(ro, sh, shards) {
+				cross[i] = true
+				continue
+			}
+			receipts[i] = rcpt
+			out.gasBin += rcpt.GasUsed
+			logW(ro, i)
+			ro.applyTo(acc)
+			final[i] = ro
+		}
+		// Winner staleness: a shard-local bin re-execution may write keys
+		// phase 1 never saw it write; any winner ordered after such a write
+		// holds a stale result.
+		if len(p2min) > 0 {
+			for _, i := range byShard[sh] {
+				if cross[i] || final[i] == nil || final[i] != overlays[i] {
+					continue
+				}
+				o := overlays[i]
+				for k := range o.reads {
+					if j, ok := p2min[k]; ok && j < i {
+						out.stale = true
+					}
+				}
+				for k := range o.writes {
+					if j, ok := p2min[k]; ok && j < i {
+						out.stale = true
+					}
+				}
+			}
+		}
+		// Install the shard's sub-block into its own multi-version store at
+		// timestamp 1; the cross-shard commit reads it through a pinned
+		// snapshot, deltas folding at read time.
+		out.mv = mvstore.NewStoreDelta[StateKey, stateVal](mergeStateVal)
+		out.err = out.mv.CommitWrites(1, overlayWrites(acc))
+	})
+	conflict := false
+	for sh := range outcomes {
+		if outcomes[sh].err != nil {
+			return nil, nil, fmt.Errorf("exec: sharded shard %d commit: %w", sh, outcomes[sh].err)
+		}
+		if outcomes[sh].stale {
+			conflict = true
+		}
+	}
+
+	// Intra touch index, for ordering the cross-shard set against the
+	// committed sub-blocks: per key, the smallest intra writer (reads of a
+	// staged cross transaction must not postdate it) and the largest intra
+	// reader / absolute writer / delta writer (a cross write must not be
+	// visible to, or clobber, a later intra result).
+	minIntraWrite := make(map[StateKey]int)
+	maxIntraRead := make(map[StateKey]int)
+	maxIntraAbs := make(map[StateKey]int)
+	maxIntraDelta := make(map[StateKey]int)
+	for i, f := range final {
+		if f == nil {
+			continue
+		}
+		for k := range f.reads {
+			noteMaxIdx(maxIntraRead, k, i)
+		}
+		for k := range f.writes {
+			noteMinIdx(minIntraWrite, k, i)
+			noteMaxIdx(maxIntraAbs, k, i)
+		}
+		for a := range f.deltas {
+			k := deltaKey(a)
+			noteMinIdx(minIntraWrite, k, i)
+			noteMaxIdx(maxIntraDelta, k, i)
+		}
+	}
+
+	// Phase 2b: deterministic cross-shard commit, strictly in block order,
+	// over the merged view (pre-block state + every shard's pinned
+	// sub-block snapshot) plus the cross-shard accumulator.
+	merged := &shardedState{shards: shards, views: make([]*snapState, shards)}
+	snaps := make([]*mvstore.Snapshot[StateKey, stateVal], shards)
+	for sh := range snaps {
+		snaps[sh] = outcomes[sh].mv.PinAt(1)
+		merged.views[sh] = &snapState{base: st, snap: snaps[sh]}
+	}
+	releaseSnaps := func() {
+		for _, sn := range snaps {
+			sn.Release()
+		}
+	}
+	accX := newOverlayOp(merged, e.OpLevel)
+	cw := crossWriteIndex{abs: make(map[StateKey]int), delta: make(map[StateKey]int)}
+	// crossN is the full classification count, not a merge-progress
+	// counter: a conflict can stop the merge mid-block, and the reported
+	// intra/cross split must stay exact even on fallback blocks.
+	crossN, aborts := 0, 0
+	for j := 0; j < x; j++ {
+		if cross[j] {
+			crossN++
+		}
+	}
+	var gasCrossReexec uint64
+	for j := 0; j < x && !conflict; j++ {
+		if !cross[j] {
+			continue
+		}
+		// Validate the staged phase-1 result: every read must predate both
+		// the intra commits and the earlier cross-shard writes. (Blind
+		// deltas carry no reads, so op-level hot-key credits validate
+		// vacuously — they commute with everything staged so far.)
+		var f *overlay
+		staged := !failed[j] && final[j] == nil && p1rcpt[j] != nil
+		if staged {
+			o := overlays[j]
+			valid := true
+			for k := range o.reads {
+				if i, ok := minIntraWrite[k]; ok && i < j {
+					valid = false
+					break
+				}
+				if _, ok := cw.abs[k]; ok {
+					valid = false
+					break
+				}
+				if _, ok := cw.delta[k]; ok {
+					valid = false
+					break
+				}
+			}
+			if valid {
+				receipts[j] = p1rcpt[j]
+				o.applyTo(accX)
+				f = o
+			}
+		}
+		if f == nil {
+			// Stale or never staged: re-execute against the merged prefix.
+			aborts++
+			reexecuted[j] = true
+			ro := newOverlayOp(accX, e.OpLevel)
+			rcpt, err := procDeferred.ApplyTransaction(ro, blk, blk.Txs[j])
+			if err != nil {
+				// The merged prefix is not the exact sequential prefix, so
+				// the failure is not authoritative: fall back.
+				conflict = true
+				break
+			}
+			// The merged view folds *whole* sub-blocks; the re-execution is
+			// prefix-correct only if nothing it read was written by an
+			// intra transaction ordered after it.
+			for k := range ro.reads {
+				if i, ok := maxIntraAbs[k]; ok && i > j {
+					conflict = true
+				}
+				if i, ok := maxIntraDelta[k]; ok && i > j {
+					conflict = true
+				}
+			}
+			if conflict {
+				break
+			}
+			receipts[j] = rcpt
+			ro.applyTo(accX)
+			f = ro
+			gasCrossReexec += rcpt.GasUsed
+		}
+		// Ordering check against later intra results: a cross-shard write
+		// must not be one a later intra transaction should have observed
+		// (stale read) or superseded (the merge applies cross writes after
+		// the sub-blocks). Delta–delta contact commutes and is exempt.
+		for k := range f.writes {
+			if i, ok := maxIntraRead[k]; ok && i > j {
+				conflict = true
+			}
+			if i, ok := maxIntraAbs[k]; ok && i > j {
+				conflict = true
+			}
+			if i, ok := maxIntraDelta[k]; ok && i > j {
+				conflict = true
+			}
+		}
+		for a := range f.deltas {
+			k := deltaKey(a)
+			if i, ok := maxIntraRead[k]; ok && i > j {
+				conflict = true
+			}
+			if i, ok := maxIntraAbs[k]; ok && i > j {
+				conflict = true
+			}
+		}
+		if conflict {
+			break
+		}
+		for k := range f.writes {
+			noteMinIdx(cw.abs, k, j)
+		}
+		for a := range f.deltas {
+			noteMinIdx(cw.delta, deltaKey(a), j)
+		}
+	}
+
+	ss := &ShardStats{
+		Shards: shards, Cross: crossN, Intra: x - crossN,
+		CrossAborts: aborts, PerShardTxs: make([]int, shards),
+	}
+	for sh := range byShard {
+		ss.PerShardTxs[sh] = len(byShard[sh])
+	}
+
+	retried := 0
+	if conflict {
+		// Sequential fallback from the untouched pre-state: the one sound
+		// answer when the merge order cannot reproduce the block order.
+		releaseSnaps()
+		ss.Fallback = true
+		// Every cross-shard transaction ends up re-executed sequentially on
+		// a fallback block — including ones the merge had provisionally
+		// accepted — so the reported abort count must not stop at the
+		// conflict point. (The schedule accounting keeps the pre-conflict
+		// `aborts`: only that work was actually performed by the merge.)
+		ss.CrossAborts = crossN
+		for i := range receipts {
+			receipts[i] = nil
+		}
+		for i, tx := range blk.Txs {
+			rcpt, err := procDeferred.ApplyTransaction(st, blk, tx)
+			if err != nil {
+				return nil, nil, fmt.Errorf("exec: sharded fallback tx %d: %w", i, err)
+			}
+			receipts[i] = rcpt
+			retried++
+		}
+	} else {
+		// Fold every shard's sub-block, then the cross-shard accumulator,
+		// into the caller's state. Shards own disjoint key sets, so the
+		// shard fold order is irrelevant; cross writes apply last, which
+		// the ordering checks above made safe.
+		for sh := range outcomes {
+			outcomes[sh].mv.RangeLatestResolved(foldResolvedInto(st))
+		}
+		releaseSnaps()
+		accX.applyTo(st)
+	}
+	finalizeBlock(st, blk, receipts)
+
+	// Schedule-length accounting, paper unit-cost model: the per-shard
+	// pipelines run concurrently (max over shards of phase 1 + bin), the
+	// cross-shard commit is one sequential merge whose re-executions cost
+	// one unit each (validated applications, like winner applies, are
+	// free), and a fallback appends the whole block. Because each shard's
+	// pipeline is credited ⌈n/s⌉ workers, s·⌈n/s⌉ can exceed n when s does
+	// not divide n; the intra stage is therefore floored by the total
+	// core-budget bound — all intra work over n cores — so configurations
+	// like Workers=2, Shards=8 cannot report an 8-way speed-up.
+	intraUnits, binnedTotal := 0, 0
+	var intraGas, gasTotal, gasBinTotal uint64
+	for sh := range byShard {
+		u := 0
+		if len(byShard[sh]) > 0 {
+			u = ceilDiv(len(byShard[sh]), wps) + outcomes[sh].binned
+		}
+		// Gas counterpart of u: the shard's phase 1 spreads the sub-block's
+		// gas over its workers, the shard-local bin re-executes its gas
+		// sequentially — the same two terms as the speculative engine's
+		// GasPar, per shard.
+		var g uint64
+		for _, i := range byShard[sh] {
+			if receipts[i] != nil {
+				g += receipts[i].GasUsed
+			}
+		}
+		var shardGas uint64
+		if g > 0 {
+			shardGas = ceilDivU(g, uint64(wps)) + outcomes[sh].gasBin
+		}
+		if u > intraUnits {
+			intraUnits = u
+		}
+		if shardGas > intraGas {
+			intraGas = shardGas
+		}
+		binnedTotal += outcomes[sh].binned
+		gasTotal += g
+		gasBinTotal += outcomes[sh].gasBin
+	}
+	if floor := ceilDiv(x+binnedTotal, e.Workers); x > 0 && floor > intraUnits {
+		intraUnits = floor
+	}
+	if gasTotal+gasBinTotal > 0 {
+		if floor := ceilDivU(gasTotal+gasBinTotal, uint64(e.Workers)); floor > intraGas {
+			intraGas = floor
+		}
+	}
+	// Conflicted counts distinct serialised transactions; Retries counts
+	// re-execution events (a bin re-execution rerouted to the cross-shard
+	// merge and aborted there is one transaction, two re-executions).
+	conflicted := 0
+	for _, r := range reexecuted {
+		if r {
+			conflicted++
+		}
+	}
+	res := &Result{Receipts: receipts, Root: st.Root()}
+	res.Stats = Stats{
+		Workers:    e.Workers,
+		Txs:        x,
+		Conflicted: conflicted,
+		SeqUnits:   x,
+		ParUnits:   intraUnits + aborts + retried,
+		GasSeq:     account.GasUsed(receipts),
+		GasPar:     intraGas + gasCrossReexec,
+		Retries:    binnedTotal + aborts + retried,
+		Wall:       time.Since(start),
+	}
+	if retried > 0 {
+		res.Stats.GasPar += account.GasUsed(receipts)
+	}
+	res.Stats.finish()
+	return res, ss, nil
+}

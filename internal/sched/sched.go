@@ -11,6 +11,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -29,8 +30,19 @@ type Schedule struct {
 
 // Speedup returns Total / Makespan: the parallel speed-up of the schedule
 // under the paper's unit-cost model.
+//
+// Degenerate-case convention: a zero makespan with zero total work (an
+// empty schedule, or all-zero-cost jobs) is a no-op and reports a neutral
+// speed-up of 1; a zero makespan with positive total work means the
+// schedule finished real work in no time, which is +Inf — returning 1
+// there would silently under-report the speed-up. List/LPT never produce
+// the second shape (any positive job loads some worker), but hand-built
+// schedules and gas-weighted callers can.
 func (s *Schedule) Speedup() float64 {
 	if s.Makespan == 0 {
+		if s.Total > 0 {
+			return math.Inf(1)
+		}
 		return 1
 	}
 	return float64(s.Total) / float64(s.Makespan)

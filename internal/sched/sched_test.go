@@ -2,6 +2,7 @@ package sched
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -63,6 +64,30 @@ func TestMoreWorkersThanJobs(t *testing.T) {
 	}
 	if s.Makespan != 4 {
 		t.Fatalf("makespan = %d, want 4 (longest job)", s.Makespan)
+	}
+}
+
+// TestSpeedupDegenerate pins the zero-makespan convention: no work is a
+// neutral 1x, but positive total work finished in zero time is +Inf — the
+// old code returned 1 for both, silently under-reporting the second case
+// (e.g. gas-weighted schedules whose makespan rounds to zero).
+func TestSpeedupDegenerate(t *testing.T) {
+	zeroWork := &Schedule{Makespan: 0, Total: 0}
+	if got := zeroWork.Speedup(); got != 1 {
+		t.Fatalf("zero work: speedup = %v, want 1", got)
+	}
+	zeroCostJobs := &Schedule{Makespan: 0, Total: 7}
+	if got := zeroCostJobs.Speedup(); !math.IsInf(got, 1) {
+		t.Fatalf("zero makespan with total 7: speedup = %v, want +Inf", got)
+	}
+	// All-zero-length jobs through the real scheduler: Total stays 0, so
+	// the neutral convention applies.
+	s, err := LPT([]int{0, 0, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Total != 0 || s.Makespan != 0 || s.Speedup() != 1 {
+		t.Fatalf("all-zero jobs schedule = %+v, speedup %v", s, s.Speedup())
 	}
 }
 
