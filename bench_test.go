@@ -179,6 +179,17 @@ func BenchmarkShardingComparison(b *testing.B) {
 	}
 }
 
+func BenchmarkShardedPipelineComparison(b *testing.B) {
+	// E10 at benchmark scale; the recorded baseline lives in
+	// docs/bench/E10-baseline.json (regenerate with
+	// `go run ./cmd/experiments -run shardedpipeline -json`).
+	for i := 0; i < b.N; i++ {
+		tbl, err := bench.ShardedPipelineComparison(benchExecBlk, int64(2020+i), bench.ShardProfileNames(), []int{2, 8}, 8)
+		renderAll(b, err)
+		renderAll(b, bench.RenderTable(io.Discard, tbl))
+	}
+}
+
 // Micro-benchmarks of the pipeline stages.
 
 func BenchmarkTDGBuildAccount(b *testing.B) {
@@ -336,6 +347,65 @@ func BenchmarkShardedExecution(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkShardedMerge isolates the cross-shard commit on a cross-heavy
+// workload: the same blocks run with the strictly sequential merge
+// (SequentialMerge: one transaction per wave and group) and with the
+// batched/parallel merge, so the wall-time delta is attributable to the
+// merge alone — phase 1, classification and the per-shard commits are
+// identical. Profile the hot path with
+// `go run ./cmd/experiments -run shardedpipeline -cpuprofile cpu.out`.
+func BenchmarkShardedMerge(b *testing.B) {
+	pre, blocks := shardedChainFixture(b)
+	for _, tc := range []struct {
+		name string
+		seq  bool
+	}{{"sequential", true}, {"parallel", false}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				work := pre.Copy()
+				for _, blk := range blocks {
+					e := exec.Sharded{Workers: 8, Shards: 4, SequentialMerge: tc.seq}
+					if _, _, err := e.ExecuteSharded(work, blk); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedChain measures the pipelined sharded chain end to end,
+// per-block execution vs ExecuteChain, on the same cross-heavy history.
+func BenchmarkShardedChain(b *testing.B) {
+	pre, blocks := shardedChainFixture(b)
+	b.Run("per-block", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			work := pre.Copy()
+			for _, blk := range blocks {
+				if _, err := (exec.Sharded{Workers: 8, Shards: 4}).Execute(work, blk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := (exec.Sharded{Workers: 8, Shards: 4, Depth: 2}).ExecuteChain(pre.Copy(), blocks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func shardedChainFixture(b *testing.B) (*account.StateDB, []*account.Block) {
+	b.Helper()
+	pre, blocks, err := chainsim.GenerateAccountChain(chainsim.ShardCrossHeavyProfile(), 6, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pre, blocks
 }
 
 func execFixture(b *testing.B) (*account.StateDB, *account.Block) {

@@ -5,15 +5,21 @@
 // Usage:
 //
 //	experiments [-blocks N] [-buckets N] [-seed N] [-run regexp] [-json]
+//	            [-cpuprofile file] [-trace file]
 //
 // The -run filter selects experiments by name (tableI, fig1, fig4, fig5,
 // fig6, fig7, fig8, fig9, fig10, summary, exec, sched, approxtdg,
-// interblock, utxoexec, sharding, shardingexec, census, pipeline,
-// oplevel). With -json, table experiments emit one JSON object per table
-// (figures stay text) — the format of the recorded benchmark baselines.
-// Note that "-run sharding" matches both the analytical E6 (sharding) and
-// the executable E9 (shardingexec); anchor the regexp ("sharding$") to run
-// E6 alone.
+// interblock, utxoexec, sharding, shardingexec, shardedpipeline, census,
+// pipeline, oplevel). With -json, table experiments emit one JSON object
+// per table (figures stay text) — the format of the recorded benchmark
+// baselines. Note that "-run sharding" matches the analytical E6
+// (sharding), the executable E9 (shardingexec) and the pipelined E10
+// (shardedpipeline); anchor the regexp ("sharding$") to run E6 alone.
+//
+// -cpuprofile and -trace write a pprof CPU profile / runtime execution
+// trace covering the selected experiments, so hot-path regressions in the
+// executors (the cross-shard merge above all) are diagnosable with `go
+// tool pprof` / `go tool trace` against a narrow -run filter.
 package main
 
 import (
@@ -23,6 +29,8 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime/pprof"
+	"runtime/trace"
 
 	"txconcur/internal/bench"
 )
@@ -42,8 +50,32 @@ func run(args []string) error {
 	filter := fs.String("run", "", "regexp of experiment names to run")
 	execBlocks := fs.Int("execblocks", 20, "blocks for the executor experiments")
 	jsonOut := fs.Bool("json", false, "emit table experiments as JSON")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
+	traceFile := fs.String("trace", "", "write a runtime execution trace of the selected experiments to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer trace.Stop()
 	}
 	var re *regexp.Regexp
 	if *filter != "" {
@@ -200,6 +232,15 @@ func run(args []string) error {
 		tbl, err := bench.ShardingComparison(*execBlocks, *seed, bench.ShardProfileNames(), []int{1, 2, 4, 8}, 8)
 		if err != nil {
 			return fmt.Errorf("shardingexec: %w", err)
+		}
+		if err := renderTable(out, tbl); err != nil {
+			return err
+		}
+	}
+	if want("shardedpipeline") {
+		tbl, err := bench.ShardedPipelineComparison(*execBlocks, *seed, bench.ShardProfileNames(), []int{1, 2, 4, 8}, 8)
+		if err != nil {
+			return fmt.Errorf("shardedpipeline: %w", err)
 		}
 		if err := renderTable(out, tbl); err != nil {
 			return err

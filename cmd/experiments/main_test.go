@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunStaticExperiments(t *testing.T) {
 	// tableI and fig1 need no generation; anchored regexp avoids fig10.
@@ -39,5 +43,37 @@ func TestRunShardingExecJSON(t *testing.T) {
 	}
 	if err := run([]string{"-run", "shardingexec", "-execblocks", "3", "-json"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunShardedPipelineJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs executors")
+	}
+	if err := run([]string{"-run", "shardedpipeline", "-execblocks", "3", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunProfileFlags: -cpuprofile and -trace must produce non-empty
+// artifacts covering the selected experiments.
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	tr := filepath.Join(dir, "trace.out")
+	if err := run([]string{"-run", "tableI", "-cpuprofile", cpu, "-trace", tr}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{cpu, tr} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", f)
+		}
+	}
+	if err := run([]string{"-run", "tableI", "-cpuprofile", filepath.Join(dir, "missing", "cpu.out")}); err == nil {
+		t.Fatal("unwritable cpuprofile path accepted")
 	}
 }

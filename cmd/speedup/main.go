@@ -6,10 +6,14 @@
 // group conflict rate measured on the operation-level (delta-refined) TDG,
 // adding an "Eq.(2) op-level" column that shows what commutativity buys —
 // on hot-key workloads the refined rate l' is far below the key-level l.
-// The optional -shards flag adds a "Sharded" column: the sharded-engine
-// model (core.ShardedSpeedup) for s committees with cross-shard fraction
-// -cross and cross-shard abort rate -abort (a=1 is the key-level worst
-// case, a=0 the commutative-delta limit E9 measures at op level).
+// The optional -shards flag adds two columns: "Sharded", the per-block
+// sharded-engine model (core.ShardedSpeedup) for s committees with
+// cross-shard fraction -cross and cross-shard abort rate -abort (a=1 is the
+// key-level worst case, a=0 the commutative-delta limit E9 measures at op
+// level), and "Sharded pipelined", the chain-steady-state model of
+// Sharded.ExecuteChain (core.ShardedPipelineSpeedup) where phase 1 of block
+// b+1 overlaps the cross-shard commit of block b and the merge re-executes
+// aborted transactions in parallel waves — the configuration E10 measures.
 //
 // Usage:
 //
@@ -76,7 +80,7 @@ func run(args []string) error {
 		t.Headers = append(t.Headers, "Eq.(2) op-level")
 	}
 	if *shardsN > 0 {
-		t.Headers = append(t.Headers, "Sharded")
+		t.Headers = append(t.Headers, "Sharded", "Sharded pipelined")
 	}
 	for _, n := range cores {
 		eq1, err := core.SpeculativeSpeedup(*txs, *single, n)
@@ -124,7 +128,11 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			row = append(row, fmt.Sprintf("%.2fx", sharded))
+			piped, err := core.ShardedPipelineSpeedup(*txs, *single, *cross, n, *shardsN, *abortRate)
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.2fx", sharded), fmt.Sprintf("%.2fx", piped))
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -132,33 +132,17 @@ func ExecutorComparison(blocks int, seed int64, cores []int) (Table, error) {
 
 // prepareChain generates a history for the profile and returns the state
 // before the first block plus the block sequence — the whole-chain inputs
-// the pipelined engine consumes. Unlike prepareAccountBlocks, the receipts
+// the pipelined engines consume. Unlike prepareAccountBlocks, the receipts
 // and per-block pre-states are *not* taken from the generator: the
 // generator injects era contracts directly into state between blocks, so
 // chain-level engines use a sequential replay of the blocks themselves as
-// ground truth.
+// ground truth (chainsim.GenerateAccountChain documents the contract).
 func prepareChain(profile string, blocks int, seed int64) (*account.StateDB, []*account.Block, error) {
 	p, ok := chainsim.ProfileByName(profile)
 	if !ok {
 		return nil, nil, fmt.Errorf("bench: unknown chain %q", profile)
 	}
-	g, err := chainsim.NewAcctGen(p, blocks, seed)
-	if err != nil {
-		return nil, nil, err
-	}
-	pre := g.Chain().State().Copy()
-	var out []*account.Block
-	for {
-		blk, _, ok, err := g.Next()
-		if err != nil {
-			return nil, nil, err
-		}
-		if !ok {
-			break
-		}
-		out = append(out, blk)
-	}
-	return pre, out, nil
+	return chainsim.GenerateAccountChain(p, blocks, seed)
 }
 
 // replayChain runs the sequential ground truth over a prepared chain:
@@ -483,6 +467,115 @@ func ShardingComparison(blocks int, seed int64, profiles []string, shardCounts [
 // tangles.
 func ShardProfileNames() []string {
 	return []string{"Shard Uniform", "Shard Hot-Shard", "Shard Cross-Heavy"}
+}
+
+// ShardedPipelineComparison is experiment E10: per-block sharded execution
+// vs the pipelined sharded chain (exec.Sharded.ExecuteChain), per shard
+// count, on the cross-shard stress workloads. The per-block engine ends
+// every block on the cross-shard merge barrier; the pipelined engine
+// overlaps the per-shard speculative phase 1 of block b+1 with the merge of
+// block b, batches commuting staged groups, re-executes aborted cross-shard
+// transactions in parallel waves, and repairs ordering overlaps per
+// transaction instead of falling back to a sequential whole-block re-run —
+// E10 measures what each of those buys. Speed-ups are chain-level over the
+// sequential baseline (unit-cost), reported as "key-level -> op-level";
+// every run, in both modes and at every shard count, is verified
+// root-for-root (and receipt-for-receipt for the chain engine) against the
+// sequential replay.
+func ShardedPipelineComparison(blocks int, seed int64, profiles []string, shardCounts []int, workers int) (Table, error) {
+	t := Table{
+		Name: "shardedpipeline",
+		Title: fmt.Sprintf(
+			"E10: pipelined sharded execution — per-block vs pipelined chain (%d workers, key-level -> op-level)",
+			workers),
+		Headers: []string{
+			"Chain", "Shards", "Per-block", "Pipelined", "Abort rate", "Merge units", "Repairs", "Fallback blocks",
+		},
+	}
+	for _, profile := range profiles {
+		pre, blks, err := prepareChain(profile, blocks, seed)
+		if err != nil {
+			return t, err
+		}
+		pres, oracles, roots, seqRoot, err := replayChain(profile, pre, blks)
+		if err != nil {
+			return t, err
+		}
+		for _, shards := range shardCounts {
+			var seqUnits int
+			var blockPar, chainPar, crossTx, aborts, mergeUnits, repairs, fallbacks [2]int
+			for mode := 0; mode < 2; mode++ {
+				op := mode == 1
+				for i, blk := range blks {
+					if mode == 0 {
+						seqUnits += len(blk.Txs)
+					}
+					res, _, err := exec.Sharded{Workers: workers, Shards: shards, OpLevel: op}.
+						ExecuteSharded(pres[i].Copy(), blk)
+					if err != nil {
+						return t, fmt.Errorf("%s sharded s=%d op=%v block %d: %w", profile, shards, op, i, err)
+					}
+					if res.Root != roots[i] {
+						return t, fmt.Errorf("%s sharded s=%d op=%v block %d: root diverged from sequential replay",
+							profile, shards, op, i)
+					}
+					blockPar[mode] += res.Stats.ParUnits
+				}
+				cr, css, err := exec.Sharded{Workers: workers, Shards: shards, OpLevel: op, Depth: 2}.
+					ExecuteChain(pre.Copy(), blks)
+				if err != nil {
+					return t, fmt.Errorf("%s sharded chain s=%d op=%v: %w", profile, shards, op, err)
+				}
+				if cr.Root != seqRoot {
+					return t, fmt.Errorf("%s sharded chain s=%d op=%v: root diverged from sequential replay",
+						profile, shards, op)
+				}
+				for i := range blks {
+					for j, r := range cr.Receipts[i] {
+						w := oracles[i][j]
+						if r.Status != w.Status || r.GasUsed != w.GasUsed || r.TxHash != w.TxHash {
+							return t, fmt.Errorf("%s sharded chain s=%d op=%v block %d: receipt %d diverged",
+								profile, shards, op, i, j)
+						}
+					}
+				}
+				chainPar[mode] += cr.Stats.ParUnits
+				crossTx[mode] += css.Cross
+				aborts[mode] += css.CrossAborts
+				mergeUnits[mode] += css.MergeUnits
+				repairs[mode] += css.Repairs
+				fallbacks[mode] += css.FallbackBlocks
+			}
+			if seqUnits == 0 {
+				continue
+			}
+			ratio := func(p int) float64 {
+				if p <= 0 {
+					return 1
+				}
+				return float64(seqUnits) / float64(p)
+			}
+			rate := func(part, whole int) float64 {
+				if whole == 0 {
+					return 0
+				}
+				return 100 * float64(part) / float64(whole)
+			}
+			t.Rows = append(t.Rows, []string{
+				profile,
+				fmt.Sprintf("%d", shards),
+				fmt.Sprintf("%.2fx -> %.2fx", ratio(blockPar[0]), ratio(blockPar[1])),
+				fmt.Sprintf("%.2fx -> %.2fx", ratio(chainPar[0]), ratio(chainPar[1])),
+				fmt.Sprintf("%.1f%% -> %.1f%%", rate(aborts[0], max(crossTx[0], 1)), rate(aborts[1], max(crossTx[1], 1))),
+				// Merge units vs aborts: the strictly sequential merge costs
+				// one unit per abort; the wave'd merge costs the left number.
+				fmt.Sprintf("%d/%d -> %d/%d", mergeUnits[0], aborts[0], mergeUnits[1], aborts[1]),
+				fmt.Sprintf("%d -> %d", repairs[0], repairs[1]),
+				fmt.Sprintf("%d -> %d", fallbacks[0], fallbacks[1]),
+			})
+		}
+	}
+	return t, nil
 }
 
 // InterBlockConcurrency is experiment E4: the paper's §VII lists

@@ -207,6 +207,49 @@ func ShardedSpeedup(x int, c, cross float64, n, s int, abortRate float64) (float
 	return float64(x) / tPrime, nil
 }
 
+// ShardedPipelineSpeedup models the pipelined sharded engine
+// (internal/exec.Sharded.ExecuteChain) with s committees on n cores: the
+// per-shard speculative phase 1 of block b+1 overlaps the cross-shard
+// commit of block b (the two-machine flow shop of the mvstore pipeline),
+// and the merge re-executes its aborted share in parallel waves of
+// key-disjoint transactions instead of one-by-one. In steady state a long
+// chain completes one block every
+//
+//	max( ⌈x/n⌉ , c·(1−χ)·x/s + a·χ·x/n )
+//
+// units — the speculative spread hides behind the ordered stage or vice
+// versa, and the merge term a·χ·x is divided by the worker count because
+// the waves run its re-executions n at a time (fully dependent aborts
+// degenerate to waves of one, which the per-block ShardedSpeedup models).
+// Compare ShardedSpeedup, which pays ⌈x/n⌉ + c·(1−χ)·x/s + a·χ·x per block:
+// the pipeline hides the cheaper stage entirely and the parallel merge
+// divides the sequential tail E9 measures by up to n.
+func ShardedPipelineSpeedup(x int, c, cross float64, n, s int, abortRate float64) (float64, error) {
+	if err := checkDomain(x, n, c); err != nil {
+		return 0, err
+	}
+	if cross < 0 || cross > 1 {
+		return 0, fmt.Errorf("%w: cross = %g", ErrModelDomain, cross)
+	}
+	if abortRate < 0 || abortRate > 1 {
+		return 0, fmt.Errorf("%w: abort rate = %g", ErrModelDomain, abortRate)
+	}
+	if s < 1 {
+		return 0, fmt.Errorf("%w: shards = %d", ErrModelDomain, s)
+	}
+	if x == 0 {
+		return 1, nil
+	}
+	spread := math.Ceil(float64(x) / float64(n))
+	ordered := c*(1-cross)*float64(x)/float64(s) +
+		abortRate*cross*float64(x)/float64(n)
+	perBlock := spread
+	if ordered > perBlock {
+		perBlock = ordered
+	}
+	return float64(x) / perBlock, nil
+}
+
 // BlockSpeedups evaluates all model variants for one measured block.
 type BlockSpeedups struct {
 	// Speculative is equation (1) with the block's single-transaction

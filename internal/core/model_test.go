@@ -372,3 +372,57 @@ func TestShardedSpeedup(t *testing.T) {
 		}
 	}
 }
+
+func TestShardedPipelineSpeedup(t *testing.T) {
+	// The pipelined model must dominate the per-block one on every point of
+	// a parameter sweep: it hides the cheaper stage and divides the merge
+	// tail by the worker count.
+	for _, x := range []int{10, 100, 500} {
+		for _, c := range []float64{0, 0.2, 0.6} {
+			for _, cross := range []float64{0, 0.5, 0.9} {
+				for _, a := range []float64{0, 0.3, 1} {
+					pipe, err := ShardedPipelineSpeedup(x, c, cross, 8, 4, a)
+					if err != nil {
+						t.Fatal(err)
+					}
+					block, err := ShardedSpeedup(x, c, cross, 8, 4, a)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if pipe < block-1e-9 {
+						t.Fatalf("x=%d c=%v χ=%v a=%v: pipelined %v below per-block %v",
+							x, c, cross, a, pipe, block)
+					}
+					if pipe > 8+1e-9 {
+						t.Fatalf("x=%d c=%v χ=%v a=%v: pipelined %v exceeds core count", x, c, cross, a, pipe)
+					}
+				}
+			}
+		}
+	}
+	// Conflict-free steady state saturates the cores.
+	if r, err := ShardedPipelineSpeedup(800, 0, 0, 8, 4, 0); err != nil || math.Abs(r-8) > 1e-9 {
+		t.Fatalf("conflict-free: %v, %v (want 8)", r, err)
+	}
+	// With everything aborting (χ=1, a=1) the merge term a·χ·x/n equals the
+	// spread, so the pipeline still completes a block every x/n units.
+	if r, err := ShardedPipelineSpeedup(800, 0, 1, 8, 4, 1); err != nil || math.Abs(r-8) > 1e-9 {
+		t.Fatalf("all-abort parallel merge: %v, %v (want 8)", r, err)
+	}
+	// Degenerate and domain cases.
+	if r, err := ShardedPipelineSpeedup(0, 0.5, 0.5, 8, 4, 1); err != nil || r != 1 {
+		t.Fatalf("x=0: %v, %v", r, err)
+	}
+	for _, bad := range []func() (float64, error){
+		func() (float64, error) { return ShardedPipelineSpeedup(10, 0.5, -0.1, 8, 4, 1) },
+		func() (float64, error) { return ShardedPipelineSpeedup(10, 0.5, 1.1, 8, 4, 1) },
+		func() (float64, error) { return ShardedPipelineSpeedup(10, 0.5, 0.5, 8, 0, 1) },
+		func() (float64, error) { return ShardedPipelineSpeedup(10, 0.5, 0.5, 8, 4, 2) },
+		func() (float64, error) { return ShardedPipelineSpeedup(10, 0.5, 0.5, 0, 4, 1) },
+		func() (float64, error) { return ShardedPipelineSpeedup(10, 1.5, 0.5, 8, 4, 1) },
+	} {
+		if _, err := bad(); err == nil {
+			t.Fatal("out-of-domain parameters accepted")
+		}
+	}
+}

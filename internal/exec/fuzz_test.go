@@ -106,7 +106,9 @@ func fuzzChain(seed int64, users, hotN, txn, hotPct, split uint8) (*account.Stat
 // sequential engine on randomized (delta-heavy, hot-key-skewed) chains.
 // The sharded engine runs at two shard counts per input — a fixed 2 and a
 // seed-derived count in [1, 8] — so the fuzzer also explores one-shard
-// degeneration, non-power-of-two committees, and wide sharding.
+// degeneration, non-power-of-two committees, and wide sharding; the
+// pipelined sharded chain additionally runs with a seed-derived depth, so
+// cross-block snapshot staleness feeds the merge and repair paths.
 func FuzzEngineSerialEquivalence(f *testing.F) {
 	f.Add(int64(1), uint8(8), uint8(2), uint8(40), uint8(80), uint8(1))
 	f.Add(int64(2), uint8(3), uint8(1), uint8(60), uint8(100), uint8(2))
@@ -120,6 +122,15 @@ func FuzzEngineSerialEquivalence(f *testing.F) {
 	f.Add(int64(7), uint8(4), uint8(1), uint8(55), uint8(90), uint8(1))
 	f.Add(int64(8), uint8(15), uint8(3), uint8(66), uint8(35), uint8(0))
 	f.Add(int64(9), uint8(9), uint8(0), uint8(48), uint8(0), uint8(2))
+	// Merge-parallelism and fallback-repair seeds: many independent
+	// cross-shard transfers (re-execution waves), few-user nonce chains
+	// with gate-contract readers (ordering overlaps → suffix repair), a
+	// multi-block contract tangle (chain staleness feeding the merge), and
+	// a wide-sharding hot-key burst (batched delta groups).
+	f.Add(int64(10), uint8(26), uint8(0), uint8(74), uint8(0), uint8(2))
+	f.Add(int64(11), uint8(3), uint8(2), uint8(72), uint8(88), uint8(2))
+	f.Add(int64(12), uint8(14), uint8(0), uint8(69), uint8(0), uint8(1))
+	f.Add(int64(13), uint8(6), uint8(3), uint8(58), uint8(100), uint8(0))
 	f.Fuzz(func(t *testing.T, seed int64, users, hotN, txn, hotPct, split uint8) {
 		pre, blocks := fuzzChain(seed, users, hotN, txn, hotPct, split)
 
@@ -203,6 +214,30 @@ func FuzzEngineSerialEquivalence(f *testing.F) {
 			}
 			for i := range blocks {
 				checkReceipts("pipeline/"+mode, cr.Receipts[i], seqs[i].Receipts)
+			}
+
+			// The pipelined sharded chain, fuzz-chosen shard count and
+			// depth (chain length is fuzz-chosen via split).
+			shards := 1 + int(uint64(seed)%8)
+			depth := 1 + int(users)%3
+			scr, scss, err := Sharded{Workers: 4, Shards: shards, OpLevel: op, Depth: depth}.
+				ExecuteChain(pre.Copy(), blocks)
+			if err != nil {
+				t.Fatalf("shardedchain-%d/%s: %v", shards, mode, err)
+			}
+			if scr.Root != chainRoot {
+				t.Fatalf("shardedchain-%d/%s: chain root mismatch", shards, mode)
+			}
+			for i := range blocks {
+				checkReceipts("shardedchain/"+mode, scr.Receipts[i], seqs[i].Receipts)
+			}
+			for bi := range scss.Blocks {
+				ss := &scss.Blocks[bi]
+				x := len(blocks[bi].Txs)
+				if ss.Intra+ss.Cross != x || ss.CrossAborts > ss.Cross ||
+					ss.Fallback != (x > 0 && ss.Repairs == x) {
+					t.Fatalf("shardedchain-%d/%s block %d: inconsistent stats %+v", shards, mode, bi, ss)
+				}
 			}
 		}
 	})

@@ -19,11 +19,14 @@
 //     cache of package mvstore — optimistic execution against pinned
 //     snapshots, in-order validation with per-transaction repair, and
 //     phase 1 of block b+1 overlapping phase 2 of block b across a chain.
-//   - Sharded: state partitioned into per-shard mvstore instances
-//     (core.ShardOf), each shard running its sub-block on its own
-//     speculative pipeline, with — unlike the Zilliqa design of §II-B — a
-//     deterministic two-phase cross-shard commit for the transactions that
-//     span committees.
+//   - Sharded: state partitioned by core.ShardOf, each shard running its
+//     sub-block on its own speculative pipeline, with — unlike the Zilliqa
+//     design of §II-B — a deterministic two-phase cross-shard commit for
+//     the transactions that span committees: commuting staged groups
+//     commit in batches, aborted ones re-execute in parallel waves, and
+//     ordering overlaps are repaired per transaction. Sharded.ExecuteChain
+//     composes it with per-shard persistent mvstore instances so phase 1
+//     of block b+1 overlaps the cross-shard commit of block b.
 //
 // Every parallel engine additionally supports operation-level conflict
 // refinement (the OpLevel/Refined fields): balance credits and debits are
@@ -272,6 +275,59 @@ func (o *overlay) applyTo(dst account.State) {
 
 // deltaKey builds the state key of a balance delta entry.
 func deltaKey(a types.Address) StateKey { return StateKey{Kind: kindBalance, Addr: a} }
+
+// reader returns a read-only, non-recording view of the overlay, safe for
+// *concurrent* readers as long as nothing mutates the overlay (or any state
+// below it) while readers are live — Go map reads without writers are safe.
+// The cross-shard merge's parallel re-execution waves read the committed
+// prefix through readers: a plain overlay would record every read into its
+// shared read-set maps, racing with its siblings. The base chain must itself
+// be safe for concurrent reads (StateDB, snapState, mergedState, or another
+// reader — not a bare overlay, whose getters record).
+func (o *overlay) reader() account.State { return &overlayReader{o: o} }
+
+// overlayReader is the non-recording view behind overlay.reader.
+type overlayReader struct{ o *overlay }
+
+var _ account.State = (*overlayReader)(nil)
+
+func (r *overlayReader) GetBalance(a types.Address) int64 {
+	if v, ok := r.o.balances[a]; ok {
+		return v
+	}
+	return r.o.base.GetBalance(a) + r.o.deltas[a]
+}
+
+func (r *overlayReader) GetNonce(a types.Address) uint64 {
+	if v, ok := r.o.nonces[a]; ok {
+		return v
+	}
+	return r.o.base.GetNonce(a)
+}
+
+func (r *overlayReader) GetCode(a types.Address) []byte {
+	if c, ok := r.o.codes[a]; ok {
+		return c
+	}
+	return r.o.base.GetCode(a)
+}
+
+func (r *overlayReader) GetStorage(a types.Address, slot uint64) uint64 {
+	if v, ok := r.o.storage[account.StorageKey{Addr: a, Slot: slot}]; ok {
+		return v
+	}
+	return r.o.base.GetStorage(a, slot)
+}
+
+func (r *overlayReader) Snapshot() int                   { return 0 }
+func (r *overlayReader) RevertToSnapshot(int)            {}
+func (r *overlayReader) AddBalance(types.Address, int64) { panic("exec: write to overlay reader") }
+func (r *overlayReader) SubBalance(types.Address, int64) { panic("exec: write to overlay reader") }
+func (r *overlayReader) SetNonce(types.Address, uint64)  { panic("exec: write to overlay reader") }
+func (r *overlayReader) SetCode(types.Address, []byte)   { panic("exec: write to overlay reader") }
+func (r *overlayReader) SetStorage(types.Address, uint64, uint64) {
+	panic("exec: write to overlay reader")
+}
 
 // accessCounts aggregates, per state key, how many phase-1 transactions
 // read, wrote, and delta-wrote it.

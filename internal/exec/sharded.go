@@ -2,12 +2,12 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"txconcur/internal/account"
 	"txconcur/internal/core"
-	"txconcur/internal/mvstore"
 	"txconcur/internal/types"
 )
 
@@ -16,39 +16,41 @@ import (
 // ... is that it does not support cross-shard transactions"; package core's
 // ShardingAnalysis (E6) measures how many transactions that limitation
 // forfeits. This engine closes the gap: the account state is partitioned
-// into per-shard multi-version stores keyed by core.ShardOf(sender), each
-// shard runs its intra-shard sub-block on its own speculative two-phase
-// worker pipeline (the per-shard instance of the Saraph–Herlihy scheme the
-// other engines use), and — unlike Zilliqa — cross-shard transactions are
-// *handled*, by a deterministic two-phase cross-shard commit:
+// into per-shard state views keyed by core.ShardOf(sender), each shard runs
+// its intra-shard sub-block on its own speculative two-phase worker pipeline
+// (the per-shard instance of the Saraph–Herlihy scheme the other engines
+// use), and — unlike Zilliqa — cross-shard transactions are *handled*, by a
+// deterministic two-phase cross-shard commit:
 //
 //   - Phase 1 (parallel, per shard): every transaction executes on a
 //     recording overlay against the pinned pre-block state. Transactions
 //     whose access set stays inside their home shard are committed
 //     shard-locally (winners apply, intra-shard conflicts re-execute in
-//     block order against the shard's staged prefix), and the shard's
-//     sub-block is installed into its own mvstore at timestamp 1.
-//     Transactions that touched foreign-shard state — or whose phase-1
-//     access set overlaps an earlier cross-shard transaction's writes —
-//     stage their read/write sets for phase 2 instead.
+//     block order against the shard's staged prefix). Transactions that
+//     touched foreign-shard state — or whose phase-1 access set overlaps an
+//     earlier cross-shard transaction's writes — stage their read/write
+//     sets for phase 2 instead.
 //   - Phase 2 (deterministic, in block order): the cross-shard commit
 //     validates each staged transaction's reads against the per-shard
-//     commits and the earlier cross-shard writes. A clean transaction's
-//     phase-1 result is applied as-is; a stale one re-executes against the
-//     merged view (every shard's pinned snapshot plus the cross-shard
-//     accumulator). Operation-level delta writes merge commutatively
-//     across shards: a blind credit staged by one shard never conflicts
-//     with another shard's blind credits to the same account, so hot-key
-//     deposit traffic stays parallel even when it is almost entirely
-//     cross-shard.
+//     commits and the earlier cross-shard writes. Runs of clean staged
+//     transactions commit as one batched group (delta-only cross traffic —
+//     hot-key deposits — commutes and batches maximally); stale or
+//     never-staged ones re-execute against the merged view (every shard's
+//     committed sub-block plus the cross-shard accumulator) in *parallel
+//     waves* of key-disjoint transactions with in-order commit validation,
+//     so the merge's sequential tail is ceil(wave/n) instead of one unit
+//     per abort.
 //
 // Soundness follows the same discipline as Speculative: nothing touches st
-// until every result is validated, order-sensitive overlaps that the
-// validation cannot repair locally (a cross-shard write observed too early
-// or clobbering a later intra-shard result) trigger a sequential fallback
-// from the untouched pre-state, and the regression and fuzz tests enforce
-// receipt and state-root equality with Sequential on every profile, shard
-// count, and conflict mode.
+// until every result is validated. Order-sensitive overlaps that the merge
+// cannot reproduce (a cross-shard write a later intra-shard transaction
+// should have observed, or a merged-view read that folded a later
+// sub-block write) no longer force a whole-block sequential fallback:
+// the engine records the earliest affected block position and the final
+// composition pass re-executes only that suffix against its exact
+// sequential prefix (ShardStats.Repairs). The regression and fuzz tests
+// enforce receipt and state-root equality with Sequential on every profile,
+// shard count, and conflict mode.
 type Sharded struct {
 	// Workers is the total core count n. Each shard's pipeline is credited
 	// ⌈n/s⌉ logical workers; since s·⌈n/s⌉ can exceed n when s does not
@@ -61,10 +63,23 @@ type Sharded struct {
 	Shards int
 	// OpLevel enables operation-level conflict refinement: balance credits
 	// and debits are recorded as commutative deltas. Deltas merge within a
-	// shard's mvstore (DeltaAdd version chains) and across shards in the
-	// cross-shard commit, so blind credits never abort each other no
-	// matter which shard staged them.
+	// shard's sub-block and across shards in the cross-shard commit, so
+	// blind credits never abort each other no matter which shard staged
+	// them.
 	OpLevel bool
+	// SequentialMerge caps the cross-shard merge's re-execution waves and
+	// staged commit groups at one transaction, restoring the strictly
+	// sequential merge the first version of this engine used. Results are
+	// identical; only the schedule accounting (and wall time) change.
+	// BenchmarkShardedMerge uses it to isolate what the parallel merge
+	// buys.
+	SequentialMerge bool
+	// Depth is the pipeline lookahead of ExecuteChain in blocks: phase 1
+	// may run up to Depth blocks ahead of the cross-shard commit, against
+	// per-shard snapshots pinned at the deterministic fixed-lag timestamp
+	// (the Pipeline.FixedLag discipline). 0 means 1. Ignored by the
+	// per-block Execute/ExecuteSharded.
+	Depth int
 }
 
 // ShardStats describes the sharded engine's work on one block, beyond the
@@ -73,54 +88,73 @@ type ShardStats struct {
 	// Shards is the committee count actually used.
 	Shards int
 	// Intra is the number of transactions classified intra-shard and
-	// committed shard-locally (or re-run sequentially when Fallback is
-	// set).
+	// committed shard-locally.
 	Intra int
 	// Cross is the number of transactions classified for the cross-shard
 	// commit (foreign-shard touches, ordering overlaps with cross-shard
 	// writes, and phase-1 failures rerouted by their shard). Intra+Cross
-	// always equals the block's transaction count, fallback or not.
+	// always equals the block's transaction count.
 	Cross int
 	// CrossAborts counts cross-shard transactions whose staged phase-1
-	// result failed validation (or was never staged) and had to re-execute
-	// sequentially in the merge. On a Fallback block it equals Cross:
-	// every cross-shard transaction, accepted or not, re-ran sequentially.
+	// result failed validation (or was never staged) and had to re-execute:
+	// in the merge's waves, or — past the repair point — in the composition
+	// pass. Always ≤ Cross.
 	CrossAborts int
-	// Fallback reports that an unrepairable ordering overlap forced the
-	// whole block through the sequential fallback.
+	// BatchedStage is the number of staged cross-shard transactions
+	// committed as part of a multi-transaction commuting group (delta-only
+	// runs batch maximally; a group of one is not counted).
+	BatchedStage int
+	// MergeWaves is the number of parallel re-execution waves the merge
+	// ran; MergeUnits is the merge's schedule length in time units —
+	// ⌈wave/n⌉ per wave plus one unit per in-order commit repair — which
+	// replaces the one-unit-per-abort sequential tail of the strictly
+	// sequential merge.
+	MergeWaves int
+	MergeUnits int
+	// Repairs is the number of transactions re-executed by the
+	// per-transaction repair pass: when the merge detects an ordering
+	// overlap it cannot reproduce, the composition pass re-runs only the
+	// block suffix from the earliest affected position, each against its
+	// exact sequential prefix. 0 on clean blocks.
+	Repairs int
+	// Fallback reports that the repair suffix was the whole block — the
+	// per-transaction repair was exhausted and the block was effectively
+	// re-executed sequentially. Implies Repairs == Intra+Cross.
 	Fallback bool
 	// PerShardTxs is the phase-1 transaction count per home shard.
 	PerShardTxs []int
 }
 
-// shardedState reads through every shard's pinned sub-block snapshot,
-// dispatching each key to the mvstore of the shard that owns its address.
-// It is the merged pre-cross-commit view of the block: pre-block state
-// plus all intra-shard commits. Writes panic, as on snapState: all
-// cross-shard execution goes through recording overlays.
-type shardedState struct {
+// mergedState reads through every shard's committed view, dispatching each
+// key to the view of the shard that owns its address. Phase 2 layers the
+// cross-shard accumulator over it; phase 1 of ExecuteChain uses it over
+// pinned per-shard snapshots. Writes panic: all execution goes through
+// recording overlays.
+type mergedState struct {
 	shards int
-	views  []*snapState
+	views  []account.State
 }
 
-var _ account.State = (*shardedState)(nil)
+var _ account.State = (*mergedState)(nil)
 
-func (s *shardedState) view(a types.Address) *snapState { return s.views[core.ShardOf(a, s.shards)] }
+func (s *mergedState) view(a types.Address) account.State {
+	return s.views[core.ShardOf(a, s.shards)]
+}
 
-func (s *shardedState) GetBalance(a types.Address) int64 { return s.view(a).GetBalance(a) }
-func (s *shardedState) GetNonce(a types.Address) uint64  { return s.view(a).GetNonce(a) }
-func (s *shardedState) GetCode(a types.Address) []byte   { return s.view(a).GetCode(a) }
-func (s *shardedState) GetStorage(a types.Address, slot uint64) uint64 {
+func (s *mergedState) GetBalance(a types.Address) int64 { return s.view(a).GetBalance(a) }
+func (s *mergedState) GetNonce(a types.Address) uint64  { return s.view(a).GetNonce(a) }
+func (s *mergedState) GetCode(a types.Address) []byte   { return s.view(a).GetCode(a) }
+func (s *mergedState) GetStorage(a types.Address, slot uint64) uint64 {
 	return s.view(a).GetStorage(a, slot)
 }
-func (s *shardedState) Snapshot() int                   { return 0 }
-func (s *shardedState) RevertToSnapshot(int)            {}
-func (s *shardedState) AddBalance(types.Address, int64) { panic("exec: write to sharded view") }
-func (s *shardedState) SubBalance(types.Address, int64) { panic("exec: write to sharded view") }
-func (s *shardedState) SetNonce(types.Address, uint64)  { panic("exec: write to sharded view") }
-func (s *shardedState) SetCode(types.Address, []byte)   { panic("exec: write to sharded view") }
-func (s *shardedState) SetStorage(types.Address, uint64, uint64) {
-	panic("exec: write to sharded view")
+func (s *mergedState) Snapshot() int                   { return 0 }
+func (s *mergedState) RevertToSnapshot(int)            {}
+func (s *mergedState) AddBalance(types.Address, int64) { panic("exec: write to merged view") }
+func (s *mergedState) SubBalance(types.Address, int64) { panic("exec: write to merged view") }
+func (s *mergedState) SetNonce(types.Address, uint64)  { panic("exec: write to merged view") }
+func (s *mergedState) SetCode(types.Address, []byte)   { panic("exec: write to merged view") }
+func (s *mergedState) SetStorage(types.Address, uint64, uint64) {
+	panic("exec: write to merged view")
 }
 
 // Execute runs the block on st (mutated on success), engine-interface
@@ -160,71 +194,115 @@ type crossWriteIndex struct {
 	delta map[StateKey]int
 }
 
-// noteMinIdx keeps the smallest block position recorded for k, noteMaxIdx
-// the largest — the two ordering-index primitives of the cross-shard
-// commit.
+// noteMinIdx keeps the smallest block position recorded for k — the
+// ordering-index primitive of the cross-shard commit.
 func noteMinIdx(m map[StateKey]int, k StateKey, i int) {
 	if prev, ok := m[k]; !ok || i < prev {
 		m[k] = i
 	}
 }
 
-func noteMaxIdx(m map[StateKey]int, k StateKey, i int) {
-	if prev, ok := m[k]; !ok || i > prev {
-		m[k] = i
-	}
+// shardedSpec carries one block's phase-1 output into phase 2 — built
+// inline by ExecuteSharded, and by the speculative stage goroutine (against
+// pinned per-shard snapshots) in ExecuteChain.
+type shardedSpec struct {
+	overlays []*overlay
+	p1rcpt   []*account.Receipt
+	failed   []bool
+	home     []int
+	byShard  [][]int
 }
 
-// ExecuteSharded runs the block and additionally returns the sharding
-// counters the E9 experiment reports. st is mutated on success.
-func (e Sharded) ExecuteSharded(st *account.StateDB, blk *account.Block) (*Result, *ShardStats, error) {
-	if e.Workers < 1 {
-		return nil, nil, ErrNoWorkers
-	}
-	shards := e.Shards
-	if shards < 1 {
-		shards = 1
-	}
-	wps := ceilDiv(e.Workers, shards)
-	start := time.Now()
+// specExec runs phase 1: home-shard assignment by sender (as Zilliqa
+// assigns accounts to committees — same-sender nonce chains stay in one
+// shard), then per-shard speculative pipelines, every transaction on its
+// own recording overlay over base. base must be safe for concurrent reads.
+func (e Sharded) specExec(base account.State, blk *account.Block, shards, wps int) *shardedSpec {
 	x := len(blk.Txs)
-
-	// Home-shard assignment by sender, as Zilliqa assigns accounts to
-	// committees. Same-sender nonce chains therefore stay in one shard.
-	home := make([]int, x)
-	byShard := make([][]int, shards)
-	for i, tx := range blk.Txs {
-		home[i] = core.ShardOf(tx.From, shards)
-		byShard[home[i]] = append(byShard[home[i]], i)
+	sp := &shardedSpec{
+		overlays: make([]*overlay, x),
+		p1rcpt:   make([]*account.Receipt, x),
+		failed:   make([]bool, x),
+		home:     make([]int, x),
+		byShard:  make([][]int, shards),
 	}
-
-	// Phase 1: per-shard speculative pipelines, every transaction on its
-	// own recording overlay over the immutable pre-block state.
-	overlays := make([]*overlay, x)
-	p1rcpt := make([]*account.Receipt, x)
-	failed := make([]bool, x)
+	for i, tx := range blk.Txs {
+		sp.home[i] = core.ShardOf(tx.From, shards)
+		sp.byShard[sp.home[i]] = append(sp.byShard[sp.home[i]], i)
+	}
 	var wg sync.WaitGroup
 	for sh := 0; sh < shards; sh++ {
 		wg.Add(1)
 		go func(sh int) {
 			defer wg.Done()
-			idxs := byShard[sh]
+			idxs := sp.byShard[sh]
 			parallelFor(len(idxs), wps, func(j int) {
 				i := idxs[j]
-				o := newOverlayOp(st, e.OpLevel)
+				o := newOverlayOp(base, e.OpLevel)
 				rcpt, err := procDeferred.ApplyTransaction(o, blk, blk.Txs[i])
 				if err != nil {
-					// Envelope failure against the pre-block state (e.g. a
+					// Envelope failure against the pinned state (e.g. a
 					// nonce chain): the shard's phase-2 bin re-executes it.
-					failed[i] = true
+					sp.failed[i] = true
 				} else {
-					p1rcpt[i] = rcpt
+					sp.p1rcpt[i] = rcpt
 				}
-				overlays[i] = o
+				sp.overlays[i] = o
 			})
 		}(sh)
 	}
 	wg.Wait()
+	return sp
+}
+
+// shardedOutcome is phase 2's result: the final receipts, the block's write
+// set composed in block order over the base view (fees not yet credited),
+// the sharding counters, and the schedule-length terms the callers fold
+// into Stats.
+type shardedOutcome struct {
+	receipts []*account.Receipt
+	acc      *overlay
+	ss       *ShardStats
+
+	// Unit-cost schedule terms. spreadUnits is the phase-1 spread alone
+	// (max over shards, floored by the core budget); intraUnits adds the
+	// shard-local bins (the per-block engine's phase-1+2a term);
+	// mergeUnits and repairs are the cross-shard commit's and the repair
+	// pass's sequential-tail contributions.
+	spreadUnits, intraUnits, mergeUnits, repairs int
+	// Re-execution event counters: binned shard-local re-executions, merge
+	// re-executions (wave runs), in-order commit redos, and conflicted
+	// (distinct serialised transactions).
+	binned, mergeReexecs, redos, conflicted int
+	// Gas-weighted counterparts.
+	spreadGas, intraGas, mergeGas, repairGas uint64
+}
+
+// phase2 classifies the block, commits the per-shard sub-blocks, runs the
+// cross-shard merge (batched staged groups, parallel re-execution waves),
+// and composes the final block write set in order — re-executing the repair
+// suffix when the merge detected an ordering overlap. stale, when non-nil,
+// reports keys whose committed value postdates the phase-1 snapshot
+// (ExecuteChain's cross-block staleness); phase-1 results reading such keys
+// are demoted to failures and re-execute on the true prefix.
+func (e Sharded) phase2(base account.State, stale func(StateKey) bool, blk *account.Block,
+	sp *shardedSpec, shards, wps int) (*shardedOutcome, error) {
+	x := len(blk.Txs)
+	overlays, failed, p1rcpt := sp.overlays, sp.failed, sp.p1rcpt
+
+	if stale != nil {
+		for i, o := range overlays {
+			if failed[i] {
+				continue
+			}
+			for k := range o.reads {
+				if stale(k) {
+					failed[i] = true
+					break
+				}
+			}
+		}
+	}
 
 	// Classification. A transaction whose phase-1 access set leaves its
 	// home shard joins the cross-shard set. Then, to fixpoint: an intra
@@ -235,7 +313,7 @@ func (e Sharded) ExecuteSharded(st *account.StateDB, blk *account.Block) (*Resul
 	// caught by the commit-time validation below.
 	cross := make([]bool, x)
 	for i := range cross {
-		cross[i] = touchesForeign(overlays[i], home[i], shards)
+		cross[i] = touchesForeign(overlays[i], sp.home[i], shards)
 	}
 	// The fixpoint is monotone — cross membership only grows and the
 	// per-key minima in p1cw only decrease — so the index is maintained
@@ -303,31 +381,31 @@ func (e Sharded) ExecuteSharded(st *account.StateDB, blk *account.Block) (*Resul
 	// to the cross-shard commit: the shard prefix is not the sequential
 	// prefix, so neither its access set nor its error is authoritative.
 	type shardOutcome struct {
-		acc    *overlay
-		mv     *mvstore.Store[StateKey, stateVal]
-		err    error
-		binned int
-		gasBin uint64 // gas of the shard-local sequential re-executions
-		stale  bool   // a winner read a key the shard's bin later wrote
+		acc      *overlay
+		binned   int
+		gasBin   uint64 // gas of the shard-local sequential re-executions
+		staleMin int    // smallest winner index holding a stale result; -1 if none
 	}
-	final := make([]*overlay, x) // committed intra results, by tx index
+	final := make([]*overlay, x) // committed results, by tx index
 	receipts := make([]*account.Receipt, x)
 	// reexecuted marks the distinct transactions the engine serialised at
-	// least once (shard bin or cross-shard merge) — a bin re-execution
-	// rerouted to the cross set and aborted there must not count twice.
+	// least once (shard bin, cross-shard merge, or repair pass) — a bin
+	// re-execution rerouted to the cross set and aborted there must not
+	// count twice.
 	reexecuted := make([]bool, x)
 	outcomes := make([]shardOutcome, shards)
 	parallelFor(shards, shards, func(sh int) {
 		out := &outcomes[sh]
+		out.staleMin = -1
 		// Shard-local conflict detection over the intra candidates.
-		intra := make([]*overlay, 0, len(byShard[sh]))
-		for _, i := range byShard[sh] {
+		intra := make([]*overlay, 0, len(sp.byShard[sh]))
+		for _, i := range sp.byShard[sh] {
 			if !cross[i] {
 				intra = append(intra, overlays[i])
 			}
 		}
 		ac := countAccesses(intra)
-		acc := newOverlayOp(st, e.OpLevel)
+		acc := newOverlayOp(base, e.OpLevel)
 		out.acc = acc
 		// p2min[k] is the smallest binned index that wrote k during this
 		// shard's re-executions — the winner-staleness probe of the
@@ -346,7 +424,7 @@ func (e Sharded) ExecuteSharded(st *account.StateDB, blk *account.Block) (*Resul
 				}
 			}
 		}
-		for _, i := range byShard[sh] {
+		for _, i := range sp.byShard[sh] {
 			if cross[i] {
 				continue
 			}
@@ -373,309 +451,603 @@ func (e Sharded) ExecuteSharded(st *account.StateDB, blk *account.Block) (*Resul
 		}
 		// Winner staleness: a shard-local bin re-execution may write keys
 		// phase 1 never saw it write; any winner ordered after such a write
-		// holds a stale result.
+		// holds a stale result. The smallest such winner index bounds the
+		// repair suffix.
 		if len(p2min) > 0 {
-			for _, i := range byShard[sh] {
+			for _, i := range sp.byShard[sh] {
 				if cross[i] || final[i] == nil || final[i] != overlays[i] {
 					continue
 				}
 				o := overlays[i]
+				isStale := false
 				for k := range o.reads {
 					if j, ok := p2min[k]; ok && j < i {
-						out.stale = true
+						isStale = true
 					}
 				}
 				for k := range o.writes {
 					if j, ok := p2min[k]; ok && j < i {
-						out.stale = true
+						isStale = true
 					}
+				}
+				if isStale && (out.staleMin < 0 || i < out.staleMin) {
+					out.staleMin = i
 				}
 			}
 		}
-		// Install the shard's sub-block into its own multi-version store at
-		// timestamp 1; the cross-shard commit reads it through a pinned
-		// snapshot, deltas folding at read time.
-		out.mv = mvstore.NewStoreDelta[StateKey, stateVal](mergeStateVal)
-		out.err = out.mv.CommitWrites(1, overlayWrites(acc))
 	})
-	conflict := false
-	for sh := range outcomes {
-		if outcomes[sh].err != nil {
-			return nil, nil, fmt.Errorf("exec: sharded shard %d commit: %w", sh, outcomes[sh].err)
+	// repairFrom is the earliest block position whose committed result is
+	// suspect: everything at or after it is re-executed by the composition
+	// pass against its exact sequential prefix. x means "no repair".
+	repairFrom := x
+	bump := func(p int) {
+		if p < repairFrom {
+			repairFrom = p
 		}
-		if outcomes[sh].stale {
-			conflict = true
+	}
+	for sh := range outcomes {
+		if v := outcomes[sh].staleMin; v >= 0 {
+			bump(v)
 		}
 	}
 
 	// Intra touch index, for ordering the cross-shard set against the
 	// committed sub-blocks: per key, the smallest intra writer (reads of a
-	// staged cross transaction must not postdate it) and the largest intra
-	// reader / absolute writer / delta writer (a cross write must not be
-	// visible to, or clobber, a later intra result).
+	// staged cross transaction must not postdate it) and the full ascending
+	// position lists of intra readers / absolute writers / delta writers.
+	// The lists bound the repair suffix precisely: when a cross-shard write
+	// at j overlaps later intra results, only the *first affected* intra
+	// position — not j+1 — starts the re-run.
 	minIntraWrite := make(map[StateKey]int)
-	maxIntraRead := make(map[StateKey]int)
-	maxIntraAbs := make(map[StateKey]int)
-	maxIntraDelta := make(map[StateKey]int)
+	intraReads := make(map[StateKey][]int)
+	intraAbs := make(map[StateKey][]int)
+	intraDeltas := make(map[StateKey][]int)
 	for i, f := range final {
 		if f == nil {
 			continue
 		}
 		for k := range f.reads {
-			noteMaxIdx(maxIntraRead, k, i)
+			intraReads[k] = append(intraReads[k], i)
 		}
 		for k := range f.writes {
 			noteMinIdx(minIntraWrite, k, i)
-			noteMaxIdx(maxIntraAbs, k, i)
+			intraAbs[k] = append(intraAbs[k], i)
 		}
 		for a := range f.deltas {
 			k := deltaKey(a)
 			noteMinIdx(minIntraWrite, k, i)
-			noteMaxIdx(maxIntraDelta, k, i)
+			intraDeltas[k] = append(intraDeltas[k], i)
 		}
+	}
+	// firstAfter returns the smallest position in the ascending list
+	// strictly greater than j, or -1; lastOf the largest entry.
+	firstAfter := func(list []int, j int) int {
+		lo := sort.SearchInts(list, j+1)
+		if lo == len(list) {
+			return -1
+		}
+		return list[lo]
+	}
+	lastOf := func(list []int) int {
+		if len(list) == 0 {
+			return -1
+		}
+		return list[len(list)-1]
 	}
 
-	// Phase 2b: deterministic cross-shard commit, strictly in block order,
-	// over the merged view (pre-block state + every shard's pinned
-	// sub-block snapshot) plus the cross-shard accumulator.
-	merged := &shardedState{shards: shards, views: make([]*snapState, shards)}
-	snaps := make([]*mvstore.Snapshot[StateKey, stateVal], shards)
-	for sh := range snaps {
-		snaps[sh] = outcomes[sh].mv.PinAt(1)
-		merged.views[sh] = &snapState{base: st, snap: snaps[sh]}
-	}
-	releaseSnaps := func() {
-		for _, sn := range snaps {
-			sn.Release()
-		}
+	// Phase 2b: deterministic cross-shard commit, in block order, over the
+	// merged view (every shard's committed sub-block read through
+	// non-recording overlay readers) plus the cross-shard accumulator.
+	merged := &mergedState{shards: shards, views: make([]account.State, shards)}
+	for sh := range merged.views {
+		merged.views[sh] = outcomes[sh].acc.reader()
 	}
 	accX := newOverlayOp(merged, e.OpLevel)
 	cw := crossWriteIndex{abs: make(map[StateKey]int), delta: make(map[StateKey]int)}
-	// crossN is the full classification count, not a merge-progress
-	// counter: a conflict can stop the merge mid-block, and the reported
-	// intra/cross split must stay exact even on fallback blocks.
-	crossN, aborts := 0, 0
+	crossIdx := make([]int, 0, x)
 	for j := 0; j < x; j++ {
 		if cross[j] {
-			crossN++
+			crossIdx = append(crossIdx, j)
 		}
 	}
-	var gasCrossReexec uint64
-	for j := 0; j < x && !conflict; j++ {
-		if !cross[j] {
-			continue
+	crossN := len(crossIdx)
+	ss := &ShardStats{
+		Shards: shards, Cross: crossN, Intra: x - crossN,
+		PerShardTxs: make([]int, shards),
+	}
+	for sh := range sp.byShard {
+		ss.PerShardTxs[sh] = len(sp.byShard[sh])
+	}
+	out := &shardedOutcome{receipts: receipts, ss: ss}
+
+	maxWave := e.Workers
+	if e.SequentialMerge || maxWave < 1 {
+		maxWave = 1
+	}
+
+	// validStaged reports whether j's phase-1 result is the sequential
+	// result: every read must predate both the intra commits and the
+	// earlier cross-shard writes. (Blind deltas carry no reads, so
+	// op-level hot-key credits validate vacuously — they commute with
+	// everything staged so far.)
+	validStaged := func(j int) bool {
+		if failed[j] || final[j] != nil || p1rcpt[j] == nil {
+			return false
 		}
-		// Validate the staged phase-1 result: every read must predate both
-		// the intra commits and the earlier cross-shard writes. (Blind
-		// deltas carry no reads, so op-level hot-key credits validate
-		// vacuously — they commute with everything staged so far.)
-		var f *overlay
-		staged := !failed[j] && final[j] == nil && p1rcpt[j] != nil
-		if staged {
-			o := overlays[j]
-			valid := true
-			for k := range o.reads {
-				if i, ok := minIntraWrite[k]; ok && i < j {
-					valid = false
-					break
-				}
-				if _, ok := cw.abs[k]; ok {
-					valid = false
-					break
-				}
-				if _, ok := cw.delta[k]; ok {
-					valid = false
-					break
-				}
+		o := overlays[j]
+		for k := range o.reads {
+			if i, ok := minIntraWrite[k]; ok && i < j {
+				return false
 			}
-			if valid {
-				receipts[j] = p1rcpt[j]
-				o.applyTo(accX)
-				f = o
+			if _, ok := cw.abs[k]; ok {
+				return false
+			}
+			if _, ok := cw.delta[k]; ok {
+				return false
 			}
 		}
-		if f == nil {
-			// Stale or never staged: re-execute against the merged prefix.
-			aborts++
-			reexecuted[j] = true
-			ro := newOverlayOp(accX, e.OpLevel)
-			rcpt, err := procDeferred.ApplyTransaction(ro, blk, blk.Txs[j])
-			if err != nil {
-				// The merged prefix is not the exact sequential prefix, so
-				// the failure is not authoritative: fall back.
-				conflict = true
-				break
-			}
-			// The merged view folds *whole* sub-blocks; the re-execution is
-			// prefix-correct only if nothing it read was written by an
-			// intra transaction ordered after it.
-			for k := range ro.reads {
-				if i, ok := maxIntraAbs[k]; ok && i > j {
-					conflict = true
-				}
-				if i, ok := maxIntraDelta[k]; ok && i > j {
-					conflict = true
-				}
-			}
-			if conflict {
-				break
-			}
-			receipts[j] = rcpt
-			ro.applyTo(accX)
-			f = ro
-			gasCrossReexec += rcpt.GasUsed
+		return true
+	}
+	// commitCross records j's committed writes in the cross-write index and
+	// runs the ordering checks against later intra results: a cross write a
+	// later intra transaction read (that reader is stale), or one a later
+	// intra write supersedes (the merged view would show the wrong value to
+	// cross readers after that writer), bounds the repair suffix at the
+	// *first affected* intra position — j's own result stands, and
+	// everything from the first stale or superseding intra result on
+	// re-executes against its exact prefix. Delta–delta contact commutes
+	// and is exempt.
+	bumpAffected := func(j int, list []int) {
+		if i := firstAfter(list, j); i >= 0 {
+			bump(i)
 		}
-		// Ordering check against later intra results: a cross-shard write
-		// must not be one a later intra transaction should have observed
-		// (stale read) or superseded (the merge applies cross writes after
-		// the sub-blocks). Delta–delta contact commutes and is exempt.
+	}
+	commitCross := func(j int, f *overlay) {
 		for k := range f.writes {
-			if i, ok := maxIntraRead[k]; ok && i > j {
-				conflict = true
-			}
-			if i, ok := maxIntraAbs[k]; ok && i > j {
-				conflict = true
-			}
-			if i, ok := maxIntraDelta[k]; ok && i > j {
-				conflict = true
-			}
+			noteMinIdx(cw.abs, k, j)
+			bumpAffected(j, intraReads[k])
+			bumpAffected(j, intraAbs[k])
+			bumpAffected(j, intraDeltas[k])
 		}
 		for a := range f.deltas {
 			k := deltaKey(a)
-			if i, ok := maxIntraRead[k]; ok && i > j {
-				conflict = true
-			}
-			if i, ok := maxIntraAbs[k]; ok && i > j {
-				conflict = true
+			noteMinIdx(cw.delta, k, j)
+			bumpAffected(j, intraReads[k])
+			bumpAffected(j, intraAbs[k])
+		}
+	}
+	// exactReexec re-executes cross transaction j against its exact
+	// sequential prefix, composed in block order from the committed
+	// results — the per-transaction repair for a merge re-execution whose
+	// merged-view reads folded a later sub-block write (or that failed
+	// against the merged prefix, where the failure is not authoritative).
+	// Everything before j is committed and valid here: any earlier
+	// invalidity would have lowered repairFrom below j and stopped the
+	// merge first. An envelope failure against the exact prefix therefore
+	// *is* authoritative: the block itself is invalid. Repair positions
+	// are strictly increasing within the block, so the prefix accumulator
+	// advances incrementally instead of being rebuilt per repair.
+	var pacc *overlay
+	paccPos := 0
+	exactReexec := func(j int) (*overlay, *account.Receipt, error) {
+		if pacc == nil {
+			pacc = newOverlayOp(base, e.OpLevel)
+		}
+		for ; paccPos < j; paccPos++ {
+			if f := final[paccPos]; f != nil {
+				f.applyTo(pacc)
 			}
 		}
-		if conflict {
+		ro := newOverlayOp(pacc, e.OpLevel)
+		rcpt, err := procDeferred.ApplyTransaction(ro, blk, blk.Txs[j])
+		if err != nil {
+			return nil, nil, fmt.Errorf("exec: sharded cross tx %d: %w", j, err)
+		}
+		return ro, rcpt, nil
+	}
+
+	// The staged group buffer: consecutive staged-valid transactions commit
+	// as one commuting batch when the next merge step forces a flush.
+	var group []int
+	flushGroup := func() {
+		committed := 0
+		for _, j := range group {
+			// A mid-flush ordering bump can cut the repair point into the
+			// group: members at or past it stay uncommitted (the
+			// composition pass re-executes them) and must not count as
+			// batched.
+			if j >= repairFrom {
+				break
+			}
+			o := overlays[j]
+			receipts[j] = p1rcpt[j]
+			o.applyTo(accX)
+			final[j] = o
+			commitCross(j, o)
+			committed++
+		}
+		if committed >= 2 {
+			ss.BatchedStage += committed
+		}
+		group = group[:0]
+	}
+
+	p := 0
+	for p < len(crossIdx) {
+		j := crossIdx[p]
+		if j >= repairFrom {
 			break
 		}
-		for k := range f.writes {
-			noteMinIdx(cw.abs, k, j)
-		}
-		for a := range f.deltas {
-			noteMinIdx(cw.delta, deltaKey(a), j)
-		}
-	}
-
-	ss := &ShardStats{
-		Shards: shards, Cross: crossN, Intra: x - crossN,
-		CrossAborts: aborts, PerShardTxs: make([]int, shards),
-	}
-	for sh := range byShard {
-		ss.PerShardTxs[sh] = len(byShard[sh])
-	}
-
-	retried := 0
-	if conflict {
-		// Sequential fallback from the untouched pre-state: the one sound
-		// answer when the merge order cannot reproduce the block order.
-		releaseSnaps()
-		ss.Fallback = true
-		// Every cross-shard transaction ends up re-executed sequentially on
-		// a fallback block — including ones the merge had provisionally
-		// accepted — so the reported abort count must not stop at the
-		// conflict point. (The schedule accounting keeps the pre-conflict
-		// `aborts`: only that work was actually performed by the merge.)
-		ss.CrossAborts = crossN
-		for i := range receipts {
-			receipts[i] = nil
-		}
-		for i, tx := range blk.Txs {
-			rcpt, err := procDeferred.ApplyTransaction(st, blk, tx)
-			if err != nil {
-				return nil, nil, fmt.Errorf("exec: sharded fallback tx %d: %w", i, err)
+		if validStaged(j) {
+			// Group members are validated against the incrementally
+			// updated cross-write index only at flush time below; to keep
+			// the in-group validation exact, flush-time commitCross runs
+			// per member, and validStaged here sees cw as of the last
+			// flush. A member whose reads hit an earlier member's writes
+			// must not batch — close the group and revalidate.
+			hit := false
+			o := overlays[j]
+			for _, g := range group {
+				go_ := overlays[g]
+				for k := range o.reads {
+					if _, w := go_.writes[k]; w {
+						hit = true
+					}
+					if k.Kind == kindBalance {
+						if _, d := go_.deltas[k.Addr]; d {
+							hit = true
+						}
+					}
+				}
+				if hit {
+					break
+				}
 			}
-			receipts[i] = rcpt
-			retried++
+			if !hit {
+				group = append(group, j)
+				if e.SequentialMerge {
+					// One transaction per group: flush immediately so the
+					// sequential baseline never batch-commits.
+					flushGroup()
+				}
+				p++
+				continue
+			}
+			flushGroup()
+			if j >= repairFrom {
+				break
+			}
+			if validStaged(j) {
+				group = append(group, j)
+				if e.SequentialMerge {
+					flushGroup()
+				}
+				p++
+				continue
+			}
+			// Flushing exposed a real stale read: fall through to
+			// re-execution.
 		}
-	} else {
-		// Fold every shard's sub-block, then the cross-shard accumulator,
-		// into the caller's state. Shards own disjoint key sets, so the
-		// shard fold order is irrelevant; cross writes apply last, which
-		// the ordering checks above made safe.
-		for sh := range outcomes {
-			outcomes[sh].mv.RangeLatestResolved(foldResolvedInto(st))
+		flushGroup()
+		if j >= repairFrom {
+			break
 		}
-		releaseSnaps()
-		accX.applyTo(st)
+
+		// Build a re-execution wave: the maximal run of consecutive cross
+		// transactions that all need re-execution and are pairwise
+		// key-disjoint by their phase-1 predictions (delta–delta contact
+		// exempt). Predictions can be wrong — the in-order commit below
+		// revalidates against the wave's actual writes and redoes
+		// mispredicted members sequentially at their commit point.
+		wave := []int{j}
+		waveW := make(map[StateKey]struct{})
+		waveR := make(map[StateKey]struct{})
+		noteWave := func(o *overlay) {
+			for k := range o.writes {
+				waveW[k] = struct{}{}
+			}
+			for a := range o.deltas {
+				waveW[deltaKey(a)] = struct{}{}
+			}
+			for k := range o.reads {
+				waveR[k] = struct{}{}
+			}
+		}
+		noteWave(overlays[j])
+		for p+len(wave) < len(crossIdx) && len(wave) < maxWave {
+			jn := crossIdx[p+len(wave)]
+			if jn >= repairFrom || validStaged(jn) {
+				break
+			}
+			o := overlays[jn]
+			indep := true
+			for k := range o.reads {
+				if _, w := waveW[k]; w {
+					indep = false
+					break
+				}
+			}
+			if indep {
+				for k := range o.writes {
+					_, w := waveW[k]
+					_, r := waveR[k]
+					if w || r {
+						indep = false
+						break
+					}
+				}
+			}
+			if indep {
+				for a := range o.deltas {
+					k := deltaKey(a)
+					// Delta–delta commutes; a delta against a wave
+					// member's read or absolute write does not.
+					if _, r := waveR[k]; r {
+						indep = false
+						break
+					}
+					if waveAbsWrite(waveW, wave, overlays, k) {
+						indep = false
+						break
+					}
+				}
+			}
+			if !indep {
+				break
+			}
+			wave = append(wave, jn)
+			noteWave(o)
+		}
+
+		// Execute the wave in parallel against the pre-wave merged prefix.
+		reader := accX.reader()
+		wOverlays := make([]*overlay, len(wave))
+		wReceipts := make([]*account.Receipt, len(wave))
+		wErr := make([]error, len(wave))
+		parallelFor(len(wave), maxWave, func(w int) {
+			o := newOverlayOp(reader, e.OpLevel)
+			rcpt, err := procDeferred.ApplyTransaction(o, blk, blk.Txs[wave[w]])
+			wOverlays[w], wReceipts[w], wErr[w] = o, rcpt, err
+		})
+		ss.MergeWaves++
+		waveUnits := ceilDiv(len(wave), maxWave)
+		out.mergeUnits += waveUnits
+		ss.MergeUnits += waveUnits
+		var waveGas uint64
+
+		// In-order commit with revalidation: a member whose actual reads
+		// hit an earlier member's actual writes (or that failed against the
+		// pre-wave prefix) re-executes sequentially at its commit point.
+		committed := make(map[StateKey]struct{})
+		noteCommitted := func(f *overlay) {
+			for k := range f.writes {
+				committed[k] = struct{}{}
+			}
+			for a := range f.deltas {
+				committed[deltaKey(a)] = struct{}{}
+			}
+		}
+		for w, jw := range wave {
+			if jw >= repairFrom {
+				break
+			}
+			f, rcpt := wOverlays[w], wReceipts[w]
+			redone := false
+			ok := wErr[w] == nil
+			if ok {
+				for k := range f.reads {
+					if _, hit := committed[k]; hit {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				// The merged view folds *whole* sub-blocks; the wave run is
+				// prefix-correct only if nothing it read was written by an
+				// intra transaction ordered after it.
+				for k := range f.reads {
+					if lastOf(intraAbs[k]) > jw || lastOf(intraDeltas[k]) > jw {
+						ok = false
+						break
+					}
+				}
+			}
+			if !ok {
+				// Mispredicted independence, an envelope failure against
+				// the merged prefix, or a merged read that folded a later
+				// sub-block write: repair this transaction at its commit
+				// point against the exact sequential prefix — one
+				// sequential unit, instead of invalidating the block
+				// suffix.
+				ro, r2, err := exactReexec(jw)
+				if err != nil {
+					return nil, err
+				}
+				f, rcpt = ro, r2
+				redone = true
+				out.redos++
+				out.mergeUnits++
+				ss.MergeUnits++
+			}
+			receipts[jw] = rcpt
+			final[jw] = f
+			reexecuted[jw] = true
+			out.mergeReexecs++
+			ss.CrossAborts++
+			if redone {
+				// Redo gas is a sequential commit-point cost, not part of
+				// the wave's parallel spread.
+				out.mergeGas += rcpt.GasUsed
+			} else {
+				waveGas += rcpt.GasUsed
+			}
+			noteCommitted(f)
+			f.applyTo(accX)
+			commitCross(jw, f)
+		}
+		out.mergeGas += ceilDivU(waveGas, uint64(maxWave))
+		p += len(wave)
 	}
-	finalizeBlock(st, blk, receipts)
+	flushGroup()
+
+	// Composition (and repair) pass: fold every committed result into the
+	// block accumulator strictly in block order — absolute values land as
+	// writes, deltas as commutative increments, so the in-order fold
+	// reproduces the sequential composition (a later intra write correctly
+	// supersedes an earlier cross write, unlike a fold that applies whole
+	// sub-blocks first). From repairFrom on, results are suspect: each such
+	// transaction re-executes against the accumulator, which at its turn
+	// holds exactly the sequential prefix — so the repair is authoritative,
+	// and an envelope failure here means the block itself is invalid.
+	acc := newOverlayOp(base, e.OpLevel)
+	for i := 0; i < x; i++ {
+		if i < repairFrom && final[i] != nil {
+			final[i].applyTo(acc)
+			continue
+		}
+		ro := newOverlayOp(acc, e.OpLevel)
+		rcpt, err := procDeferred.ApplyTransaction(ro, blk, blk.Txs[i])
+		if err != nil {
+			return nil, fmt.Errorf("exec: sharded repair tx %d: %w", i, err)
+		}
+		receipts[i] = rcpt
+		ro.applyTo(acc)
+		if cross[i] && !reexecuted[i] {
+			ss.CrossAborts++
+		}
+		reexecuted[i] = true
+		out.repairs++
+		out.repairGas += rcpt.GasUsed
+	}
+	out.acc = acc
+	ss.Repairs = out.repairs
+	ss.Fallback = x > 0 && out.repairs == x
 
 	// Schedule-length accounting, paper unit-cost model: the per-shard
 	// pipelines run concurrently (max over shards of phase 1 + bin), the
-	// cross-shard commit is one sequential merge whose re-executions cost
-	// one unit each (validated applications, like winner applies, are
-	// free), and a fallback appends the whole block. Because each shard's
-	// pipeline is credited ⌈n/s⌉ workers, s·⌈n/s⌉ can exceed n when s does
-	// not divide n; the intra stage is therefore floored by the total
-	// core-budget bound — all intra work over n cores — so configurations
-	// like Workers=2, Shards=8 cannot report an 8-way speed-up.
-	intraUnits, binnedTotal := 0, 0
-	var intraGas, gasTotal, gasBinTotal uint64
-	for sh := range byShard {
-		u := 0
-		if len(byShard[sh]) > 0 {
-			u = ceilDiv(len(byShard[sh]), wps) + outcomes[sh].binned
+	// cross-shard merge costs ⌈wave/n⌉ per re-execution wave plus one unit
+	// per commit redo (validated applications, like winner applies, are
+	// free), and the repair pass appends its suffix sequentially. Because
+	// each shard's pipeline is credited ⌈n/s⌉ workers, s·⌈n/s⌉ can exceed
+	// n when s does not divide n; the intra stage is therefore floored by
+	// the total core-budget bound — all intra work over n cores — so
+	// configurations like Workers=2, Shards=8 cannot report an 8-way
+	// speed-up.
+	var gasTotal, gasBinTotal uint64
+	for sh := range sp.byShard {
+		n := len(sp.byShard[sh])
+		spread, u := 0, 0
+		if n > 0 {
+			spread = ceilDiv(n, wps)
+			u = spread + outcomes[sh].binned
 		}
 		// Gas counterpart of u: the shard's phase 1 spreads the sub-block's
 		// gas over its workers, the shard-local bin re-executes its gas
 		// sequentially — the same two terms as the speculative engine's
 		// GasPar, per shard.
 		var g uint64
-		for _, i := range byShard[sh] {
+		for _, i := range sp.byShard[sh] {
 			if receipts[i] != nil {
 				g += receipts[i].GasUsed
 			}
 		}
-		var shardGas uint64
+		var spreadGas, shardGas uint64
 		if g > 0 {
-			shardGas = ceilDivU(g, uint64(wps)) + outcomes[sh].gasBin
+			spreadGas = ceilDivU(g, uint64(wps))
+			shardGas = spreadGas + outcomes[sh].gasBin
 		}
-		if u > intraUnits {
-			intraUnits = u
+		if spread > out.spreadUnits {
+			out.spreadUnits = spread
 		}
-		if shardGas > intraGas {
-			intraGas = shardGas
+		if u > out.intraUnits {
+			out.intraUnits = u
 		}
-		binnedTotal += outcomes[sh].binned
+		if spreadGas > out.spreadGas {
+			out.spreadGas = spreadGas
+		}
+		if shardGas > out.intraGas {
+			out.intraGas = shardGas
+		}
+		out.binned += outcomes[sh].binned
 		gasTotal += g
 		gasBinTotal += outcomes[sh].gasBin
 	}
-	if floor := ceilDiv(x+binnedTotal, e.Workers); x > 0 && floor > intraUnits {
-		intraUnits = floor
+	if x > 0 {
+		if floor := ceilDiv(x, e.Workers); floor > out.spreadUnits {
+			out.spreadUnits = floor
+		}
+		if floor := ceilDiv(x+out.binned, e.Workers); floor > out.intraUnits {
+			out.intraUnits = floor
+		}
+	}
+	if gasTotal > 0 {
+		if floor := ceilDivU(gasTotal, uint64(e.Workers)); floor > out.spreadGas {
+			out.spreadGas = floor
+		}
 	}
 	if gasTotal+gasBinTotal > 0 {
-		if floor := ceilDivU(gasTotal+gasBinTotal, uint64(e.Workers)); floor > intraGas {
-			intraGas = floor
+		if floor := ceilDivU(gasTotal+gasBinTotal, uint64(e.Workers)); floor > out.intraGas {
+			out.intraGas = floor
 		}
 	}
-	// Conflicted counts distinct serialised transactions; Retries counts
-	// re-execution events (a bin re-execution rerouted to the cross-shard
-	// merge and aborted there is one transaction, two re-executions).
-	conflicted := 0
 	for _, r := range reexecuted {
 		if r {
-			conflicted++
+			out.conflicted++
 		}
 	}
-	res := &Result{Receipts: receipts, Root: st.Root()}
+	return out, nil
+}
+
+// waveAbsWrite reports whether any wave member absolutely wrote k (as
+// opposed to delta-writing it): waveW conflates the two kinds, so the
+// delta-candidate check walks the members' write sets directly.
+func waveAbsWrite(waveW map[StateKey]struct{}, wave []int, overlays []*overlay, k StateKey) bool {
+	if _, any := waveW[k]; !any {
+		return false
+	}
+	for _, j := range wave {
+		if _, w := overlays[j].writes[k]; w {
+			return true
+		}
+	}
+	return false
+}
+
+// ExecuteSharded runs the block and additionally returns the sharding
+// counters the E9 experiment reports. st is mutated on success.
+func (e Sharded) ExecuteSharded(st *account.StateDB, blk *account.Block) (*Result, *ShardStats, error) {
+	if e.Workers < 1 {
+		return nil, nil, ErrNoWorkers
+	}
+	shards := e.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	wps := ceilDiv(e.Workers, shards)
+	start := time.Now()
+	x := len(blk.Txs)
+
+	sp := e.specExec(st, blk, shards, wps)
+	out, err := e.phase2(st, nil, blk, sp, shards, wps)
+	if err != nil {
+		return nil, nil, err
+	}
+	out.acc.applyTo(st)
+	finalizeBlock(st, blk, out.receipts)
+
+	res := &Result{Receipts: out.receipts, Root: st.Root()}
 	res.Stats = Stats{
 		Workers:    e.Workers,
 		Txs:        x,
-		Conflicted: conflicted,
+		Conflicted: out.conflicted,
 		SeqUnits:   x,
-		ParUnits:   intraUnits + aborts + retried,
-		GasSeq:     account.GasUsed(receipts),
-		GasPar:     intraGas + gasCrossReexec,
-		Retries:    binnedTotal + aborts + retried,
+		ParUnits:   out.intraUnits + out.mergeUnits + out.repairs,
+		GasSeq:     account.GasUsed(out.receipts),
+		GasPar:     out.intraGas + out.mergeGas + out.repairGas,
+		Retries:    out.binned + out.mergeReexecs + out.redos + out.repairs,
 		Wall:       time.Since(start),
 	}
-	if retried > 0 {
-		res.Stats.GasPar += account.GasUsed(receipts)
-	}
 	res.Stats.finish()
-	return res, ss, nil
+	return res, out.ss, nil
 }

@@ -1,0 +1,262 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"txconcur/internal/account"
+	"txconcur/internal/core"
+	"txconcur/internal/mvstore"
+)
+
+// This file composes the sharded engine with the mvstore pipeline: across a
+// chain of blocks, the per-shard speculative phase 1 of block b+1 overlaps
+// the deterministic cross-shard commit of block b. Each shard owns a
+// persistent multi-version store; block i commits its writes — partitioned
+// by core.ShardOf — to every shard's store at timestamp i+1, and phase 1
+// speculates against per-shard snapshots pinned at the deterministic
+// fixed-lag timestamp max(0, i−Depth−1), the Pipeline.FixedLag discipline:
+// re-execution counts and ParUnits depend only on the workload, never on
+// scheduler timing.
+
+// ChainShardStats aggregates the sharding counters of a chain executed by
+// Sharded.ExecuteChain, per block and in total.
+type ChainShardStats struct {
+	// Blocks holds each block's ShardStats, in chain order.
+	Blocks []ShardStats
+	// Cross, CrossAborts, Repairs, MergeWaves, MergeUnits and BatchedStage
+	// sum the per-block counters; FallbackBlocks counts blocks whose
+	// repair suffix was the whole block.
+	Cross, CrossAborts, Repairs  int
+	MergeWaves, MergeUnits       int
+	BatchedStage, FallbackBlocks int
+}
+
+// add folds one block's counters into the aggregate.
+func (c *ChainShardStats) add(ss *ShardStats) {
+	c.Blocks = append(c.Blocks, *ss)
+	c.Cross += ss.Cross
+	c.CrossAborts += ss.CrossAborts
+	c.Repairs += ss.Repairs
+	c.MergeWaves += ss.MergeWaves
+	c.MergeUnits += ss.MergeUnits
+	c.BatchedStage += ss.BatchedStage
+	if ss.Fallback {
+		c.FallbackBlocks++
+	}
+}
+
+// shardedSpecBlock carries one block's phase-1 output from the speculative
+// stage to the cross-shard committer.
+type shardedSpecBlock struct {
+	idx    int
+	spec   *shardedSpec
+	snaps  []*mvstore.Snapshot[StateKey, stateVal]
+	specTS uint64
+}
+
+func (sb *shardedSpecBlock) release() {
+	for _, sn := range sb.snaps {
+		sn.Release()
+	}
+}
+
+// ExecuteChain executes blocks in order on st (mutated on success), with
+// the per-shard speculative phase 1 of later blocks overlapping the
+// cross-shard commit of earlier ones — the composition of the sharded
+// engine with the mvstore pipeline that converts the merge's sequential
+// tail from a per-block barrier into pipelined work.
+//
+// Timestamps: logical time 0 is st as given; block i commits its write set,
+// partitioned across the per-shard stores, at time i+1. Nothing touches st
+// until every block has committed, so the speculative stage can read it
+// lock-free; each shard's newest values are folded into st once at the end.
+// Serial equivalence (state roots and receipts against Sequential) is
+// enforced by the regression and fuzz suites on every profile, shard count,
+// and conflict mode.
+func (e Sharded) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*ChainResult, *ChainShardStats, error) {
+	if e.Workers < 1 {
+		return nil, nil, ErrNoWorkers
+	}
+	shards := e.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	wps := ceilDiv(e.Workers, shards)
+	depth := e.Depth
+	if depth < 1 {
+		depth = 1
+	}
+	start := time.Now()
+
+	mvs := make([]*mvstore.Store[StateKey, stateVal], shards)
+	for sh := range mvs {
+		mvs[sh] = mvstore.NewStoreDelta[StateKey, stateVal](mergeStateVal)
+	}
+	shardOfKey := func(k StateKey) int { return core.ShardOf(k.Addr, shards) }
+
+	// Stage 1: per-shard speculative execution, one block at a time, each
+	// transaction on its own recording overlay over the pinned per-shard
+	// snapshots. The channel buffer is the pipeline depth: stage 1 runs at
+	// most depth blocks ahead of the cross-shard committer.
+	specCh := make(chan shardedSpecBlock, depth)
+	done := make(chan struct{})
+	// abort stops the speculative stage and waits for it to exit before an
+	// error return: otherwise its workers would keep reading st after the
+	// caller regains ownership of it. Draining specCh both releases the
+	// buffered snapshot pins and blocks until the goroutine's deferred
+	// close.
+	abort := func() {
+		close(done)
+		for sb := range specCh {
+			sb.release()
+		}
+	}
+	go func() {
+		defer close(specCh)
+		for i, blk := range blocks {
+			// Deterministic pessimistic snapshot (Pipeline.FixedLag): when
+			// stage 1 starts block i it has pushed blocks 0..i−1 through a
+			// channel of capacity depth, so stage 2 has received at least
+			// i−depth of them and committed all but its current one:
+			// timestamp i−depth−1 is guaranteed durable on every shard.
+			ts := 0
+			if i > depth {
+				ts = i - depth - 1
+			}
+			sb := shardedSpecBlock{
+				idx:    i,
+				snaps:  make([]*mvstore.Snapshot[StateKey, stateVal], shards),
+				specTS: uint64(ts),
+			}
+			view := &mergedState{shards: shards, views: make([]account.State, shards)}
+			for sh := range mvs {
+				sb.snaps[sh] = mvs[sh].PinAt(uint64(ts))
+				view.views[sh] = &snapState{base: st, snap: sb.snaps[sh]}
+			}
+			sb.spec = e.specExec(view, blk, shards, wps)
+			select {
+			case specCh <- sb:
+			case <-done:
+				sb.release()
+				return
+			}
+		}
+	}()
+
+	// Stage 2: classification, per-shard sub-block commit, cross-shard
+	// merge and composition — strictly in block order.
+	all := make([][]*account.Receipt, len(blocks))
+	blockStats := make([]BlockStats, len(blocks))
+	css := &ChainShardStats{}
+	p1Units := make([]int, len(blocks))
+	p2Units := make([]int, len(blocks))
+	p1Gas := make([]uint64, len(blocks))
+	p2Gas := make([]uint64, len(blocks))
+	var seqUnits, conflicted, retries int
+	var gasSeq uint64
+
+	for sb := range specCh {
+		blk := blocks[sb.idx]
+		commitTS := uint64(sb.idx) + 1
+		specTS := sb.specTS
+
+		// The committed pre-block view: every shard's store at the previous
+		// block's timestamp, over the immutable pre-chain state.
+		base := &mergedState{shards: shards, views: make([]account.State, shards)}
+		for sh := range mvs {
+			base.views[sh] = &snapState{base: st, snap: mvs[sh].At(commitTS - 1)}
+		}
+		// Cross-block staleness: a phase-1 read is stale iff its key was
+		// committed after the pinned snapshot (per-shard ChangedSince, the
+		// mvstore validation primitive).
+		stale := func(k StateKey) bool {
+			return mvs[shardOfKey(k)].ChangedSince(k, specTS)
+		}
+		if specTS == commitTS-1 {
+			// The snapshot already reflects the previous block; no
+			// committed version can postdate it.
+			stale = nil
+		}
+		out, err := e.phase2(base, stale, blk, sb.spec, shards, wps)
+		sb.release()
+		if err != nil {
+			abort()
+			return nil, nil, fmt.Errorf("exec: sharded chain block %d: %w", blk.Height, err)
+		}
+
+		// Deferred fees and block reward, exactly as finalizeBlock does,
+		// then the block's writes partitioned onto the per-shard stores.
+		out.acc.AddBalance(blk.Coinbase, account.Fees(blk.Txs, out.receipts))
+		out.acc.AddBalance(blk.Coinbase, account.BlockReward)
+		parts := make([]map[StateKey]mvstore.Write[stateVal], shards)
+		for sh := range parts {
+			parts[sh] = make(map[StateKey]mvstore.Write[stateVal])
+		}
+		for k, w := range overlayWrites(out.acc) {
+			parts[shardOfKey(k)][k] = w
+		}
+		for sh := range mvs {
+			// Empty partitions still commit: every shard's clock advances
+			// in lockstep so fixed-lag pins stay valid on all shards.
+			if err := mvs[sh].CommitWrites(commitTS, parts[sh]); err != nil {
+				abort()
+				return nil, nil, fmt.Errorf("exec: sharded chain block %d shard %d: %w", blk.Height, sh, err)
+			}
+		}
+		// Epoch GC, fixed-lag horizon: a future pin requests at most
+		// commitTS−depth−1 (block j ≥ idx+1 pins j−depth−1), and PinAt
+		// cannot resurrect collected versions.
+		if commitTS > uint64(depth)+1 {
+			horizon := commitTS - uint64(depth) - 1
+			for sh := range mvs {
+				mvs[sh].TruncateBelow(horizon)
+			}
+		}
+
+		all[sb.idx] = out.receipts
+		css.add(out.ss)
+		x := len(blk.Txs)
+		gasBlock := account.GasUsed(out.receipts)
+		blockStats[sb.idx] = BlockStats{
+			Txs:        x,
+			Reexecuted: out.conflicted,
+			Lag:        int(commitTS-1) - int(specTS),
+		}
+		// Two-stage flow shop: machine 1 is the per-shard speculative
+		// spread (overlappable with the previous block's commit), machine 2
+		// everything ordered — shard bins, merge waves, repairs. The two
+		// sum to the per-block engine's ParUnits, so pipelining can only
+		// help.
+		p1Units[sb.idx] = out.spreadUnits
+		p2Units[sb.idx] = out.intraUnits - out.spreadUnits + out.mergeUnits + out.repairs
+		p1Gas[sb.idx] = out.spreadGas
+		p2Gas[sb.idx] = out.intraGas - out.spreadGas + out.mergeGas + out.repairGas
+		seqUnits += x
+		gasSeq += gasBlock
+		conflicted += out.conflicted
+		retries += out.binned + out.mergeReexecs + out.redos + out.repairs
+	}
+
+	// Fold every shard's newest values into the caller's state database;
+	// shards own disjoint key sets, so the fold order is irrelevant.
+	for sh := range mvs {
+		mvs[sh].RangeLatestResolved(foldResolvedInto(st))
+	}
+	st.DiscardJournal()
+
+	res := &ChainResult{Receipts: all, Root: st.Root(), Blocks: blockStats}
+	res.Stats = Stats{
+		Workers:    e.Workers,
+		Txs:        seqUnits,
+		Conflicted: conflicted,
+		SeqUnits:   seqUnits,
+		ParUnits:   flowShopMakespan(p1Units, p2Units),
+		GasSeq:     gasSeq,
+		GasPar:     flowShopMakespan(p1Gas, p2Gas),
+		Retries:    retries,
+		Wall:       time.Since(start),
+	}
+	res.Stats.finish()
+	return res, css, nil
+}

@@ -1,0 +1,166 @@
+package exec
+
+import (
+	"testing"
+
+	"txconcur/internal/account"
+	"txconcur/internal/chainsim"
+)
+
+// seqReplay replays blocks sequentially from a copy of pre, returning the
+// per-block results and the final chain root.
+func seqReplay(t *testing.T, pre *account.StateDB, blocks []*account.Block) ([]*Result, *account.StateDB) {
+	t.Helper()
+	work := pre.Copy()
+	seqs := make([]*Result, len(blocks))
+	for i, blk := range blocks {
+		seq, err := Sequential(work, blk)
+		if err != nil {
+			t.Fatalf("sequential replay block %d: %v", i, err)
+		}
+		seqs[i] = seq
+	}
+	return seqs, work
+}
+
+func checkChainReceipts(t *testing.T, name string, got [][]*account.Receipt, seqs []*Result) {
+	t.Helper()
+	if len(got) != len(seqs) {
+		t.Fatalf("%s: %d receipt blocks, want %d", name, len(got), len(seqs))
+	}
+	for b := range got {
+		if len(got[b]) != len(seqs[b].Receipts) {
+			t.Fatalf("%s block %d: %d receipts, want %d", name, b, len(got[b]), len(seqs[b].Receipts))
+		}
+		for i := range got[b] {
+			a, w := got[b][i], seqs[b].Receipts[i]
+			if a.Status != w.Status || a.GasUsed != w.GasUsed || a.TxHash != w.TxHash ||
+				len(a.Internal) != len(w.Internal) {
+				t.Fatalf("%s block %d receipt %d differs: %+v vs %+v", name, b, i, a, w)
+			}
+		}
+	}
+}
+
+// TestShardedChainSerialEquivalenceAllProfiles: the pipelined sharded
+// engine must reproduce the sequential chain root and receipts on every
+// account-model chainsim profile, for shard counts {1, 2, 4, 8}, in both
+// key-level and operation-level mode — the acceptance criterion of the
+// E10 experiment.
+func TestShardedChainSerialEquivalenceAllProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: all profiles x shard counts x modes")
+	}
+	for _, p := range shardedEquivalenceProfiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			pre, blocks, err := chainsim.GenerateAccountChain(p, 6, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqs, seqSt := seqReplay(t, pre, blocks)
+			for _, shards := range []int{1, 2, 4, 8} {
+				for _, op := range []bool{false, true} {
+					cr, css, err := Sharded{Workers: 8, Shards: shards, OpLevel: op, Depth: 2}.
+						ExecuteChain(pre.Copy(), blocks)
+					if err != nil {
+						t.Fatalf("shards=%d op=%v: %v", shards, op, err)
+					}
+					if cr.Root != seqSt.Root() {
+						t.Fatalf("shards=%d op=%v: chain root mismatch (stats %+v)", shards, op, css)
+					}
+					checkChainReceipts(t, p.Name, cr.Receipts, seqs)
+					if len(css.Blocks) != len(blocks) {
+						t.Fatalf("shards=%d op=%v: %d block stats, want %d",
+							shards, op, len(css.Blocks), len(blocks))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedChainFuzzFixtures replays the conflict-heavy fuzz chains —
+// nonce chains, shared-counter contracts, blind writers and readers —
+// through ExecuteChain at several shard counts and depths.
+func TestShardedChainFuzzFixtures(t *testing.T) {
+	for _, tc := range []struct {
+		seed                          int64
+		users, hotN, txn, hotPct, spl uint8
+	}{
+		{7, 24, 3, 75, 85, 2},
+		{42, 9, 2, 60, 70, 1},
+		{3, 20, 3, 79, 50, 0},
+	} {
+		pre, blocks := fuzzChain(tc.seed, tc.users, tc.hotN, tc.txn, tc.hotPct, tc.spl)
+		seqs, seqSt := seqReplay(t, pre, blocks)
+		for _, shards := range []int{1, 2, 3, 8} {
+			for _, depth := range []int{1, 3} {
+				for _, op := range []bool{false, true} {
+					cr, _, err := Sharded{Workers: 6, Shards: shards, OpLevel: op, Depth: depth}.
+						ExecuteChain(pre.Copy(), blocks)
+					if err != nil {
+						t.Fatalf("seed=%d shards=%d depth=%d op=%v: %v", tc.seed, shards, depth, op, err)
+					}
+					if cr.Root != seqSt.Root() {
+						t.Fatalf("seed=%d shards=%d depth=%d op=%v: root mismatch", tc.seed, shards, depth, op)
+					}
+					checkChainReceipts(t, "chain", cr.Receipts, seqs)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedChainValidation: worker validation and the empty chain.
+func TestShardedChainValidation(t *testing.T) {
+	st := account.NewStateDB()
+	if _, _, err := (Sharded{Workers: 0, Shards: 2}).ExecuteChain(st, nil); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	cr, css, err := (Sharded{Workers: 2, Shards: 2}).ExecuteChain(st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Receipts) != 0 || len(css.Blocks) != 0 {
+		t.Fatalf("empty chain produced %d blocks", len(cr.Receipts))
+	}
+	if cr.Stats.Speedup != 1 {
+		t.Fatalf("empty chain speed-up = %v, want 1", cr.Stats.Speedup)
+	}
+}
+
+// TestShardedChainOverlapBound: the chain makespan must never exceed the
+// sum of the per-block engine's schedule lengths (pipelining can only
+// help), and must still respect the core budget.
+func TestShardedChainOverlapBound(t *testing.T) {
+	pre, blocks, err := chainsim.GenerateAccountChain(chainsim.ShardUniformProfile(), 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []bool{false, true} {
+		e := Sharded{Workers: 8, Shards: 4, OpLevel: op, Depth: 2}
+		cr, _, err := e.ExecuteChain(pre.Copy(), blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var perBlock int
+		work := pre.Copy()
+		for _, blk := range blocks {
+			res, _, err := e.ExecuteSharded(work, blk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			perBlock += res.Stats.ParUnits
+		}
+		if cr.Stats.ParUnits > perBlock {
+			t.Fatalf("op=%v: chain makespan %d exceeds per-block sum %d",
+				op, cr.Stats.ParUnits, perBlock)
+		}
+		if cr.Stats.Speedup > float64(e.Workers)+1e-9 {
+			t.Fatalf("op=%v: speed-up %.2f exceeds the %d-worker budget",
+				op, cr.Stats.Speedup, e.Workers)
+		}
+	}
+}
