@@ -1,0 +1,22 @@
+# Convenience targets; tier-1 verification stays plain
+# `go build ./... && go test ./...`.
+
+.PHONY: build test race bench docs-check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# One-iteration pass over every recorded-baseline experiment.
+bench:
+	go test -run NONE -bench 'Comparison$$' -benchtime 1x .
+
+# Fails on intra-repo markdown links that point at missing files
+# (tools/docscheck). CI runs this after vet.
+docs-check:
+	go run ./tools/docscheck

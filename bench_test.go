@@ -17,6 +17,7 @@ import (
 	"txconcur/internal/chainsim"
 	"txconcur/internal/core"
 	"txconcur/internal/exec"
+	"txconcur/internal/heat"
 	"txconcur/internal/mvstore"
 	"txconcur/internal/sched"
 )
@@ -185,6 +186,18 @@ func BenchmarkShardedPipelineComparison(b *testing.B) {
 	// `go run ./cmd/experiments -run shardedpipeline -json`).
 	for i := 0; i < b.N; i++ {
 		tbl, err := bench.ShardedPipelineComparison(benchExecBlk, int64(2020+i), bench.ShardProfileNames(), []int{2, 8}, 8)
+		renderAll(b, err)
+		renderAll(b, bench.RenderTable(io.Discard, tbl))
+	}
+}
+
+func BenchmarkAdaptiveShardingComparison(b *testing.B) {
+	// E11 at benchmark scale; the recorded baseline lives in
+	// docs/bench/E11-baseline.json (regenerate with
+	// `go run ./cmd/experiments -run adaptiveshard -json`).
+	for i := 0; i < b.N; i++ {
+		tbl, err := bench.AdaptiveShardingComparison(benchExecBlk, int64(2020+i),
+			bench.AdaptiveShardProfileNames(), []int{2, 8}, 8, 4)
 		renderAll(b, err)
 		renderAll(b, bench.RenderTable(io.Discard, tbl))
 	}
@@ -393,6 +406,16 @@ func BenchmarkShardedChain(b *testing.B) {
 	b.Run("pipelined", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, _, err := (exec.Sharded{Workers: 8, Shards: 4, Depth: 2}).ExecuteChain(pre.Copy(), blocks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The adaptive map's full bill: heat observation on every block plus a
+	// rebalance-and-migrate barrier every other block.
+	b.Run("adaptive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := exec.Sharded{Workers: 8, Depth: 2, Map: heat.NewAdaptiveMap(4, nil), RebalanceEvery: 2}
+			if _, _, err := e.ExecuteChain(pre.Copy(), blocks); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -55,6 +55,15 @@ func TestRunShardedPipelineJSON(t *testing.T) {
 	}
 }
 
+func TestRunAdaptiveShardJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs executors")
+	}
+	if err := run([]string{"-run", "adaptiveshard", "-execblocks", "6", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestRunProfileFlags: -cpuprofile and -trace must produce non-empty
 // artifacts covering the selected experiments.
 func TestRunProfileFlags(t *testing.T) {

@@ -13,16 +13,23 @@
 // going beyond the paper — working parallel execution engines that validate
 // the model.
 //
-// Four execution engines are implemented — sequential, speculative
-// two-phase, oracle-TDG groups, and ordered STM — plus a fifth that goes
-// past all of them: a multi-version, cross-block pipelined engine
-// (internal/mvstore + internal/exec.Pipeline) whose speed-up is not
-// bounded by a single global commit lock.
+// Six execution engines are implemented — sequential, speculative
+// two-phase, oracle-TDG groups, ordered STM, the multi-version cross-block
+// pipeline (internal/mvstore + internal/exec.Pipeline) whose speed-up is
+// not bounded by a single global commit lock, and a sharded engine
+// (internal/exec.Sharded) with a deterministic cross-shard commit — plus
+// two layers composed on top of the sharded one: the pipelined sharded
+// chain (Sharded.ExecuteChain) and adaptive conflict-heat shard
+// assignment (internal/heat behind core.ShardMap), which learns conflict
+// communities across blocks and migrates them between shards at epoch
+// boundaries.
 //
 // See README.md for the layout, the paper-section → package map, and how
 // to run each command; see docs/ARCHITECTURE.md for the execution
-// engines, their serial-equivalence guarantees, and when each wins. The
-// benchmarks in bench_test.go regenerate every table and figure:
+// engines, their serial-equivalence guarantees, and when each wins; see
+// docs/EXPERIMENTS.md for the E1–E11 experiment catalogue (paper section,
+// profiles, invocation, JSON schema, recorded baselines). The benchmarks
+// in bench_test.go regenerate every table and figure:
 //
 //	go test -bench=. -benchmem
 package txconcur

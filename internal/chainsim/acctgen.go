@@ -80,8 +80,15 @@ type AcctGen struct {
 	devNext   int
 	exchanges []types.Address
 	hot       []types.Address // hot receivers: credit-only, never send
-	contracts []deployedContract
-	miners    []types.Address
+	// Sweep bots and their paired collectors (bot i always pays
+	// collectors[i]): the drifting-hotspot machinery of the adaptive
+	// sharding workloads. Bots are dedicated senders outside the user
+	// pool, so their nonce chains are not diluted by role reassignment.
+	bots       []types.Address
+	botNonces  []uint64
+	collectors []types.Address
+	contracts  []deployedContract
+	miners     []types.Address
 
 	schedule []int
 	eraIdx   int
@@ -107,7 +114,7 @@ func NewAcctGen(p Profile, numBlocks int, seed int64) (*AcctGen, error) {
 		time:     p.Eras[0].StartTime,
 	}
 
-	maxUsers, maxExchanges, maxHot := 0, 0, 0
+	maxUsers, maxExchanges, maxHot, maxBots := 0, 0, 0, 0
 	for _, e := range p.Eras {
 		if e.Users > maxUsers {
 			maxUsers = e.Users
@@ -117,6 +124,9 @@ func NewAcctGen(p Profile, numBlocks int, seed int64) (*AcctGen, error) {
 		}
 		if e.HotReceivers > maxHot {
 			maxHot = e.HotReceivers
+		}
+		if n := e.HotSenderRotate + e.HotSenders; n > maxBots {
+			maxBots = n
 		}
 	}
 	if maxUsers > maxUserPool {
@@ -150,6 +160,14 @@ func NewAcctGen(p Profile, numBlocks int, seed int64) (*AcctGen, error) {
 	g.hot = make([]types.Address, maxHot)
 	for i := range g.hot {
 		g.hot[i] = types.AddressFromUint64("hot/"+p.Name, uint64(i))
+	}
+	g.bots = make([]types.Address, maxBots)
+	g.botNonces = make([]uint64, maxBots)
+	g.collectors = make([]types.Address, maxBots)
+	for i := range g.bots {
+		g.bots[i] = types.AddressFromUint64("bot/"+p.Name, uint64(i))
+		g.collectors[i] = types.AddressFromUint64("collect/"+p.Name, uint64(i))
+		st.AddBalance(g.bots[i], userEndowment)
 	}
 	g.miners = make([]types.Address, 4)
 	for i := range g.miners {
@@ -364,11 +382,16 @@ func (g *AcctGen) buildBlock(era *Era) *account.Block {
 	nCreate := frac(era.CreationFrac)
 	nContract := frac(era.ContractFrac)
 	nDeposit := frac(era.ExchangeFrac)
-	// The hot-receiver draw happens only when the knob is set, so profiles
-	// without it consume exactly the historical random stream.
+	// The hot-receiver and sweep-bot draws happen only when their knobs are
+	// set, so profiles without them consume exactly the historical random
+	// stream.
 	nHot := 0
 	if era.HotReceiverFrac > 0 && era.HotReceivers > 0 && len(g.hot) > 0 {
 		nHot = frac(era.HotReceiverFrac)
+	}
+	nSweep := 0
+	if era.HotSenderFrac > 0 && era.HotSenders > 0 && len(g.bots) > 0 {
+		nSweep = frac(era.HotSenderFrac)
 	}
 	if len(g.contracts) == 0 {
 		nContract = 0
@@ -376,8 +399,12 @@ func (g *AcctGen) buildBlock(era *Era) *account.Block {
 	if len(g.exchanges) == 0 || era.Exchanges == 0 {
 		nDeposit = 0
 	}
-	if nCreate+nContract+nDeposit+nHot > target {
-		nHot = target - nCreate - nContract - nDeposit
+	if nCreate+nContract+nDeposit+nHot+nSweep > target {
+		nSweep = target - nCreate - nContract - nDeposit - nHot
+		if nSweep < 0 {
+			nHot += nSweep
+			nSweep = 0
+		}
 		if nHot < 0 {
 			nDeposit += nHot
 			nHot = 0
@@ -391,7 +418,7 @@ func (g *AcctGen) buildBlock(era *Era) *account.Block {
 			nContract = 0
 		}
 	}
-	nP2P := target - nCreate - nContract - nDeposit - nHot
+	nP2P := target - nCreate - nContract - nDeposit - nHot - nSweep
 
 	// Active sender set: distinct uniform draws from the pool, partitioned
 	// by role in proportion to the role budgets.
@@ -467,6 +494,23 @@ func (g *AcctGen) buildBlock(era *Era) *account.Block {
 			txs = append(txs, g.transferTx(s, g.hot[hotQ.index(g.smp.rng.Float64())]))
 		}
 	}
+	if nSweep > 0 {
+		// Sweep chains: each draw picks a bot from the era's active window
+		// (the rotation offset is what makes the hotspot drift between
+		// eras) and pays its paired collector, extending the bot's nonce
+		// chain.
+		lo := era.HotSenderRotate
+		if lo >= len(g.bots) {
+			lo = len(g.bots) - 1
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		width := mini(era.HotSenders, len(g.bots)-lo)
+		for i := 0; i < nSweep; i++ {
+			txs = append(txs, g.sweepTx(lo+g.smp.rng.Intn(width)))
+		}
+	}
 	for i := 0; i < nP2P; i++ {
 		s := p2pSenders[g.smp.rng.Intn(len(p2pSenders))]
 		recv := g.users[g.smp.rng.Intn(pool)]
@@ -533,6 +577,22 @@ func (g *AcctGen) transferTx(sender int, to types.Address) *account.Transaction 
 		GasPrice: 1 + account.Amount(g.smp.rng.Intn(5)),
 	}
 	g.nonces[sender]++
+	return tx
+}
+
+// sweepTx builds one step of bot b's consolidation stream: a plain value
+// transfer into the bot's fixed collector address, continuing its nonce
+// chain.
+func (g *AcctGen) sweepTx(b int) *account.Transaction {
+	tx := &account.Transaction{
+		From:     g.bots[b],
+		To:       g.collectors[b],
+		Value:    account.Amount(500 + g.smp.rng.Intn(50_000)),
+		Nonce:    g.botNonces[b],
+		GasLimit: account.GasTx,
+		GasPrice: 1 + account.Amount(g.smp.rng.Intn(5)),
+	}
+	g.botNonces[b]++
 	return tx
 }
 

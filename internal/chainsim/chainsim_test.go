@@ -5,6 +5,7 @@ import (
 
 	"txconcur/internal/account"
 	"txconcur/internal/core"
+	"txconcur/internal/types"
 	"txconcur/internal/utxo"
 )
 
@@ -479,6 +480,152 @@ func TestShardProfiles(t *testing.T) {
 		}
 		if txs == 0 {
 			t.Fatalf("%s: empty history", p.Name)
+		}
+	}
+}
+
+// TestAdaptiveShardProfiles checks the adaptive-placement workloads (E11):
+// well formed, reachable by name, sweep-dominated, and — the property the
+// whole experiment rests on — the drift profile's active bot window really
+// rotates onto fresh collector addresses between eras.
+func TestAdaptiveShardProfiles(t *testing.T) {
+	ps := AdaptiveShardProfiles()
+	if len(ps) != 2 {
+		t.Fatalf("adaptive shard profiles = %d, want 2", len(ps))
+	}
+	for _, p := range ps {
+		byName, ok := ProfileByName(p.Name)
+		if !ok || byName.Name != p.Name {
+			t.Fatalf("ProfileByName(%q) failed", p.Name)
+		}
+		if p.Model != Account {
+			t.Fatalf("%s: not account-model", p.Name)
+		}
+		for _, e := range p.Eras {
+			if e.HotSenderFrac <= 0 || e.HotSenders <= 0 {
+				t.Fatalf("%s/%s: no sweep bots", p.Name, e.Name)
+			}
+		}
+	}
+
+	// Drift: collect the sender set of the first and last quarter of a
+	// generated history; the rotation must retire every early bot.
+	p := ShardDriftProfile()
+	g, err := NewAcctGen(p, 16, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	botSenders := func(blk *account.Block) map[string]bool {
+		out := map[string]bool{}
+		for _, tx := range blk.Txs {
+			out[tx.From.String()] = true
+		}
+		return out
+	}
+	var early, late map[string]bool
+	for i := 0; ; i++ {
+		blk, _, ok, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if i == 0 {
+			early = botSenders(blk)
+		}
+		late = botSenders(blk)
+	}
+	// Bots are the dedicated "bot/<name>" addresses; the user populations
+	// overlap across eras, the bot windows must not.
+	bot := func(i uint64) string { return types.AddressFromUint64("bot/"+p.Name, i).String() }
+	earlyBots, lateBots := 0, 0
+	for i := uint64(0); i < 4; i++ {
+		if early[bot(i)] {
+			earlyBots++
+		}
+		if late[bot(i)] {
+			lateBots++
+		}
+	}
+	if earlyBots == 0 {
+		t.Fatal("first era never used the first bot window")
+	}
+	if lateBots != 0 {
+		t.Fatal("last era still uses the first bot window: the hotspot does not drift")
+	}
+
+	// Sweeps pay their paired collector, extending a per-bot nonce chain.
+	g2, err := NewAcctGen(ShardSkewProfile(), 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, _, _, err := g2.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew := ShardSkewProfile()
+	sweeps := 0
+	for _, tx := range blk.Txs {
+		for i := uint64(0); i < 4; i++ {
+			if tx.From == types.AddressFromUint64("bot/"+skew.Name, i) {
+				if tx.To != types.AddressFromUint64("collect/"+skew.Name, i) {
+					t.Fatalf("bot %d paid %v, want its paired collector", i, tx.To)
+				}
+				sweeps++
+			}
+		}
+	}
+	if sweeps < len(blk.Txs)/3 {
+		t.Fatalf("only %d/%d sweep transactions; HotSenderFrac=0.6 expected more", sweeps, len(blk.Txs))
+	}
+}
+
+// TestSweepKnobsPreserveLegacyStreams: profiles without sweep knobs must
+// generate bit-identical histories to the pre-knob generator — the random
+// stream is consumed only when the knob is set, so the recorded E7–E10
+// baselines stay valid.
+func TestSweepKnobsPreserveLegacyStreams(t *testing.T) {
+	for _, p := range []Profile{EthereumProfile(), ShardHotShardProfile()} {
+		a, err := NewAcctGen(p, 4, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The same profile with sweep fields explicitly zeroed (they are
+		// already zero; this guards against future defaulting).
+		q := p
+		for i := range q.Eras {
+			q.Eras[i].HotSenderFrac = 0
+			q.Eras[i].HotSenders = 0
+			q.Eras[i].HotSenderRotate = 0
+		}
+		b, err := NewAcctGen(q, 4, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			ba, _, oka, err := a.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bb, _, okb, err := b.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if oka != okb {
+				t.Fatal("histories diverge in length")
+			}
+			if !oka {
+				break
+			}
+			if len(ba.Txs) != len(bb.Txs) {
+				t.Fatalf("block %d: %d vs %d txs", ba.Height, len(ba.Txs), len(bb.Txs))
+			}
+			for i := range ba.Txs {
+				if ba.Txs[i].Hash() != bb.Txs[i].Hash() {
+					t.Fatalf("block %d tx %d differs", ba.Height, i)
+				}
+			}
 		}
 	}
 }

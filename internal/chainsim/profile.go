@@ -110,6 +110,24 @@ type Era struct {
 	HotReceiverFrac float64
 	// HotReceivers is the number of distinct hot receiver addresses.
 	HotReceivers int
+
+	// Sweep-bot knobs (the drifting-hotspot workloads of E11). A sweep bot
+	// is a dedicated sender — an exchange consolidation script, a payout
+	// pool — that issues long same-sender nonce chains into its own fixed
+	// collector address. Under sender-committee sharding the bot and its
+	// collector usually land on different shards, so every sweep is
+	// cross-shard and its nonce chain serialises the merge; a placement
+	// policy that co-locates the pair converts the whole stream to
+	// intra-shard work.
+
+	// HotSenderFrac is the fraction of transactions issued by sweep bots.
+	HotSenderFrac float64
+	// HotSenders is the number of concurrently active bot/collector pairs.
+	HotSenders int
+	// HotSenderRotate offsets the active window into the bot pool: eras
+	// with different offsets drift the hotspot onto fresh addresses, which
+	// is what forces an adaptive assignment to keep re-learning.
+	HotSenderRotate int
 }
 
 // Profile describes one blockchain: its Table I characteristics and its
@@ -204,9 +222,25 @@ func ShardProfiles() []Profile {
 	}
 }
 
+// AdaptiveShardProfiles returns the placement stress workloads used by the
+// adaptive-sharding experiment (E11). Both are dominated by sweep bots —
+// dedicated senders issuing nonce chains into fixed collector addresses —
+// whose bot/collector pairs land on different shards under static FNV
+// assignment, so nearly every sweep is cross-shard and its nonce chain
+// serialises the merge. "Shard Skew" keeps the same bots active for the
+// whole history (one good placement fixes it forever); "Shard Drift"
+// rotates the active bot window era by era, so a learned placement decays
+// and must be re-learned — the workload the ROADMAP's adaptive items name.
+func AdaptiveShardProfiles() []Profile {
+	return []Profile{
+		ShardSkewProfile(),
+		ShardDriftProfile(),
+	}
+}
+
 // ProfileByName returns the profile with the given name and whether it
-// exists, searching the paper's Table I chains and the hot-key and
-// cross-shard extension profiles.
+// exists, searching the paper's Table I chains and the hot-key,
+// cross-shard, and adaptive-placement extension profiles.
 func ProfileByName(name string) (Profile, bool) {
 	for _, p := range AllProfiles() {
 		if p.Name == name {
@@ -219,6 +253,11 @@ func ProfileByName(name string) (Profile, bool) {
 		}
 	}
 	for _, p := range ShardProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range AdaptiveShardProfiles() {
 		if p.Name == name {
 			return p, true
 		}
@@ -512,6 +551,56 @@ func ShardCrossHeavyProfile() Profile {
 				ActiveFrac: 2.0, ExchangeFrac: 0.25, Exchanges: 2,
 				ContractFrac: 0.45, CreationFrac: 0.01, InternalDepth: 2.2, Contracts: 60,
 				HotReceiverFrac: 0, HotReceivers: 0},
+		},
+	}
+}
+
+// ShardSkewProfile models a stationary consolidation skew: four sweep bots
+// (exchange consolidation scripts) issue most of the block as nonce chains
+// into their fixed collectors, over a p2p background. Under static FNV
+// assignment a bot and its collector usually live on different shards, so
+// the sweeps dominate the cross-shard merge; the hotspot never moves, so a
+// single learned placement (bot co-located with its collector, pairs
+// spread across shards) recovers the loss for the rest of the history.
+func ShardSkewProfile() Profile {
+	return Profile{
+		Name: "Shard Skew", Model: Account, Consensus: "PoW+Sharding",
+		SmartContracts: false, DataSource: "Synthetic", LaunchYear: 2020,
+		Eras: []Era{
+			{Name: "skew", Weight: 1, StartTime: jan1(2020), BlockInterval: 15,
+				TxPerBlock: 120, TxPerBlockJitter: 0.3, Users: 25000,
+				ActiveFrac: 2.5, ExchangeFrac: 0, Exchanges: 0,
+				ContractFrac: 0, CreationFrac: 0, InternalDepth: 0, Contracts: 0,
+				HotReceiverFrac: 0, HotReceivers: 0,
+				HotSenderFrac: 0.6, HotSenders: 4, HotSenderRotate: 0},
+		},
+	}
+}
+
+// ShardDriftProfile models a drifting consolidation hotspot: the same
+// sweep-bot traffic as Shard Skew, but the active bot window rotates onto
+// four fresh bot/collector pairs at every era boundary — yesterday's
+// placement is worthless tomorrow. This is the E11 headline workload: a
+// static assignment pays the cross-shard merge on every era, an adaptive
+// assignment re-learns the pairs within an epoch or two of each drift and
+// pays only the migration.
+func ShardDriftProfile() Profile {
+	era := func(name string, start int64, rotate int) Era {
+		return Era{Name: name, Weight: 1, StartTime: start, BlockInterval: 15,
+			TxPerBlock: 120, TxPerBlockJitter: 0.3, Users: 25000,
+			ActiveFrac: 2.5, ExchangeFrac: 0, Exchanges: 0,
+			ContractFrac: 0, CreationFrac: 0, InternalDepth: 0, Contracts: 0,
+			HotReceiverFrac: 0, HotReceivers: 0,
+			HotSenderFrac: 0.6, HotSenders: 4, HotSenderRotate: rotate}
+	}
+	return Profile{
+		Name: "Shard Drift", Model: Account, Consensus: "PoW+Sharding",
+		SmartContracts: false, DataSource: "Synthetic", LaunchYear: 2020,
+		Eras: []Era{
+			era("wave1", jan1(2020), 0),
+			era("wave2", jan1(2020)+90*86400, 4),
+			era("wave3", jan1(2020)+180*86400, 8),
+			era("wave4", jan1(2020)+270*86400, 12),
 		},
 	}
 }

@@ -150,6 +150,12 @@ func interpolate(a, b *Era, frac float64) Era {
 	out.Contracts = int(lerp(float64(a.Contracts), float64(b.Contracts)))
 	out.HotReceiverFrac = lerp(a.HotReceiverFrac, b.HotReceiverFrac)
 	out.HotReceivers = int(lerp(float64(a.HotReceivers), float64(b.HotReceivers)))
+	out.HotSenderFrac = lerp(a.HotSenderFrac, b.HotSenderFrac)
+	out.HotSenders = int(lerp(float64(a.HotSenders), float64(b.HotSenders)))
+	// The rotation offset switches, never interpolates: a hotspot drifts by
+	// jumping to fresh addresses at the era boundary, not by sliding — and
+	// intermediate offsets would smear the hot window across both eras'
+	// bots.
 	return out
 }
 

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sort"
+
+	"txconcur/internal/types"
+)
+
+// This file defines the address→shard assignment abstraction the sharded
+// execution engine consults (internal/exec.Sharded). The paper's §II-B
+// sharding — and the analytical E6 experiment — hard-codes a static
+// assignment (ShardOf, FNV-1a over the address), which is exactly the
+// limitation the ROADMAP's adaptive-placement items name: a hot shard
+// absorbs the skew forever, because nothing ever moves. A ShardMap makes
+// the assignment a value: the static map reproduces ShardOf bit for bit,
+// an override map layers explicit reassignments over it, and an
+// AdaptiveShardMap (implemented by internal/heat.AdaptiveMap) learns
+// conflict structure across blocks and rebalances hot keys at epoch
+// boundaries, with the engine migrating the moved state between its
+// per-shard stores deterministically.
+
+// ShardMap assigns every address to one of a fixed number of shards. A
+// ShardMap must be a pure function between mutations: the sharded engine
+// consults it from concurrent workers, so Shard must be safe for
+// concurrent readers as long as nothing rebalances the map (the engine
+// only rebalances at drained epoch boundaries).
+type ShardMap interface {
+	// Shards returns the committee count n ≥ 1.
+	Shards() int
+	// Shard maps an address to a shard in [0, Shards()).
+	Shard(a types.Address) int
+}
+
+// StaticShardMap is the baseline assignment: FNV-1a over the full address
+// (ShardOf), never rebalanced. The integer value is the shard count.
+type StaticShardMap int
+
+// Shards implements ShardMap.
+func (m StaticShardMap) Shards() int {
+	if m < 1 {
+		return 1
+	}
+	return int(m)
+}
+
+// Shard implements ShardMap.
+func (m StaticShardMap) Shard(a types.Address) int { return ShardOf(a, m.Shards()) }
+
+// OverrideShardMap layers explicit per-address reassignments over the
+// FNV-1a baseline: addresses in the override table live on their assigned
+// shard, everything else falls through to ShardOf. This is the shape every
+// load-aware policy produces — only the hot head of the address space is
+// worth tracking, so the cold tail stays on its hash-balanced default.
+type OverrideShardMap struct {
+	n         int
+	overrides map[types.Address]int
+}
+
+// NewOverrideShardMap builds an override map with n shards. Overrides
+// outside [0, n) are clamped into range; a nil override table is legal and
+// degenerates to the static map.
+func NewOverrideShardMap(n int, overrides map[types.Address]int) *OverrideShardMap {
+	if n < 1 {
+		n = 1
+	}
+	m := &OverrideShardMap{n: n, overrides: make(map[types.Address]int, len(overrides))}
+	for a, s := range overrides {
+		if s < 0 {
+			s = 0
+		}
+		if s >= n {
+			s = n - 1
+		}
+		m.overrides[a] = s
+	}
+	return m
+}
+
+// Shards implements ShardMap.
+func (m *OverrideShardMap) Shards() int { return m.n }
+
+// Shard implements ShardMap.
+func (m *OverrideShardMap) Shard(a types.Address) int {
+	if s, ok := m.overrides[a]; ok {
+		return s
+	}
+	return ShardOf(a, m.n)
+}
+
+// Overridden returns the overridden addresses in deterministic (byte)
+// order — the migration working set of a rebalance that installed this
+// table.
+func (m *OverrideShardMap) Overridden() []types.Address {
+	out := make([]types.Address, 0, len(m.overrides))
+	for a := range m.overrides {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// BlockHeat is one executed block's contribution to a conflict-heat
+// profile, produced by the sharded engine after each commit and consumed
+// by adaptive shard maps: which addresses the block touched, which were
+// involved in serialised re-executions, and the per-transaction address
+// groups of those re-executions (the affinity signal a placement policy
+// clusters on).
+type BlockHeat struct {
+	// Access counts, per address, the transactions whose committed result
+	// touched it (read, wrote, or delta-wrote any of its keys).
+	Access map[types.Address]int
+	// Conflict counts, per address, the transactions touching it that the
+	// engine had to serialise at least once (shard bin, cross-shard merge
+	// wave, commit redo, or repair pass).
+	Conflict map[types.Address]int
+	// Groups holds, for every serialised transaction in block order, its
+	// touched addresses in deterministic (byte) order. Addresses that
+	// repeatedly conflict *together* — a sweep bot and its collector — are
+	// exactly what a placement policy wants to co-locate.
+	Groups [][]types.Address
+}
+
+// ShardMove records one address reassignment of a rebalance: the shard its
+// state currently lives on (From) and its new home (To).
+type ShardMove struct {
+	Addr     types.Address
+	From, To int
+}
+
+// AdaptiveShardMap is a ShardMap that learns from executed blocks. The
+// sharded chain engine (exec.Sharded.ExecuteChain) feeds it every
+// committed block's BlockHeat in block order and, at epoch boundaries
+// (Sharded.RebalanceEvery blocks, with the pipeline drained), calls
+// Rebalance and migrates the moved addresses' state between its per-shard
+// stores. Both calls happen on the committer goroutine only, so
+// implementations need no internal locking; Shard must remain safe for
+// concurrent readers between mutations.
+type AdaptiveShardMap interface {
+	ShardMap
+	// ObserveBlock folds one committed block's heat into the profile.
+	ObserveBlock(h BlockHeat)
+	// Rebalance recomputes the assignment from the accumulated profile and
+	// returns the moves (sorted by address), already applied to the map.
+	// An empty slice means the assignment did not change.
+	Rebalance() []ShardMove
+}

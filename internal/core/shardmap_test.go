@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"txconcur/internal/core"
+	"txconcur/internal/types"
+)
+
+func TestStaticShardMapMatchesShardOf(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 16} {
+		m := core.StaticShardMap(n)
+		if m.Shards() != n {
+			t.Fatalf("Shards() = %d, want %d", m.Shards(), n)
+		}
+		for i := uint64(0); i < 500; i++ {
+			a := types.AddressFromUint64("shardmap/static", i)
+			if m.Shard(a) != core.ShardOf(a, n) {
+				t.Fatalf("n=%d: StaticShardMap diverges from ShardOf on %v", n, a)
+			}
+		}
+	}
+	// Degenerate counts clamp to one shard.
+	if core.StaticShardMap(0).Shards() != 1 || core.StaticShardMap(-3).Shards() != 1 {
+		t.Fatal("non-positive static map did not clamp to 1")
+	}
+}
+
+func TestOverrideShardMap(t *testing.T) {
+	a := types.AddressFromUint64("shardmap/override", 1)
+	b := types.AddressFromUint64("shardmap/override", 2)
+	m := core.NewOverrideShardMap(4, map[types.Address]int{a: 2, b: -5})
+	if m.Shard(a) != 2 {
+		t.Fatalf("override lost: %d", m.Shard(a))
+	}
+	if m.Shard(b) != 0 {
+		t.Fatalf("negative override not clamped to 0: %d", m.Shard(b))
+	}
+	c := types.AddressFromUint64("shardmap/override", 3)
+	if m.Shard(c) != core.ShardOf(c, 4) {
+		t.Fatal("non-overridden address left its hash default")
+	}
+	got := m.Overridden()
+	if len(got) != 2 {
+		t.Fatalf("Overridden() = %v, want 2 addresses", got)
+	}
+	if !got[0].Less(got[1]) {
+		t.Fatal("Overridden() not sorted")
+	}
+}
+
+// ExampleShardMap shows the assignment abstraction the sharded engine
+// consults: the static FNV baseline, and an override map that pins a hot
+// address pair — a sweep bot and its collector — onto one shard so their
+// transfers stop being cross-shard.
+func ExampleShardMap() {
+	bot := types.AddressFromUint64("example/bot", 3)
+	collector := types.AddressFromUint64("example/collect", 3)
+
+	var static core.ShardMap = core.StaticShardMap(4)
+	fmt.Printf("static co-located: %v\n", static.Shard(bot) == static.Shard(collector))
+
+	placed := core.NewOverrideShardMap(4, map[types.Address]int{
+		bot:       1,
+		collector: 1,
+	})
+	fmt.Printf("placed co-located: %v\n", placed.Shard(bot) == placed.Shard(collector))
+	fmt.Printf("shards: %d\n", placed.Shards())
+	// Output:
+	// static co-located: false
+	// placed co-located: true
+	// shards: 4
+}

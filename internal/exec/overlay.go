@@ -19,14 +19,20 @@
 //     cache of package mvstore — optimistic execution against pinned
 //     snapshots, in-order validation with per-transaction repair, and
 //     phase 1 of block b+1 overlapping phase 2 of block b across a chain.
-//   - Sharded: state partitioned by core.ShardOf, each shard running its
-//     sub-block on its own speculative pipeline, with — unlike the Zilliqa
-//     design of §II-B — a deterministic two-phase cross-shard commit for
-//     the transactions that span committees: commuting staged groups
-//     commit in batches, aborted ones re-execute in parallel waves, and
-//     ordering overlaps are repaired per transaction. Sharded.ExecuteChain
-//     composes it with per-shard persistent mvstore instances so phase 1
-//     of block b+1 overlaps the cross-shard commit of block b.
+//   - Sharded: state partitioned by a pluggable core.ShardMap (static
+//     FNV-1a by default), each shard running its sub-block on its own
+//     speculative pipeline, with — unlike the Zilliqa design of §II-B — a
+//     deterministic two-phase cross-shard commit for the transactions that
+//     span committees: commuting staged groups commit in batches, aborted
+//     ones re-execute in parallel waves, and ordering overlaps are
+//     repaired per transaction. Sharded.ExecuteChain composes it with
+//     per-shard persistent mvstore instances so phase 1 of block b+1
+//     overlaps the cross-shard commit of block b; with an adaptive map
+//     (internal/heat.AdaptiveMap) it additionally learns per-address
+//     conflict heat across blocks, rebalances hot conflict communities at
+//     epoch boundaries with deterministic state migration between the
+//     per-shard stores, and orders its merge waves by the same heat
+//     signal.
 //
 // Every parallel engine additionally supports operation-level conflict
 // refinement (the OpLevel/Refined fields): balance credits and debits are

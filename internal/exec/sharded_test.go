@@ -21,6 +21,7 @@ func shardedEquivalenceProfiles() []chainsim.Profile {
 	}
 	ps = append(ps, chainsim.HotKeyProfiles()...)
 	ps = append(ps, chainsim.ShardProfiles()...)
+	ps = append(ps, chainsim.AdaptiveShardProfiles()...)
 	return ps
 }
 

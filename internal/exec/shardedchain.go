@@ -7,17 +7,38 @@ import (
 	"txconcur/internal/account"
 	"txconcur/internal/core"
 	"txconcur/internal/mvstore"
+	"txconcur/internal/types"
 )
 
 // This file composes the sharded engine with the mvstore pipeline: across a
 // chain of blocks, the per-shard speculative phase 1 of block b+1 overlaps
 // the deterministic cross-shard commit of block b. Each shard owns a
-// persistent multi-version store; block i commits its writes — partitioned
-// by core.ShardOf — to every shard's store at timestamp i+1, and phase 1
-// speculates against per-shard snapshots pinned at the deterministic
-// fixed-lag timestamp max(0, i−Depth−1), the Pipeline.FixedLag discipline:
+// persistent multi-version store; a block commits its writes — partitioned
+// by the engine's shard map — to every shard's store at the next logical
+// timestamp, and phase 1 speculates against per-shard snapshots pinned at
+// the deterministic fixed-lag timestamp (the Pipeline.FixedLag discipline):
 // re-execution counts and ParUnits depend only on the workload, never on
 // scheduler timing.
+//
+// With an adaptive shard map (core.AdaptiveShardMap + RebalanceEvery > 0)
+// the chain is additionally segmented into epochs. At each epoch boundary
+// the pipeline drains, the map rebalances from the heat it observed, and
+// the moved addresses' state migrates between the per-shard stores as one
+// migration commit — a reconfiguration barrier, exactly as committee
+// reassignment is in a real sharded chain. Timestamps within an epoch
+// advance one per block; each boundary consumes one extra timestamp for
+// its migration commit, so the logical clock remains strictly monotonic on
+// every store and fixed-lag pins stay valid:
+//
+//	epoch 0                 boundary            epoch 1
+//	blk0   blk1   blk2      rebalance+migrate   blk3   blk4   ...
+//	ts 1   ts 2   ts 3      ts 4 (migration)    ts 5   ts 6   ...
+//
+// Migrated values are committed as absolute (Put) versions materialised
+// over the pre-chain state, so they supersede any stale copy an earlier
+// migration left behind; the final fold into the caller's StateDB filters
+// every store by the *final* assignment, which owns each key's newest
+// version by construction.
 
 // ChainShardStats aggregates the sharding counters of a chain executed by
 // Sharded.ExecuteChain, per block and in total.
@@ -30,6 +51,16 @@ type ChainShardStats struct {
 	Cross, CrossAborts, Repairs  int
 	MergeWaves, MergeUnits       int
 	BatchedStage, FallbackBlocks int
+	// RebalanceEpochs counts the epoch boundaries at which the adaptive
+	// shard map recomputed its assignment (including boundaries that moved
+	// nothing); Migrations counts the key-values copied between per-shard
+	// stores across all of them, and MigrationUnits the schedule-length
+	// cost charged for the copies (⌈moved keys/n⌉ per boundary — migration
+	// is a real cost, so it is folded into Stats.ParUnits). All zero under
+	// a static map.
+	RebalanceEpochs int
+	Migrations      int
+	MigrationUnits  int
 }
 
 // add folds one block's counters into the aggregate.
@@ -61,27 +92,53 @@ func (sb *shardedSpecBlock) release() {
 	}
 }
 
+// shardedChain is the mutable state ExecuteChain threads through its
+// epochs: the per-shard stores, the logical clock, and the chain-level
+// accumulators.
+type shardedChain struct {
+	st  *account.StateDB
+	mvs []*mvstore.Store[StateKey, stateVal]
+	m   core.ShardMap
+	// baseTS is the last committed timestamp at the current epoch's entry
+	// (0 before the first block; the migration timestamp after a
+	// boundary). Block lo+r of an epoch starting at lo commits at
+	// baseTS+r+1.
+	baseTS uint64
+
+	all        [][]*account.Receipt
+	blockStats []BlockStats
+	css        *ChainShardStats
+	// Per-epoch flow-shop inputs; the makespans are summed across epochs
+	// because a boundary is a barrier (phase 1 of the next epoch cannot
+	// start before the migration commit).
+	parUnits, seqUnits  int
+	gasParUnits         uint64
+	gasSeq              uint64
+	conflicted, retries int
+}
+
 // ExecuteChain executes blocks in order on st (mutated on success), with
 // the per-shard speculative phase 1 of later blocks overlapping the
 // cross-shard commit of earlier ones — the composition of the sharded
 // engine with the mvstore pipeline that converts the merge's sequential
-// tail from a per-block barrier into pipelined work.
+// tail from a per-block barrier into pipelined work. With an adaptive
+// shard map and RebalanceEvery > 0 the chain runs in epochs: each boundary
+// drains the pipeline, rebalances the map from the heat observed so far,
+// and migrates the moved addresses' state between the per-shard stores
+// (ChainShardStats.RebalanceEpochs/Migrations/MigrationUnits).
 //
-// Timestamps: logical time 0 is st as given; block i commits its write set,
-// partitioned across the per-shard stores, at time i+1. Nothing touches st
-// until every block has committed, so the speculative stage can read it
-// lock-free; each shard's newest values are folded into st once at the end.
-// Serial equivalence (state roots and receipts against Sequential) is
-// enforced by the regression and fuzz suites on every profile, shard count,
-// and conflict mode.
+// Nothing touches st until every block has committed, so the speculative
+// stage can read it lock-free; each shard's newest values are folded into
+// st once at the end, filtered by the final assignment. Serial equivalence
+// (state roots and receipts against Sequential) is enforced by the
+// regression and fuzz suites on every profile, shard count, conflict mode,
+// and rebalance schedule.
 func (e Sharded) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*ChainResult, *ChainShardStats, error) {
 	if e.Workers < 1 {
 		return nil, nil, ErrNoWorkers
 	}
-	shards := e.Shards
-	if shards < 1 {
-		shards = 1
-	}
+	m := e.shardMap()
+	shards := m.Shards()
 	wps := ceilDiv(e.Workers, shards)
 	depth := e.Depth
 	if depth < 1 {
@@ -89,11 +146,83 @@ func (e Sharded) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*Ch
 	}
 	start := time.Now()
 
-	mvs := make([]*mvstore.Store[StateKey, stateVal], shards)
-	for sh := range mvs {
-		mvs[sh] = mvstore.NewStoreDelta[StateKey, stateVal](mergeStateVal)
+	am, adaptive := m.(core.AdaptiveShardMap)
+	epochLen := len(blocks)
+	if adaptive && e.RebalanceEvery > 0 && e.RebalanceEvery < epochLen {
+		epochLen = e.RebalanceEvery
 	}
-	shardOfKey := func(k StateKey) int { return core.ShardOf(k.Addr, shards) }
+	if epochLen < 1 {
+		epochLen = 1
+	}
+
+	c := &shardedChain{
+		st:         st,
+		mvs:        make([]*mvstore.Store[StateKey, stateVal], shards),
+		m:          m,
+		all:        make([][]*account.Receipt, len(blocks)),
+		blockStats: make([]BlockStats, len(blocks)),
+		css:        &ChainShardStats{},
+	}
+	for sh := range c.mvs {
+		c.mvs[sh] = mvstore.NewStoreDelta[StateKey, stateVal](mergeStateVal)
+	}
+
+	for lo := 0; lo < len(blocks); lo += epochLen {
+		hi := lo + epochLen
+		if hi > len(blocks) {
+			hi = len(blocks)
+		}
+		if err := e.runShardedEpoch(c, blocks, lo, hi, am, wps, depth); err != nil {
+			return nil, nil, err
+		}
+		if adaptive && e.RebalanceEvery > 0 && hi < len(blocks) {
+			e.migrateShards(c, am.Rebalance())
+		}
+	}
+
+	// Fold every shard's newest values into the caller's state database,
+	// filtered by the final assignment: migration leaves superseded copies
+	// behind on a key's previous shards, and only the owning shard's chain
+	// is guaranteed newest. Under a static map the filter never rejects.
+	for sh := range c.mvs {
+		fold := foldResolvedInto(st)
+		c.mvs[sh].RangeLatestResolved(func(k StateKey, v stateVal, anchored bool) bool {
+			if m.Shard(k.Addr) != sh {
+				return true
+			}
+			return fold(k, v, anchored)
+		})
+	}
+	st.DiscardJournal()
+
+	res := &ChainResult{Receipts: c.all, Root: st.Root(), Blocks: c.blockStats}
+	res.Stats = Stats{
+		Workers:    e.Workers,
+		Txs:        c.seqUnits,
+		Conflicted: c.conflicted,
+		SeqUnits:   c.seqUnits,
+		ParUnits:   c.parUnits,
+		GasSeq:     c.gasSeq,
+		GasPar:     c.gasParUnits,
+		Retries:    c.retries,
+		Wall:       time.Since(start),
+	}
+	res.Stats.finish()
+	return res, c.css, nil
+}
+
+// runShardedEpoch pipelines blocks [lo, hi): stage 1 speculates per shard
+// against pinned fixed-lag snapshots (never below the epoch's entry
+// timestamp — everything older was superseded by the boundary migration),
+// stage 2 classifies, commits sub-blocks, merges cross-shard and composes,
+// strictly in block order, committing each block's writes to the per-shard
+// stores. On return the epoch's last commit is c.baseTS.
+func (e Sharded) runShardedEpoch(c *shardedChain, blocks []*account.Block, lo, hi int,
+	am core.AdaptiveShardMap, wps, depth int) error {
+	st, mvs, m := c.st, c.mvs, c.m
+	shards := m.Shards()
+	baseTS := c.baseTS
+	shardOfKey := func(k StateKey) int { return m.Shard(k.Addr) }
 
 	// Stage 1: per-shard speculative execution, one block at a time, each
 	// transaction on its own recording overlay over the pinned per-shard
@@ -114,27 +243,32 @@ func (e Sharded) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*Ch
 	}
 	go func() {
 		defer close(specCh)
-		for i, blk := range blocks {
+		for i := lo; i < hi; i++ {
+			blk := blocks[i]
 			// Deterministic pessimistic snapshot (Pipeline.FixedLag): when
-			// stage 1 starts block i it has pushed blocks 0..i−1 through a
-			// channel of capacity depth, so stage 2 has received at least
-			// i−depth of them and committed all but its current one:
-			// timestamp i−depth−1 is guaranteed durable on every shard.
-			ts := 0
-			if i > depth {
-				ts = i - depth - 1
+			// stage 1 starts the epoch's rel-th block it has pushed the
+			// previous rel blocks through a channel of capacity depth, so
+			// stage 2 has received at least rel−depth of them and committed
+			// all but its current one: baseTS+rel−depth−1 is guaranteed
+			// durable on every shard. Earlier epochs are fully durable
+			// (the boundary drained), so the floor is the epoch's entry
+			// timestamp.
+			rel := i - lo
+			ts := baseTS
+			if rel > depth {
+				ts = baseTS + uint64(rel-depth-1)
 			}
 			sb := shardedSpecBlock{
 				idx:    i,
 				snaps:  make([]*mvstore.Snapshot[StateKey, stateVal], shards),
-				specTS: uint64(ts),
+				specTS: ts,
 			}
-			view := &mergedState{shards: shards, views: make([]account.State, shards)}
+			view := &mergedState{m: m, views: make([]account.State, shards)}
 			for sh := range mvs {
-				sb.snaps[sh] = mvs[sh].PinAt(uint64(ts))
+				sb.snaps[sh] = mvs[sh].PinAt(ts)
 				view.views[sh] = &snapState{base: st, snap: sb.snaps[sh]}
 			}
-			sb.spec = e.specExec(view, blk, shards, wps)
+			sb.spec = e.specExec(view, blk, m, wps)
 			select {
 			case specCh <- sb:
 			case <-done:
@@ -146,24 +280,20 @@ func (e Sharded) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*Ch
 
 	// Stage 2: classification, per-shard sub-block commit, cross-shard
 	// merge and composition — strictly in block order.
-	all := make([][]*account.Receipt, len(blocks))
-	blockStats := make([]BlockStats, len(blocks))
-	css := &ChainShardStats{}
-	p1Units := make([]int, len(blocks))
-	p2Units := make([]int, len(blocks))
-	p1Gas := make([]uint64, len(blocks))
-	p2Gas := make([]uint64, len(blocks))
-	var seqUnits, conflicted, retries int
-	var gasSeq uint64
+	p1Units := make([]int, hi-lo)
+	p2Units := make([]int, hi-lo)
+	p1Gas := make([]uint64, hi-lo)
+	p2Gas := make([]uint64, hi-lo)
 
 	for sb := range specCh {
 		blk := blocks[sb.idx]
-		commitTS := uint64(sb.idx) + 1
+		rel := sb.idx - lo
+		commitTS := baseTS + uint64(rel) + 1
 		specTS := sb.specTS
 
 		// The committed pre-block view: every shard's store at the previous
-		// block's timestamp, over the immutable pre-chain state.
-		base := &mergedState{shards: shards, views: make([]account.State, shards)}
+		// timestamp, over the immutable pre-chain state.
+		base := &mergedState{m: m, views: make([]account.State, shards)}
 		for sh := range mvs {
 			base.views[sh] = &snapState{base: st, snap: mvs[sh].At(commitTS - 1)}
 		}
@@ -174,15 +304,15 @@ func (e Sharded) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*Ch
 			return mvs[shardOfKey(k)].ChangedSince(k, specTS)
 		}
 		if specTS == commitTS-1 {
-			// The snapshot already reflects the previous block; no
+			// The snapshot already reflects the previous commit; no
 			// committed version can postdate it.
 			stale = nil
 		}
-		out, err := e.phase2(base, stale, blk, sb.spec, shards, wps)
+		out, err := e.phase2(base, stale, blk, sb.spec, m, wps)
 		sb.release()
 		if err != nil {
 			abort()
-			return nil, nil, fmt.Errorf("exec: sharded chain block %d: %w", blk.Height, err)
+			return fmt.Errorf("exec: sharded chain block %d: %w", blk.Height, err)
 		}
 
 		// Deferred fees and block reward, exactly as finalizeBlock does,
@@ -201,24 +331,28 @@ func (e Sharded) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*Ch
 			// in lockstep so fixed-lag pins stay valid on all shards.
 			if err := mvs[sh].CommitWrites(commitTS, parts[sh]); err != nil {
 				abort()
-				return nil, nil, fmt.Errorf("exec: sharded chain block %d shard %d: %w", blk.Height, sh, err)
+				return fmt.Errorf("exec: sharded chain block %d shard %d: %w", blk.Height, sh, err)
 			}
 		}
-		// Epoch GC, fixed-lag horizon: a future pin requests at most
-		// commitTS−depth−1 (block j ≥ idx+1 pins j−depth−1), and PinAt
-		// cannot resurrect collected versions.
-		if commitTS > uint64(depth)+1 {
+		if am != nil && out.obs != nil {
+			am.ObserveBlock(*out.obs)
+		}
+		// Epoch GC, fixed-lag horizon: a future pin within this epoch
+		// requests at least commitTS−depth (the next block's floor), later
+		// epochs pin above the boundary migration, and PinAt cannot
+		// resurrect collected versions.
+		if commitTS > baseTS+uint64(depth)+1 {
 			horizon := commitTS - uint64(depth) - 1
 			for sh := range mvs {
 				mvs[sh].TruncateBelow(horizon)
 			}
 		}
 
-		all[sb.idx] = out.receipts
-		css.add(out.ss)
+		c.all[sb.idx] = out.receipts
+		c.css.add(out.ss)
 		x := len(blk.Txs)
 		gasBlock := account.GasUsed(out.receipts)
-		blockStats[sb.idx] = BlockStats{
+		c.blockStats[sb.idx] = BlockStats{
 			Txs:        x,
 			Reexecuted: out.conflicted,
 			Lag:        int(commitTS-1) - int(specTS),
@@ -228,35 +362,83 @@ func (e Sharded) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*Ch
 		// everything ordered — shard bins, merge waves, repairs. The two
 		// sum to the per-block engine's ParUnits, so pipelining can only
 		// help.
-		p1Units[sb.idx] = out.spreadUnits
-		p2Units[sb.idx] = out.intraUnits - out.spreadUnits + out.mergeUnits + out.repairs
-		p1Gas[sb.idx] = out.spreadGas
-		p2Gas[sb.idx] = out.intraGas - out.spreadGas + out.mergeGas + out.repairGas
-		seqUnits += x
-		gasSeq += gasBlock
-		conflicted += out.conflicted
-		retries += out.binned + out.mergeReexecs + out.redos + out.repairs
+		p1Units[rel] = out.spreadUnits
+		p2Units[rel] = out.intraUnits - out.spreadUnits + out.mergeUnits + out.repairs
+		p1Gas[rel] = out.spreadGas
+		p2Gas[rel] = out.intraGas - out.spreadGas + out.mergeGas + out.repairGas
+		c.seqUnits += x
+		c.gasSeq += gasBlock
+		c.conflicted += out.conflicted
+		c.retries += out.binned + out.mergeReexecs + out.redos + out.repairs
 	}
 
-	// Fold every shard's newest values into the caller's state database;
-	// shards own disjoint key sets, so the fold order is irrelevant.
-	for sh := range mvs {
-		mvs[sh].RangeLatestResolved(foldResolvedInto(st))
-	}
-	st.DiscardJournal()
+	c.baseTS = baseTS + uint64(hi-lo)
+	c.parUnits += flowShopMakespan(p1Units, p2Units)
+	c.gasParUnits += flowShopMakespan(p1Gas, p2Gas)
+	return nil
+}
 
-	res := &ChainResult{Receipts: all, Root: st.Root(), Blocks: blockStats}
-	res.Stats = Stats{
-		Workers:    e.Workers,
-		Txs:        seqUnits,
-		Conflicted: conflicted,
-		SeqUnits:   seqUnits,
-		ParUnits:   flowShopMakespan(p1Units, p2Units),
-		GasSeq:     gasSeq,
-		GasPar:     flowShopMakespan(p1Gas, p2Gas),
-		Retries:    retries,
-		Wall:       time.Since(start),
+// migrateShards applies one rebalance's moves to the per-shard stores: for
+// every moved address, each of its keys present on the old shard is
+// materialised (deltas folded over the pre-chain state) and committed to
+// the new shard as an absolute version at the boundary's migration
+// timestamp. Every store commits at that timestamp — empty write sets
+// included — so the per-shard clocks stay in lockstep. The schedule charge
+// is ⌈moved keys/n⌉: copies are independent and spread across the worker
+// pool, but the boundary itself is a barrier.
+func (e Sharded) migrateShards(c *shardedChain, moves []core.ShardMove) {
+	migTS := c.baseTS + 1
+	shards := len(c.mvs)
+	parts := make([]map[StateKey]mvstore.Write[stateVal], shards)
+	for sh := range parts {
+		parts[sh] = make(map[StateKey]mvstore.Write[stateVal])
 	}
-	res.Stats.finish()
-	return res, css, nil
+	movedFrom := make([]map[types.Address]int, shards)
+	for _, mv := range moves {
+		if mv.From < 0 || mv.From >= shards || mv.To < 0 || mv.To >= shards || mv.From == mv.To {
+			continue
+		}
+		if movedFrom[mv.From] == nil {
+			movedFrom[mv.From] = make(map[types.Address]int)
+		}
+		movedFrom[mv.From][mv.Addr] = mv.To
+	}
+	migrated := 0
+	for sh := range c.mvs {
+		if len(movedFrom[sh]) == 0 {
+			continue
+		}
+		c.mvs[sh].RangeLatestResolved(func(k StateKey, v stateVal, anchored bool) bool {
+			dest, ok := movedFrom[sh][k.Addr]
+			if !ok {
+				return true
+			}
+			if !anchored {
+				// Delta-only chain: v is the accumulated balance increment;
+				// materialise it over the immutable pre-chain state so the
+				// copy supersedes (rather than double-counts) any stale
+				// version a previous migration left on the destination.
+				v = stateVal{i64: c.st.GetBalance(k.Addr) + v.i64}
+			}
+			parts[dest][k] = mvstore.Write[stateVal]{Kind: mvstore.Put, Val: v}
+			migrated++
+			return true
+		})
+	}
+	for sh := range c.mvs {
+		// Migration commits are infallible by construction (the timestamp
+		// is fresh and strictly above every block commit of the epoch);
+		// a failure would mean the clock discipline itself is broken.
+		if err := c.mvs[sh].CommitWrites(migTS, parts[sh]); err != nil {
+			panic(fmt.Sprintf("exec: shard migration commit: %v", err))
+		}
+	}
+	c.baseTS = migTS
+	c.css.RebalanceEpochs++
+	c.css.Migrations += migrated
+	if migrated > 0 {
+		mu := ceilDiv(migrated, e.Workers)
+		c.css.MigrationUnits += mu
+		c.parUnits += mu
+	}
 }

@@ -1,0 +1,70 @@
+package heat_test
+
+import (
+	"fmt"
+
+	"txconcur/internal/core"
+	"txconcur/internal/heat"
+	"txconcur/internal/types"
+)
+
+// ExampleTracker shows the heat profile a sweep-bot stream produces: the
+// bot and its collector keep being serialised together, so their affinity
+// edge survives decay while one-off contacts fade out.
+func ExampleTracker() {
+	bot := types.AddressFromUint64("example/bot", 0)
+	collector := types.AddressFromUint64("example/collect", 0)
+	passerby := types.AddressFromUint64("example/user", 7)
+
+	tr := heat.NewTracker(0.8)
+	for block := 0; block < 5; block++ {
+		h := core.BlockHeat{
+			Access:   map[types.Address]int{bot: 6, collector: 6, passerby: 1},
+			Conflict: map[types.Address]int{bot: 5, collector: 5},
+			// Every serialised sweep touches the same pair.
+			Groups: [][]types.Address{{bot, collector}},
+		}
+		if block > 0 {
+			h.Conflict = map[types.Address]int{bot: 5, collector: 5, passerby: 0}
+		}
+		tr.ObserveBlock(h)
+	}
+
+	fmt.Printf("blocks observed: %d\n", tr.Blocks())
+	fmt.Printf("bot hotter than passerby: %v\n",
+		tr.ConflictHeat(bot) > tr.ConflictHeat(passerby))
+	clusters := tr.Clusters([]types.Address{bot, collector, passerby}, 2.5)
+	fmt.Printf("hottest cluster size: %d\n", len(clusters[0]))
+	// Output:
+	// blocks observed: 5
+	// bot hotter than passerby: true
+	// hottest cluster size: 2
+}
+
+// ExampleAdaptiveMap shows the full placement loop: observe serialised
+// bot/collector pairs, rebalance, and read the co-located assignment. The
+// sharded engine drives exactly this loop through core.AdaptiveShardMap.
+func ExampleAdaptiveMap() {
+	bot := types.AddressFromUint64("example/bot", 1)
+	collector := types.AddressFromUint64("example/collect", 1)
+
+	m := heat.NewAdaptiveMap(4, nil)
+	fmt.Printf("co-located before: %v\n", m.Shard(bot) == m.Shard(collector))
+	for block := 0; block < 5; block++ {
+		m.ObserveBlock(core.BlockHeat{
+			Access:   map[types.Address]int{bot: 8, collector: 8},
+			Conflict: map[types.Address]int{bot: 7, collector: 7},
+			Groups:   [][]types.Address{{bot, collector}, {bot, collector}},
+		})
+	}
+	moves := m.Rebalance()
+	fmt.Printf("moves: %d\n", len(moves))
+	fmt.Printf("co-located after: %v\n", m.Shard(bot) == m.Shard(collector))
+	// A stationary workload settles: the next epoch moves nothing.
+	fmt.Printf("second rebalance moves: %d\n", len(m.Rebalance()))
+	// Output:
+	// co-located before: false
+	// moves: 1
+	// co-located after: true
+	// second rebalance moves: 0
+}

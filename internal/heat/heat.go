@@ -1,0 +1,273 @@
+// Package heat tracks per-address access and conflict heat across executed
+// blocks and turns it into a load-aware shard assignment.
+//
+// The sharded execution engine (internal/exec.Sharded) partitions state by
+// a core.ShardMap; its baseline is static FNV-1a hashing, which balances a
+// uniform address space but has no answer to workload skew — a sweep bot
+// hammering one collector address keeps paying the cross-shard merge on
+// every block, forever, because nothing ever moves. Conflict structure in
+// real workloads is learnable (the Conflux measurements of Garamvölgyi et
+// al. show most contention is application-inherent and persistent across
+// blocks; Lin et al.'s operation-level analysis shows the same for hot
+// balances), so this package learns it:
+//
+//   - Tracker folds each committed block's core.BlockHeat into per-address
+//     access and conflict scores with exponential decay, and keeps an
+//     affinity graph between addresses that were serialised *together* —
+//     the co-conflict signal a placement policy clusters on.
+//   - AdaptiveMap implements core.AdaptiveShardMap on top of a Tracker: at
+//     each epoch boundary it clusters the hot addresses by affinity,
+//     packs the clusters onto the least-loaded shards (stickily, so a
+//     stationary workload stops migrating once placed), and exposes the
+//     conflict-hot set the engine uses to order its merge waves.
+//
+// Everything in this package is deterministic: map iteration never feeds
+// an order-sensitive computation — address sets are sorted before any
+// accumulation or argmin — so two runs over the same chain produce the
+// same assignments, the same migrations, and therefore the same schedule
+// accounting. Decay happens per observed block, making the profile a
+// function of the block sequence alone.
+package heat
+
+import (
+	"sort"
+
+	"txconcur/internal/core"
+	"txconcur/internal/types"
+)
+
+// Default tuning knobs. They are deliberately coarse: the tracker feeds a
+// placement decision per epoch, not a per-transaction predictor.
+const (
+	// DefaultDecay is the per-block retention factor of the exponential
+	// decay: a score loses ~90% of its weight in ~10 blocks, so a drifting
+	// hotspot stops dominating the profile about one epoch after it moves.
+	DefaultDecay = 0.8
+	// DefaultConflictFloor is the decayed conflict score above which an
+	// address counts as conflict-hot (ConflictHot): roughly "serialised at
+	// least twice in the recent past".
+	DefaultConflictFloor = 1.5
+	// DefaultMinEdge is the decayed co-conflict weight below which two
+	// addresses do not cluster. One-off contact — a random depositor
+	// brushing a hot wallet once — peaks near 1 and decays immediately;
+	// a persistent pair (a sweep bot and its collector) accumulates far
+	// above it. Clustering only persistent pairs is what keeps a
+	// hot-receiver workload, whose senders are different every block, from
+	// dragging a crowd of cold senders through migration after migration.
+	DefaultMinEdge = 2.5
+	// pruneEps drops decayed entries below this weight so the tracked set
+	// stays proportional to the recent working set, not to history.
+	pruneEps = 0.05
+	// maxGroupSize caps the affinity fan-out of one serialised transaction:
+	// a transaction touching more addresses than this (a deep contract
+	// cascade) contributes its addresses' scalar heat but no pairwise
+	// edges, keeping the edge set quadratic only in small groups.
+	maxGroupSize = 8
+)
+
+// Tracker accumulates exponentially decayed per-address heat from executed
+// blocks. The zero value is not usable; call NewTracker. Not safe for
+// concurrent use — the engine feeds it from its (sequential) committer.
+type Tracker struct {
+	decay    float64
+	access   map[types.Address]float64
+	conflict map[types.Address]float64
+	// edges holds the decayed co-conflict weight between address pairs,
+	// keyed with the smaller address first.
+	edges  map[edgeKey]float64
+	blocks int
+}
+
+type edgeKey struct{ a, b types.Address }
+
+func edgeOf(a, b types.Address) edgeKey {
+	if b.Less(a) {
+		a, b = b, a
+	}
+	return edgeKey{a: a, b: b}
+}
+
+// NewTracker returns a tracker with the given per-block decay factor;
+// values outside (0, 1] fall back to DefaultDecay.
+func NewTracker(decay float64) *Tracker {
+	if decay <= 0 || decay > 1 {
+		decay = DefaultDecay
+	}
+	return &Tracker{
+		decay:    decay,
+		access:   make(map[types.Address]float64),
+		conflict: make(map[types.Address]float64),
+		edges:    make(map[edgeKey]float64),
+	}
+}
+
+// Blocks returns how many blocks have been observed.
+func (t *Tracker) Blocks() int { return t.blocks }
+
+// Tracked returns how many addresses currently hold non-negligible heat.
+func (t *Tracker) Tracked() int { return len(t.access) }
+
+// AccessHeat returns the decayed access score of a (0 when untracked).
+func (t *Tracker) AccessHeat(a types.Address) float64 { return t.access[a] }
+
+// ConflictHeat returns the decayed conflict score of a (0 when untracked).
+func (t *Tracker) ConflictHeat(a types.Address) float64 { return t.conflict[a] }
+
+// ObserveBlock decays every tracked score by one block and folds in the
+// block's access counts, conflict counts, and co-conflict groups.
+func (t *Tracker) ObserveBlock(h core.BlockHeat) {
+	t.blocks++
+	decayMap(t.access, t.decay)
+	decayMap(t.conflict, t.decay)
+	for k, w := range t.edges {
+		if w *= t.decay; w < pruneEps {
+			delete(t.edges, k)
+		} else {
+			t.edges[k] = w
+		}
+	}
+	for a, n := range h.Access {
+		t.access[a] += float64(n)
+	}
+	for a, n := range h.Conflict {
+		t.conflict[a] += float64(n)
+	}
+	for _, g := range h.Groups {
+		if len(g) < 2 || len(g) > maxGroupSize {
+			continue
+		}
+		for i := 0; i < len(g); i++ {
+			for j := i + 1; j < len(g); j++ {
+				t.edges[edgeOf(g[i], g[j])]++
+			}
+		}
+	}
+}
+
+func decayMap(m map[types.Address]float64, decay float64) {
+	for a, w := range m {
+		if w *= decay; w < pruneEps {
+			delete(m, a)
+		} else {
+			m[a] = w
+		}
+	}
+}
+
+// AddressHeat is one entry of a Hottest ranking.
+type AddressHeat struct {
+	Addr types.Address
+	// Access and Conflict are the decayed scores; Hottest ranks by
+	// Conflict first (placement exists to dissolve conflicts), Access
+	// second, address bytes last, so the ranking is total and
+	// deterministic.
+	Access, Conflict float64
+}
+
+// Hottest returns up to k addresses ranked hottest-first. Addresses with
+// zero conflict heat are included only if fewer than k conflicted ones
+// exist, ranked by access heat.
+func (t *Tracker) Hottest(k int) []AddressHeat {
+	if k <= 0 {
+		return nil
+	}
+	all := make([]AddressHeat, 0, len(t.access)+len(t.conflict))
+	seen := make(map[types.Address]bool, len(t.access))
+	for a := range t.access {
+		seen[a] = true
+		all = append(all, AddressHeat{Addr: a, Access: t.access[a], Conflict: t.conflict[a]})
+	}
+	for a := range t.conflict {
+		if !seen[a] {
+			all = append(all, AddressHeat{Addr: a, Access: t.access[a], Conflict: t.conflict[a]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Conflict != all[j].Conflict {
+			return all[i].Conflict > all[j].Conflict
+		}
+		if all[i].Access != all[j].Access {
+			return all[i].Access > all[j].Access
+		}
+		return all[i].Addr.Less(all[j].Addr)
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// Clusters partitions the given addresses into affinity components: two
+// addresses belong to the same cluster when a chain of co-conflict edges
+// (each of decayed weight ≥ minEdge) connects them within the set.
+// Clusters are returned hottest-first (by summed conflict then access
+// heat, ties by smallest member), each cluster's members sorted — the
+// deterministic input a placement pass packs onto shards.
+func (t *Tracker) Clusters(addrs []types.Address, minEdge float64) [][]types.Address {
+	idx := make(map[types.Address]int, len(addrs))
+	sorted := append([]types.Address(nil), addrs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	for i, a := range sorted {
+		idx[a] = i
+	}
+	parent := make([]int, len(sorted))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(i, j int) {
+		ri, rj := find(i), find(j)
+		if ri != rj {
+			if rj < ri {
+				ri, rj = rj, ri
+			}
+			parent[rj] = ri
+		}
+	}
+	for k, w := range t.edges {
+		if w < minEdge {
+			continue
+		}
+		i, iok := idx[k.a]
+		j, jok := idx[k.b]
+		if iok && jok {
+			union(i, j)
+		}
+	}
+	byRoot := make(map[int][]types.Address)
+	for i, a := range sorted {
+		r := find(i)
+		byRoot[r] = append(byRoot[r], a)
+	}
+	clusters := make([][]types.Address, 0, len(byRoot))
+	for _, members := range byRoot {
+		// members are already in address order (sorted slice order).
+		clusters = append(clusters, members)
+	}
+	heatOf := func(c []types.Address) (conflict, access float64) {
+		for _, a := range c {
+			conflict += t.conflict[a]
+			access += t.access[a]
+		}
+		return
+	}
+	sort.Slice(clusters, func(i, j int) bool {
+		ci, ai := heatOf(clusters[i])
+		cj, aj := heatOf(clusters[j])
+		if ci != cj {
+			return ci > cj
+		}
+		if ai != aj {
+			return ai > aj
+		}
+		return clusters[i][0].Less(clusters[j][0])
+	})
+	return clusters
+}

@@ -1,0 +1,245 @@
+package heat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"txconcur/internal/core"
+	"txconcur/internal/types"
+)
+
+func addr(i uint64) types.Address { return types.AddressFromUint64("heat/test", i) }
+
+// obs builds a BlockHeat where every listed group is both accessed and
+// conflicted — the shape a block of serialised transactions produces.
+func obs(groups ...[]types.Address) core.BlockHeat {
+	h := core.BlockHeat{
+		Access:   make(map[types.Address]int),
+		Conflict: make(map[types.Address]int),
+	}
+	for _, g := range groups {
+		for _, a := range g {
+			h.Access[a]++
+			h.Conflict[a]++
+		}
+		h.Groups = append(h.Groups, g)
+	}
+	return h
+}
+
+func TestTrackerDecay(t *testing.T) {
+	tr := NewTracker(0.5)
+	a := addr(1)
+	tr.ObserveBlock(obs([]types.Address{a, addr(2)}))
+	if got := tr.ConflictHeat(a); got != 1 {
+		t.Fatalf("heat after one observation = %v, want 1", got)
+	}
+	// Two empty blocks: heat halves twice.
+	tr.ObserveBlock(core.BlockHeat{})
+	tr.ObserveBlock(core.BlockHeat{})
+	if got := tr.ConflictHeat(a); got != 0.25 {
+		t.Fatalf("decayed heat = %v, want 0.25", got)
+	}
+	// Enough empty blocks prune the entry entirely.
+	for i := 0; i < 10; i++ {
+		tr.ObserveBlock(core.BlockHeat{})
+	}
+	if tr.AccessHeat(a) != 0 || tr.Tracked() != 0 {
+		t.Fatalf("stale entries survived pruning: heat=%v tracked=%d", tr.AccessHeat(a), tr.Tracked())
+	}
+}
+
+func TestTrackerHottestOrdering(t *testing.T) {
+	tr := NewTracker(1)
+	hotA, hotB, warm := addr(1), addr(2), addr(3)
+	for i := 0; i < 3; i++ {
+		tr.ObserveBlock(obs([]types.Address{hotA, hotB}))
+	}
+	tr.ObserveBlock(obs([]types.Address{warm, addr(4)}))
+	got := tr.Hottest(2)
+	if len(got) != 2 {
+		t.Fatalf("Hottest(2) returned %d entries", len(got))
+	}
+	// hotA and hotB tie on heat and outrank warm; the address tie-break
+	// keeps the ranking total.
+	if (got[0].Addr != hotA && got[0].Addr != hotB) ||
+		(got[1].Addr != hotA && got[1].Addr != hotB) || got[0].Addr == got[1].Addr {
+		t.Fatalf("ranking = %v, %v; want the two hot addresses", got[0].Addr, got[1].Addr)
+	}
+	if got[0].Conflict != 3 {
+		t.Fatalf("undecayed heat = %v, want 3", got[0].Conflict)
+	}
+}
+
+func TestTrackerClusters(t *testing.T) {
+	tr := NewTracker(1)
+	botA, colA := addr(10), addr(11)
+	botB, colB := addr(20), addr(21)
+	lone := addr(30)
+	for i := 0; i < 4; i++ {
+		tr.ObserveBlock(obs(
+			[]types.Address{botA, colA},
+			[]types.Address{botA, colA},
+			[]types.Address{botB, colB},
+			[]types.Address{lone, addr(31 + uint64(i))}, // different partner every block
+		))
+	}
+	all := []types.Address{botA, colA, botB, colB, lone}
+	clusters := tr.Clusters(all, 2.5)
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %v, want {botA,colA} {botB,colB} {lone}", clusters)
+	}
+	asSet := func(c []types.Address) map[types.Address]bool {
+		s := make(map[types.Address]bool, len(c))
+		for _, a := range c {
+			s[a] = true
+		}
+		return s
+	}
+	// The A pair conflicts twice per block, so it ranks first.
+	if s := asSet(clusters[0]); len(s) != 2 || !s[botA] || !s[colA] {
+		t.Fatalf("hottest cluster = %v, want {botA, colA}", clusters[0])
+	}
+	if s := asSet(clusters[1]); len(s) != 2 || !s[botB] || !s[colB] {
+		t.Fatalf("second cluster = %v, want {botB, colB}", clusters[1])
+	}
+	if len(clusters[2]) != 1 || clusters[2][0] != lone {
+		t.Fatalf("lone address clustered: %v", clusters[2])
+	}
+}
+
+func TestAdaptiveMapCoLocatesPairs(t *testing.T) {
+	m := NewAdaptiveMap(4, NewTracker(1))
+	botA, colA := addr(100), addr(101)
+	botB, colB := addr(200), addr(201)
+	for i := 0; i < 5; i++ {
+		m.ObserveBlock(obs(
+			[]types.Address{botA, colA},
+			[]types.Address{botA, colA},
+			[]types.Address{botB, colB},
+			[]types.Address{botB, colB},
+		))
+	}
+	moves := m.Rebalance()
+	if m.Shard(botA) != m.Shard(colA) {
+		t.Fatalf("pair A not co-located: %d vs %d", m.Shard(botA), m.Shard(colA))
+	}
+	if m.Shard(botB) != m.Shard(colB) {
+		t.Fatalf("pair B not co-located: %d vs %d", m.Shard(botB), m.Shard(colB))
+	}
+	if m.Shard(botA) == m.Shard(botB) {
+		t.Fatalf("both pairs packed onto shard %d despite empty shards", m.Shard(botA))
+	}
+	for _, mv := range moves {
+		if mv.From == mv.To {
+			t.Fatalf("no-op move reported: %+v", mv)
+		}
+		if mv.From != core.ShardOf(mv.Addr, 4) {
+			t.Fatalf("move %v does not start from the address's previous home", mv)
+		}
+	}
+
+	// A second rebalance on the same profile must be sticky: the pairs are
+	// placed, nothing should move again.
+	if again := m.Rebalance(); len(again) != 0 {
+		t.Fatalf("stationary profile migrated again: %v", again)
+	}
+	if m.Epochs() != 2 {
+		t.Fatalf("epochs = %d, want 2", m.Epochs())
+	}
+}
+
+func TestAdaptiveMapSingletonsStay(t *testing.T) {
+	m := NewAdaptiveMap(4, NewTracker(1))
+	hot := addr(7)
+	// Very hot, but with a different partner every block: no persistent
+	// affinity, so no cluster, so no move.
+	for i := 0; i < 6; i++ {
+		m.ObserveBlock(obs([]types.Address{hot, addr(1000 + uint64(i))}))
+	}
+	if moves := m.Rebalance(); len(moves) != 0 {
+		t.Fatalf("singleton moved: %v", moves)
+	}
+	if m.Shard(hot) != core.ShardOf(hot, 4) {
+		t.Fatal("singleton left its hash default")
+	}
+}
+
+func TestAdaptiveMapConflictHot(t *testing.T) {
+	m := NewAdaptiveMap(2, NewTracker(1))
+	a, b := addr(1), addr(2)
+	m.ObserveBlock(obs([]types.Address{a, b}))
+	if m.ConflictHot(a) {
+		t.Fatal("one serialisation already counts as hot")
+	}
+	m.ObserveBlock(obs([]types.Address{a, b}))
+	if !m.ConflictHot(a) {
+		t.Fatal("repeatedly serialised address not hot")
+	}
+	if m.ConflictHot(addr(99)) {
+		t.Fatal("cold address reported hot")
+	}
+}
+
+func TestAdaptiveMapSingleShardInert(t *testing.T) {
+	m := NewAdaptiveMap(1, nil)
+	m.ObserveBlock(obs([]types.Address{addr(1), addr(2)}))
+	if moves := m.Rebalance(); len(moves) != 0 {
+		t.Fatalf("single-shard map moved: %v", moves)
+	}
+	if m.Shard(addr(1)) != 0 {
+		t.Fatal("single shard must map everything to 0")
+	}
+}
+
+// TestAdaptiveMapDeterministic: identical observation sequences produce
+// identical assignments — the property the engine's reproducible schedule
+// accounting rests on.
+func TestAdaptiveMapDeterministic(t *testing.T) {
+	build := func() *AdaptiveMap {
+		m := NewAdaptiveMap(8, NewTracker(0.8))
+		for i := 0; i < 12; i++ {
+			m.ObserveBlock(obs(
+				[]types.Address{addr(uint64(i % 3)), addr(100 + uint64(i%3))},
+				[]types.Address{addr(50), addr(51)},
+			))
+			if i%4 == 3 {
+				m.Rebalance()
+			}
+		}
+		return m
+	}
+	a, b := build(), build()
+	for i := uint64(0); i < 200; i++ {
+		if a.Shard(addr(i)) != b.Shard(addr(i)) {
+			t.Fatalf("assignment of %v differs across identical runs", addr(i))
+		}
+	}
+	if a.Moved() != b.Moved() || a.Epochs() != b.Epochs() {
+		t.Fatalf("counters differ: %d/%d vs %d/%d", a.Moved(), a.Epochs(), b.Moved(), b.Epochs())
+	}
+}
+
+// TestShardInRange: whatever is observed, assignments stay in range — a
+// quick-check over arbitrary observation streams.
+func TestShardInRange(t *testing.T) {
+	f := func(seeds []uint64, shards uint8) bool {
+		n := 1 + int(shards)%8
+		m := NewAdaptiveMap(n, nil)
+		for i, s := range seeds {
+			m.ObserveBlock(obs([]types.Address{addr(s % 32), addr((s >> 8) % 32)}))
+			if i%3 == 2 {
+				m.Rebalance()
+			}
+		}
+		for i := uint64(0); i < 64; i++ {
+			if sh := m.Shard(addr(i)); sh < 0 || sh >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

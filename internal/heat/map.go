@@ -1,0 +1,247 @@
+package heat
+
+import (
+	"sort"
+
+	"txconcur/internal/core"
+	"txconcur/internal/types"
+)
+
+// AdaptiveMap is a load-aware core.ShardMap driven by a Tracker: hot
+// addresses are reassigned away from their FNV-1a default at epoch
+// boundaries, everything else falls through to core.ShardOf. It implements
+// core.AdaptiveShardMap, so exec.Sharded.ExecuteChain feeds it every
+// committed block and triggers Rebalance (plus the state migration of the
+// moved addresses) every RebalanceEvery blocks.
+//
+// The placement policy is conflict-community packing:
+//
+//  1. Take the TopK hottest addresses whose decayed conflict heat reaches
+//     MinHeat — the only addresses worth moving; the cold tail stays
+//     hash-balanced.
+//  2. Cluster them by co-conflict affinity (Tracker.Clusters): addresses
+//     that keep getting serialised together — a sweep bot and the
+//     collector it pays, a contract and its callers — must land on the
+//     same shard, or every one of their transactions is cross-shard.
+//  3. Pack clusters hottest-first onto the least-loaded shard, where load
+//     is the decayed access heat already assigned to the shard (cold
+//     addresses count toward their FNV shard). Packing is sticky: a
+//     cluster keeps its current shard unless the least-loaded shard is
+//     lighter by more than StickyFactor, so a stationary workload stops
+//     migrating once placed.
+//
+// Not safe for concurrent mutation; the engine rebalances only at drained
+// epoch boundaries, which is the contract core.AdaptiveShardMap states.
+type AdaptiveMap struct {
+	shards  int
+	tracker *Tracker
+
+	// TopK bounds how many hot addresses a rebalance considers; 0 means 64.
+	TopK int
+	// MinHeat is the conflict-heat floor for reassignment; 0 means
+	// DefaultConflictFloor.
+	MinHeat float64
+	// MinEdge is the affinity-edge floor for clustering; 0 means
+	// DefaultMinEdge.
+	MinEdge float64
+	// StickyFactor is the relative load advantage (e.g. 0.15 = 15%)
+	// another shard must offer before a placed cluster moves again; 0
+	// means 0.15.
+	StickyFactor float64
+
+	overrides map[types.Address]int
+	epochs    int
+	moved     int
+}
+
+var _ core.AdaptiveShardMap = (*AdaptiveMap)(nil)
+
+// NewAdaptiveMap returns an adaptive map over n shards backed by t; a nil
+// t gets a fresh Tracker with DefaultDecay.
+func NewAdaptiveMap(n int, t *Tracker) *AdaptiveMap {
+	if n < 1 {
+		n = 1
+	}
+	if t == nil {
+		t = NewTracker(DefaultDecay)
+	}
+	return &AdaptiveMap{shards: n, tracker: t, overrides: make(map[types.Address]int)}
+}
+
+// Tracker exposes the underlying heat profile.
+func (m *AdaptiveMap) Tracker() *Tracker { return m.tracker }
+
+// Shards implements core.ShardMap.
+func (m *AdaptiveMap) Shards() int { return m.shards }
+
+// Shard implements core.ShardMap.
+func (m *AdaptiveMap) Shard(a types.Address) int {
+	if s, ok := m.overrides[a]; ok {
+		return s
+	}
+	return core.ShardOf(a, m.shards)
+}
+
+// Overrides returns the current reassignments (copy).
+func (m *AdaptiveMap) Overrides() map[types.Address]int {
+	out := make(map[types.Address]int, len(m.overrides))
+	for a, s := range m.overrides {
+		out[a] = s
+	}
+	return out
+}
+
+// Epochs returns how many rebalances have run; Moved sums the addresses
+// they reassigned.
+func (m *AdaptiveMap) Epochs() int { return m.epochs }
+
+// Moved returns the cumulative number of address reassignments.
+func (m *AdaptiveMap) Moved() int { return m.moved }
+
+// ObserveBlock implements core.AdaptiveShardMap.
+func (m *AdaptiveMap) ObserveBlock(h core.BlockHeat) { m.tracker.ObserveBlock(h) }
+
+// ConflictHot reports whether a's decayed conflict heat reaches the
+// reassignment floor — the signal the engine's merge uses to give
+// predicted-conflicting transactions their own (earlier) re-execution
+// wave instead of betting on a stale phase-1 prediction.
+func (m *AdaptiveMap) ConflictHot(a types.Address) bool {
+	return m.tracker.ConflictHeat(a) >= m.minHeat()
+}
+
+func (m *AdaptiveMap) topK() int {
+	if m.TopK > 0 {
+		return m.TopK
+	}
+	return 64
+}
+
+func (m *AdaptiveMap) minHeat() float64 {
+	if m.MinHeat > 0 {
+		return m.MinHeat
+	}
+	return DefaultConflictFloor
+}
+
+func (m *AdaptiveMap) minEdge() float64 {
+	if m.MinEdge > 0 {
+		return m.MinEdge
+	}
+	return DefaultMinEdge
+}
+
+func (m *AdaptiveMap) sticky() float64 {
+	if m.StickyFactor > 0 {
+		return m.StickyFactor
+	}
+	return 0.15
+}
+
+// Rebalance implements core.AdaptiveShardMap. It recomputes the override
+// table from the tracker's current profile and returns the resulting
+// moves, sorted by address. Deterministic: every accumulation and argmin
+// iterates addresses in sorted order.
+func (m *AdaptiveMap) Rebalance() []core.ShardMove {
+	m.epochs++
+	if m.shards == 1 {
+		return nil
+	}
+
+	// The hot set: conflict heat above the floor, hottest first.
+	ranked := m.tracker.Hottest(m.topK())
+	hot := make([]types.Address, 0, len(ranked))
+	for _, h := range ranked {
+		if h.Conflict >= m.minHeat() {
+			hot = append(hot, h.Addr)
+		}
+	}
+
+	// Shard loads from the cold remainder: every tracked address that is
+	// not being re-placed contributes its access heat to the shard the
+	// *new* table will assign it to — its FNV default, since overrides are
+	// recomputed from scratch and only ever cover the hot set.
+	hotSet := make(map[types.Address]bool, len(hot))
+	for _, a := range hot {
+		hotSet[a] = true
+	}
+	load := make([]float64, m.shards)
+	cold := make([]types.Address, 0, len(m.tracker.access))
+	for a := range m.tracker.access {
+		if !hotSet[a] {
+			cold = append(cold, a)
+		}
+	}
+	sort.Slice(cold, func(i, j int) bool { return cold[i].Less(cold[j]) })
+	for _, a := range cold {
+		load[core.ShardOf(a, m.shards)] += m.tracker.access[a]
+	}
+
+	// Pack affinity clusters hottest-first onto the least-loaded shard,
+	// stickily. Singleton clusters are left on their hash default:
+	// co-location is the lever that converts cross-shard streams to
+	// intra-shard work, and an address with no persistent counterparty has
+	// nothing to be co-located with — moving it is migration churn that
+	// cannot reduce cross traffic (its peers are spread regardless).
+	newOverrides := make(map[types.Address]int, len(hot))
+	for _, cluster := range m.tracker.Clusters(hot, m.minEdge()) {
+		if len(cluster) < 2 {
+			// Still counts toward its (default) shard's load.
+			load[core.ShardOf(cluster[0], m.shards)] += m.tracker.access[cluster[0]]
+			continue
+		}
+		var weight float64
+		for _, a := range cluster {
+			weight += m.tracker.access[a]
+		}
+		// Current home: where the cluster's first (smallest) member lives
+		// under the outgoing table.
+		cur := m.Shard(cluster[0])
+		best := 0
+		for s := 1; s < m.shards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		target := best
+		if load[cur] <= load[best]*(1+m.sticky())+weight*m.sticky() {
+			target = cur
+		}
+		for _, a := range cluster {
+			if target != core.ShardOf(a, m.shards) {
+				newOverrides[a] = target
+			}
+		}
+		load[target] += weight
+	}
+
+	// Diff old vs new assignment over the union of override keys; any
+	// address in neither table is unchanged by construction.
+	union := make(map[types.Address]bool, len(m.overrides)+len(newOverrides))
+	for a := range m.overrides {
+		union[a] = true
+	}
+	for a := range newOverrides {
+		union[a] = true
+	}
+	addrs := make([]types.Address, 0, len(union))
+	for a := range union {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+	var moves []core.ShardMove
+	assign := func(tab map[types.Address]int, a types.Address) int {
+		if s, ok := tab[a]; ok {
+			return s
+		}
+		return core.ShardOf(a, m.shards)
+	}
+	for _, a := range addrs {
+		from, to := assign(m.overrides, a), assign(newOverrides, a)
+		if from != to {
+			moves = append(moves, core.ShardMove{Addr: a, From: from, To: to})
+		}
+	}
+	m.overrides = newOverrides
+	m.moved += len(moves)
+	return moves
+}

@@ -11,7 +11,10 @@
 // execute optimistically against the snapshot left by block b-1 while block
 // b is still validating and committing — the multi-version substrate behind
 // the pipelined two-phase engine in package exec (Octopus-style two-phase
-// pipelining; see docs/ARCHITECTURE.md).
+// pipelining; see docs/ARCHITECTURE.md), behind the per-shard persistent
+// stores of the sharded chain engine, and behind that engine's adaptive
+// epoch migrations, which re-home a moved address by committing its
+// materialised values to another shard's store at a dedicated timestamp.
 //
 // Concurrency contract:
 //

@@ -1,0 +1,86 @@
+// Command docscheck fails when any markdown file in the repository
+// contains an intra-repo link to a file that does not exist. It is the
+// `make docs-check` step CI runs: the documentation overhaul made the
+// markdown files cross-reference each other (README → EXPERIMENTS →
+// baselines → ARCHITECTURE), and a renamed baseline or section file
+// should break the build, not the reader.
+//
+// Checked: inline links and images `[text](target)` whose target is not a
+// URL (scheme://... or mailto:) and not a pure intra-page anchor (#...).
+// Targets are resolved relative to the file containing them; a trailing
+// #fragment is ignored (anchors are not validated — markdown renderers
+// disagree on heading slugs).
+//
+// Usage: go run ./tools/docscheck [root]   (root defaults to ".")
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches [text](target) and ![alt](target); the target group stops
+// at the first ')' or whitespace, which covers every link in this repo
+// (no titles, no parenthesised paths).
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS internals and test fixtures.
+			switch d.Name() {
+			case ".git", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(strings.ToLower(d.Name()), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") ||
+				strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Fprintf(os.Stderr, "docscheck: %s: broken link %q (resolved %s)\n",
+					path, m[1], resolved)
+				broken++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d broken intra-repo link(s)\n", broken)
+		os.Exit(1)
+	}
+}
