@@ -203,6 +203,17 @@ func BenchmarkAdaptiveShardingComparison(b *testing.B) {
 	}
 }
 
+func BenchmarkTraceReplayComparison(b *testing.B) {
+	// E12 at benchmark scale; the recorded baseline lives in
+	// docs/bench/E12-baseline.json (regenerate with
+	// `go run ./cmd/experiments -run tracereplay -json`).
+	for i := 0; i < b.N; i++ {
+		tbl, err := bench.TraceReplayComparison(int64(2020+i), 8, 4, 2, 4)
+		renderAll(b, err)
+		renderAll(b, bench.RenderTable(io.Discard, tbl))
+	}
+}
+
 // Micro-benchmarks of the pipeline stages.
 
 func BenchmarkTDGBuildAccount(b *testing.B) {

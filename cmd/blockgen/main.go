@@ -5,6 +5,24 @@
 // Usage:
 //
 //	blockgen -chain Bitcoin -blocks 100 -o bitcoin.jsonl
+//
+// Beyond chain histories, -mode selects two rwset-trace outputs for the
+// E12 replay pipeline (the txconcur-rwset format, dataset package):
+//
+//	blockgen -mode erc20trace -blocks 8 -txs 40 -seed 7 -o trace.rwset.jsonl
+//	blockgen -mode importtrace -in rows.jsonl -o trace.rwset.jsonl
+//
+// "erc20trace" emits a deterministic ERC20-shaped trace (hot-token
+// transfers, airdrop fan-outs, DEX pool contention, cold payments) whose
+// read/write sets stress the engines like a real token-heavy block range.
+// "importtrace" is the documented path for captured Ethereum data: export
+// per-transaction rows in the BigQuery-style AccountTxRow JSONL schema
+// (block_number, hash, from_address, to_address, receipt_gas_used, plus
+// one row per internal call with is_internal=true), and blockgen converts
+// them into an rwset trace — each transaction reads and writes its from
+// and to addresses, internal calls widen the set, and receipt gas becomes
+// the row's measured cost. Both trace modes write JSONL by default;
+// -format csv selects the CSV encoding of the same format.
 package main
 
 import (
@@ -29,21 +47,16 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("blockgen", flag.ContinueOnError)
+	mode := fs.String("mode", "chain", `output kind: "chain" (profiled history), "erc20trace" (generated rwset trace) or "importtrace" (AccountTxRow JSONL -> rwset trace)`)
 	chain := fs.String("chain", "Bitcoin", "chain profile name (see Table I)")
 	blocks := fs.Int("blocks", 100, "history blocks to generate")
+	txs := fs.Int("txs", 0, "transactions per block for -mode erc20trace (0 = default)")
 	seed := fs.Int64("seed", 2020, "generator seed")
+	in := fs.String("in", "", "input AccountTxRow JSONL table for -mode importtrace")
 	out := fs.String("o", "", "output file (default stdout)")
-	format := fs.String("format", "jsonl", `output format: "jsonl" (BigQuery-style table) or "gob" (binary history with full blocks)`)
+	format := fs.String("format", "jsonl", `output format: "jsonl" or "gob" (chain mode) / "csv" (trace modes)`)
 	if err := fs.Parse(args); err != nil {
 		return err
-	}
-	if *format != "jsonl" && *format != "gob" {
-		return fmt.Errorf("unknown -format %q", *format)
-	}
-
-	p, ok := chainsim.ProfileByName(*chain)
-	if !ok {
-		return fmt.Errorf("unknown chain %q; known: Bitcoin, Bitcoin Cash, Litecoin, Dogecoin, Ethereum, Ethereum Classic, Zilliqa", *chain)
 	}
 
 	var w *bufio.Writer
@@ -58,6 +71,60 @@ func run(args []string) error {
 		w = bufio.NewWriter(os.Stdout)
 	}
 	defer w.Flush()
+
+	switch *mode {
+	case "chain":
+		// Handled below.
+	case "erc20trace", "importtrace":
+		if *format != "jsonl" && *format != "csv" {
+			return fmt.Errorf("unknown trace -format %q (want jsonl or csv)", *format)
+		}
+		var tr *dataset.Trace
+		var err error
+		if *mode == "erc20trace" {
+			tr, err = dataset.GenerateERC20Trace(dataset.ERC20TraceConfig{
+				Blocks: *blocks, TxPerBlock: *txs, Seed: *seed,
+			})
+		} else {
+			if *in == "" {
+				return fmt.Errorf("-mode importtrace needs -in")
+			}
+			f, ferr := os.Open(*in)
+			if ferr != nil {
+				return ferr
+			}
+			defer f.Close()
+			rows, rerr := dataset.ReadJSONL[dataset.AccountTxRow](bufio.NewReader(f))
+			if rerr != nil {
+				return rerr
+			}
+			tr, err = dataset.TraceFromAccountRows(rows)
+		}
+		if err != nil {
+			return err
+		}
+		if *format == "csv" {
+			err = dataset.WriteTraceCSV(w, tr)
+		} else {
+			err = dataset.WriteTrace(w, tr)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "blockgen: %s: %d trace rows written\n", *mode, len(tr.Txs))
+		return nil
+	default:
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+
+	if *format != "jsonl" && *format != "gob" {
+		return fmt.Errorf("unknown -format %q", *format)
+	}
+
+	p, ok := chainsim.ProfileByName(*chain)
+	if !ok {
+		return fmt.Errorf("unknown chain %q; known: Bitcoin, Bitcoin Cash, Litecoin, Dogecoin, Ethereum, Ethereum Classic, Zilliqa", *chain)
+	}
 
 	switch p.Model {
 	case chainsim.UTXO:

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"txconcur/internal/dataset"
@@ -66,6 +67,81 @@ func TestRunUnknownChain(t *testing.T) {
 	}
 	if err := run([]string{"-format", "xml"}); err == nil {
 		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestRunERC20Trace(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "erc20.rwset.jsonl")
+	if err := run([]string{"-mode", "erc20trace", "-blocks", "3", "-txs", "10", "-seed", "7", "-o", jpath}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := dataset.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Txs) != 30 {
+		t.Fatalf("%d rows, want 30", len(tr.Txs))
+	}
+	// The CSV encoding of the same generation parses to the same trace.
+	cpath := filepath.Join(dir, "erc20.rwset.csv")
+	if err := run([]string{"-mode", "erc20trace", "-blocks", "3", "-txs", "10", "-seed", "7", "-format", "csv", "-o", cpath}); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := os.Open(cpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	ctr, err := dataset.ReadTraceCSV(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, ctr) {
+		t.Fatal("csv output parses to a different trace")
+	}
+}
+
+func TestRunImportTrace(t *testing.T) {
+	dir := t.TempDir()
+	rows := filepath.Join(dir, "rows.jsonl")
+	if err := run([]string{"-chain", "Ethereum", "-blocks", "3", "-seed", "1", "-o", rows}); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "imported.rwset.jsonl")
+	if err := run([]string{"-mode", "importtrace", "-in", rows, "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := dataset.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Txs) == 0 {
+		t.Fatal("imported trace is empty")
+	}
+	// The imported trace must compile into replayable blocks.
+	if _, err := dataset.BuildReplayChain(tr); err != nil {
+		t.Fatal(err)
+	}
+	// Importing without -in is an error, as is a bad trace format.
+	if err := run([]string{"-mode", "importtrace"}); err == nil {
+		t.Fatal("importtrace without -in accepted")
+	}
+	if err := run([]string{"-mode", "erc20trace", "-format", "gob"}); err == nil {
+		t.Fatal("gob accepted for a trace mode")
+	}
+	if err := run([]string{"-mode", "bogus"}); err == nil {
+		t.Fatal("unknown mode accepted")
 	}
 }
 

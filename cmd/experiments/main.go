@@ -10,7 +10,8 @@
 // The -run filter selects experiments by name (tableI, fig1, fig4, fig5,
 // fig6, fig7, fig8, fig9, fig10, summary, exec, sched, approxtdg,
 // interblock, utxoexec, sharding, shardingexec, shardedpipeline,
-// adaptiveshard, census, pipeline, oplevel). With -json, table experiments
+// adaptiveshard, tracereplay, census, pipeline, oplevel). With -json,
+// table experiments
 // emit one JSON object per table (figures stay text) — the format of the
 // recorded benchmark baselines. Note that "-run sharding" matches the
 // analytical E6 (sharding), the executable E9 (shardingexec) and the
@@ -252,6 +253,15 @@ func run(args []string) error {
 		tbl, err := bench.AdaptiveShardingComparison(*execBlocks, *seed, bench.AdaptiveShardProfileNames(), []int{2, 4, 8}, 8, 4)
 		if err != nil {
 			return fmt.Errorf("adaptiveshard: %w", err)
+		}
+		if err := renderTable(out, tbl); err != nil {
+			return err
+		}
+	}
+	if want("tracereplay") {
+		tbl, err := bench.TraceReplayComparison(*seed, 8, 4, 2, 4)
+		if err != nil {
+			return fmt.Errorf("tracereplay: %w", err)
 		}
 		if err := renderTable(out, tbl); err != nil {
 			return err

@@ -64,6 +64,15 @@ func TestRunAdaptiveShardJSON(t *testing.T) {
 	}
 }
 
+func TestRunTraceReplayJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs executors")
+	}
+	if err := run([]string{"-run", "tracereplay", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestRunProfileFlags: -cpuprofile and -trace must produce non-empty
 // artifacts covering the selected experiments.
 func TestRunProfileFlags(t *testing.T) {

@@ -339,17 +339,26 @@ func WriteJSONL[T any](w io.Writer, rows []T) error {
 	return nil
 }
 
-// ReadJSONL reads a JSON Lines table.
+// ReadJSONL reads a JSON Lines table: one JSON value per line, blank
+// lines skipped. Parse errors report the 1-based line number, and
+// trailing garbage is rejected rather than silently absorbed — a second
+// value on one line, text after a value, and bare `null` lines (which a
+// plain json.Decoder loop happily turns into phantom zero-value rows) are
+// all errors.
 func ReadJSONL[T any](r io.Reader) ([]T, error) {
-	dec := json.NewDecoder(r)
+	lr := newLineReader(r)
 	var out []T
 	for {
+		line, n, err := lr.next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadRecord, n, err)
+		}
 		var row T
-		if err := dec.Decode(&row); err != nil {
-			if errors.Is(err, io.EOF) {
-				return out, nil
-			}
-			return nil, fmt.Errorf("%w: row %d: %v", ErrBadRecord, len(out), err)
+		if err := decodeJSONLine(line, &row); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadRecord, n, err)
 		}
 		out = append(out, row)
 	}

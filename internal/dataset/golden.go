@@ -1,0 +1,27 @@
+package dataset
+
+import (
+	"bytes"
+	_ "embed"
+	"fmt"
+)
+
+// goldenRWSet is the committed golden trace fixture: three blocks of
+// hand-written rows covering every op shape the format admits — blind
+// deltas that commute op-level (tok0/bal/bob), read-modify-write pairs on
+// a shared pool key, a lone write, a lone read, a cross-key mix, and a
+// block-number gap (100, 101, 103) that the replay renumbers.
+//
+//go:embed testdata/golden.rwset.jsonl
+var goldenRWSet []byte
+
+// GoldenTrace parses the embedded golden rwset fixture. Every caller gets
+// a fresh copy; the fixture is validated on the way in, so a corrupted
+// checkout fails loudly rather than skewing results.
+func GoldenTrace() (*Trace, error) {
+	t, err := ReadTrace(bytes.NewReader(goldenRWSet))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: embedded golden trace: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,344 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"txconcur/internal/account"
+	"txconcur/internal/types"
+	"txconcur/internal/vm"
+)
+
+// Trace replay: BuildReplayChain compiles an rwset trace into executable
+// account-model blocks whose conflict structure is exactly the declared
+// one, so the execution engines can be measured on captured (or
+// synthesized) real-chain conflict graphs instead of chainsim's profiles.
+//
+// The compilation scheme. Every distinct trace key becomes a "cell"
+// contract at a deterministic address; every trace row becomes a private
+// "script" contract plus one transaction calling it. The script makes one
+// VM call into the relevant cell per declared op, encoding the op kind in
+// the call argument:
+//
+//	arg 0        — delta: no cell code runs beyond the dispatch; the call
+//	               carries the increment as its value, so the only state
+//	               effect is a blind balance credit of the cell (a
+//	               commutative delta in op-level mode).
+//	arg 1        — read: the cell reads its own balance and storage slot 0.
+//	arg v+2      — write: the cell reads its balance and stores v into
+//	               slot 0.
+//
+// Reads and writes both touch the cell's balance (a read) so they conflict
+// with deltas; reads and writes share storage slot 0 so they conflict with
+// each other; two deltas only commute. That reproduces, per key, the exact
+// conflict matrix of the rwset semantics — in both key-level and
+// operation-level engine modes (key-level additionally treats the delta's
+// credit as a read-modify-write, making deltas mutually conflicting there,
+// which is precisely the refinement E8 measures).
+//
+// Costs deliberately never enter the compiled state: a row's measured cost
+// is kept in a side table keyed by transaction hash and fed to the engines
+// through their CostModel hook, so permuting costs can never change a
+// state root (a property test pins this down).
+const (
+	// traceGasBase and traceGasPerOp size a script transaction's gas
+	// limit from its op count alone — generous upper bounds on the real
+	// VM cost, so the envelope never fails, and independent of both the
+	// trace's values and its costs (state roots must not depend on
+	// either... values excepted, of course, where they are state).
+	traceGasBase  = 2_000
+	traceGasPerOp = 6_000
+)
+
+// traceGasLimit is the gas limit of a script transaction with n ops.
+func traceGasLimit(n int) uint64 {
+	return account.GasTx + traceGasBase + traceGasPerOp*uint64(n)
+}
+
+// Cell call-argument encoding.
+const (
+	cellArgDelta = 0
+	cellArgRead  = 1
+	cellArgWrite = 2 // arg = cellArgWrite + written value
+)
+
+// cellCode is the shared dispatch contract deployed at every cell address.
+func cellCode() []byte {
+	return vm.EncodeContract(vm.Contract{
+		Code: vm.NewAsm().
+			// arg == 0: delta — the value transfer already happened.
+			Op(vm.OpArg).Op(vm.OpIsZero).PushLabel("end").Op(vm.OpJumpI).
+			// Both reads and writes observe the cell balance, so they
+			// conflict with deltas in every engine mode.
+			Op(vm.OpBalance).Op(vm.OpPop).
+			Op(vm.OpArg).Push(cellArgRead).Op(vm.OpEQ).PushLabel("read").Op(vm.OpJumpI).
+			// write: storage[0] = arg − 2.
+			Push(0).Op(vm.OpArg).Push(cellArgWrite).Op(vm.OpSub).Op(vm.OpSstore).
+			Label("end").Op(vm.OpStop).
+			Label("read").Push(0).Op(vm.OpSload).Op(vm.OpPop).Op(vm.OpStop).
+			Bytes(),
+	})
+}
+
+// Deterministic address namespaces of the replay chain.
+func cellAddress(keyIdx int) types.Address {
+	return types.AddressFromUint64("trace/cell", uint64(keyIdx))
+}
+func scriptAddress(rowIdx int) types.Address {
+	return types.AddressFromUint64("trace/script", uint64(rowIdx))
+}
+func senderAddress(senderIdx int) types.Address {
+	return types.AddressFromUint64("trace/sender", uint64(senderIdx))
+}
+
+// traceCoinbase is the miner of every replay block.
+func traceCoinbase() types.Address {
+	return types.AddressFromUint64("trace/coinbase", 0)
+}
+
+// ReplayChain is a trace compiled to executable blocks: the pre-state
+// (cells, scripts, and exactly-funded senders), the block sequence, and
+// the dictionaries that make the compilation reversible (Trace) and the
+// costs addressable (TxCost).
+type ReplayChain struct {
+	// Header is the source trace's header, carried through round trips.
+	Header TraceHeader
+	// Pre is the state before the first block.
+	Pre *account.StateDB
+	// Blocks is the block sequence, heights renumbered contiguously
+	// from 0.
+	Blocks []*account.Block
+	// BlockNumbers holds the original trace block number of each block.
+	BlockNumbers []uint64
+	// Keys maps key index (cell address derivation) to trace key.
+	Keys []string
+	// Senders maps sender index (sender address derivation) to trace
+	// sender.
+	Senders []string
+	// Costs maps a transaction hash to the row's measured cost; rows with
+	// cost 0 ("unmeasured") are absent.
+	Costs map[types.Hash]uint64
+
+	keyAddr    map[string]types.Address
+	addrKey    map[types.Address]string
+	senderAddr map[string]types.Address
+	addrSender map[types.Address]string
+}
+
+// TxCost is the replay chain's cost model: the row's measured cost when
+// one was recorded, the actual gas used otherwise. Its method value has
+// the exec.CostModel signature.
+func (rc *ReplayChain) TxCost(tx *account.Transaction, rcpt *account.Receipt) uint64 {
+	if c, ok := rc.Costs[tx.Hash()]; ok {
+		return c
+	}
+	if rcpt == nil {
+		return 0
+	}
+	return rcpt.GasUsed
+}
+
+// BuildReplayChain validates the trace and compiles it into a ReplayChain.
+// Every sender is funded with exactly the gas and value its transactions
+// need, so any divergence in replay surfaces as a loud envelope error
+// rather than a silently different root.
+func BuildReplayChain(t *Trace) (*ReplayChain, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	rc := &ReplayChain{
+		Header:     t.Header,
+		Pre:        account.NewStateDB(),
+		Costs:      make(map[types.Hash]uint64),
+		keyAddr:    make(map[string]types.Address),
+		addrKey:    make(map[types.Address]string),
+		senderAddr: make(map[string]types.Address),
+		addrSender: make(map[types.Address]string),
+	}
+	cell := cellCode()
+	internKey := func(key string) types.Address {
+		if a, ok := rc.keyAddr[key]; ok {
+			return a
+		}
+		a := cellAddress(len(rc.Keys))
+		rc.Keys = append(rc.Keys, key)
+		rc.keyAddr[key] = a
+		rc.addrKey[a] = key
+		rc.Pre.SetCode(a, cell)
+		return a
+	}
+	internSender := func(s string) types.Address {
+		if a, ok := rc.senderAddr[s]; ok {
+			return a
+		}
+		a := senderAddress(len(rc.Senders))
+		rc.Senders = append(rc.Senders, s)
+		rc.senderAddr[s] = a
+		rc.addrSender[a] = s
+		return a
+	}
+
+	nonces := make(map[types.Address]uint64)
+	endow := make(map[types.Address]account.Amount)
+	var curTxs []*account.Transaction
+	flush := func(blockNum uint64) {
+		blk := &account.Block{
+			Height:   uint64(len(rc.Blocks)),
+			Time:     1_700_000_000 + 12*int64(len(rc.Blocks)),
+			Coinbase: traceCoinbase(),
+			Txs:      curTxs,
+		}
+		rc.Blocks = append(rc.Blocks, blk)
+		rc.BlockNumbers = append(rc.BlockNumbers, blockNum)
+		curTxs = nil
+	}
+	for i := range t.Txs {
+		row := &t.Txs[i]
+		if row.Index == 0 && len(curTxs) > 0 {
+			flush(t.Txs[i-1].Block)
+		}
+		from := internSender(row.Sender)
+
+		// Compile the row's ops into its private script contract.
+		var table []types.Address
+		tableIdx := make(map[types.Address]int)
+		asm := vm.NewAsm()
+		var value account.Amount
+		for _, op := range row.Ops {
+			cellAddr := internKey(op.Key)
+			idx, ok := tableIdx[cellAddr]
+			if !ok {
+				idx = len(table)
+				table = append(table, cellAddr)
+				tableIdx[cellAddr] = idx
+			}
+			var callValue, callArg uint64
+			switch op.Kind {
+			case OpDelta:
+				callValue, callArg = op.Value, cellArgDelta
+				value += account.Amount(op.Value)
+			case OpRead:
+				callArg = cellArgRead
+			case OpWrite:
+				callArg = cellArgWrite + op.Value
+			}
+			asm.Call(idx, callValue, callArg).Op(vm.OpPop)
+		}
+		asm.Op(vm.OpStop)
+		script := scriptAddress(i)
+		rc.Pre.SetCode(script, vm.EncodeContract(vm.Contract{Code: asm.Bytes(), AddrTable: table}))
+
+		tx := &account.Transaction{
+			From:     from,
+			To:       script,
+			Value:    value,
+			Nonce:    nonces[from],
+			GasLimit: traceGasLimit(len(row.Ops)),
+			GasPrice: 1,
+		}
+		nonces[from]++
+		endow[from] += account.Amount(tx.GasLimit)*tx.GasPrice + value
+		if row.Cost > 0 {
+			rc.Costs[tx.Hash()] = row.Cost
+		}
+		curTxs = append(curTxs, tx)
+	}
+	if len(curTxs) > 0 {
+		flush(t.Txs[len(t.Txs)-1].Block)
+	}
+	for addr, amount := range endow {
+		rc.Pre.AddBalance(addr, amount)
+	}
+	rc.Pre.DiscardJournal()
+	return rc, nil
+}
+
+// Trace decompiles the chain back into the source trace: senders and keys
+// through the dictionaries, ops by decoding each script contract, costs
+// from the side table. BuildReplayChain followed by Trace is the identity
+// on valid traces (a property test pins this down).
+func (rc *ReplayChain) Trace() (*Trace, error) {
+	out := &Trace{Header: rc.Header}
+	for bi, blk := range rc.Blocks {
+		for i, tx := range blk.Txs {
+			sender, ok := rc.addrSender[tx.From]
+			if !ok {
+				return nil, fmt.Errorf("dataset: block %d tx %d: unknown sender address %s", bi, i, tx.From.Short())
+			}
+			contract, err := vm.DecodeContract(rc.Pre.GetCode(tx.To))
+			if err != nil {
+				return nil, fmt.Errorf("dataset: block %d tx %d: %w", bi, i, err)
+			}
+			ops, err := decodeScriptOps(contract, rc.addrKey)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: block %d tx %d: %w", bi, i, err)
+			}
+			out.Txs = append(out.Txs, TraceTx{
+				Block:  rc.BlockNumbers[bi],
+				Index:  i,
+				Sender: sender,
+				Ops:    ops,
+				Cost:   rc.Costs[tx.Hash()],
+			})
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: decompiled trace invalid: %w", err)
+	}
+	return out, nil
+}
+
+// decodeScriptOps parses a script contract's rigid op pattern — per op
+// Push(value) Push(arg) PushAddr(idx) Call Pop, then one final Stop —
+// back into trace operations.
+func decodeScriptOps(c vm.Contract, addrKey map[types.Address]string) ([]TraceOp, error) {
+	code := c.Code
+	pos := 0
+	readPush := func() (uint64, error) {
+		if pos+9 > len(code) || vm.Opcode(code[pos]) != vm.OpPush {
+			return 0, fmt.Errorf("dataset: script offset %d: want PUSH", pos)
+		}
+		v := binary.BigEndian.Uint64(code[pos+1 : pos+9])
+		pos += 9
+		return v, nil
+	}
+	var ops []TraceOp
+	for pos < len(code) && vm.Opcode(code[pos]) != vm.OpStop {
+		value, err := readPush()
+		if err != nil {
+			return nil, err
+		}
+		arg, err := readPush()
+		if err != nil {
+			return nil, err
+		}
+		if pos+2 > len(code) || vm.Opcode(code[pos]) != vm.OpPushAddr {
+			return nil, fmt.Errorf("dataset: script offset %d: want PUSHADDR", pos)
+		}
+		idx := int(code[pos+1])
+		pos += 2
+		if pos+2 > len(code) || vm.Opcode(code[pos]) != vm.OpCall || vm.Opcode(code[pos+1]) != vm.OpPop {
+			return nil, fmt.Errorf("dataset: script offset %d: want CALL POP", pos)
+		}
+		pos += 2
+		if idx >= len(c.AddrTable) {
+			return nil, fmt.Errorf("dataset: script address index %d out of table (%d)", idx, len(c.AddrTable))
+		}
+		key, ok := addrKey[c.AddrTable[idx]]
+		if !ok {
+			return nil, fmt.Errorf("dataset: script calls unknown cell %s", c.AddrTable[idx].Short())
+		}
+		switch {
+		case arg == cellArgDelta:
+			ops = append(ops, TraceOp{Kind: OpDelta, Key: key, Value: value})
+		case arg == cellArgRead:
+			ops = append(ops, TraceOp{Kind: OpRead, Key: key})
+		default:
+			ops = append(ops, TraceOp{Kind: OpWrite, Key: key, Value: arg - cellArgWrite})
+		}
+	}
+	if pos+1 != len(code) || vm.Opcode(code[pos]) != vm.OpStop {
+		return nil, fmt.Errorf("dataset: script offset %d: want final STOP", pos)
+	}
+	return ops, nil
+}

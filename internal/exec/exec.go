@@ -76,6 +76,41 @@ func (s *Stats) finish() {
 	}
 }
 
+// CostModel maps a committed transaction to its schedule weight. Engines
+// that expose a Cost field use it in place of the receipt's gas wherever
+// GasSeq/GasPar are accounted, so Stats.GasSpeedup becomes a speed-up
+// under *measured* costs (e.g. an rwset trace's recorded gas) instead of
+// the VM's. A nil model charges rcpt.GasUsed — the previous behaviour.
+// Cost models must be pure: they are consulted from worker goroutines and
+// may be called more than once per transaction.
+type CostModel func(tx *account.Transaction, rcpt *account.Receipt) uint64
+
+// costOf resolves one transaction's schedule weight under the model.
+func costOf(m CostModel, tx *account.Transaction, rcpt *account.Receipt) uint64 {
+	if rcpt == nil {
+		return 0
+	}
+	if m == nil {
+		return rcpt.GasUsed
+	}
+	return m(tx, rcpt)
+}
+
+// costSum is Σ costOf over a block's receipts.
+func costSum(m CostModel, txs []*account.Transaction, rcpts []*account.Receipt) uint64 {
+	if m == nil {
+		return account.GasUsed(rcpts)
+	}
+	var sum uint64
+	for i, r := range rcpts {
+		if r == nil || i >= len(txs) {
+			continue
+		}
+		sum += m(txs[i], r)
+	}
+	return sum
+}
+
 // procDeferred is the shared transaction processor configuration: fees are
 // credited in one batch so that per-transaction coinbase payments do not
 // serialise parallel schedules (see account.Processor.DeferCoinbase).
@@ -134,6 +169,9 @@ type Speculative struct {
 	// absolute writers of that balance. Off, the engine uses the key-level
 	// read/write rule of [17] that the paper's equation (1) models.
 	OpLevel bool
+	// Cost overrides the per-transaction schedule weight used for the
+	// GasSeq/GasPar accounting; nil charges the receipt's gas.
+	Cost CostModel
 }
 
 // Execute runs the block on st (mutated on success).
@@ -276,9 +314,10 @@ func (e Speculative) Execute(st *account.StateDB, blk *account.Block) (*Result, 
 	var gasBin uint64
 	for i, r := range receipts {
 		if binned[i] {
-			gasBin += r.GasUsed
+			gasBin += costOf(e.Cost, blk.Txs[i], r)
 		}
 	}
+	gasSeq := costSum(e.Cost, blk.Txs, receipts)
 	res := &Result{Receipts: receipts, Root: st.Root()}
 	res.Stats = Stats{
 		Workers:    e.Workers,
@@ -289,8 +328,8 @@ func (e Speculative) Execute(st *account.StateDB, blk *account.Block) (*Result, 
 		// (⌊x/n⌋+1 is its printed upper bound), plus the rare full
 		// sequential fallback.
 		ParUnits: ceilDiv(x, e.Workers) + numBinned + retried,
-		GasSeq:   account.GasUsed(receipts),
-		GasPar:   ceilDivU(account.GasUsed(receipts), uint64(e.Workers)) + gasBin,
+		GasSeq:   gasSeq,
+		GasPar:   ceilDivU(gasSeq, uint64(e.Workers)) + gasBin,
 		Retries:  numBinned + retried,
 		Wall:     time.Since(start),
 	}
@@ -326,6 +365,10 @@ type Grouped struct {
 	// TDG). When nil, a sequential pre-run on a copy derives them — the
 	// pre-processing step whose cost the paper calls K.
 	Receipts []*account.Receipt
+	// Cost overrides the per-transaction schedule weight used for the
+	// gas-weighted LPT schedule and the GasSeq/GasPar accounting; nil
+	// charges the receipt's gas.
+	Cost CostModel
 }
 
 // Execute runs the block on st (mutated on success).
@@ -356,7 +399,7 @@ func (e Grouped) Execute(st *account.StateDB, blk *account.Block) (*Result, erro
 	if err != nil {
 		return nil, fmt.Errorf("exec: grouped: %w", err)
 	}
-	gasJobs := scheduleGas(groups, receipts)
+	gasJobs := scheduleGas(groups, blk, receipts, e.Cost)
 	gasSchedule, err := sched.LPT(gasJobs, e.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("exec: grouped: %w", err)
@@ -426,7 +469,7 @@ func (e Grouped) Execute(st *account.StateDB, blk *account.Block) (*Result, erro
 	parUnits := schedule.Makespan + retried
 	gasPar := uint64(gasSchedule.Makespan)
 	if retried > 0 {
-		gasPar += account.GasUsed(finalReceipts)
+		gasPar += costSum(e.Cost, blk.Txs, finalReceipts)
 	}
 	res := &Result{Receipts: finalReceipts, Root: st.Root()}
 	res.Stats = Stats{
@@ -435,7 +478,7 @@ func (e Grouped) Execute(st *account.StateDB, blk *account.Block) (*Result, erro
 		Conflicted: conflicted,
 		SeqUnits:   x,
 		ParUnits:   parUnits,
-		GasSeq:     account.GasUsed(finalReceipts),
+		GasSeq:     costSum(e.Cost, blk.Txs, finalReceipts),
 		GasPar:     gasPar,
 		Retries:    retried,
 		Wall:       time.Since(start),
@@ -575,13 +618,14 @@ func groupsFromReceipts(blk *account.Block, receipts []*account.Receipt, approx,
 	return tdg.TxGroups()
 }
 
-// scheduleGas converts transaction groups into gas-weighted job lengths.
-func scheduleGas(groups [][]int, receipts []*account.Receipt) []int {
+// scheduleGas converts transaction groups into cost-weighted job lengths
+// (the receipt's gas under a nil model).
+func scheduleGas(groups [][]int, blk *account.Block, receipts []*account.Receipt, cost CostModel) []int {
 	jobs := make([]int, len(groups))
 	for gi, g := range groups {
 		for _, ti := range g {
 			if ti < len(receipts) && receipts[ti] != nil {
-				jobs[gi] += int(receipts[ti].GasUsed)
+				jobs[gi] += int(costOf(cost, blk.Txs[ti], receipts[ti]))
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"txconcur/internal/account"
+	"txconcur/internal/dataset"
 	"txconcur/internal/heat"
 	"txconcur/internal/types"
 	"txconcur/internal/vm"
@@ -276,5 +277,91 @@ func FuzzEngineSerialEquivalence(f *testing.F) {
 				t.Fatalf("adaptivechain/%s: single shard migrated %d keys", mode, acss.Migrations)
 			}
 		}
+
+		fuzzTraceReplay(t, seed, txn)
 	})
+}
+
+// fuzzTraceReplay derives a small ERC20-shaped rwset trace from the fuzz
+// arguments, compiles it to replay blocks (internal/dataset), and runs the
+// engines over it with the trace's measured costs as the CostModel — the
+// fuzz-driven variant of the E12 replay, checking root and receipt
+// equality with the sequential engine in both conflict modes.
+func fuzzTraceReplay(t *testing.T, seed int64, txn uint8) {
+	tr, err := dataset.GenerateERC20Trace(dataset.ERC20TraceConfig{
+		Blocks: 2, TxPerBlock: 4 + int(txn)%12, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("trace generator: %v", err)
+	}
+	rc, err := dataset.BuildReplayChain(tr)
+	if err != nil {
+		t.Fatalf("trace replay build: %v", err)
+	}
+
+	work := rc.Pre.Copy()
+	pres := make([]*account.StateDB, len(rc.Blocks))
+	seqs := make([]*Result, len(rc.Blocks))
+	var costSeq uint64
+	for i, blk := range rc.Blocks {
+		pres[i] = work.Copy()
+		seq, err := Sequential(work, blk)
+		if err != nil {
+			t.Fatalf("trace sequential block %d: %v", i, err)
+		}
+		seqs[i] = seq
+		for j, rcpt := range seq.Receipts {
+			if rcpt.Status != 1 {
+				t.Fatalf("trace block %d tx %d: status %d (%s)", i, j, rcpt.Status, rcpt.ExecErr)
+			}
+			costSeq += rc.TxCost(blk.Txs[j], rcpt)
+		}
+	}
+	chainRoot := work.Root()
+
+	for _, op := range []bool{false, true} {
+		mode := map[bool]string{false: "key", true: "op"}[op]
+		var specGas, stmGas uint64
+		for i, blk := range rc.Blocks {
+			spec, err := Speculative{Workers: 4, OpLevel: op, Cost: rc.TxCost}.Execute(pres[i].Copy(), blk)
+			if err != nil {
+				t.Fatalf("trace speculative/%s block %d: %v", mode, i, err)
+			}
+			if spec.Root != seqs[i].Root {
+				t.Fatalf("trace speculative/%s block %d: root mismatch", mode, i)
+			}
+			specGas += spec.Stats.GasSeq
+
+			stm, err := STMExec{Workers: 4, OpLevel: op, Cost: rc.TxCost}.Execute(pres[i].Copy(), blk)
+			if err != nil {
+				t.Fatalf("trace stm/%s block %d: %v", mode, i, err)
+			}
+			if stm.Root != seqs[i].Root {
+				t.Fatalf("trace stm/%s block %d: root mismatch", mode, i)
+			}
+			stmGas += stm.Stats.GasSeq
+		}
+		// The CostModel plumbing is loss-free: engines charge exactly the
+		// trace's total measured cost sequentially.
+		if specGas != costSeq || stmGas != costSeq {
+			t.Fatalf("trace %s: GasSeq spec=%d stm=%d, want %d", mode, specGas, stmGas, costSeq)
+		}
+
+		cr, _, err := Sharded{Workers: 4, Shards: 1 + int(uint64(seed)%4), OpLevel: op, Depth: 2,
+			Cost: rc.TxCost}.ExecuteChain(rc.Pre.Copy(), rc.Blocks)
+		if err != nil {
+			t.Fatalf("trace shardedchain/%s: %v", mode, err)
+		}
+		if cr.Root != chainRoot {
+			t.Fatalf("trace shardedchain/%s: chain root mismatch", mode)
+		}
+		for i := range rc.Blocks {
+			for j, r := range cr.Receipts[i] {
+				w := seqs[i].Receipts[j]
+				if r.Status != w.Status || r.GasUsed != w.GasUsed || r.TxHash != w.TxHash {
+					t.Fatalf("trace shardedchain/%s block %d: receipt %d differs", mode, i, j)
+				}
+			}
+		}
+	}
 }

@@ -28,6 +28,9 @@ type PerfectSpeculative struct {
 	// schedule-length accounting (the work itself — TDG construction — is
 	// performed for real either way).
 	PreprocessCost int
+	// Cost overrides the per-transaction schedule weight used for the
+	// GasSeq/GasPar accounting; nil charges the receipt's gas.
+	Cost CostModel
 }
 
 // Execute runs the block on st (mutated on success).
@@ -117,8 +120,8 @@ func (e PerfectSpeculative) Execute(st *account.StateDB, blk *account.Block) (*R
 		Conflicted: numConflicted,
 		SeqUnits:   x,
 		ParUnits:   parUnits,
-		GasSeq:     account.GasUsed(receiptsOut),
-		GasPar:     ceilDivU(account.GasUsed(receiptsOut), uint64(e.Workers)),
+		GasSeq:     costSum(e.Cost, blk.Txs, receiptsOut),
+		GasPar:     ceilDivU(costSum(e.Cost, blk.Txs, receiptsOut), uint64(e.Workers)),
 		Wall:       time.Since(start),
 	}
 	res.Stats.finish()

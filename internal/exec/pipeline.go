@@ -59,6 +59,9 @@ type Pipeline struct {
 	// pipeline columns are exactly comparable. Slightly pessimistic: the
 	// adaptive default usually observes a smaller lag.
 	FixedLag bool
+	// Cost overrides the per-transaction schedule weight used for the
+	// GasSeq/GasPar accounting; nil charges the receipt's gas.
+	Cost CostModel
 }
 
 // BlockStats describes the pipeline's work on one block.
@@ -378,7 +381,7 @@ func (e Pipeline) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*C
 			ro.applyTo(acc)
 			logWrites(ro)
 			reexec++
-			gasRetried += rcpt.GasUsed
+			gasRetried += costOf(e.Cost, tx, rcpt)
 		}
 
 		// Deferred fees and block reward, exactly as finalizeBlock does.
@@ -407,7 +410,7 @@ func (e Pipeline) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*C
 		mv.TruncateBelow(horizon)
 
 		all[sb.idx] = receipts
-		gasBlock := account.GasUsed(receipts)
+		gasBlock := costSum(e.Cost, blk.Txs, receipts)
 		blockStats[sb.idx] = BlockStats{
 			Txs:        x,
 			Reexecuted: reexec,

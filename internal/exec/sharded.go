@@ -100,6 +100,10 @@ type Sharded struct {
 	// shard before the next epoch starts. 0 disables rebalancing (the map
 	// still observes). Ignored unless Map is a core.AdaptiveShardMap.
 	RebalanceEvery int
+	// Cost overrides the per-transaction schedule weight used for the
+	// GasSeq/GasPar accounting (intra spreads, bins, merge waves, and
+	// repairs alike); nil charges the receipt's gas.
+	Cost CostModel
 }
 
 // shardMap resolves the effective assignment: the configured Map, or the
@@ -492,7 +496,7 @@ func (e Sharded) phase2(base account.State, stale func(StateKey) bool, blk *acco
 				continue
 			}
 			receipts[i] = rcpt
-			out.gasBin += rcpt.GasUsed
+			out.gasBin += costOf(e.Cost, blk.Txs[i], rcpt)
 			logW(ro, i)
 			ro.applyTo(acc)
 			final[i] = ro
@@ -998,9 +1002,9 @@ func (e Sharded) phase2(base account.State, stale func(StateKey) bool, blk *acco
 			if redone {
 				// Redo gas is a sequential commit-point cost, not part of
 				// the wave's parallel spread.
-				out.mergeGas += rcpt.GasUsed
+				out.mergeGas += costOf(e.Cost, blk.Txs[jw], rcpt)
 			} else {
-				waveGas += rcpt.GasUsed
+				waveGas += costOf(e.Cost, blk.Txs[jw], rcpt)
 			}
 			noteCommitted(f)
 			f.applyTo(accX)
@@ -1039,7 +1043,7 @@ func (e Sharded) phase2(base account.State, stale func(StateKey) bool, blk *acco
 		}
 		reexecuted[i] = true
 		out.repairs++
-		out.repairGas += rcpt.GasUsed
+		out.repairGas += costOf(e.Cost, blk.Txs[i], rcpt)
 	}
 	out.acc = acc
 	ss.Repairs = out.repairs
@@ -1073,7 +1077,7 @@ func (e Sharded) phase2(base account.State, stale func(StateKey) bool, blk *acco
 		var g uint64
 		for _, i := range sp.byShard[sh] {
 			if receipts[i] != nil {
-				g += receipts[i].GasUsed
+				g += costOf(e.Cost, blk.Txs[i], receipts[i])
 			}
 		}
 		var spreadGas, shardGas uint64
@@ -1220,7 +1224,7 @@ func (e Sharded) ExecuteSharded(st *account.StateDB, blk *account.Block) (*Resul
 		Conflicted: out.conflicted,
 		SeqUnits:   x,
 		ParUnits:   out.intraUnits + out.mergeUnits + out.repairs,
-		GasSeq:     account.GasUsed(out.receipts),
+		GasSeq:     costSum(e.Cost, blk.Txs, out.receipts),
 		GasPar:     out.intraGas + out.mergeGas + out.repairGas,
 		Retries:    out.binned + out.mergeReexecs + out.redos + out.repairs,
 		Wall:       time.Since(start),

@@ -351,7 +351,7 @@ func (e Sharded) runShardedEpoch(c *shardedChain, blocks []*account.Block, lo, h
 		c.all[sb.idx] = out.receipts
 		c.css.add(out.ss)
 		x := len(blk.Txs)
-		gasBlock := account.GasUsed(out.receipts)
+		gasBlock := costSum(e.Cost, blk.Txs, out.receipts)
 		c.blockStats[sb.idx] = BlockStats{
 			Txs:        x,
 			Reexecuted: out.conflicted,

@@ -30,6 +30,9 @@ type STMExec struct {
 	// to one hot account commit without aborting each other, and only an
 	// explicit balance read re-establishes a dependency on the key.
 	OpLevel bool
+	// Cost overrides the per-transaction schedule weight used for the
+	// GasSeq/GasPar accounting; nil charges the receipt's gas.
+	Cost CostModel
 }
 
 // stateVal is the uniform cell type stored in the STM: exactly one of the
@@ -320,7 +323,7 @@ func (e STMExec) Execute(st *account.StateDB, blk *account.Block) (*Result, erro
 		Conflicted: retries,
 		SeqUnits:   x,
 		ParUnits:   parUnits,
-		GasSeq:     account.GasUsed(receipts),
+		GasSeq:     costSum(e.Cost, blk.Txs, receipts),
 		GasPar:     0,
 		Retries:    retries,
 		Wall:       time.Since(start),
