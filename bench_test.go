@@ -214,6 +214,20 @@ func BenchmarkTraceReplayComparison(b *testing.B) {
 	}
 }
 
+func BenchmarkStreamingComparison(b *testing.B) {
+	// E13 at benchmark scale: the full streaming service — JSON-RPC
+	// submission clients, bounded mempool, block builder (FIFO and
+	// conflict-aware), sharded streaming executor — with every run
+	// verified against the sequential replay of the built chain. The
+	// recorded baseline lives in docs/bench/E13-baseline.json (regenerate
+	// with `go run ./cmd/experiments -run streaming -json`).
+	for i := 0; i < b.N; i++ {
+		tbl, err := bench.StreamingComparison(int64(2020+i), 8, 4)
+		renderAll(b, err)
+		renderAll(b, bench.RenderTable(io.Discard, tbl))
+	}
+}
+
 // Micro-benchmarks of the pipeline stages.
 
 func BenchmarkTDGBuildAccount(b *testing.B) {

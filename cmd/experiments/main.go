@@ -10,7 +10,8 @@
 // The -run filter selects experiments by name (tableI, fig1, fig4, fig5,
 // fig6, fig7, fig8, fig9, fig10, summary, exec, sched, approxtdg,
 // interblock, utxoexec, sharding, shardingexec, shardedpipeline,
-// adaptiveshard, tracereplay, census, pipeline, oplevel). With -json,
+// adaptiveshard, tracereplay, streaming, census, pipeline, oplevel). With
+// -json,
 // table experiments
 // emit one JSON object per table (figures stay text) — the format of the
 // recorded benchmark baselines. Note that "-run sharding" matches the
@@ -262,6 +263,15 @@ func run(args []string) error {
 		tbl, err := bench.TraceReplayComparison(*seed, 8, 4, 2, 4)
 		if err != nil {
 			return fmt.Errorf("tracereplay: %w", err)
+		}
+		if err := renderTable(out, tbl); err != nil {
+			return err
+		}
+	}
+	if want("streaming") {
+		tbl, err := bench.StreamingComparison(*seed, 8, 4)
+		if err != nil {
+			return fmt.Errorf("streaming: %w", err)
 		}
 		if err := renderTable(out, tbl); err != nil {
 			return err

@@ -1,0 +1,128 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"txconcur/internal/account"
+	"txconcur/internal/mempool"
+	"txconcur/internal/types"
+)
+
+// MethodSubmitTransaction is the JSON-RPC method simulated clients use to
+// feed the streaming block builder (the submission side of the same
+// lightweight JSON-RPC surface the §III-B collector consumes).
+const MethodSubmitTransaction = "SubmitTransaction"
+
+// Submission error codes (application range of JSON-RPC 2.0).
+const (
+	codeSubmitFailed = -32000
+	codePoolClosed   = -32001
+)
+
+// SubmitTx is the SubmitTransaction wire payload: the transaction envelope
+// plus the client's predicted read/write/delta key sets, which steer the
+// conflict-aware packer (a wrong prediction costs parallelism, never
+// correctness).
+type SubmitTx struct {
+	From     types.Address  `json:"from"`
+	To       types.Address  `json:"to"`
+	Value    account.Amount `json:"value"`
+	Nonce    uint64         `json:"nonce"`
+	GasLimit uint64         `json:"gas_limit"`
+	GasPrice account.Amount `json:"gas_price"`
+	Arg      uint64         `json:"arg,omitempty"`
+	Code     []byte         `json:"code,omitempty"`
+	Reads    []string       `json:"reads,omitempty"`
+	Writes   []string       `json:"writes,omitempty"`
+	Deltas   []string       `json:"deltas,omitempty"`
+}
+
+// Pending converts the wire payload into the mempool's submission form.
+func (s *SubmitTx) Pending() *mempool.Pending {
+	return &mempool.Pending{
+		Tx: &account.Transaction{
+			From: s.From, To: s.To, Value: s.Value, Nonce: s.Nonce,
+			GasLimit: s.GasLimit, GasPrice: s.GasPrice, Arg: s.Arg, Code: s.Code,
+		},
+		Reads:  s.Reads,
+		Writes: s.Writes,
+		Deltas: s.Deltas,
+	}
+}
+
+// BuilderServer exposes a mempool over JSON-RPC: one SubmitTransaction
+// endpoint whose admission blocks while the pool is full, so the pool's
+// backpressure propagates to clients at the HTTP level (a slow builder
+// slows submitters instead of dropping their transactions).
+type BuilderServer struct {
+	pool *mempool.Pool
+}
+
+// NewBuilderServer serves submissions into pool.
+func NewBuilderServer(pool *mempool.Pool) *BuilderServer {
+	return &BuilderServer{pool: pool}
+}
+
+// ServeHTTP implements http.Handler with a single JSON-RPC endpoint.
+func (s *BuilderServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var req rpcRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeRPC(w, rpcResponse{JSONRPC: "2.0", Error: &rpcError{Code: -32700, Message: "parse error"}})
+		return
+	}
+	resp := rpcResponse{JSONRPC: "2.0", ID: req.ID}
+	if req.Method != MethodSubmitTransaction {
+		resp.Error = &rpcError{Code: -32601, Message: "unknown method " + req.Method}
+		writeRPC(w, resp)
+		return
+	}
+	var args []SubmitTx
+	if err := json.Unmarshal(req.Params, &args); err != nil || len(args) != 1 {
+		resp.Error = &rpcError{Code: -32602, Message: "want [transaction]"}
+		writeRPC(w, resp)
+		return
+	}
+	// Submit with the request's context: a full pool blocks the HTTP
+	// request (backpressure); a client hang-up frees the slot wait.
+	if err := s.pool.Submit(r.Context(), args[0].Pending()); err != nil {
+		code := codeSubmitFailed
+		if errors.Is(err, mempool.ErrClosed) {
+			code = codePoolClosed
+		}
+		resp.Error = &rpcError{Code: code, Message: err.Error()}
+		writeRPC(w, resp)
+		return
+	}
+	result, _ := json.Marshal(true)
+	resp.Result = result
+	writeRPC(w, resp)
+}
+
+// ErrPoolClosed reports a submission rejected because the server's pool is
+// closed.
+var ErrPoolClosed = errors.New("client: builder pool closed")
+
+// Submitter is the client side of SubmitTransaction, reusing the
+// collector's rate-limited, retrying JSON-RPC call path. Like Collector it
+// is single-goroutine; simulated load generators run one Submitter per
+// client goroutine.
+type Submitter struct {
+	Collector
+}
+
+// Submit sends one transaction, blocking while the server's pool is full.
+// A pool-closed rejection is surfaced as ErrPoolClosed.
+func (s *Submitter) Submit(ctx context.Context, tx SubmitTx) error {
+	var ok bool
+	err := s.call(ctx, MethodSubmitTransaction, []SubmitTx{tx}, &ok)
+	if err != nil && errors.Is(err, ErrRPC) &&
+		strings.Contains(err.Error(), strconv.Itoa(codePoolClosed)) {
+		return ErrPoolClosed
+	}
+	return err
+}

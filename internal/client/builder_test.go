@@ -1,0 +1,114 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"txconcur/internal/mempool"
+	"txconcur/internal/types"
+)
+
+func submitTx(from, to, nonce uint64) SubmitTx {
+	return SubmitTx{
+		From:     types.AddressFromUint64("user", from),
+		To:       types.AddressFromUint64("user", to),
+		Value:    7,
+		Nonce:    nonce,
+		GasLimit: 21_000,
+		GasPrice: 1,
+		Reads:    []string{"b:x", "n:x"},
+		Writes:   []string{"b:x", "n:x"},
+		Deltas:   []string{"b:y"},
+	}
+}
+
+// TestSubmitRoundTrip: a transaction submitted over HTTP lands in the pool
+// with its envelope and predicted key sets intact.
+func TestSubmitRoundTrip(t *testing.T) {
+	pool := mempool.New(8)
+	srv := httptest.NewServer(NewBuilderServer(pool))
+	defer srv.Close()
+
+	sub := &Submitter{Collector: Collector{URL: srv.URL}}
+	for n := uint64(0); n < 3; n++ {
+		if err := sub.Submit(context.Background(), submitTx(1, 2, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pool.Len() != 3 {
+		t.Fatalf("pool has %d pending, want 3", pool.Len())
+	}
+	wire := submitTx(1, 2, 0)
+	p := wire.Pending()
+	if p.Tx.From != wire.From || p.Tx.To != wire.To || p.Tx.Value != 7 ||
+		p.Tx.GasLimit != 21_000 || p.Tx.GasPrice != 1 {
+		t.Fatalf("wire envelope mangled: %+v", p.Tx)
+	}
+	if len(p.Reads) != 2 || len(p.Writes) != 2 || len(p.Deltas) != 1 {
+		t.Fatalf("predicted key sets mangled: %+v", p)
+	}
+}
+
+// TestSubmitBackpressureOverHTTP: a full pool blocks the HTTP request; the
+// request context cancels the wait cleanly.
+func TestSubmitBackpressureOverHTTP(t *testing.T) {
+	pool := mempool.New(1)
+	srv := httptest.NewServer(NewBuilderServer(pool))
+	defer srv.Close()
+
+	sub := &Submitter{Collector: Collector{URL: srv.URL}}
+	if err := sub.Submit(context.Background(), submitTx(1, 2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	sub2 := &Submitter{Collector: Collector{URL: srv.URL}}
+	err := sub2.Submit(ctx, submitTx(1, 2, 1))
+	if err == nil {
+		t.Fatal("submit to a full pool returned without blocking")
+	}
+	if pool.Len() != 1 {
+		t.Fatalf("pool has %d pending, want 1", pool.Len())
+	}
+}
+
+// TestSubmitClosedPool: submissions to a closed pool map to ErrPoolClosed.
+func TestSubmitClosedPool(t *testing.T) {
+	pool := mempool.New(4)
+	pool.Close()
+	srv := httptest.NewServer(NewBuilderServer(pool))
+	defer srv.Close()
+
+	sub := &Submitter{Collector: Collector{URL: srv.URL}}
+	if err := sub.Submit(context.Background(), submitTx(1, 2, 0)); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("submit to closed pool: %v, want ErrPoolClosed", err)
+	}
+}
+
+// TestSubmitBadRequests: unknown methods and malformed params are rejected
+// at the RPC layer without touching the pool.
+func TestSubmitBadRequests(t *testing.T) {
+	pool := mempool.New(4)
+	srv := httptest.NewServer(NewBuilderServer(pool))
+	defer srv.Close()
+
+	c := &Collector{URL: srv.URL}
+	if err := c.call(context.Background(), "NoSuchMethod", []int{}, nil); !errors.Is(err, ErrRPC) {
+		t.Fatalf("unknown method: %v, want ErrRPC", err)
+	}
+	if err := c.call(context.Background(), MethodSubmitTransaction, []int{1, 2}, nil); !errors.Is(err, ErrRPC) {
+		t.Fatalf("malformed params: %v, want ErrRPC", err)
+	}
+	resp, err := http.Post(srv.URL, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if pool.Len() != 0 {
+		t.Fatalf("bad requests leaked %d transactions into the pool", pool.Len())
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"txconcur/internal/chainsim"
 	"txconcur/internal/core"
+	"txconcur/internal/exec/testutil"
 	"txconcur/internal/heat"
 	"txconcur/internal/types"
 )
@@ -39,7 +40,7 @@ func TestAdaptiveChainSerialEquivalenceAllProfiles(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			seqs, seqSt := seqReplay(t, pre, blocks)
+			seq := testutil.ReplaySequential(t, pre, blocks)
 			for _, shards := range []int{1, 2, 4, 8} {
 				for _, op := range []bool{false, true} {
 					static, _, err := Sharded{Workers: 8, Shards: shards, OpLevel: op, Depth: 2}.
@@ -52,7 +53,7 @@ func TestAdaptiveChainSerialEquivalenceAllProfiles(t *testing.T) {
 						if err != nil {
 							t.Fatalf("shards=%d op=%v every=%d: %v", shards, op, every, err)
 						}
-						if cr.Root != seqSt.Root() {
+						if cr.Root != seq.Root() {
 							t.Fatalf("shards=%d op=%v every=%d: root diverged from sequential (stats %+v)",
 								shards, op, every, css)
 						}
@@ -60,7 +61,7 @@ func TestAdaptiveChainSerialEquivalenceAllProfiles(t *testing.T) {
 							t.Fatalf("shards=%d op=%v every=%d: root diverged from static map",
 								shards, op, every)
 						}
-						checkChainReceipts(t, p.Name, cr.Receipts, seqs)
+						seq.RequireChain(t, p.Name, cr.Root, cr.Receipts)
 						wantEpochs := (len(blocks) - 1) / every
 						if css.RebalanceEpochs != wantEpochs {
 							t.Fatalf("shards=%d op=%v every=%d: %d rebalance epochs, want %d",
@@ -91,7 +92,7 @@ func TestAdaptiveChainFuzzFixtures(t *testing.T) {
 		{11, 3, 2, 72, 88, 2},
 	} {
 		pre, blocks := fuzzChain(tc.seed, tc.users, tc.hotN, tc.txn, tc.hotPct, tc.spl)
-		seqs, seqSt := seqReplay(t, pre, blocks)
+		seq := testutil.ReplaySequential(t, pre, blocks)
 		for _, shards := range []int{2, 3, 8} {
 			for _, every := range []int{1, 2} {
 				for _, op := range []bool{false, true} {
@@ -99,10 +100,7 @@ func TestAdaptiveChainFuzzFixtures(t *testing.T) {
 					if err != nil {
 						t.Fatalf("seed=%d shards=%d every=%d op=%v: %v", tc.seed, shards, every, op, err)
 					}
-					if cr.Root != seqSt.Root() {
-						t.Fatalf("seed=%d shards=%d every=%d op=%v: root mismatch", tc.seed, shards, every, op)
-					}
-					checkChainReceipts(t, "adaptive", cr.Receipts, seqs)
+					seq.RequireChain(t, "adaptive", cr.Root, cr.Receipts)
 				}
 			}
 		}
@@ -147,13 +145,13 @@ func TestAdaptiveMigrationMovesState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, seqSt := seqReplay(t, pre, blocks)
+	seq := testutil.ReplaySequential(t, pre, blocks)
 	e := adaptiveEngine(4, false, 3)
 	cr, css, err := e.ExecuteChain(pre.Copy(), blocks)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cr.Root != seqSt.Root() {
+	if cr.Root != seq.Root() {
 		t.Fatal("root diverged from sequential replay")
 	}
 	if css.RebalanceEpochs == 0 {
@@ -224,7 +222,7 @@ func TestOverrideShardMapRouting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, seqSt := seqReplay(t, pre, blocks)
+	seq := testutil.ReplaySequential(t, pre, blocks)
 	over := make(map[types.Address]int)
 	for i, blk := range blocks {
 		if len(blk.Txs) > 0 && i%2 == 0 {
@@ -236,7 +234,7 @@ func TestOverrideShardMapRouting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cr.Root != seqSt.Root() {
+	if cr.Root != seq.Root() {
 		t.Fatal("override-map chain diverged from sequential replay")
 	}
 }

@@ -6,26 +6,15 @@ import (
 
 	"txconcur/internal/account"
 	"txconcur/internal/chainsim"
+	"txconcur/internal/exec/testutil"
 )
 
-// replaySequential replays blocks in order from st with the Sequential
-// engine, returning per-block receipts and the final root. This — not the
-// generator's receipt stream — is the pipeline's ground truth: the
-// generator injects each era's popular contracts directly into state
-// between blocks, so a pure block replay can diverge from the generated
-// history at era boundaries while still being a perfectly valid chain.
-func replaySequential(t *testing.T, st *account.StateDB, blocks []*account.Block) ([][]*account.Receipt, *account.StateDB) {
-	t.Helper()
-	all := make([][]*account.Receipt, len(blocks))
-	for i, blk := range blocks {
-		res, err := Sequential(st, blk)
-		if err != nil {
-			t.Fatalf("sequential replay block %d: %v", i, err)
-		}
-		all[i] = res.Receipts
-	}
-	return all, st
-}
+// Sequential replay — not the generator's receipt stream — is the
+// pipeline's ground truth: the generator injects each era's popular
+// contracts directly into state between blocks, so a pure block replay can
+// diverge from the generated history at era boundaries while still being a
+// perfectly valid chain. testutil.ReplaySequential reproduces Sequential
+// exactly (the testutil package's own tests pin that equivalence).
 
 // genChain generates numBlocks blocks for the profile and returns the state
 // before the first block plus the block sequence.
@@ -62,28 +51,14 @@ func TestPipelineSerialEquivalenceAllProfiles(t *testing.T) {
 		}
 		for _, depth := range []int{1, 3} {
 			pre, blocks := genChain(t, p, 12, 11)
-			seqReceipts, seqState := replaySequential(t, pre.Copy(), blocks)
+			seq := testutil.ReplaySequential(t, pre, blocks)
 
 			pipeSt := pre.Copy()
 			res, err := Pipeline{Workers: 8, Depth: depth}.ExecuteChain(pipeSt, blocks)
 			if err != nil {
 				t.Fatalf("%s depth %d: %v", p.Name, depth, err)
 			}
-			if res.Root != seqState.Root() {
-				t.Fatalf("%s depth %d: pipeline root != sequential root", p.Name, depth)
-			}
-			if len(res.Receipts) != len(seqReceipts) {
-				t.Fatalf("%s depth %d: %d receipt blocks, want %d", p.Name, depth, len(res.Receipts), len(seqReceipts))
-			}
-			for b := range seqReceipts {
-				for i, want := range seqReceipts[b] {
-					got := res.Receipts[b][i]
-					if got.GasUsed != want.GasUsed || got.Status != want.Status || got.TxHash != want.TxHash {
-						t.Fatalf("%s depth %d block %d tx %d: receipt gas/status %d/%d, want %d/%d",
-							p.Name, depth, b, i, got.GasUsed, got.Status, want.GasUsed, want.Status)
-					}
-				}
-			}
+			seq.RequireChain(t, p.Name, res.Root, res.Receipts)
 			if res.Stats.Txs > 0 && res.Stats.ParUnits <= 0 {
 				t.Fatalf("%s depth %d: non-positive ParUnits %d", p.Name, depth, res.Stats.ParUnits)
 			}
@@ -134,13 +109,13 @@ func TestPipelineSingleBlock(t *testing.T) {
 // re-execution, never silently committed.
 func TestPipelineCrossBlockConflicts(t *testing.T) {
 	pre, blocks := genChain(t, chainsim.EthereumClassicProfile(), 8, 3)
-	_, seqState := replaySequential(t, pre.Copy(), blocks)
+	seq := testutil.ReplaySequential(t, pre, blocks)
 
 	res, err := Pipeline{Workers: 4, Depth: 2}.ExecuteChain(pre.Copy(), blocks)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Root != seqState.Root() {
+	if res.Root != seq.Root() {
 		t.Fatal("pipeline root mismatch under cross-block conflicts")
 	}
 	// The workloads reuse senders across blocks, so at least one block must

@@ -78,9 +78,11 @@ func (c *ChainShardStats) add(ss *ShardStats) {
 }
 
 // shardedSpecBlock carries one block's phase-1 output from the speculative
-// stage to the cross-shard committer.
+// stage to the cross-shard committer. rel is the block's position within
+// its epoch (the fixed-lag clock runs on epoch-relative positions).
 type shardedSpecBlock struct {
-	idx    int
+	rel    int
+	blk    *account.Block
 	spec   *shardedSpec
 	snaps  []*mvstore.Snapshot[StateKey, stateVal]
 	specTS uint64
@@ -105,6 +107,9 @@ type shardedChain struct {
 	// baseTS+r+1.
 	baseTS uint64
 
+	// all and blockStats grow by append as blocks commit (strictly in
+	// order), so the same accumulator serves slice-backed and streamed
+	// chains alike.
 	all        [][]*account.Receipt
 	blockStats []BlockStats
 	css        *ChainShardStats
@@ -138,12 +143,6 @@ func (e Sharded) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*Ch
 		return nil, nil, ErrNoWorkers
 	}
 	m := e.shardMap()
-	shards := m.Shards()
-	wps := ceilDiv(e.Workers, shards)
-	depth := e.Depth
-	if depth < 1 {
-		depth = 1
-	}
 	start := time.Now()
 
 	am, adaptive := m.(core.AdaptiveShardMap)
@@ -155,47 +154,64 @@ func (e Sharded) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*Ch
 		epochLen = 1
 	}
 
-	c := &shardedChain{
-		st:         st,
-		mvs:        make([]*mvstore.Store[StateKey, stateVal], shards),
-		m:          m,
-		all:        make([][]*account.Receipt, len(blocks)),
-		blockStats: make([]BlockStats, len(blocks)),
-		css:        &ChainShardStats{},
-	}
-	for sh := range c.mvs {
-		c.mvs[sh] = mvstore.NewStoreDelta[StateKey, stateVal](mergeStateVal)
-	}
-
+	c := e.newShardedChain(st, m, len(blocks))
 	for lo := 0; lo < len(blocks); lo += epochLen {
 		hi := lo + epochLen
 		if hi > len(blocks) {
 			hi = len(blocks)
 		}
-		if err := e.runShardedEpoch(c, blocks, lo, hi, am, wps, depth); err != nil {
+		// A slice-backed source never blocks, so the quit channel is moot.
+		src := func(rel int, _ <-chan struct{}) (*account.Block, bool) {
+			if lo+rel >= hi {
+				return nil, false
+			}
+			return blocks[lo+rel], true
+		}
+		if _, err := e.runShardedEpoch(c, src, am, nil); err != nil {
 			return nil, nil, err
 		}
 		if adaptive && e.RebalanceEvery > 0 && hi < len(blocks) {
 			e.migrateShards(c, am.Rebalance())
 		}
 	}
+	return e.finishChain(c, start)
+}
 
-	// Fold every shard's newest values into the caller's state database,
-	// filtered by the final assignment: migration leaves superseded copies
-	// behind on a key's previous shards, and only the owning shard's chain
-	// is guaranteed newest. Under a static map the filter never rejects.
+// newShardedChain builds the chain accumulator with one fresh multi-version
+// store per shard. sizeHint pre-sizes the per-block slices (0 when the
+// block count is unknown, as in a streamed chain).
+func (e Sharded) newShardedChain(st *account.StateDB, m core.ShardMap, sizeHint int) *shardedChain {
+	c := &shardedChain{
+		st:         st,
+		mvs:        make([]*mvstore.Store[StateKey, stateVal], m.Shards()),
+		m:          m,
+		all:        make([][]*account.Receipt, 0, sizeHint),
+		blockStats: make([]BlockStats, 0, sizeHint),
+		css:        &ChainShardStats{},
+	}
 	for sh := range c.mvs {
-		fold := foldResolvedInto(st)
+		c.mvs[sh] = mvstore.NewStoreDelta[StateKey, stateVal](mergeStateVal)
+	}
+	return c
+}
+
+// finishChain folds every shard's newest values into the caller's state
+// database, filtered by the final assignment: migration leaves superseded
+// copies behind on a key's previous shards, and only the owning shard's
+// chain is guaranteed newest. Under a static map the filter never rejects.
+func (e Sharded) finishChain(c *shardedChain, start time.Time) (*ChainResult, *ChainShardStats, error) {
+	for sh := range c.mvs {
+		fold := foldResolvedInto(c.st)
 		c.mvs[sh].RangeLatestResolved(func(k StateKey, v stateVal, anchored bool) bool {
-			if m.Shard(k.Addr) != sh {
+			if c.m.Shard(k.Addr) != sh {
 				return true
 			}
 			return fold(k, v, anchored)
 		})
 	}
-	st.DiscardJournal()
+	c.st.DiscardJournal()
 
-	res := &ChainResult{Receipts: c.all, Root: st.Root(), Blocks: c.blockStats}
+	res := &ChainResult{Receipts: c.all, Root: c.st.Root(), Blocks: c.blockStats}
 	res.Stats = Stats{
 		Workers:    e.Workers,
 		Txs:        c.seqUnits,
@@ -211,14 +227,29 @@ func (e Sharded) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*Ch
 	return res, c.css, nil
 }
 
-// runShardedEpoch pipelines blocks [lo, hi): stage 1 speculates per shard
-// against pinned fixed-lag snapshots (never below the epoch's entry
+// epochSource yields one epoch's blocks to the speculative stage, in order:
+// src(rel, quit) returns the epoch's rel-th block, or false when the epoch
+// is over (boundary reached, slice exhausted, or stream closed). A source
+// backed by a live stream must honour quit — it is closed when the
+// committer aborts, and a source still blocked on its producer would
+// deadlock the drain otherwise.
+type epochSource func(rel int, quit <-chan struct{}) (*account.Block, bool)
+
+// runShardedEpoch pipelines one epoch's blocks: stage 1 speculates per
+// shard against pinned fixed-lag snapshots (never below the epoch's entry
 // timestamp — everything older was superseded by the boundary migration),
 // stage 2 classifies, commits sub-blocks, merges cross-shard and composes,
 // strictly in block order, committing each block's writes to the per-shard
-// stores. On return the epoch's last commit is c.baseTS.
-func (e Sharded) runShardedEpoch(c *shardedChain, blocks []*account.Block, lo, hi int,
-	am core.AdaptiveShardMap, wps, depth int) error {
+// stores. onCommit (optional) fires after each block's writes are durable
+// on every shard, with the block's chain-wide index. Returns the number of
+// blocks committed; on return the epoch's last commit is c.baseTS.
+func (e Sharded) runShardedEpoch(c *shardedChain, src epochSource,
+	am core.AdaptiveShardMap, onCommit func(idx int, blk *account.Block, receipts []*account.Receipt)) (int, error) {
+	wps := ceilDiv(e.Workers, c.m.Shards())
+	depth := e.Depth
+	if depth < 1 {
+		depth = 1
+	}
 	st, mvs, m := c.st, c.mvs, c.m
 	shards := m.Shards()
 	baseTS := c.baseTS
@@ -243,8 +274,11 @@ func (e Sharded) runShardedEpoch(c *shardedChain, blocks []*account.Block, lo, h
 	}
 	go func() {
 		defer close(specCh)
-		for i := lo; i < hi; i++ {
-			blk := blocks[i]
+		for rel := 0; ; rel++ {
+			blk, ok := src(rel, done)
+			if !ok {
+				return
+			}
 			// Deterministic pessimistic snapshot (Pipeline.FixedLag): when
 			// stage 1 starts the epoch's rel-th block it has pushed the
 			// previous rel blocks through a channel of capacity depth, so
@@ -252,14 +286,17 @@ func (e Sharded) runShardedEpoch(c *shardedChain, blocks []*account.Block, lo, h
 			// all but its current one: baseTS+rel−depth−1 is guaranteed
 			// durable on every shard. Earlier epochs are fully durable
 			// (the boundary drained), so the floor is the epoch's entry
-			// timestamp.
-			rel := i - lo
+			// timestamp. The clock runs on epoch-relative positions, so a
+			// streamed source — whose producers have arbitrary timing —
+			// yields the same pins, and therefore the same re-execution
+			// counts and schedule stats, as the slice-backed batch run.
 			ts := baseTS
 			if rel > depth {
 				ts = baseTS + uint64(rel-depth-1)
 			}
 			sb := shardedSpecBlock{
-				idx:    i,
+				rel:    rel,
+				blk:    blk,
 				snaps:  make([]*mvstore.Snapshot[StateKey, stateVal], shards),
 				specTS: ts,
 			}
@@ -279,15 +316,15 @@ func (e Sharded) runShardedEpoch(c *shardedChain, blocks []*account.Block, lo, h
 	}()
 
 	// Stage 2: classification, per-shard sub-block commit, cross-shard
-	// merge and composition — strictly in block order.
-	p1Units := make([]int, hi-lo)
-	p2Units := make([]int, hi-lo)
-	p1Gas := make([]uint64, hi-lo)
-	p2Gas := make([]uint64, hi-lo)
+	// merge and composition — strictly in block order (stage 1 emits in
+	// order and the channel preserves it, so appends index correctly).
+	var p1Units, p2Units []int
+	var p1Gas, p2Gas []uint64
 
+	n := 0
 	for sb := range specCh {
-		blk := blocks[sb.idx]
-		rel := sb.idx - lo
+		blk := sb.blk
+		rel := sb.rel
 		commitTS := baseTS + uint64(rel) + 1
 		specTS := sb.specTS
 
@@ -312,7 +349,7 @@ func (e Sharded) runShardedEpoch(c *shardedChain, blocks []*account.Block, lo, h
 		sb.release()
 		if err != nil {
 			abort()
-			return fmt.Errorf("exec: sharded chain block %d: %w", blk.Height, err)
+			return n, fmt.Errorf("exec: sharded chain block %d: %w", blk.Height, err)
 		}
 
 		// Deferred fees and block reward, exactly as finalizeBlock does,
@@ -331,7 +368,7 @@ func (e Sharded) runShardedEpoch(c *shardedChain, blocks []*account.Block, lo, h
 			// in lockstep so fixed-lag pins stay valid on all shards.
 			if err := mvs[sh].CommitWrites(commitTS, parts[sh]); err != nil {
 				abort()
-				return fmt.Errorf("exec: sharded chain block %d shard %d: %w", blk.Height, sh, err)
+				return n, fmt.Errorf("exec: sharded chain block %d shard %d: %w", blk.Height, sh, err)
 			}
 		}
 		if am != nil && out.obs != nil {
@@ -348,34 +385,38 @@ func (e Sharded) runShardedEpoch(c *shardedChain, blocks []*account.Block, lo, h
 			}
 		}
 
-		c.all[sb.idx] = out.receipts
+		c.all = append(c.all, out.receipts)
 		c.css.add(out.ss)
 		x := len(blk.Txs)
 		gasBlock := costSum(e.Cost, blk.Txs, out.receipts)
-		c.blockStats[sb.idx] = BlockStats{
+		c.blockStats = append(c.blockStats, BlockStats{
 			Txs:        x,
 			Reexecuted: out.conflicted,
 			Lag:        int(commitTS-1) - int(specTS),
-		}
+		})
 		// Two-stage flow shop: machine 1 is the per-shard speculative
 		// spread (overlappable with the previous block's commit), machine 2
 		// everything ordered — shard bins, merge waves, repairs. The two
 		// sum to the per-block engine's ParUnits, so pipelining can only
 		// help.
-		p1Units[rel] = out.spreadUnits
-		p2Units[rel] = out.intraUnits - out.spreadUnits + out.mergeUnits + out.repairs
-		p1Gas[rel] = out.spreadGas
-		p2Gas[rel] = out.intraGas - out.spreadGas + out.mergeGas + out.repairGas
+		p1Units = append(p1Units, out.spreadUnits)
+		p2Units = append(p2Units, out.intraUnits-out.spreadUnits+out.mergeUnits+out.repairs)
+		p1Gas = append(p1Gas, out.spreadGas)
+		p2Gas = append(p2Gas, out.intraGas-out.spreadGas+out.mergeGas+out.repairGas)
 		c.seqUnits += x
 		c.gasSeq += gasBlock
 		c.conflicted += out.conflicted
 		c.retries += out.binned + out.mergeReexecs + out.redos + out.repairs
+		n++
+		if onCommit != nil {
+			onCommit(len(c.all)-1, blk, out.receipts)
+		}
 	}
 
-	c.baseTS = baseTS + uint64(hi-lo)
+	c.baseTS = baseTS + uint64(n)
 	c.parUnits += flowShopMakespan(p1Units, p2Units)
 	c.gasParUnits += flowShopMakespan(p1Gas, p2Gas)
-	return nil
+	return n, nil
 }
 
 // migrateShards applies one rebalance's moves to the per-shard stores: for

@@ -5,42 +5,8 @@ import (
 
 	"txconcur/internal/account"
 	"txconcur/internal/chainsim"
+	"txconcur/internal/exec/testutil"
 )
-
-// seqReplay replays blocks sequentially from a copy of pre, returning the
-// per-block results and the final chain root.
-func seqReplay(t *testing.T, pre *account.StateDB, blocks []*account.Block) ([]*Result, *account.StateDB) {
-	t.Helper()
-	work := pre.Copy()
-	seqs := make([]*Result, len(blocks))
-	for i, blk := range blocks {
-		seq, err := Sequential(work, blk)
-		if err != nil {
-			t.Fatalf("sequential replay block %d: %v", i, err)
-		}
-		seqs[i] = seq
-	}
-	return seqs, work
-}
-
-func checkChainReceipts(t *testing.T, name string, got [][]*account.Receipt, seqs []*Result) {
-	t.Helper()
-	if len(got) != len(seqs) {
-		t.Fatalf("%s: %d receipt blocks, want %d", name, len(got), len(seqs))
-	}
-	for b := range got {
-		if len(got[b]) != len(seqs[b].Receipts) {
-			t.Fatalf("%s block %d: %d receipts, want %d", name, b, len(got[b]), len(seqs[b].Receipts))
-		}
-		for i := range got[b] {
-			a, w := got[b][i], seqs[b].Receipts[i]
-			if a.Status != w.Status || a.GasUsed != w.GasUsed || a.TxHash != w.TxHash ||
-				len(a.Internal) != len(w.Internal) {
-				t.Fatalf("%s block %d receipt %d differs: %+v vs %+v", name, b, i, a, w)
-			}
-		}
-	}
-}
 
 // TestShardedChainSerialEquivalenceAllProfiles: the pipelined sharded
 // engine must reproduce the sequential chain root and receipts on every
@@ -59,7 +25,7 @@ func TestShardedChainSerialEquivalenceAllProfiles(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			seqs, seqSt := seqReplay(t, pre, blocks)
+			seq := testutil.ReplaySequential(t, pre, blocks)
 			for _, shards := range []int{1, 2, 4, 8} {
 				for _, op := range []bool{false, true} {
 					cr, css, err := Sharded{Workers: 8, Shards: shards, OpLevel: op, Depth: 2}.
@@ -67,10 +33,10 @@ func TestShardedChainSerialEquivalenceAllProfiles(t *testing.T) {
 					if err != nil {
 						t.Fatalf("shards=%d op=%v: %v", shards, op, err)
 					}
-					if cr.Root != seqSt.Root() {
+					if cr.Root != seq.Root() {
 						t.Fatalf("shards=%d op=%v: chain root mismatch (stats %+v)", shards, op, css)
 					}
-					checkChainReceipts(t, p.Name, cr.Receipts, seqs)
+					seq.RequireChain(t, p.Name, cr.Root, cr.Receipts)
 					if len(css.Blocks) != len(blocks) {
 						t.Fatalf("shards=%d op=%v: %d block stats, want %d",
 							shards, op, len(css.Blocks), len(blocks))
@@ -94,7 +60,7 @@ func TestShardedChainFuzzFixtures(t *testing.T) {
 		{3, 20, 3, 79, 50, 0},
 	} {
 		pre, blocks := fuzzChain(tc.seed, tc.users, tc.hotN, tc.txn, tc.hotPct, tc.spl)
-		seqs, seqSt := seqReplay(t, pre, blocks)
+		seq := testutil.ReplaySequential(t, pre, blocks)
 		for _, shards := range []int{1, 2, 3, 8} {
 			for _, depth := range []int{1, 3} {
 				for _, op := range []bool{false, true} {
@@ -103,10 +69,7 @@ func TestShardedChainFuzzFixtures(t *testing.T) {
 					if err != nil {
 						t.Fatalf("seed=%d shards=%d depth=%d op=%v: %v", tc.seed, shards, depth, op, err)
 					}
-					if cr.Root != seqSt.Root() {
-						t.Fatalf("seed=%d shards=%d depth=%d op=%v: root mismatch", tc.seed, shards, depth, op)
-					}
-					checkChainReceipts(t, "chain", cr.Receipts, seqs)
+					seq.RequireChain(t, "chain", cr.Root, cr.Receipts)
 				}
 			}
 		}

@@ -1,0 +1,106 @@
+package exec
+
+import (
+	"time"
+
+	"txconcur/internal/account"
+	"txconcur/internal/core"
+)
+
+// ExecuteChainStream is Sharded.ExecuteChain over a live block stream: the
+// incremental chain driver behind the streaming block-builder service.
+// Blocks are consumed from the channel as the builder closes them, the
+// per-shard speculative phase 1 of a later block overlapping the
+// cross-shard commit of an earlier one exactly as in the batch driver; the
+// stream ends when the channel is closed (a nil block also ends it,
+// defensively). st is mutated on success, after every streamed block has
+// committed.
+//
+// onCommit, if non-nil, fires synchronously after each block's writes are
+// durable on every shard — the hook the builder service uses to record
+// submit → committed latency. idx is the block's chain-wide index (0-based
+// in stream order). onCommit runs on the committer goroutine: a slow
+// callback stalls the commit stage (though phase 1 keeps speculating up to
+// Depth blocks ahead).
+//
+// Determinism: the fixed-lag snapshot discipline runs on epoch-relative
+// block positions, never on producer timing, so feeding the same block
+// sequence through a channel — however bursty — produces the same root,
+// receipts, re-execution counts and schedule stats as ExecuteChain on the
+// equivalent slice. The streaming tests pin that equivalence.
+//
+// With an adaptive map and RebalanceEvery > 0 the stream is segmented into
+// epochs like the batch driver. At each boundary the driver must decide
+// whether more blocks are coming (the batch driver rebalances only between
+// epochs, never after the last block), so it blocks reading one look-ahead
+// block before migrating; a closed channel instead ends the chain with no
+// trailing rebalance — again matching the batch segmentation exactly.
+//
+// On error the committer aborts and the speculative stage stops reading the
+// channel; the caller owns stopping its producers (the builder does so via
+// its context).
+func (e Sharded) ExecuteChainStream(st *account.StateDB, blocks <-chan *account.Block,
+	onCommit func(idx int, blk *account.Block, receipts []*account.Receipt)) (*ChainResult, *ChainShardStats, error) {
+	if e.Workers < 1 {
+		return nil, nil, ErrNoWorkers
+	}
+	m := e.shardMap()
+	start := time.Now()
+
+	am, adaptive := m.(core.AdaptiveShardMap)
+	// A streamed chain has no known length: without rebalancing the whole
+	// stream is one epoch (epochLen caps nothing), with rebalancing the
+	// boundary falls every RebalanceEvery blocks as in the batch driver.
+	epochLen := int(^uint(0) >> 1)
+	if adaptive && e.RebalanceEvery > 0 {
+		epochLen = e.RebalanceEvery
+	}
+	if epochLen < 1 {
+		epochLen = 1
+	}
+
+	c := e.newShardedChain(st, m, 0)
+	var pushback *account.Block
+	for {
+		src := func(rel int, quit <-chan struct{}) (*account.Block, bool) {
+			if rel >= epochLen {
+				return nil, false
+			}
+			if pushback != nil {
+				b := pushback
+				pushback = nil
+				return b, true
+			}
+			select {
+			case b, ok := <-blocks:
+				if !ok || b == nil {
+					return nil, false
+				}
+				return b, true
+			case <-quit:
+				return nil, false
+			}
+		}
+		n, err := e.runShardedEpoch(c, src, am, onCommit)
+		if err != nil {
+			return nil, nil, err
+		}
+		if n < epochLen {
+			// The stream closed mid-epoch; the batch driver would not
+			// rebalance after its last block either.
+			break
+		}
+		// Epoch boundary: peek one block ahead (blocking — the pipeline is
+		// drained, nothing else is in flight) to learn whether the chain
+		// continues before paying for a rebalance.
+		b, ok := <-blocks
+		if !ok || b == nil {
+			break
+		}
+		pushback = b
+		if adaptive && e.RebalanceEvery > 0 {
+			e.migrateShards(c, am.Rebalance())
+		}
+	}
+	return e.finishChain(c, start)
+}

@@ -1,0 +1,143 @@
+package exec
+
+import (
+	"testing"
+
+	"txconcur/internal/account"
+	"txconcur/internal/chainsim"
+	"txconcur/internal/exec/testutil"
+	"txconcur/internal/heat"
+)
+
+// feed sends blocks on a fresh channel from a separate goroutine, closing
+// it when done — the shape the streaming builder produces.
+func feed(blocks []*account.Block) <-chan *account.Block {
+	ch := make(chan *account.Block)
+	go func() {
+		defer close(ch)
+		for _, b := range blocks {
+			ch <- b
+		}
+	}()
+	return ch
+}
+
+// TestStreamChainMatchesBatch: feeding the same blocks through
+// ExecuteChainStream must reproduce ExecuteChain exactly — root, receipts,
+// schedule stats and shard counters — across shard counts, conflict modes
+// and depths, with onCommit observing every block in order. This is the
+// determinism contract that lets the streaming service reuse the batch
+// drivers' serial-equivalence guarantees wholesale.
+func TestStreamChainMatchesBatch(t *testing.T) {
+	pre, blocks, err := chainsim.GenerateAccountChain(chainsim.ShardSkewProfile(), 6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := testutil.ReplaySequential(t, pre, blocks)
+	for _, shards := range []int{1, 4} {
+		for _, op := range []bool{false, true} {
+			for _, depth := range []int{1, 3} {
+				e := Sharded{Workers: 8, Shards: shards, OpLevel: op, Depth: depth}
+				batch, bcss, err := e.ExecuteChain(pre.Copy(), blocks)
+				if err != nil {
+					t.Fatalf("batch shards=%d op=%v depth=%d: %v", shards, op, depth, err)
+				}
+				var committed []int
+				stream, scss, err := e.ExecuteChainStream(pre.Copy(), feed(blocks),
+					func(idx int, blk *account.Block, receipts []*account.Receipt) {
+						committed = append(committed, idx)
+						if len(receipts) != len(blk.Txs) {
+							t.Errorf("onCommit block %d: %d receipts for %d txs", idx, len(receipts), len(blk.Txs))
+						}
+					})
+				if err != nil {
+					t.Fatalf("stream shards=%d op=%v depth=%d: %v", shards, op, depth, err)
+				}
+				seq.RequireChain(t, "stream", stream.Root, stream.Receipts)
+				if stream.Root != batch.Root {
+					t.Fatalf("shards=%d op=%v depth=%d: stream root diverged from batch", shards, op, depth)
+				}
+				if stream.Stats.ParUnits != batch.Stats.ParUnits ||
+					stream.Stats.GasPar != batch.Stats.GasPar ||
+					stream.Stats.Retries != batch.Stats.Retries ||
+					stream.Stats.Conflicted != batch.Stats.Conflicted {
+					t.Fatalf("shards=%d op=%v depth=%d: stream stats %+v != batch %+v",
+						shards, op, depth, stream.Stats, batch.Stats)
+				}
+				if scss.Cross != bcss.Cross || scss.CrossAborts != bcss.CrossAborts ||
+					scss.Repairs != bcss.Repairs || scss.MergeUnits != bcss.MergeUnits {
+					t.Fatalf("shards=%d op=%v depth=%d: shard counters diverged: %+v vs %+v",
+						shards, op, depth, scss, bcss)
+				}
+				if len(committed) != len(blocks) {
+					t.Fatalf("onCommit fired %d times for %d blocks", len(committed), len(blocks))
+				}
+				for i, idx := range committed {
+					if idx != i {
+						t.Fatalf("onCommit out of order: %v", committed)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamChainAdaptiveEpochs: the streamed adaptive chain must segment
+// into the same epochs — same rebalance count, same migrations, same root —
+// as the batch driver, including the "no rebalance after the last block"
+// boundary rule (the stream learns it by peeking ahead).
+func TestStreamChainAdaptiveEpochs(t *testing.T) {
+	pre, blocks, err := chainsim.GenerateAccountChain(chainsim.ShardDriftProfile(), 9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := testutil.ReplaySequential(t, pre, blocks)
+	// every=3 on 9 blocks lands a boundary exactly at the end — the case
+	// where batch skips the trailing rebalance and the stream must too.
+	for _, every := range []int{1, 3, 4} {
+		batchEng := Sharded{Workers: 8, Depth: 2, Map: heat.NewAdaptiveMap(4, nil), RebalanceEvery: every}
+		batch, bcss, err := batchEng.ExecuteChain(pre.Copy(), blocks)
+		if err != nil {
+			t.Fatalf("batch every=%d: %v", every, err)
+		}
+		streamEng := Sharded{Workers: 8, Depth: 2, Map: heat.NewAdaptiveMap(4, nil), RebalanceEvery: every}
+		stream, scss, err := streamEng.ExecuteChainStream(pre.Copy(), feed(blocks), nil)
+		if err != nil {
+			t.Fatalf("stream every=%d: %v", every, err)
+		}
+		seq.RequireChain(t, "adaptive stream", stream.Root, stream.Receipts)
+		if stream.Root != batch.Root {
+			t.Fatalf("every=%d: stream root diverged from batch", every)
+		}
+		if scss.RebalanceEpochs != bcss.RebalanceEpochs || scss.Migrations != bcss.Migrations ||
+			scss.MigrationUnits != bcss.MigrationUnits {
+			t.Fatalf("every=%d: epoch accounting diverged: stream %+v vs batch %+v", every, scss, bcss)
+		}
+		if stream.Stats.ParUnits != batch.Stats.ParUnits {
+			t.Fatalf("every=%d: makespan diverged: %d vs %d", every, stream.Stats.ParUnits, batch.Stats.ParUnits)
+		}
+	}
+}
+
+// TestStreamChainEmptyAndValidation: worker validation and the empty
+// stream mirror the batch driver's edge cases.
+func TestStreamChainEmptyAndValidation(t *testing.T) {
+	st := account.NewStateDB()
+	ch := make(chan *account.Block)
+	close(ch)
+	if _, _, err := (Sharded{Workers: 0, Shards: 2}).ExecuteChainStream(st, ch, nil); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	ch2 := make(chan *account.Block)
+	close(ch2)
+	cr, css, err := (Sharded{Workers: 2, Shards: 2}).ExecuteChainStream(st, ch2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Receipts) != 0 || len(css.Blocks) != 0 {
+		t.Fatalf("empty stream produced %d blocks", len(cr.Receipts))
+	}
+	if cr.Stats.Speedup != 1 {
+		t.Fatalf("empty stream speed-up = %v, want 1", cr.Stats.Speedup)
+	}
+}

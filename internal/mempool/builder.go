@@ -1,0 +1,216 @@
+package mempool
+
+import (
+	"context"
+	"time"
+
+	"txconcur/internal/account"
+	"txconcur/internal/types"
+)
+
+// BuilderConfig parameterises the block builder.
+type BuilderConfig struct {
+	// Packer selects each block's transactions (default ConflictAware).
+	Packer Packer
+	// Pack bounds each block (MaxTxs, HotKeyCap).
+	Pack PackConfig
+	// Coinbase is credited each block's fees and reward.
+	Coinbase types.Address
+	// BaseHeight numbers the first built block (heights then increment by
+	// one) and BaseTime stamps it; each block advances BlockInterval
+	// seconds (default 1).
+	BaseHeight    uint64
+	BaseTime      int64
+	BlockInterval int64
+	// Flush bounds how long an underfull block waits for more arrivals
+	// while the pool is open: once at least one transaction is pending and
+	// nothing new arrives for Flush, the partial block closes. Zero means
+	// wait for a full block or pool close — the deterministic setting the
+	// tests use.
+	Flush time.Duration
+}
+
+// BuiltBlock is one closed block plus the bookkeeping the latency metrics
+// need: the pool-admission time of each packed transaction, index-aligned
+// with Block.Txs.
+type BuiltBlock struct {
+	Block     *account.Block
+	Submitted []time.Time
+	// Deferred counts packed candidates this round that failed sequential
+	// validation (bad nonce or insufficient funds under the repacked
+	// order) and were returned to the pool for a later block.
+	Deferred int
+}
+
+// Builder drains a Pool into sequentially-validated blocks.
+//
+// Packing can reorder transactions across senders, and a reordering can
+// invalidate an envelope that was valid in arrival order (a payment
+// overtaken by the spend it funds). Every engine treats an envelope
+// failure as a whole-block failure, so the builder replays each candidate
+// block on its own sequential replica before emitting it: transactions
+// that fail validation are deferred back to the pool — preserving arrival
+// order, and dragging their sender's later nonces with them via the same
+// nonce check — and retried in a later block once their funding lands.
+// The replica applies exactly the engines' sequential semantics (deferred
+// fees, then the block reward), so a block the builder emits is a block
+// every engine will accept.
+type Builder struct {
+	pool    *Pool
+	cfg     BuilderConfig
+	replica *account.StateDB
+	proc    account.Processor
+	height  uint64
+}
+
+// NewBuilder builds a Builder over the pool; pre is the state before the
+// first block (copied — the caller's StateDB is never touched).
+func NewBuilder(pool *Pool, pre *account.StateDB, cfg BuilderConfig) *Builder {
+	if cfg.Packer == nil {
+		cfg.Packer = ConflictAware{}
+	}
+	cfg.Pack = cfg.Pack.normalized()
+	if cfg.BlockInterval < 1 {
+		cfg.BlockInterval = 1
+	}
+	return &Builder{
+		pool:    pool,
+		cfg:     cfg,
+		replica: pre.Copy(),
+		proc:    account.Processor{DeferCoinbase: true},
+		height:  cfg.BaseHeight,
+	}
+}
+
+// Run drains the pool into blocks until the pool is closed and empty (or
+// ctx ends), sending each validated block on out. out is closed on return.
+// Returns the transactions that remained unpackable after the pool closed
+// — permanently invalid envelopes (nil for a well-formed workload) — so
+// callers can assert nothing was silently dropped.
+func (b *Builder) Run(ctx context.Context, out chan<- BuiltBlock) ([]*Pending, error) {
+	defer close(out)
+	for {
+		pending, closed := b.pool.view()
+		if len(pending) == 0 {
+			if closed {
+				return nil, nil
+			}
+			if err := b.wait(ctx); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if len(pending) < b.cfg.Pack.MaxTxs && len(pending) < b.pool.Cap() && !closed {
+			// Underfull: wait for more arrivals, the pool closing, or —
+			// with Flush set — a lull long enough to close a partial
+			// block. A pool at capacity is packed immediately even if
+			// underfull — waiting would deadlock against submitters
+			// blocked on slots.
+			flushed, err := b.waitOrFlush(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if !flushed {
+				continue
+			}
+			// Flush lull: fall through and pack what is pending.
+		}
+
+		bb, removed := b.packOne(pending)
+		if len(removed) == 0 {
+			// Everything packable failed validation. If the pool is
+			// closed no new funds can arrive: what is left is permanently
+			// invalid. Otherwise wait for arrivals before retrying.
+			if closed {
+				return pending, nil
+			}
+			if err := b.wait(ctx); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		b.pool.remove(removed)
+		select {
+		case out <- bb:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// wait blocks until the pool signals an arrival or closes, or ctx ends.
+func (b *Builder) wait(ctx context.Context) error {
+	select {
+	case <-b.pool.arrival:
+		return nil
+	case <-b.pool.closedCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// waitOrFlush waits like wait but additionally arms the Flush timer (when
+// configured), reporting whether the lull — not an arrival — ended the
+// wait.
+func (b *Builder) waitOrFlush(ctx context.Context) (bool, error) {
+	var timer <-chan time.Time
+	if b.cfg.Flush > 0 {
+		t := time.NewTimer(b.cfg.Flush)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case <-b.pool.arrival:
+		return false, nil
+	case <-b.pool.closedCh:
+		return false, nil
+	case <-timer:
+		return true, nil
+	case <-ctx.Done():
+		return false, ctx.Err()
+	}
+}
+
+// packOne packs and validates one block from the pending snapshot,
+// advancing the replica. It returns the built block and the arrival
+// numbers to remove from the pool; an empty removal set means every
+// candidate failed validation (the block was not built).
+func (b *Builder) packOne(pending []*Pending) (BuiltBlock, map[uint64]bool) {
+	idx := b.cfg.Packer.Pack(pending, b.cfg.Pack)
+	blk := &account.Block{
+		Height:   b.height,
+		Time:     b.cfg.BaseTime + int64(b.height-b.cfg.BaseHeight)*b.cfg.BlockInterval,
+		Coinbase: b.cfg.Coinbase,
+		// GasLimit 0 = unlimited: admission control is the pool's job; a
+		// gas-full block under repacking would only re-defer valid txs.
+	}
+	removed := make(map[uint64]bool, len(idx))
+	var receipts []*account.Receipt
+	var times []time.Time
+	deferred := 0
+	for _, i := range idx {
+		cand := pending[i]
+		// ApplyTransaction leaves the replica untouched on failure, so a
+		// deferred candidate costs nothing; blk's header fields are final
+		// and Txs is not read by the VM, so filling Txs afterwards is
+		// sound.
+		rcpt, err := b.proc.ApplyTransaction(b.replica, blk, cand.Tx)
+		if err != nil {
+			deferred++
+			continue
+		}
+		blk.Txs = append(blk.Txs, cand.Tx)
+		receipts = append(receipts, rcpt)
+		times = append(times, cand.Submitted)
+		removed[cand.seq] = true
+	}
+	if len(blk.Txs) == 0 {
+		return BuiltBlock{}, nil
+	}
+	b.replica.AddBalance(blk.Coinbase, account.Fees(blk.Txs, receipts))
+	b.replica.AddBalance(blk.Coinbase, account.BlockReward)
+	b.replica.DiscardJournal()
+	b.height++
+	return BuiltBlock{Block: blk, Submitted: times, Deferred: deferred}, removed
+}

@@ -1,0 +1,131 @@
+package mempool
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"txconcur/internal/account"
+	"txconcur/internal/types"
+)
+
+// FuzzMempoolPacker drives the whole service — concurrent submitters with
+// backpressure, optional mid-stream context cancellation, both packers —
+// from fuzzer-chosen parameters and asserts the invariants that must hold
+// under any interleaving: no panic, no deadlock (a watchdog context), exact
+// conservation (every admitted transaction emitted exactly once, no
+// duplicates), and per-sender nonce order across the emitted blocks.
+func FuzzMempoolPacker(f *testing.F) {
+	f.Add(int64(1), byte(4), byte(40), byte(8), byte(12), byte(2), byte(0))
+	f.Add(int64(-77), byte(11), byte(95), byte(1), byte(1), byte(1), byte(1))
+	f.Add(int64(2020), byte(2), byte(60), byte(3), byte(30), byte(5), byte(3))
+	f.Fuzz(func(t *testing.T, seed int64, sendersRaw, txsRaw, capRaw, maxRaw, hotRaw, flags byte) {
+		nSenders := int(sendersRaw%12) + 1
+		nTxs := int(txsRaw%96) + 1
+		poolCap := int(capRaw%48) + 1
+		cfg := BuilderConfig{
+			Pack:     PackConfig{MaxTxs: int(maxRaw%32) + 1, HotKeyCap: int(hotRaw%8) + 1},
+			Coinbase: types.AddressFromUint64("miner", 1),
+		}
+		if flags&1 != 0 {
+			cfg.Packer = FIFO{}
+		}
+		cancelOne := flags&2 != 0
+
+		pre := account.NewStateDB()
+		for s := 0; s < nSenders; s++ {
+			pre.AddBalance(addr(uint64(s)), 1<<40)
+		}
+		// Per-sender nonce chains, dealt round-robin to three submitter
+		// goroutines by sender so each sender's order is preserved.
+		rng := rand.New(rand.NewSource(seed))
+		chains := make([][]*Pending, nSenders)
+		for i := 0; i < nTxs; i++ {
+			s := rng.Intn(nSenders)
+			tx := transfer(uint64(s), uint64(100+rng.Intn(5)), uint64(len(chains[s])), 1)
+			p := PredictTransfer(tx)
+			if rng.Intn(4) == 0 {
+				p.Reads = append(p.Reads, "hot")
+				p.Writes = append(p.Writes, "hot")
+			}
+			chains[s] = append(chains[s], p)
+		}
+
+		watchdog, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		pool := New(poolCap)
+		builder := NewBuilder(pool, pre, cfg)
+		out := make(chan BuiltBlock, 8)
+		runDone := make(chan struct{})
+		var leftovers []*Pending
+		var runErr error
+		go func() {
+			defer close(runDone)
+			leftovers, runErr = builder.Run(watchdog, out)
+		}()
+
+		var admitted atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			subCtx := watchdog
+			var subCancel context.CancelFunc
+			if cancelOne && g == 1 {
+				// One submitter's context dies mid-stream: its remaining
+				// submissions fail, but every sender still keeps a clean
+				// nonce prefix (each sender belongs to one goroutine).
+				subCtx, subCancel = context.WithTimeout(watchdog, time.Millisecond)
+				defer subCancel()
+			}
+			wg.Add(1)
+			go func(g int, ctx context.Context) {
+				defer wg.Done()
+				for s := g; s < nSenders; s += 3 {
+					for _, p := range chains[s] {
+						if err := pool.Submit(ctx, p); err != nil {
+							break // cancelled: drop this sender's suffix
+						}
+						admitted.Add(1)
+					}
+				}
+			}(g, subCtx)
+		}
+		go func() {
+			wg.Wait()
+			pool.Close()
+		}()
+
+		emitted := 0
+		seen := make(map[types.Hash]bool)
+		nextNonce := make(map[types.Address]uint64)
+		for bb := range out {
+			for _, tx := range bb.Block.Txs {
+				emitted++
+				h := tx.Hash()
+				if seen[h] {
+					t.Fatalf("transaction emitted twice: %s", h.Short())
+				}
+				seen[h] = true
+				if tx.Nonce != nextNonce[tx.From] {
+					t.Fatalf("sender %s reordered: nonce %d after %d",
+						tx.From.Short(), tx.Nonce, nextNonce[tx.From])
+				}
+				nextNonce[tx.From] = tx.Nonce + 1
+			}
+		}
+		<-runDone
+		if runErr != nil {
+			t.Fatalf("builder stalled or failed: %v", runErr)
+		}
+		// Every sender keeps a contiguous nonce prefix, so nothing is ever
+		// permanently unpackable: conservation is exact.
+		if len(leftovers) != 0 {
+			t.Fatalf("%d transactions left unpackable", len(leftovers))
+		}
+		if int64(emitted) != admitted.Load() {
+			t.Fatalf("emitted %d of %d admitted transactions", emitted, admitted.Load())
+		}
+	})
+}

@@ -1,0 +1,239 @@
+package mempool
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"txconcur/internal/account"
+	"txconcur/internal/types"
+)
+
+// genWorkload derives a deterministic pending list from a seed: a handful
+// of senders with in-order nonce chains, predictions from PredictTransfer,
+// some transactions additionally touching shared contract keys (hot reads/
+// writes or commuting deltas).
+func genWorkload(seed int64, n int) []*Pending {
+	rng := rand.New(rand.NewSource(seed))
+	nonces := make(map[types.Address]uint64)
+	out := make([]*Pending, 0, n)
+	for i := 0; i < n; i++ {
+		from := addr(uint64(rng.Intn(8)))
+		tx := transfer(0, uint64(100+rng.Intn(4)), nonces[from], 1)
+		tx.From = from
+		nonces[from]++
+		p := PredictTransfer(tx)
+		if rng.Intn(3) == 0 {
+			k := fmt.Sprintf("hot%d", rng.Intn(3))
+			if rng.Intn(2) == 0 {
+				p.Reads = append(p.Reads, k)
+				p.Writes = append(p.Writes, k)
+			} else {
+				p.Deltas = append(p.Deltas, k)
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// checkContract asserts the Packer interface contract on one Pack call:
+// strictly increasing indices within bounds, at most MaxTxs, progress
+// (pending[0] picked), and the per-sender prefix rule.
+func checkContract(t *testing.T, name string, pending []*Pending, cfg PackConfig, idx []int) {
+	t.Helper()
+	cfg = cfg.normalized()
+	if len(idx) > cfg.MaxTxs {
+		t.Fatalf("%s: packed %d > MaxTxs %d", name, len(idx), cfg.MaxTxs)
+	}
+	if len(pending) > 0 && (len(idx) == 0 || idx[0] != 0) {
+		t.Fatalf("%s: no progress — pending[0] not picked (idx=%v)", name, idx)
+	}
+	picked := make(map[int]bool, len(idx))
+	for i, v := range idx {
+		if v < 0 || v >= len(pending) {
+			t.Fatalf("%s: index %d out of range", name, v)
+		}
+		if i > 0 && v <= idx[i-1] {
+			t.Fatalf("%s: indices not strictly increasing: %v", name, idx)
+		}
+		picked[v] = true
+	}
+	// Prefix rule: picking pending[i] requires every earlier tx from the
+	// same sender to be picked too, or nonces would commit out of order.
+	for _, v := range idx {
+		from := pending[v].Tx.From
+		for j := 0; j < v; j++ {
+			if pending[j].Tx.From == from && !picked[j] {
+				t.Fatalf("%s: sender %s reordered — pending[%d] picked, pending[%d] skipped",
+					name, from.Short(), v, j)
+			}
+		}
+	}
+}
+
+func packers() []Packer { return []Packer{FIFO{}, ConflictAware{}} }
+
+// TestQuickPackerContract: the interface contract holds for random
+// workloads and configs, for both packers.
+func TestQuickPackerContract(t *testing.T) {
+	f := func(seed int64, nRaw, maxRaw, capRaw uint8) bool {
+		n := int(nRaw % 64)
+		cfg := PackConfig{MaxTxs: int(maxRaw%24) + 1, HotKeyCap: int(capRaw%5) + 1}
+		pending := genWorkload(seed, n)
+		for _, p := range packers() {
+			checkContract(t, p.Name(), pending, cfg, p.Pack(pending, cfg))
+		}
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPackerDrainConservation: repeatedly packing and removing until
+// the pool view is empty drops nothing and duplicates nothing — every
+// transaction is packed exactly once, and the loop terminates (progress).
+func TestQuickPackerDrainConservation(t *testing.T) {
+	f := func(seed int64, nRaw, maxRaw, capRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		cfg := PackConfig{MaxTxs: int(maxRaw%24) + 1, HotKeyCap: int(capRaw%5) + 1}
+		for _, p := range packers() {
+			pending := genWorkload(seed, n)
+			counts := make(map[*Pending]int, n)
+			for _, tx := range pending {
+				counts[tx]++
+			}
+			for rounds := 0; len(pending) > 0; rounds++ {
+				if rounds > n {
+					t.Fatalf("%s: drain did not terminate in %d rounds", p.Name(), n)
+				}
+				idx := p.Pack(pending, cfg)
+				checkContract(t, p.Name(), pending, cfg, idx)
+				inBlock := make(map[int]bool, len(idx))
+				for _, v := range idx {
+					counts[pending[v]]--
+					inBlock[v] = true
+				}
+				kept := pending[:0]
+				for i, tx := range pending {
+					if !inBlock[i] {
+						kept = append(kept, tx)
+					}
+				}
+				pending = kept
+			}
+			for tx, c := range counts {
+				if c != 0 {
+					t.Fatalf("%s: %s nonce %d packed %d times too %s",
+						p.Name(), tx.Tx.From.Short(), tx.Tx.Nonce, c, "few/many")
+				}
+			}
+		}
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConflictDensityBound: every block the conflict-aware packer
+// builds has per-key non-commutative density ≤ HotKeyCap — the bound that
+// makes the density ceiling monotone in the cap.
+func TestQuickConflictDensityBound(t *testing.T) {
+	f := func(seed int64, nRaw, capRaw uint8) bool {
+		n := int(nRaw % 96)
+		cfg := PackConfig{MaxTxs: 64, HotKeyCap: int(capRaw%6) + 1}
+		pending := genWorkload(seed, n)
+		idx := ConflictAware{}.Pack(pending, cfg)
+		density := make(map[string]int)
+		for _, v := range idx {
+			for _, k := range nonCommuting(pending[v]) {
+				density[k]++
+			}
+		}
+		for k, d := range density {
+			if d > cfg.HotKeyCap {
+				t.Fatalf("key %q density %d > cap %d (seed=%d)", k, d, cfg.HotKeyCap, seed)
+			}
+		}
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConflictAwareHotKeyExact pins the exact behaviour on a pure hot-key
+// workload — N distinct senders all read-writing one key: the packed count
+// is min(cap, N), strictly monotone in the cap until it saturates.
+func TestConflictAwareHotKeyExact(t *testing.T) {
+	const n = 20
+	pending := make([]*Pending, n)
+	for i := range pending {
+		tx := transfer(uint64(i), 500, 0, 1)
+		p := PredictTransfer(tx)
+		p.Reads = append(p.Reads, "hot")
+		p.Writes = append(p.Writes, "hot")
+		pending[i] = p
+	}
+	prev := 0
+	for hotCap := 1; hotCap <= n+5; hotCap++ {
+		got := len(ConflictAware{}.Pack(pending, PackConfig{MaxTxs: 64, HotKeyCap: hotCap}))
+		want := hotCap
+		if want > n {
+			want = n
+		}
+		if got != want {
+			t.Fatalf("cap=%d: packed %d, want %d", hotCap, got, want)
+		}
+		if got < prev {
+			t.Fatalf("cap=%d: packed count fell from %d to %d", hotCap, prev, got)
+		}
+		prev = got
+	}
+	// FIFO ignores the cap entirely: all N in one block.
+	if got := len(FIFO{}.Pack(pending, PackConfig{MaxTxs: 64, HotKeyCap: 1})); got != n {
+		t.Fatalf("fifo packed %d, want %d", got, n)
+	}
+}
+
+// TestConflicts pins the op-level conflict rule on predictions.
+func TestConflicts(t *testing.T) {
+	mk := func(r, w, d []string) *Pending {
+		return &Pending{Tx: &account.Transaction{}, Reads: r, Writes: w, Deltas: d}
+	}
+	cases := []struct {
+		name string
+		a, b *Pending
+		want bool
+	}{
+		{"disjoint", mk([]string{"a"}, []string{"a"}, nil), mk([]string{"b"}, []string{"b"}, nil), false},
+		{"read-read", mk([]string{"k"}, nil, nil), mk([]string{"k"}, nil, nil), false},
+		{"delta-delta", mk(nil, nil, []string{"k"}), mk(nil, nil, []string{"k"}), false},
+		{"write-write", mk(nil, []string{"k"}, nil), mk(nil, []string{"k"}, nil), true},
+		{"write-read", mk(nil, []string{"k"}, nil), mk([]string{"k"}, nil, nil), true},
+		{"write-delta", mk(nil, []string{"k"}, nil), mk(nil, nil, []string{"k"}), true},
+		{"delta-read", mk(nil, nil, []string{"k"}), mk([]string{"k"}, nil, nil), true},
+	}
+	for _, c := range cases {
+		if got := Conflicts(c.a, c.b); got != c.want {
+			t.Errorf("%s: Conflicts = %v, want %v", c.name, got, c.want)
+		}
+		if got := Conflicts(c.b, c.a); got != c.want {
+			t.Errorf("%s (swapped): Conflicts = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// PredictTransfer self-consistency: two transfers from one sender
+	// conflict (nonce/balance), transfers to a shared recipient commute.
+	t1 := PredictTransfer(transfer(1, 9, 0, 1))
+	t2 := PredictTransfer(transfer(1, 8, 1, 1))
+	t3 := PredictTransfer(transfer(2, 9, 0, 1))
+	if !Conflicts(t1, t2) {
+		t.Error("same-sender transfers should conflict")
+	}
+	if Conflicts(t1, t3) {
+		t.Error("shared-recipient transfers should commute (delta-delta)")
+	}
+}
