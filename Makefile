@@ -1,7 +1,7 @@
 # Convenience targets; tier-1 verification stays plain
 # `go build ./... && go test ./...`.
 
-.PHONY: build test race bench docs-check
+.PHONY: build test race bench docs-check vet lint
 
 build:
 	go build ./...
@@ -11,6 +11,17 @@ test:
 
 race:
 	go test -race ./...
+
+# go vet over everything, plus the delta-write packages by name so the
+# critical list survives any future narrowing of the wildcard.
+vet:
+	go vet ./...
+	go vet ./internal/mvstore/... ./internal/stm/... ./internal/exec/... ./internal/core/... ./internal/chainsim/... ./internal/bench/... ./internal/heat/... ./cmd/...
+
+# txlint: the determinism-and-discipline analyzer suite (tools/lint).
+# Fails on any unwaived finding; -waived lists accepted waivers.
+lint:
+	go run ./tools/lint ./...
 
 # One-iteration pass over every recorded-baseline experiment.
 bench:

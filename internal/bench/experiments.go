@@ -65,11 +65,15 @@ func ExecutorComparison(blocks int, seed int64, cores []int) (Table, error) {
 	for _, n := range cores {
 		var specSum, perfSum, grpSum, stmSum, eq1Sum, eqPerfSum, eq2Sum float64
 		var binned, retries, counted int
-		for _, pb := range prepared {
+		for bi, pb := range prepared {
 			if len(pb.blk.Txs) == 0 {
 				continue
 			}
 			m := core.MeasureAccountBlock(pb.blk, pb.receipts)
+			seq, err := exec.Sequential(pb.pre.Copy(), pb.blk)
+			if err != nil {
+				return t, fmt.Errorf("sequential replay block %d: %w", bi, err)
+			}
 
 			spec, err := exec.Speculative{Workers: n}.Execute(pb.pre.Copy(), pb.blk)
 			if err != nil {
@@ -86,6 +90,14 @@ func ExecutorComparison(blocks int, seed int64, cores []int) (Table, error) {
 			stm, err := exec.STMExec{Workers: n}.Execute(pb.pre.Copy(), pb.blk)
 			if err != nil {
 				return t, fmt.Errorf("stm n=%d: %w", n, err)
+			}
+			for _, er := range []struct {
+				name string
+				res  *exec.Result
+			}{{"speculative", spec}, {"perfect", perf}, {"grouped", grp}, {"stm", stm}} {
+				if err := verifyBlockRoot(fmt.Sprintf("%s n=%d", er.name, n), bi, er.res.Root, seq.Root); err != nil {
+					return t, err
+				}
 			}
 			eq1, err := core.SpeculativeSpeedupExact(m.NumTxs, m.SingleRate(), n)
 			if err != nil {
@@ -203,15 +215,15 @@ func PipelineComparison(blocks int, seed int64, profiles []string, cores []int) 
 				if err != nil {
 					return t, fmt.Errorf("%s stm n=%d: %w", profile, n, err)
 				}
-				if stm.Root != roots[i] {
-					return t, fmt.Errorf("%s stm n=%d block %d: root diverged from sequential replay", profile, n, i)
+				if err := verifyBlockRoot(fmt.Sprintf("%s stm n=%d", profile, n), i, stm.Root, roots[i]); err != nil {
+					return t, err
 				}
 				grp, err := exec.Grouped{Workers: n, Receipts: oracles[i]}.Execute(pres[i].Copy(), blk)
 				if err != nil {
 					return t, fmt.Errorf("%s grouped n=%d: %w", profile, n, err)
 				}
-				if grp.Root != roots[i] {
-					return t, fmt.Errorf("%s grouped n=%d block %d: root diverged from sequential replay", profile, n, i)
+				if err := verifyBlockRoot(fmt.Sprintf("%s grouped n=%d", profile, n), i, grp.Root, roots[i]); err != nil {
+					return t, err
 				}
 				stmSeq += stm.Stats.SeqUnits
 				stmPar += stm.Stats.ParUnits
@@ -222,8 +234,8 @@ func PipelineComparison(blocks int, seed int64, profiles []string, cores []int) 
 			if err != nil {
 				return t, fmt.Errorf("%s pipeline n=%d: %w", profile, n, err)
 			}
-			if pipe.Root != seqRoot {
-				return t, fmt.Errorf("%s pipeline n=%d: root diverged from sequential replay", profile, n)
+			if err := verifyChainRoot(fmt.Sprintf("%s pipeline n=%d", profile, n), pipe.Root, seqRoot); err != nil {
+				return t, err
 			}
 			var lag int
 			for _, bs := range pipe.Blocks {
@@ -327,9 +339,8 @@ func OpLevelComparison(blocks int, seed int64, profiles []string, cores []int) (
 						return t, fmt.Errorf("%s grouped refined=%v n=%d: %w", profile, op, n, err)
 					}
 					for name, res := range map[string]*exec.Result{"spec": spec, "stm": stm, "grouped": grp} {
-						if res.Root != roots[i] {
-							return t, fmt.Errorf("%s %s op=%v n=%d block %d: root diverged from sequential replay",
-								profile, name, op, n, i)
+						if err := verifyBlockRoot(fmt.Sprintf("%s %s op=%v n=%d", profile, name, op, n), i, res.Root, roots[i]); err != nil {
+							return t, err
 						}
 					}
 					specPar[mode] += spec.Stats.ParUnits
@@ -347,8 +358,8 @@ func OpLevelComparison(blocks int, seed int64, profiles []string, cores []int) (
 				if err != nil {
 					return t, fmt.Errorf("%s pipeline op=%v n=%d: %w", profile, op, n, err)
 				}
-				if pipe.Root != seqRoot {
-					return t, fmt.Errorf("%s pipeline op=%v n=%d: root diverged from sequential replay", profile, op, n)
+				if err := verifyChainRoot(fmt.Sprintf("%s pipeline op=%v n=%d", profile, op, n), pipe.Root, seqRoot); err != nil {
+					return t, err
 				}
 				pipeSpeed[mode] = pipe.Stats.Speedup
 			}
@@ -423,9 +434,8 @@ func ShardingComparison(blocks int, seed int64, profiles []string, shardCounts [
 					if err != nil {
 						return t, fmt.Errorf("%s sharded s=%d op=%v block %d: %w", profile, shards, op, i, err)
 					}
-					if res.Root != roots[i] {
-						return t, fmt.Errorf("%s sharded s=%d op=%v block %d: root diverged from sequential replay",
-							profile, shards, op, i)
+					if err := verifyBlockRoot(fmt.Sprintf("%s sharded s=%d op=%v", profile, shards, op), i, res.Root, roots[i]); err != nil {
+						return t, err
 					}
 					par[mode] += res.Stats.ParUnits
 					crossTx[mode] += ss.Cross
@@ -516,9 +526,8 @@ func ShardedPipelineComparison(blocks int, seed int64, profiles []string, shardC
 					if err != nil {
 						return t, fmt.Errorf("%s sharded s=%d op=%v block %d: %w", profile, shards, op, i, err)
 					}
-					if res.Root != roots[i] {
-						return t, fmt.Errorf("%s sharded s=%d op=%v block %d: root diverged from sequential replay",
-							profile, shards, op, i)
+					if err := verifyBlockRoot(fmt.Sprintf("%s sharded s=%d op=%v", profile, shards, op), i, res.Root, roots[i]); err != nil {
+						return t, err
 					}
 					blockPar[mode] += res.Stats.ParUnits
 				}
@@ -527,18 +536,12 @@ func ShardedPipelineComparison(blocks int, seed int64, profiles []string, shardC
 				if err != nil {
 					return t, fmt.Errorf("%s sharded chain s=%d op=%v: %w", profile, shards, op, err)
 				}
-				if cr.Root != seqRoot {
-					return t, fmt.Errorf("%s sharded chain s=%d op=%v: root diverged from sequential replay",
-						profile, shards, op)
+				ctx := fmt.Sprintf("%s sharded chain s=%d op=%v", profile, shards, op)
+				if err := verifyChainRoot(ctx, cr.Root, seqRoot); err != nil {
+					return t, err
 				}
-				for i := range blks {
-					for j, r := range cr.Receipts[i] {
-						w := oracles[i][j]
-						if r.Status != w.Status || r.GasUsed != w.GasUsed || r.TxHash != w.TxHash {
-							return t, fmt.Errorf("%s sharded chain s=%d op=%v block %d: receipt %d diverged",
-								profile, shards, op, i, j)
-						}
-					}
+				if err := verifyChainReceipts(ctx, cr.Receipts, oracles); err != nil {
+					return t, err
 				}
 				chainPar[mode] += cr.Stats.ParUnits
 				crossTx[mode] += css.Cross
@@ -644,19 +647,13 @@ func AdaptiveShardingComparison(blocks int, seed int64, profiles []string, shard
 					if err != nil {
 						return t, fmt.Errorf("%s s=%d op=%v adaptive=%v: %w", profile, shards, op, variant == 1, err)
 					}
-					if cr.Root != seqRoot {
-						return t, fmt.Errorf("%s s=%d op=%v adaptive=%v: root diverged from sequential replay",
-							profile, shards, op, variant == 1)
+					ctx := fmt.Sprintf("%s s=%d op=%v adaptive=%v", profile, shards, op, variant == 1)
+					if err := verifyChainRoot(ctx, cr.Root, seqRoot); err != nil {
+						return t, err
 					}
 					if variant == 1 {
-						for i := range blks {
-							for j, r := range cr.Receipts[i] {
-								w := oracles[i][j]
-								if r.Status != w.Status || r.GasUsed != w.GasUsed || r.TxHash != w.TxHash {
-									return t, fmt.Errorf("%s s=%d op=%v adaptive block %d: receipt %d diverged",
-										profile, shards, op, i, j)
-								}
-							}
+						if err := verifyChainReceipts(ctx, cr.Receipts, oracles); err != nil {
+							return t, err
 						}
 						migrated[mode] = css.Migrations
 						migUnits[mode] = css.MigrationUnits

@@ -248,8 +248,8 @@ func runStreaming(w *streamWorkload, packer mempool.Packer, op bool, workers, sh
 	if err != nil {
 		return nil, err
 	}
-	if cr.Root != seqRoot {
-		return nil, fmt.Errorf("bench: %s/%s: streamed root diverged from sequential replay", w.name, packer.Name())
+	if err := verifyChainRoot(fmt.Sprintf("bench: %s/%s: streamed", w.name, packer.Name()), cr.Root, seqRoot); err != nil {
+		return nil, err
 	}
 	for i := range built {
 		if err := traceReceiptsMatch(cr.Receipts[i], oracles[i]); err != nil {

@@ -126,9 +126,8 @@ func TraceReplayComparison(seed int64, workers, shards, depth, rebalanceEvery in
 					if err != nil {
 						return t, fmt.Errorf("%s %s op=%v block %d: %w", tc.name, engines[pb.idx], op, i, err)
 					}
-					if res.Root != roots[i] {
-						return t, fmt.Errorf("%s %s op=%v block %d: root diverged from sequential replay",
-							tc.name, engines[pb.idx], op, i)
+					if err := verifyBlockRoot(fmt.Sprintf("%s %s op=%v", tc.name, engines[pb.idx], op), i, res.Root, roots[i]); err != nil {
+						return t, err
 					}
 					if err := traceReceiptsMatch(res.Receipts, oracles[i]); err != nil {
 						return t, fmt.Errorf("%s %s op=%v block %d: %w", tc.name, engines[pb.idx], op, i, err)
@@ -164,9 +163,8 @@ func TraceReplayComparison(seed int64, workers, shards, depth, rebalanceEvery in
 				if err != nil {
 					return t, fmt.Errorf("%s %s op=%v: %w", tc.name, engines[ce.idx], op, err)
 				}
-				if cr.Root != seqRoot {
-					return t, fmt.Errorf("%s %s op=%v: root diverged from sequential replay",
-						tc.name, engines[ce.idx], op)
+				if err := verifyChainRoot(fmt.Sprintf("%s %s op=%v", tc.name, engines[ce.idx], op), cr.Root, seqRoot); err != nil {
+					return t, err
 				}
 				for i := range rc.Blocks {
 					if err := traceReceiptsMatch(cr.Receipts[i], oracles[i]); err != nil {

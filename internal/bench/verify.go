@@ -1,0 +1,46 @@
+// Oracle verification helpers shared by every comparison driver. A
+// measured speed-up is meaningless if the engine silently computed a
+// different state, so each E* table builder must route its results through
+// these before a row is recorded — the benchverify analyzer in tools/lint
+// enforces that every exported *Comparison driver reaches one of them.
+package bench
+
+import (
+	"fmt"
+
+	"txconcur/internal/account"
+	"txconcur/internal/types"
+)
+
+// verifyBlockRoot checks a per-block engine's post-state root against the
+// sequential replay root of the same block. context names the engine and
+// its parameters for the error message.
+func verifyBlockRoot(context string, block int, got, want types.Hash) error {
+	if got != want {
+		return fmt.Errorf("%s block %d: root diverged from sequential replay", context, block)
+	}
+	return nil
+}
+
+// verifyChainRoot checks a chain-level engine's final root against the
+// sequential replay of the whole history.
+func verifyChainRoot(context string, got, want types.Hash) error {
+	if got != want {
+		return fmt.Errorf("%s: root diverged from sequential replay", context)
+	}
+	return nil
+}
+
+// verifyChainReceipts checks a chain-level engine's per-block receipts
+// against the sequential oracles, block by block.
+func verifyChainReceipts(context string, got, want [][]*account.Receipt) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: receipts for %d blocks, want %d", context, len(got), len(want))
+	}
+	for i := range want {
+		if err := traceReceiptsMatch(got[i], want[i]); err != nil {
+			return fmt.Errorf("%s block %d: %w", context, i, err)
+		}
+	}
+	return nil
+}

@@ -91,7 +91,7 @@ func (c *Collector) call(ctx context.Context, method string, params any, out any
 		}
 		if retries <= 0 {
 			if err != nil {
-				return fmt.Errorf("%w: %v", ErrTransient, err)
+				return fmt.Errorf("%w: %w", ErrTransient, err)
 			}
 			return fmt.Errorf("%w: status %d", ErrTransient, resp.StatusCode)
 		}

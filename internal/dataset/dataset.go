@@ -350,15 +350,15 @@ func ReadJSONL[T any](r io.Reader) ([]T, error) {
 	var out []T
 	for {
 		line, n, err := lr.next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return out, nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("%w: line %d: %v", ErrBadRecord, n, err)
+			return nil, fmt.Errorf("%w: line %d: %w", ErrBadRecord, n, err)
 		}
 		var row T
 		if err := decodeJSONLine(line, &row); err != nil {
-			return nil, fmt.Errorf("%w: line %d: %v", ErrBadRecord, n, err)
+			return nil, fmt.Errorf("%w: line %d: %w", ErrBadRecord, n, err)
 		}
 		out = append(out, row)
 	}

@@ -272,10 +272,10 @@ func (t *Trace) Validate() error {
 	var ord traceOrder
 	for i := range t.Txs {
 		if err := t.Txs[i].validate(); err != nil {
-			return fmt.Errorf("%w: row %d: %v", ErrBadRecord, i, err)
+			return fmt.Errorf("%w: row %d: %w", ErrBadRecord, i, err)
 		}
 		if err := ord.check(&t.Txs[i]); err != nil {
-			return fmt.Errorf("%w: row %d: %v", ErrBadRecord, i, err)
+			return fmt.Errorf("%w: row %d: %w", ErrBadRecord, i, err)
 		}
 	}
 	return nil
@@ -298,7 +298,7 @@ func newLineReader(r io.Reader) *lineReader {
 func (lr *lineReader) next() ([]byte, int, error) {
 	for !lr.eof {
 		raw, err := lr.br.ReadBytes('\n')
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			lr.eof = true
 		} else if err != nil {
 			return nil, lr.line + 1, err
@@ -346,15 +346,15 @@ type TraceReader struct {
 func NewTraceReader(r io.Reader) (*TraceReader, error) {
 	lr := newLineReader(r)
 	line, n, err := lr.next()
-	if err == io.EOF {
+	if errors.Is(err, io.EOF) {
 		return nil, fmt.Errorf("%w: empty stream, no header", ErrTraceFormat)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("%w: line %d: %v", ErrBadRecord, n, err)
+		return nil, fmt.Errorf("%w: line %d: %w", ErrBadRecord, n, err)
 	}
 	var h TraceHeader
 	if err := decodeJSONLine(line, &h); err != nil {
-		return nil, fmt.Errorf("%w: header line %d: %v", ErrTraceFormat, n, err)
+		return nil, fmt.Errorf("%w: header line %d: %w", ErrTraceFormat, n, err)
 	}
 	if err := h.validate(); err != nil {
 		return nil, err
@@ -365,21 +365,21 @@ func NewTraceReader(r io.Reader) (*TraceReader, error) {
 // Next returns the next validated row, or io.EOF at the end of the stream.
 func (tr *TraceReader) Next() (*TraceTx, error) {
 	line, n, err := tr.lr.next()
-	if err == io.EOF {
+	if errors.Is(err, io.EOF) {
 		return nil, io.EOF
 	}
 	if err != nil {
-		return nil, fmt.Errorf("%w: line %d: %v", ErrBadRecord, n, err)
+		return nil, fmt.Errorf("%w: line %d: %w", ErrBadRecord, n, err)
 	}
 	var tx TraceTx
 	if err := decodeJSONLine(line, &tx); err != nil {
-		return nil, fmt.Errorf("%w: line %d: %v", ErrBadRecord, n, err)
+		return nil, fmt.Errorf("%w: line %d: %w", ErrBadRecord, n, err)
 	}
 	if err := tx.validate(); err != nil {
-		return nil, fmt.Errorf("%w: line %d: %v", ErrBadRecord, n, err)
+		return nil, fmt.Errorf("%w: line %d: %w", ErrBadRecord, n, err)
 	}
 	if err := tr.ord.check(&tx); err != nil {
-		return nil, fmt.Errorf("%w: line %d: %v", ErrBadRecord, n, err)
+		return nil, fmt.Errorf("%w: line %d: %w", ErrBadRecord, n, err)
 	}
 	return &tx, nil
 }
@@ -393,7 +393,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	out := &Trace{Header: tr.Header}
 	for {
 		tx, err := tr.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return out, nil
 		}
 		if err != nil {
@@ -422,10 +422,10 @@ func WriteTrace(w io.Writer, t *Trace) error {
 	var ord traceOrder
 	for i := range t.Txs {
 		if err := t.Txs[i].validate(); err != nil {
-			return fmt.Errorf("%w: row %d: %v", ErrBadRecord, i, err)
+			return fmt.Errorf("%w: row %d: %w", ErrBadRecord, i, err)
 		}
 		if err := ord.check(&t.Txs[i]); err != nil {
-			return fmt.Errorf("%w: row %d: %v", ErrBadRecord, i, err)
+			return fmt.Errorf("%w: row %d: %w", ErrBadRecord, i, err)
 		}
 		if err := enc.Encode(&t.Txs[i]); err != nil {
 			return fmt.Errorf("dataset: encode trace row %d: %w", i, err)
@@ -452,7 +452,7 @@ func decodeOpCSV(field string) (TraceOp, error) {
 	if len(parts) == 3 {
 		v, err := strconv.ParseUint(parts[2], 10, 64)
 		if err != nil {
-			return TraceOp{}, fmt.Errorf("op %q: bad value: %v", field, err)
+			return TraceOp{}, fmt.Errorf("op %q: bad value: %w", field, err)
 		}
 		op.Value = v
 	}
@@ -478,10 +478,10 @@ func WriteTraceCSV(w io.Writer, t *Trace) error {
 	for i := range t.Txs {
 		tx := &t.Txs[i]
 		if err := tx.validate(); err != nil {
-			return fmt.Errorf("%w: row %d: %v", ErrBadRecord, i, err)
+			return fmt.Errorf("%w: row %d: %w", ErrBadRecord, i, err)
 		}
 		if err := ord.check(tx); err != nil {
-			return fmt.Errorf("%w: row %d: %v", ErrBadRecord, i, err)
+			return fmt.Errorf("%w: row %d: %w", ErrBadRecord, i, err)
 		}
 		rec := make([]string, 0, 4+len(tx.Ops))
 		rec = append(rec,
@@ -505,11 +505,11 @@ func ReadTraceCSV(r io.Reader) (*Trace, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
 	hdr, err := cr.Read()
-	if err == io.EOF {
+	if errors.Is(err, io.EOF) {
 		return nil, fmt.Errorf("%w: empty stream, no header", ErrTraceFormat)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("%w: header: %v", ErrTraceFormat, err)
+		return nil, fmt.Errorf("%w: header: %w", ErrTraceFormat, err)
 	}
 	if len(hdr) != 3 {
 		return nil, fmt.Errorf("%w: header has %d fields, want 3", ErrTraceFormat, len(hdr))
@@ -525,12 +525,12 @@ func ReadTraceCSV(r io.Reader) (*Trace, error) {
 	var ord traceOrder
 	for {
 		rec, err := cr.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return out, nil
 		}
 		line := lineOfCSVErr(cr, err)
 		if err != nil {
-			return nil, fmt.Errorf("%w: line %d: %v", ErrBadRecord, line, err)
+			return nil, fmt.Errorf("%w: line %d: %w", ErrBadRecord, line, err)
 		}
 		if len(rec) < 4 {
 			return nil, fmt.Errorf("%w: line %d: %d fields, want at least 4", ErrBadRecord, line, len(rec))
@@ -549,15 +549,15 @@ func ReadTraceCSV(r io.Reader) (*Trace, error) {
 		for _, field := range rec[4:] {
 			op, err := decodeOpCSV(field)
 			if err != nil {
-				return nil, fmt.Errorf("%w: line %d: %v", ErrBadRecord, line, err)
+				return nil, fmt.Errorf("%w: line %d: %w", ErrBadRecord, line, err)
 			}
 			tx.Ops = append(tx.Ops, op)
 		}
 		if err := tx.validate(); err != nil {
-			return nil, fmt.Errorf("%w: line %d: %v", ErrBadRecord, line, err)
+			return nil, fmt.Errorf("%w: line %d: %w", ErrBadRecord, line, err)
 		}
 		if err := ord.check(&tx); err != nil {
-			return nil, fmt.Errorf("%w: line %d: %v", ErrBadRecord, line, err)
+			return nil, fmt.Errorf("%w: line %d: %w", ErrBadRecord, line, err)
 		}
 		out.Txs = append(out.Txs, tx)
 	}

@@ -246,6 +246,7 @@ func BuildReplayChain(t *Trace) (*ReplayChain, error) {
 	if len(curTxs) > 0 {
 		flush(t.Txs[len(t.Txs)-1].Block)
 	}
+	//txlint:ordered endowments hit distinct addresses and AddBalance is additive; any application order yields the same state
 	for addr, amount := range endow {
 		rc.Pre.AddBalance(addr, amount)
 	}

@@ -127,6 +127,7 @@ func finalizeBlock(st *account.StateDB, blk *account.Block, receipts []*account.
 // Sequential executes the block in order on st — the baseline every public
 // blockchain implements (§II-A). st is mutated.
 func Sequential(st *account.StateDB, blk *account.Block) (*Result, error) {
+	//txlint:clock wall-clock timing metric for reported stats only; committed state never depends on it
 	start := time.Now()
 	x := len(blk.Txs)
 	receipts := make([]*account.Receipt, 0, x)
@@ -146,7 +147,8 @@ func Sequential(st *account.StateDB, blk *account.Block) (*Result, error) {
 		ParUnits: x,
 		GasSeq:   account.GasUsed(receipts),
 		GasPar:   account.GasUsed(receipts),
-		Wall:     time.Since(start),
+		//txlint:clock wall-clock timing metric only
+		Wall: time.Since(start),
 	}
 	res.Stats.finish()
 	return res, nil
@@ -194,6 +196,7 @@ func (e Speculative) Execute(st *account.StateDB, blk *account.Block) (*Result, 
 	if e.Workers < 1 {
 		return nil, ErrNoWorkers
 	}
+	//txlint:clock wall-clock timing metric only
 	start := time.Now()
 	x := len(blk.Txs)
 
@@ -258,9 +261,11 @@ func (e Speculative) Execute(st *account.StateDB, blk *account.Block) (*Result, 
 			return nil, fmt.Errorf("exec: speculative phase 2, tx %d: %w", i, err)
 		}
 		receipts[i] = rcpt
+		//txlint:ordered logWriter keeps the first-writer minimum per key with i fixed for the loop; per-key first-win with an invariant value commutes
 		for k := range o.writes {
 			logWriter(k, i)
 		}
+		//txlint:ordered same per-key first-win as above; deltaKey maps distinct addresses to distinct keys
 		for a := range o.deltas {
 			logWriter(deltaKey(a), i)
 		}
@@ -279,12 +284,14 @@ func (e Speculative) Execute(st *account.StateDB, blk *account.Block) (*Result, 
 			if binned[i] {
 				continue
 			}
+			//txlint:ordered only effect is the constant valid=false before the labeled break; skipped iterations could only re-set the same constant
 			for k := range o.writes {
 				if j, ok := phase2MinWriter[k]; ok && j < i {
 					valid = false
 					break validate
 				}
 			}
+			//txlint:ordered same single-constant-flag scan as the writes loop above
 			for k := range o.reads {
 				if j, ok := phase2MinWriter[k]; ok && j < i {
 					valid = false
@@ -331,7 +338,8 @@ func (e Speculative) Execute(st *account.StateDB, blk *account.Block) (*Result, 
 		GasSeq:   gasSeq,
 		GasPar:   ceilDivU(gasSeq, uint64(e.Workers)) + gasBin,
 		Retries:  numBinned + retried,
-		Wall:     time.Since(start),
+		//txlint:clock wall-clock timing metric only
+		Wall: time.Since(start),
 	}
 	if x == 0 {
 		res.Stats.ParUnits = 0
@@ -376,6 +384,7 @@ func (e Grouped) Execute(st *account.StateDB, blk *account.Block) (*Result, erro
 	if e.Workers < 1 {
 		return nil, ErrNoWorkers
 	}
+	//txlint:clock wall-clock timing metric only
 	start := time.Now()
 	x := len(blk.Txs)
 
@@ -481,7 +490,8 @@ func (e Grouped) Execute(st *account.StateDB, blk *account.Block) (*Result, erro
 		GasSeq:     costSum(e.Cost, blk.Txs, finalReceipts),
 		GasPar:     gasPar,
 		Retries:    retried,
-		Wall:       time.Since(start),
+		//txlint:clock wall-clock timing metric only
+		Wall: time.Since(start),
 	}
 	res.Stats.finish()
 	return res, nil
@@ -503,6 +513,7 @@ func anyOverlap(overlays []*overlay, errs []error) bool {
 		if o == nil {
 			continue
 		}
+		//txlint:ordered writer is a local first-win index with w fixed per loop; an early return true discards it unobserved
 		for k := range o.writes {
 			if prev, ok := writer[k]; ok && prev != w {
 				return true
@@ -517,6 +528,7 @@ func anyOverlap(overlays []*overlay, errs []error) bool {
 		if o == nil {
 			continue
 		}
+		//txlint:ordered deltaOwner updates commute per key and the map dies with the function on the early return
 		for a := range o.deltas {
 			k := deltaKey(a)
 			if fw, ok := writer[k]; ok && fw != w {

@@ -262,18 +262,23 @@ func (o *overlay) RevertToSnapshot(snap int) {
 // guarantee disjointness (or intended ordering) between overlays; delta
 // entries commute, so their application order never matters.
 func (o *overlay) applyTo(dst account.State) {
+	//txlint:ordered each iteration overwrites only dst's entry for address a; distinct addresses, distinct entries
 	for a, v := range o.balances {
 		dst.AddBalance(a, v-dst.GetBalance(a))
 	}
+	//txlint:ordered per-address balance deltas are additive and commute
 	for a, d := range o.deltas {
 		dst.AddBalance(a, d)
 	}
+	//txlint:ordered distinct addresses, distinct nonce entries
 	for a, n := range o.nonces {
 		dst.SetNonce(a, n)
 	}
+	//txlint:ordered distinct addresses, distinct code entries
 	for a, c := range o.codes {
 		dst.SetCode(a, c)
 	}
+	//txlint:ordered distinct storage keys, distinct entries
 	for sk, v := range o.storage {
 		dst.SetStorage(sk.Addr, sk.Slot, v)
 	}

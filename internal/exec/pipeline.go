@@ -236,6 +236,7 @@ func (e Pipeline) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*C
 	if depth < 1 {
 		depth = 1
 	}
+	//txlint:clock wall-clock timing metric for reported stats only; committed state never depends on it
 	start := time.Now()
 	mv := mvstore.NewStoreDelta[StateKey, stateVal](mergeStateVal)
 
@@ -296,6 +297,7 @@ func (e Pipeline) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*C
 				}
 				sb.overlays[j] = o
 			})
+			//txlint:clock send-vs-shutdown arbitration; stage 2 validates and commits strictly in block order either way
 			select {
 			case specCh <- sb:
 			case <-done:
@@ -347,6 +349,7 @@ func (e Pipeline) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*C
 			o := sb.overlays[i]
 			ok := !sb.failed[i]
 			if ok {
+				//txlint:ordered read-only staleness probe; sole effect is the constant ok=false set immediately before break
 				for k := range o.reads {
 					if _, hit := blockWrites[k]; hit {
 						ok = false
@@ -442,7 +445,8 @@ func (e Pipeline) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*C
 		GasSeq:     gasSeq,
 		GasPar:     flowShopMakespan(p1Gas, p2Gas),
 		Retries:    conflicted,
-		Wall:       time.Since(start),
+		//txlint:clock wall-clock timing metric only
+		Wall: time.Since(start),
 	}
 	res.Stats.finish()
 	return res, nil

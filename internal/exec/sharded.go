@@ -212,16 +212,19 @@ func (e Sharded) Execute(st *account.StateDB, blk *account.Block) (*Result, erro
 // touchesForeign reports whether the overlay's access set leaves the home
 // shard under the block's shard map.
 func touchesForeign(o *overlay, home int, m core.ShardMap) bool {
+	//txlint:ordered m.Shard is a pure function of the address; the scan returns a constant on the first foreign hit, so any visit order agrees
 	for k := range o.reads {
 		if m.Shard(k.Addr) != home {
 			return true
 		}
 	}
+	//txlint:ordered same pure-predicate constant-return scan as the reads loop
 	for k := range o.writes {
 		if m.Shard(k.Addr) != home {
 			return true
 		}
 	}
+	//txlint:ordered same pure-predicate constant-return scan over delta addresses
 	for a := range o.deltas {
 		if m.Shard(a) != home {
 			return true
@@ -347,6 +350,7 @@ func (e Sharded) phase2(base account.State, stale func(StateKey) bool, blk *acco
 			if failed[i] {
 				continue
 			}
+			//txlint:ordered stale() only reads; sole effect is the constant failed[i] set immediately before break
 			for k := range o.reads {
 				if stale(k) {
 					failed[i] = true
@@ -373,9 +377,11 @@ func (e Sharded) phase2(base account.State, stale func(StateKey) bool, blk *acco
 	// and the scan repeats until a full pass reclassifies nothing.
 	p1cw := crossWriteIndex{abs: make(map[StateKey]int), delta: make(map[StateKey]int)}
 	addCrossWrites := func(i int, o *overlay) {
+		//txlint:ordered noteMinIdx keeps the per-key minimum with i fixed for the loop; min-reduction commutes
 		for k := range o.writes {
 			noteMinIdx(p1cw.abs, k, i)
 		}
+		//txlint:ordered same per-key min-reduction via deltaKey
 		for a := range o.deltas {
 			noteMinIdx(p1cw.delta, deltaKey(a), i)
 		}
@@ -561,10 +567,12 @@ func (e Sharded) phase2(base account.State, stale func(StateKey) bool, blk *acco
 		for k := range f.reads {
 			intraReads[k] = append(intraReads[k], i)
 		}
+		//txlint:ordered per-key min and ascending-position append with i fixed; distinct keys, commuting updates
 		for k := range f.writes {
 			noteMinIdx(minIntraWrite, k, i)
 			intraAbs[k] = append(intraAbs[k], i)
 		}
+		//txlint:ordered same commuting per-key min and append via deltaKey
 		for a := range f.deltas {
 			k := deltaKey(a)
 			noteMinIdx(minIntraWrite, k, i)
@@ -644,16 +652,19 @@ func (e Sharded) phase2(base account.State, stale func(StateKey) bool, blk *acco
 			}
 			return false
 		}
+		//txlint:ordered collects a deduplicated set of hot addresses; consumers only test membership, never order
 		for k := range o.reads {
 			if hs.ConflictHot(k.Addr) && !seen(k.Addr) {
 				out = append(out, k.Addr)
 			}
 		}
+		//txlint:ordered same membership-set collection as the reads loop
 		for k := range o.writes {
 			if hs.ConflictHot(k.Addr) && !seen(k.Addr) {
 				out = append(out, k.Addr)
 			}
 		}
+		//txlint:ordered same membership-set collection over delta addresses
 		for a := range o.deltas {
 			if hs.ConflictHot(a) && !seen(a) {
 				out = append(out, a)
@@ -700,12 +711,14 @@ func (e Sharded) phase2(base account.State, stale func(StateKey) bool, blk *acco
 		}
 	}
 	commitCross := func(j int, f *overlay) {
+		//txlint:ordered noteMinIdx and bumpAffected are per-key min-reductions of the repair bound; they commute
 		for k := range f.writes {
 			noteMinIdx(cw.abs, k, j)
 			bumpAffected(j, intraReads[k])
 			bumpAffected(j, intraAbs[k])
 			bumpAffected(j, intraDeltas[k])
 		}
+		//txlint:ordered same commuting min-reductions via deltaKey
 		for a := range f.deltas {
 			k := deltaKey(a)
 			noteMinIdx(cw.delta, k, j)
@@ -901,6 +914,7 @@ func (e Sharded) phase2(base account.State, stale func(StateKey) bool, blk *acco
 				}
 			}
 			if indep {
+				//txlint:ordered membership probes only; sole effect is the constant indep=false set immediately before break
 				for a := range o.deltas {
 					k := deltaKey(a)
 					// Delta–delta commutes; a delta against a wave
@@ -970,6 +984,7 @@ func (e Sharded) phase2(base account.State, stale func(StateKey) bool, blk *acco
 				// The merged view folds *whole* sub-blocks; the wave run is
 				// prefix-correct only if nothing it read was written by an
 				// intra transaction ordered after it.
+				//txlint:ordered lastOf reads fixed per-key lists; sole effect is the constant ok=false set immediately before break
 				for k := range f.reads {
 					if lastOf(intraAbs[k]) > jw || lastOf(intraDeltas[k]) > jw {
 						ok = false
@@ -1203,6 +1218,7 @@ func (e Sharded) ExecuteSharded(st *account.StateDB, blk *account.Block) (*Resul
 	m := e.shardMap()
 	shards := m.Shards()
 	wps := ceilDiv(e.Workers, shards)
+	//txlint:clock wall-clock timing metric for reported stats only; committed state never depends on it
 	start := time.Now()
 	x := len(blk.Txs)
 
@@ -1227,7 +1243,8 @@ func (e Sharded) ExecuteSharded(st *account.StateDB, blk *account.Block) (*Resul
 		GasSeq:     costSum(e.Cost, blk.Txs, out.receipts),
 		GasPar:     out.intraGas + out.mergeGas + out.repairGas,
 		Retries:    out.binned + out.mergeReexecs + out.redos + out.repairs,
-		Wall:       time.Since(start),
+		//txlint:clock wall-clock timing metric only
+		Wall: time.Since(start),
 	}
 	res.Stats.finish()
 	return res, out.ss, nil

@@ -143,6 +143,7 @@ func (e Sharded) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*Ch
 		return nil, nil, ErrNoWorkers
 	}
 	m := e.shardMap()
+	//txlint:clock wall-clock timing metric for reported stats only; committed state never depends on it
 	start := time.Now()
 
 	am, adaptive := m.(core.AdaptiveShardMap)
@@ -221,7 +222,8 @@ func (e Sharded) finishChain(c *shardedChain, start time.Time) (*ChainResult, *C
 		GasSeq:     c.gasSeq,
 		GasPar:     c.gasParUnits,
 		Retries:    c.retries,
-		Wall:       time.Since(start),
+		//txlint:clock wall-clock timing metric only
+		Wall: time.Since(start),
 	}
 	res.Stats.finish()
 	return res, c.css, nil
@@ -306,6 +308,7 @@ func (e Sharded) runShardedEpoch(c *shardedChain, src epochSource,
 				view.views[sh] = &snapState{base: st, snap: sb.snaps[sh]}
 			}
 			sb.spec = e.specExec(view, blk, m, wps)
+			//txlint:clock send-vs-shutdown arbitration; commit order is enforced by stage 2, not by this select
 			select {
 			case specCh <- sb:
 			case <-done:
@@ -360,6 +363,7 @@ func (e Sharded) runShardedEpoch(c *shardedChain, src epochSource,
 		for sh := range parts {
 			parts[sh] = make(map[StateKey]mvstore.Write[stateVal])
 		}
+		//txlint:ordered distinct keys land in distinct entries of the per-shard partition maps; shardOfKey is a pure function of k
 		for k, w := range overlayWrites(out.acc) {
 			parts[shardOfKey(k)][k] = w
 		}

@@ -220,6 +220,7 @@ func (e STMExec) Execute(st *account.StateDB, blk *account.Block) (*Result, erro
 	if e.Workers < 1 {
 		return nil, ErrNoWorkers
 	}
+	//txlint:clock wall-clock timing metric for reported stats only; committed state never depends on it
 	start := time.Now()
 	x := len(blk.Txs)
 	var store *stm.Store[StateKey, stateVal]
@@ -326,7 +327,8 @@ func (e STMExec) Execute(st *account.StateDB, blk *account.Block) (*Result, erro
 		GasSeq:     costSum(e.Cost, blk.Txs, receipts),
 		GasPar:     0,
 		Retries:    retries,
-		Wall:       time.Since(start),
+		//txlint:clock wall-clock timing metric only
+		Wall: time.Since(start),
 	}
 	// Gas-cost schedule: each window costs its max gas across workers plus
 	// retried gas; approximate with Σ window-max. Unit-cost is the primary

@@ -45,6 +45,7 @@ func (e Sharded) ExecuteChainStream(st *account.StateDB, blocks <-chan *account.
 		return nil, nil, ErrNoWorkers
 	}
 	m := e.shardMap()
+	//txlint:clock wall-clock timing metric for reported stats only; committed state never depends on it
 	start := time.Now()
 
 	am, adaptive := m.(core.AdaptiveShardMap)
@@ -71,6 +72,7 @@ func (e Sharded) ExecuteChainStream(st *account.StateDB, blocks <-chan *account.
 				pushback = nil
 				return b, true
 			}
+			//txlint:clock receive-vs-quit arbitration; block order is the channel's FIFO order whichever case fires
 			select {
 			case b, ok := <-blocks:
 				if !ok || b == nil {

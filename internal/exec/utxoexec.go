@@ -1,8 +1,10 @@
 package exec
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"txconcur/internal/core"
@@ -66,6 +68,7 @@ func (e GroupedUTXO) Execute(set *utxo.Set, blk *utxo.Block) (*UTXOResult, error
 	if e.Workers < 1 {
 		return nil, ErrNoWorkers
 	}
+	//txlint:clock wall-clock timing metric for reported stats only; committed state never depends on it
 	start := time.Now()
 	if len(blk.Txs) == 0 || !blk.Txs[0].IsCoinbase() {
 		return nil, fmt.Errorf("%w: missing coinbase", ErrParallelValidation)
@@ -116,7 +119,7 @@ func (e GroupedUTXO) Execute(set *utxo.Set, blk *utxo.Block) (*UTXOResult, error
 	})
 	for w, run := range runs {
 		if run != nil && run.err != nil {
-			return nil, fmt.Errorf("%w: worker %d: %v", ErrParallelValidation, w, run.err)
+			return nil, fmt.Errorf("%w: worker %d: %w", ErrParallelValidation, w, run.err)
 		}
 	}
 
@@ -127,28 +130,32 @@ func (e GroupedUTXO) Execute(set *utxo.Set, blk *utxo.Block) (*UTXOResult, error
 	seenCBSpent := make(map[utxo.Outpoint]struct{})
 	created := make(map[utxo.Outpoint]utxo.TxOut)
 	var fees utxo.Amount
+	// Merging iterates each run's sets in canonical outpoint order: the
+	// merge can reject the block, and which duplicate a rejection names
+	// must not depend on map iteration order, or replicas replaying the
+	// same invalid block would disagree on the rejection reason.
 	for _, run := range runs {
 		if run == nil {
 			continue
 		}
-		for op := range run.baseSpent {
+		for _, op := range sortedOutpoints(run.baseSpent) {
 			if _, dup := seenSpent[op]; dup {
 				return nil, fmt.Errorf("%w: %v", utxo.ErrDuplicateSpend, op)
 			}
 			seenSpent[op] = struct{}{}
 			spent = append(spent, op)
 		}
-		for op := range run.cbSpent {
+		for _, op := range sortedOutpoints(run.cbSpent) {
 			if _, dup := seenCBSpent[op]; dup {
 				return nil, fmt.Errorf("%w: %v", utxo.ErrDuplicateSpend, op)
 			}
 			seenCBSpent[op] = struct{}{}
 		}
-		for op, out := range run.created {
+		for _, op := range sortedOutpoints(run.created) {
 			if _, dup := created[op]; dup {
 				return nil, fmt.Errorf("%w: %v", utxo.ErrDuplicateCreate, op)
 			}
-			created[op] = out
+			created[op] = run.created[op]
 		}
 		fees += run.fees
 	}
@@ -156,17 +163,17 @@ func (e GroupedUTXO) Execute(set *utxo.Set, blk *utxo.Block) (*UTXOResult, error
 		return nil, fmt.Errorf("%w: coinbase mints %d > subsidy %d + fees %d",
 			utxo.ErrBadCoinbase, cb.OutputValue(), e.Subsidy, fees)
 	}
-	for op, out := range coinbaseOuts {
+	for _, op := range sortedOutpoints(coinbaseOuts) {
 		if _, spentInBlock := seenCBSpent[op]; spentInBlock {
 			continue
 		}
 		if _, dup := created[op]; dup {
 			return nil, fmt.Errorf("%w: %v", utxo.ErrDuplicateCreate, op)
 		}
-		created[op] = out
+		created[op] = coinbaseOuts[op]
 	}
 	if err := set.ApplyDelta(spent, created); err != nil {
-		return nil, fmt.Errorf("%w: commit: %v", ErrParallelValidation, err)
+		return nil, fmt.Errorf("%w: commit: %w", ErrParallelValidation, err)
 	}
 
 	res := &UTXOResult{}
@@ -177,7 +184,8 @@ func (e GroupedUTXO) Execute(set *utxo.Set, blk *utxo.Block) (*UTXOResult, error
 		Conflicted: tdg.Conflicted(),
 		SeqUnits:   x,
 		ParUnits:   schedule.Makespan,
-		Wall:       time.Since(start),
+		//txlint:clock wall-clock timing metric only
+		Wall: time.Since(start),
 	}
 	res.Stats.finish()
 	return res, nil
@@ -222,7 +230,7 @@ func (e GroupedUTXO) validateTx(
 		}
 		if e.VerifyScripts {
 			if err := utxo.Run(in.Unlock, out.Script, tx.ID()); err != nil {
-				return fmt.Errorf("%w: input %d: %v", utxo.ErrScriptReject, j, err)
+				return fmt.Errorf("%w: input %d: %w", utxo.ErrScriptReject, j, err)
 			}
 		}
 		inValue += out.Value
@@ -240,4 +248,21 @@ func (e GroupedUTXO) validateTx(
 		run.created[op] = tx.Outputs[k]
 	}
 	return nil
+}
+
+// sortedOutpoints returns m's keys in canonical (TxID, Index) order, so the
+// merge's results and rejection errors are identical across replicas
+// regardless of Go's randomized map iteration.
+func sortedOutpoints[V any](m map[utxo.Outpoint]V) []utxo.Outpoint {
+	out := make([]utxo.Outpoint, 0, len(m))
+	for op := range m {
+		out = append(out, op)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := bytes.Compare(out[i].TxID[:], out[j].TxID[:]); c != 0 {
+			return c < 0
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
 }

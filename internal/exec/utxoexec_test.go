@@ -2,6 +2,7 @@ package exec
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"txconcur/internal/chainsim"
@@ -209,5 +210,43 @@ func TestGroupedUTXOErrors(t *testing.T) {
 	blk = &utxo.Block{Height: 1, Txs: []*utxo.Transaction{cb, inflate}}
 	if _, err := (GroupedUTXO{Workers: 2, Subsidy: 50}).Execute(set, blk); !errors.Is(err, ErrParallelValidation) {
 		t.Fatalf("inflation: %v", err)
+	}
+}
+
+// TestGroupedUTXODeterministicRejection pins the canonical-order merge:
+// when a block is rejected for cross-component double spends, every run —
+// and therefore every replica replaying the same invalid block — must name
+// the same outpoint, the canonically smallest by (TxID, Index), regardless
+// of Go's randomized map iteration.
+func TestGroupedUTXODeterministicRejection(t *testing.T) {
+	set, funding := utxoFixture(t)
+	// Two single-tx components both spend funding outputs 0 and 1: no TDG
+	// edge connects them, so both duplicates surface only at merge time,
+	// and each worker's baseSpent map holds both outpoints.
+	tA := utxo.NewTransaction(
+		[]utxo.TxIn{{Prev: funding.Outpoint(1)}, {Prev: funding.Outpoint(0)}},
+		[]utxo.TxOut{{Value: 250}},
+	)
+	tB := utxo.NewTransaction(
+		[]utxo.TxIn{{Prev: funding.Outpoint(0)}, {Prev: funding.Outpoint(1)}},
+		[]utxo.TxOut{{Value: 240}},
+	)
+	cb := utxo.NewTransaction(nil, []utxo.TxOut{{Value: 10}})
+	blk := &utxo.Block{Height: 1, Txs: []*utxo.Transaction{cb, tA, tB}}
+	engine := GroupedUTXO{Workers: 2, Subsidy: 100}
+	want := ""
+	for i := 0; i < 100; i++ {
+		_, err := engine.Execute(set.Clone(), blk)
+		if !errors.Is(err, utxo.ErrDuplicateSpend) {
+			t.Fatalf("run %d: err = %v, want ErrDuplicateSpend", i, err)
+		}
+		if want == "" {
+			want = err.Error()
+		} else if err.Error() != want {
+			t.Fatalf("run %d: rejection %q differs from first run's %q", i, err.Error(), want)
+		}
+	}
+	if smallest := funding.Outpoint(0).String(); !strings.Contains(want, smallest) {
+		t.Fatalf("rejection %q does not name the canonically smallest duplicate %s", want, smallest)
 	}
 }

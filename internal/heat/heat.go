@@ -231,6 +231,7 @@ func (t *Tracker) Clusters(addrs []types.Address, minEdge float64) [][]types.Add
 			parent[rj] = ri
 		}
 	}
+	//txlint:ordered union-by-minimum-index makes component roots canonical, so the partition is independent of edge visit order
 	for k, w := range t.edges {
 		if w < minEdge {
 			continue

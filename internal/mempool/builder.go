@@ -130,6 +130,7 @@ func (b *Builder) Run(ctx context.Context, out chan<- BuiltBlock) ([]*Pending, e
 			continue
 		}
 		b.pool.remove(removed)
+		//txlint:clock send-vs-cancel backpressure; the block was already packed deterministically from the pool snapshot
 		select {
 		case out <- bb:
 		case <-ctx.Done():
@@ -140,6 +141,7 @@ func (b *Builder) Run(ctx context.Context, out chan<- BuiltBlock) ([]*Pending, e
 
 // wait blocks until the pool signals an arrival or closes, or ctx ends.
 func (b *Builder) wait(ctx context.Context) error {
+	//txlint:clock wakeup arbitration only; packing re-reads the pool under its lock
 	select {
 	case <-b.pool.arrival:
 		return nil
@@ -160,6 +162,7 @@ func (b *Builder) waitOrFlush(ctx context.Context) (bool, error) {
 		defer t.Stop()
 		timer = t.C
 	}
+	//txlint:clock flush lulls are inherently wall-clock; block contents still come deterministically from the snapshot
 	select {
 	case <-b.pool.arrival:
 		return false, nil

@@ -72,7 +72,8 @@ func New(capacity int) *Pool {
 		slots:    make(chan struct{}, capacity),
 		arrival:  make(chan struct{}, 1),
 		closedCh: make(chan struct{}),
-		now:      time.Now,
+		//txlint:clock sanctioned clock injection point; tests swap in a fake clock here
+		now: time.Now,
 	}
 }
 
@@ -83,6 +84,7 @@ func (p *Pool) Submit(ctx context.Context, tx *Pending) error {
 	if tx == nil || tx.Tx == nil {
 		return errors.New("mempool: nil transaction")
 	}
+	//txlint:clock admission backpressure; commit order is assigned by seq under the lock, not select arbitration
 	select {
 	case p.slots <- struct{}{}:
 	case <-ctx.Done():

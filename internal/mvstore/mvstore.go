@@ -164,6 +164,7 @@ func (s *Store[K, V]) Commit(ts uint64, writes map[K]V) error {
 	if err := s.checkTS(ts); err != nil {
 		return err
 	}
+	//txlint:ordered install touches only key k's version chain; the commit becomes visible only after every install
 	for k, v := range writes {
 		s.install(k, ts, Put, v)
 	}
@@ -188,6 +189,7 @@ func (s *Store[K, V]) CommitWrites(ts uint64, writes map[K]Write[V]) error {
 			}
 		}
 	}
+	//txlint:ordered same per-chain installs as Commit; visibility flips only after the loop
 	for k, w := range writes {
 		s.install(k, ts, w.Kind, w.Val)
 	}
@@ -475,6 +477,7 @@ func (s *Store[K, V]) TruncateBelow(horizon uint64) int {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 	reclaimed := 0
+	//txlint:ordered per-key GC under commitMu; each iteration truncates only k's chain and reclaimed is a commutative count
 	for k := range s.multi {
 		c, found := s.chains.Load(k)
 		if !found {

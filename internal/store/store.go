@@ -154,7 +154,7 @@ func ReadAccount(r io.Reader) (string, []*account.Block, [][]*account.Receipt, e
 func readHeader(dec *gob.Decoder, want Kind) (Header, error) {
 	var hdr Header
 	if err := dec.Decode(&hdr); err != nil {
-		return hdr, fmt.Errorf("%w: %v", ErrBadHeader, err)
+		return hdr, fmt.Errorf("%w: %w", ErrBadHeader, err)
 	}
 	if hdr.Magic != magic {
 		return hdr, ErrBadHeader

@@ -140,7 +140,7 @@ func (s *Set) ApplyBlock(b *Block, opts BlockOptions) (*Undo, error) {
 			}
 			if opts.VerifyScripts {
 				if err := Run(in.Unlock, out.Script, tx.ID()); err != nil {
-					return nil, fmt.Errorf("%w: block %d tx %d input %d: %v",
+					return nil, fmt.Errorf("%w: block %d tx %d input %d: %w",
 						ErrScriptReject, b.Height, i, j, err)
 				}
 			}

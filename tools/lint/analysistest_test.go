@@ -1,0 +1,133 @@
+// An analysistest-style runner over the stdlib loader: each analyzer has a
+// package under testdata/src/<name> whose lines carry trailing
+// `// want "substring"` comments marking expected findings. The runner
+// loads the package with loadDir, runs the analyzer with its scope forced
+// open, and checks the unwaived diagnostics against the expectations both
+// ways — every expectation must be found, and every finding expected.
+// Lines with a valid waiver and no want comment are the waiver-path
+// negative cases (a stale waiver would surface as an unexpected
+// diagnostic, so those are checked for free).
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantPrefix introduces an expectation comment; the quoted strings after
+// it are substrings the diagnostic message must contain.
+const wantPrefix = "// want "
+
+var wantQuoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+func runAnalysisTest(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	pkg, err := loadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("loading testdata package %s: %v", name, err)
+	}
+
+	// Force the testdata package into scope: Scope keys off real module
+	// import paths, which testdata packages intentionally do not have.
+	open := *a
+	open.Scope = nil
+	diags := runAnalyzers([]*Package{pkg}, []*Analyzer{&open})
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, strings.TrimSuffix(wantPrefix, " "))
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := wantQuoted.FindAllStringSubmatch(text, -1)
+				if len(quoted) == 0 {
+					t.Errorf("%s: malformed want comment %q", pos, c.Text)
+					continue
+				}
+				for _, q := range quoted {
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, substr: q[1]})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if d.Waived {
+			continue
+		}
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a diagnostic containing %q, got none", w.file, w.line, w.substr)
+		}
+	}
+}
+
+func TestMaporderAnalyzer(t *testing.T)  { runAnalysisTest(t, maporderAnalyzer, "maporder") }
+func TestClockrandAnalyzer(t *testing.T) { runAnalysisTest(t, clockrandAnalyzer, "clockrand") }
+func TestErrwrapAnalyzer(t *testing.T)   { runAnalysisTest(t, errwrapAnalyzer, "errwrap") }
+func TestLockdisciplineAnalyzer(t *testing.T) {
+	runAnalysisTest(t, lockdisciplineAnalyzer, "lockdiscipline")
+}
+func TestBenchverifyAnalyzer(t *testing.T) { runAnalysisTest(t, benchverifyAnalyzer, "benchverify") }
+
+// TestBareWaiverIsUnwaivable pins the empty-reason rule without a testdata
+// package: the framework diagnostic must appear and must itself resist
+// waiving.
+func TestBareWaiverIsUnwaivable(t *testing.T) {
+	var diags []Diagnostic
+	pkg, err := loadDir(filepath.Join("testdata", "src", "barewaiver"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseWaivers(pkg.Fset, pkg.Files, &diags)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "has no reason") {
+		t.Fatalf("bare waiver diagnostics = %v, want exactly one 'has no reason'", diags)
+	}
+}
+
+// TestStaleWaiverScopedToRunAnalyzers pins the -only interaction: a waiver
+// for an analyzer that did not run must not be reported stale, while a
+// genuinely unused waiver for one that did run must be.
+func TestStaleWaiverScopedToRunAnalyzers(t *testing.T) {
+	pkg, err := loadDir(filepath.Join("testdata", "src", "stalewaiver"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := *clockrandAnalyzer
+	open.Scope = nil
+	diags := runAnalyzers([]*Package{pkg}, []*Analyzer{&open})
+	var stale []string
+	for _, d := range diags {
+		if strings.Contains(d.Message, "stale waiver") {
+			stale = append(stale, fmt.Sprintf("%s", d.Message))
+		}
+	}
+	if len(stale) != 1 || !strings.Contains(stale[0], "txlint:clock") {
+		t.Fatalf("stale diagnostics = %v, want exactly the unused clock waiver", stale)
+	}
+}

@@ -1,0 +1,94 @@
+// The benchverify analyzer: no benchmark result is recorded without root
+// verification — the loss-free invariant E12 established, generalized to
+// every comparison driver.
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var benchverifyAnalyzer = &Analyzer{
+	Name:   "benchverify",
+	Waiver: "benchverify",
+	Doc: `requires every exported bench.*Comparison experiment driver to
+reach, through the package-internal static call graph, a verification
+function (a func whose name starts with "verify"): a speedup number from an
+engine whose root was never checked against the sequential oracle is a
+measurement of nothing. Drivers that delegate verification elsewhere carry
+a //txlint:benchverify <reason> waiver on the func line.`,
+	Scope: func(pkgPath string) bool {
+		return strings.HasSuffix(pkgPath, "/bench") || pkgPath == "bench" || strings.HasSuffix(pkgPath, "/internal/bench")
+	},
+	Run: runBenchverify,
+}
+
+const verifyPrefix = "verify"
+
+func runBenchverify(pass *Pass) {
+	// calls maps each package-level function (or method) to the
+	// package-level functions it calls anywhere in its body, including
+	// inside closures and goroutines it spawns.
+	calls := make(map[*types.Func][]*types.Func)
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.ObjectOf(fd.Name).(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				var id *ast.Ident
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					id = fun
+				case *ast.SelectorExpr:
+					id = fun.Sel
+				default:
+					return true
+				}
+				if callee, ok := pass.ObjectOf(id).(*types.Func); ok && callee.Pkg() == pass.Pkg {
+					calls[fn] = append(calls[fn], callee)
+				}
+				return true
+			})
+		}
+	}
+
+	for fn, fd := range decls {
+		if !fn.Exported() || !strings.HasSuffix(fn.Name(), "Comparison") {
+			continue
+		}
+		if reachesVerifier(fn, calls, make(map[*types.Func]bool)) {
+			continue
+		}
+		pass.Reportf(fd.Name.Pos(), "comparison driver %s never reaches a %s* root/receipt verification call; its results are unverified against the sequential oracle (waive with //txlint:benchverify <reason>)", fn.Name(), verifyPrefix)
+	}
+}
+
+// reachesVerifier walks the static call graph depth-first from fn.
+func reachesVerifier(fn *types.Func, calls map[*types.Func][]*types.Func, seen map[*types.Func]bool) bool {
+	if seen[fn] {
+		return false
+	}
+	seen[fn] = true
+	for _, callee := range calls[fn] {
+		if strings.HasPrefix(callee.Name(), verifyPrefix) {
+			return true
+		}
+		if reachesVerifier(callee, calls, seen) {
+			return true
+		}
+	}
+	return false
+}

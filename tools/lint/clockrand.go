@@ -1,0 +1,89 @@
+// The clockrand analyzer: no wall clocks, no global RNG, no channel races
+// in the deterministic packages.
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var clockrandAnalyzer = &Analyzer{
+	Name:   "clockrand",
+	Waiver: "clock",
+	Doc: `bans time.Now/Since/Until, the un-seeded top-level math/rand
+functions, and multi-way select statements inside the deterministic
+packages, outside //txlint:clock <reason> waivers. Deterministic paths must
+take time from an injected clock (mempool.Pool.now), randomness from a
+seeded *rand.Rand (chainsim's per-stream generators), and channel
+arbitration must never pick which state gets committed.`,
+	Scope: inDeterministicScope,
+	Run:   runClockrand,
+}
+
+// bannedClockFuncs are wall-clock reads; their results differ per run and
+// per replica.
+var bannedClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededRandConstructors are the math/rand(/v2) entry points that build an
+// explicitly seeded generator — the sanctioned pattern.
+var seededRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runClockrand(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				pass.checkClockUse(n)
+			case *ast.SelectStmt:
+				pass.checkSelect(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkClockUse flags any reference (call or value) to time.Now/Since/Until
+// and to math/rand's package-level functions. References count, not just
+// calls: storing time.Now into an injected-clock field is the one
+// legitimate use, and that default-assignment site is exactly where a
+// waiver should document the injection point.
+func (p *Pass) checkClockUse(sel *ast.SelectorExpr) {
+	obj := p.ObjectOf(sel.Sel)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn, time.Time.Sub) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if bannedClockFuncs[fn.Name()] {
+			p.Reportf(sel.Pos(), "time.%s in a deterministic package: inject a clock (cf. mempool.Pool.now) or waive with //txlint:clock <reason>", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededRandConstructors[fn.Name()] {
+			p.Reportf(sel.Pos(), "%s.%s uses the shared un-seeded generator: use a seeded *rand.Rand (cf. chainsim's per-stream rngs) or waive with //txlint:clock <reason>", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// checkSelect flags selects with two or more communication cases: when
+// several channels are ready the runtime picks one pseudo-randomly, so any
+// such select on a path that orders or produces committed state is a replay
+// hazard. Single-case selects (with or without default) are deterministic
+// polling and pass.
+func (p *Pass) checkSelect(sel *ast.SelectStmt) {
+	comms := 0
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+			comms++
+		}
+	}
+	if comms >= 2 {
+		p.Reportf(sel.Pos(), "select with %d communication cases races nondeterministically in a deterministic package; restructure or waive with //txlint:clock <reason>", comms)
+	}
+}

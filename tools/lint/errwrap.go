@@ -1,0 +1,196 @@
+// The errwrap analyzer: error wrapping and matching discipline, module
+// wide.
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var errwrapAnalyzer = &Analyzer{
+	Name:   "errwrap",
+	Waiver: "errwrap",
+	Doc: `flags fmt.Errorf calls that format an error operand with %v or %s
+(project style is %w, which keeps the chain inspectable by errors.Is/As),
+and ==/!= comparisons against sentinel error variables (which break the
+moment anyone wraps; use errors.Is). Comparisons against nil are fine.`,
+	Scope: inModuleScope,
+	Run:   runErrwrap,
+}
+
+func runErrwrap(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				pass.checkErrorf(n)
+			case *ast.BinaryExpr:
+				pass.checkSentinelComparison(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorf inspects fmt.Errorf calls whose format string is a constant,
+// maps each verb to its operand, and flags %v/%s applied to a value that
+// implements error.
+func (p *Pass) checkErrorf(call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := p.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	operands := call.Args[1:]
+	for _, v := range parseVerbs(format) {
+		if v.verb != 'v' && v.verb != 's' {
+			continue
+		}
+		if v.operand >= len(operands) {
+			continue // malformed format; vet's printf check owns that
+		}
+		arg := operands[v.operand]
+		if isErrorType(p.TypeOf(arg)) {
+			p.Reportf(arg.Pos(), "fmt.Errorf formats error %s with %%%c; use %%w so errors.Is/As see through the wrap (or waive with //txlint:errwrap <reason>)", exprString(arg), v.verb)
+		}
+	}
+}
+
+// verbUse is one formatting verb and the index of the operand it consumes.
+type verbUse struct {
+	verb    rune
+	operand int
+}
+
+// parseVerbs walks a printf format string, tracking operand consumption
+// including '*' width/precision arguments and '%%' escapes. Explicit
+// argument indexes ("%[2]v") are honored.
+func parseVerbs(format string) []verbUse {
+	var out []verbUse
+	operand := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// flags
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		// explicit index
+		if i < len(format) && format[i] == '[' {
+			j := strings.IndexByte(format[i:], ']')
+			if j < 0 {
+				break
+			}
+			n := 0
+			for _, c := range format[i+1 : i+j] {
+				if c < '0' || c > '9' {
+					n = -1
+					break
+				}
+				n = n*10 + int(c-'0')
+			}
+			if n > 0 {
+				operand = n - 1
+			}
+			i += j + 1
+		}
+		// width / precision, each possibly '*'
+		for k := 0; k < 2; k++ {
+			if i < len(format) && format[i] == '*' {
+				operand++
+				i++
+			}
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+			if k == 0 && i < len(format) && format[i] == '.' {
+				i++
+			} else {
+				break
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := rune(format[i])
+		if verb == '%' {
+			continue
+		}
+		out = append(out, verbUse{verb: verb, operand: operand})
+		operand++
+	}
+	return out
+}
+
+// checkSentinelComparison flags err == ErrSomething / err != ErrSomething
+// where both operands are errors and one resolves to a package-level error
+// variable (a sentinel). nil comparisons and comparisons between two local
+// values pass.
+func (p *Pass) checkSentinelComparison(be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNilIdent(p, x) || isNilIdent(p, y) {
+		return
+	}
+	if !isErrorType(p.TypeOf(x)) || !isErrorType(p.TypeOf(y)) {
+		return
+	}
+	sentinel := p.sentinelName(x)
+	if sentinel == "" {
+		sentinel = p.sentinelName(y)
+	}
+	if sentinel == "" {
+		return
+	}
+	p.Reportf(be.Pos(), "comparing errors with %s against sentinel %s; use errors.Is so wrapped chains still match (or waive with //txlint:errwrap <reason>)", be.Op, sentinel)
+}
+
+// sentinelName returns the qualified name of a package-level error variable
+// reference, or "".
+func (p *Pass) sentinelName(e ast.Expr) string {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	v, ok := p.ObjectOf(id).(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return ""
+	}
+	// Package-level: declared directly in the package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	return v.Pkg().Name() + "." + v.Name()
+}
+
+func isNilIdent(p *Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := p.ObjectOf(id).(*types.Nil)
+	return isNil
+}

@@ -1,0 +1,249 @@
+// Package loading without golang.org/x/tools: metadata and compiler export
+// data come from `go list -export -json -deps`, and the requested packages
+// are then parsed and type-checked from source with go/types, their imports
+// satisfied by the export data through go/importer's gc importer. This is
+// the same "syntax for targets, export data for dependencies" mode
+// x/tools/go/packages uses; building it on the standard library keeps the
+// module dependency-free (the environment has no module proxy access).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one type-checked target package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// moduleRoot walks upward from dir to the directory containing go.mod, so
+// the loader works from any cwd inside the module (`go test` runs package
+// tests from the package directory).
+func moduleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("txlint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// goList runs `go list -export -deps -json` on the patterns from root and
+// decodes the package stream. -export populates (and reuses) the build
+// cache's compiled archives, whose export data the type-checker imports.
+func goList(root string, patterns []string) ([]*listPackage, error) {
+	args := []string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,Standard,DepOnly,GoFiles,Error",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("txlint: go list: %w\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPackage
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("txlint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter satisfies go/types imports from the export-data files `go
+// list -export` reported, via the gc importer (which understands the
+// compiler's archive format). One instance caches across all packages of a
+// load.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("txlint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// load resolves the patterns relative to the enclosing module and returns
+// the non-dependency packages parsed and type-checked. Test files are not
+// analyzed: the invariants txlint enforces are about committed state, which
+// only non-test sources produce (and testdata trees intentionally violate
+// them).
+func load(patterns []string) ([]*Package, error) {
+	root, err := moduleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	listed, err := goList(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []*listPackage
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("txlint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && !p.DepOnly && p.Name != "" {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, lp := range targets {
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("txlint: %w", err)
+			}
+			files = append(files, f)
+		}
+		info := newTypesInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("txlint: type-checking %s: %w", lp.ImportPath, err)
+		}
+		out = append(out, &Package{
+			PkgPath:   lp.ImportPath,
+			Dir:       lp.Dir,
+			Fset:      fset,
+			Files:     files,
+			Types:     tpkg,
+			TypesInfo: info,
+		})
+	}
+	return out, nil
+}
+
+// loadDir type-checks the .go files of one directory as a standalone
+// package whose imports resolve through the module's export data (the
+// analysistest runner loads testdata packages this way; testdata trees are
+// invisible to `go build ./...` but their stdlib imports still need real
+// type information).
+func loadDir(dir string) (*Package, error) {
+	root, err := moduleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			imports[spec.Path.Value[1:len(spec.Path.Value)-1]] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("txlint: no Go files in %s", dir)
+	}
+	patterns := make([]string, 0, len(imports))
+	for path := range imports {
+		if path != "unsafe" {
+			patterns = append(patterns, path)
+		}
+	}
+	exports := make(map[string]string)
+	if len(patterns) > 0 {
+		listed, err := goList(root, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: exportImporter(fset, exports)}
+	pkgPath := filepath.Base(dir)
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("txlint: type-checking %s: %w", dir, err)
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

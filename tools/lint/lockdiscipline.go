@@ -1,0 +1,318 @@
+// The lockdiscipline analyzer: mutexes in the shared-state packages are
+// released on every path, and never copied by value.
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var lockdisciplineAnalyzer = &Analyzer{
+	Name:   "lockdiscipline",
+	Waiver: "lock",
+	Doc: `flags (a) paths that return while holding a sync.Mutex/RWMutex
+acquired in the same function without a deferred unlock — the abstract walk
+tracks Lock/RLock against Unlock/RUnlock per receiver expression across
+branches — and (b) assignments and range clauses that copy a value
+containing a mutex (beyond the receiver/argument cases vet's copylocks
+covers). Hand-over-hand or conditional-release schemes carry a
+//txlint:lock <reason> waiver.`,
+	Scope: inLockedScope,
+	Run:   runLockdiscipline,
+}
+
+func runLockdiscipline(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			pass.checkLockPaths(fd.Body)
+		}
+		// Function literals are their own lock scopes (a goroutine or defer
+		// body acquiring a lock must release it itself).
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				pass.checkLockPaths(fl.Body)
+			}
+			return true
+		})
+		pass.checkMutexCopies(f)
+	}
+}
+
+// lockOp classifies one statement's effect on a mutex, keyed by the
+// receiver expression's source form plus read/write flavor, so s.mu and
+// p.pool.mu track independently and RLock pairs with RUnlock.
+type lockOp struct {
+	key     string
+	acquire bool
+	pos     token.Pos
+}
+
+// mutexCall decodes a call expression into a lock operation, or ok=false.
+// Resolution is by method object: any func named (R)Lock/(R)Unlock whose
+// receiver is sync.Mutex, sync.RWMutex or sync.Locker counts, which covers
+// embedded mutexes and Locker-typed fields alike.
+func (p *Pass) mutexCall(call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	var acquire bool
+	var flavor string
+	switch fn.Name() {
+	case "Lock":
+		acquire, flavor = true, "W"
+	case "Unlock":
+		acquire, flavor = false, "W"
+	case "RLock":
+		acquire, flavor = true, "R"
+	case "RUnlock":
+		acquire, flavor = false, "R"
+	default:
+		return lockOp{}, false
+	}
+	return lockOp{
+		key:     exprString(sel.X) + "|" + flavor,
+		acquire: acquire,
+		pos:     call.Pos(),
+	}, true
+}
+
+// lockState is the abstract state of one control-flow path: how many times
+// each mutex key is held (with the position of its outstanding Lock) and
+// which keys have a deferred release pending.
+type lockState struct {
+	held     map[string][]token.Pos
+	deferred map[string]bool
+}
+
+func newLockState() *lockState {
+	return &lockState{held: map[string][]token.Pos{}, deferred: map[string]bool{}}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range s.held {
+		c.held[k] = append([]token.Pos(nil), v...)
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+// merge folds a fall-through branch state into s pessimistically: a key is
+// held after the branch point if either path can leave it held, so a
+// conditional release still flags the path that skips it.
+func (s *lockState) merge(o *lockState) {
+	for k, v := range o.held {
+		if len(v) > len(s.held[k]) {
+			s.held[k] = v
+		}
+	}
+	for k := range o.deferred {
+		s.deferred[k] = true
+	}
+}
+
+// checkLockPaths walks one function body and reports Lock sites whose lock
+// is still held, with no deferred release, when a return (or the end of the
+// function) is reached.
+func (p *Pass) checkLockPaths(body *ast.BlockStmt) {
+	reported := map[token.Pos]bool{}
+	state := newLockState()
+	terminated := p.walkLocks(body.List, state, reported)
+	if !terminated {
+		p.reportHeld(state, body.End(), reported, "function exit")
+	}
+}
+
+func (p *Pass) reportHeld(s *lockState, at token.Pos, reported map[token.Pos]bool, where string) {
+	for key, positions := range s.held {
+		if len(positions) == 0 || s.deferred[key] {
+			continue
+		}
+		pos := positions[len(positions)-1]
+		if reported[pos] {
+			continue
+		}
+		reported[pos] = true
+		p.Reportf(pos, "lock acquired here is still held at %s on some path, with no deferred unlock; add defer or waive with //txlint:lock <reason>", where)
+	}
+	_ = at
+}
+
+// walkLocks interprets a statement list, returning true when every path
+// through it terminates (returns or panics) before falling off the end.
+func (p *Pass) walkLocks(list []ast.Stmt, state *lockState, reported map[token.Pos]bool) bool {
+	for _, stmt := range list {
+		if p.walkLockStmt(stmt, state, reported) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pass) walkLockStmt(stmt ast.Stmt, state *lockState, reported map[token.Pos]bool) (terminated bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if op, ok := p.mutexCall(call); ok {
+				if op.acquire {
+					state.held[op.key] = append(state.held[op.key], op.pos)
+				} else if n := len(state.held[op.key]); n > 0 {
+					state.held[op.key] = state.held[op.key][:n-1]
+				}
+				return false
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, builtin := p.ObjectOf(id).(*types.Builtin); builtin {
+					return true
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		if op, ok := p.mutexCall(s.Call); ok && !op.acquire {
+			state.deferred[op.key] = true
+			return false
+		}
+		// defer func() { ...mu.Unlock()... }()
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(fl.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if op, ok := p.mutexCall(call); ok && !op.acquire {
+						state.deferred[op.key] = true
+					}
+				}
+				return true
+			})
+		}
+	case *ast.ReturnStmt:
+		p.reportHeld(state, s.Pos(), reported, "return")
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			p.walkLockStmt(s.Init, state, reported)
+		}
+		thenState := state.clone()
+		thenTerm := p.walkLocks(s.Body.List, thenState, reported)
+		elseState := state.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = p.walkLockStmt(s.Else, elseState, reported)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*state = *elseState
+		case elseTerm:
+			*state = *thenState
+		default:
+			*state = *thenState
+			state.merge(elseState)
+		}
+	case *ast.BlockStmt:
+		return p.walkLocks(s.List, state, reported)
+	case *ast.LabeledStmt:
+		return p.walkLockStmt(s.Stmt, state, reported)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var clauses []ast.Stmt
+		switch s := s.(type) {
+		case *ast.SwitchStmt:
+			clauses = s.Body.List
+		case *ast.TypeSwitchStmt:
+			clauses = s.Body.List
+		case *ast.SelectStmt:
+			clauses = s.Body.List
+		}
+		merged := state.clone()
+		for _, clause := range clauses {
+			var body []ast.Stmt
+			switch c := clause.(type) {
+			case *ast.CaseClause:
+				body = c.Body
+			case *ast.CommClause:
+				body = c.Body
+			}
+			cs := state.clone()
+			if !p.walkLocks(body, cs, reported) {
+				merged.merge(cs)
+			}
+		}
+		*state = *merged
+	case *ast.ForStmt:
+		// Loop bodies must balance their own acquisitions per iteration;
+		// walk with a clone so in-loop locking is checked without leaking
+		// iteration effects into the outer path.
+		bodyState := state.clone()
+		p.walkLocks(s.Body.List, bodyState, reported)
+	case *ast.RangeStmt:
+		bodyState := state.clone()
+		p.walkLocks(s.Body.List, bodyState, reported)
+	}
+	return false
+}
+
+// checkMutexCopies flags value copies of mutex-bearing types that vet's
+// copylocks does not: plain assignments/definitions from another variable
+// or dereference, and range value variables over mutex-bearing element
+// types.
+func (p *Pass) checkMutexCopies(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return true
+		case *ast.AssignStmt:
+			if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+				return true
+			}
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if !isCopySource(rhs) {
+					continue
+				}
+				// `_ = x` discards the copy; nothing can unlock through it.
+				if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				if containsMutex(p.TypeOf(rhs)) {
+					p.Reportf(n.Lhs[i].Pos(), "assignment copies a value containing a sync mutex (type %s); keep a pointer instead (or waive with //txlint:lock <reason>)", p.TypeOf(rhs))
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value == nil {
+				return true
+			}
+			if containsMutex(p.TypeOf(n.Value)) {
+				p.Reportf(n.Value.Pos(), "range value copies an element containing a sync mutex (type %s); range over indices or pointers (or waive with //txlint:lock <reason>)", p.TypeOf(n.Value))
+			}
+		}
+		return true
+	})
+}
+
+// isCopySource reports whether an expression produces its value by copying
+// existing storage (as opposed to constructing a fresh value, which is the
+// legitimate way to make a mutex-bearing struct).
+func isCopySource(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.UnaryExpr:
+		return e.Op == token.MUL
+	}
+	return false
+}

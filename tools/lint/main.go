@@ -1,0 +1,96 @@
+// Command txlint runs the project's determinism-and-discipline analyzers
+// over the given package patterns (default ./...) and exits non-zero when
+// any unwaived diagnostic remains. See lint.go for the framework and the
+// waiver syntax, and docs/ARCHITECTURE.md ("Determinism invariants & static
+// analysis") for the invariant catalogue.
+//
+// Usage:
+//
+//	txlint [-only maporder,clockrand] [-waived] [packages]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// allAnalyzers is the multichecker's suite, in report order.
+var allAnalyzers = []*Analyzer{
+	maporderAnalyzer,
+	clockrandAnalyzer,
+	errwrapAnalyzer,
+	lockdisciplineAnalyzer,
+	benchverifyAnalyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	showWaived := flag.Bool("waived", false, "also list waived findings with their reasons")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: txlint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range allAnalyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s waiver //txlint:%s\n", a.Name, a.Waiver)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "txlint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	diags := runAnalyzers(pkgs, analyzers)
+	unwaived, waived := 0, 0
+	for _, d := range diags {
+		if d.Waived {
+			waived++
+			if *showWaived {
+				fmt.Println(d)
+			}
+			continue
+		}
+		unwaived++
+		fmt.Println(d)
+	}
+	if unwaived > 0 {
+		fmt.Fprintf(os.Stderr, "txlint: %d finding(s) (%d waived)\n", unwaived, waived)
+		os.Exit(1)
+	}
+	if *showWaived || waived > 0 {
+		fmt.Fprintf(os.Stderr, "txlint: clean (%d waived finding(s) across %d package(s))\n", waived, len(pkgs))
+	}
+}
+
+// selectAnalyzers resolves the -only flag against the suite.
+func selectAnalyzers(only string) ([]*Analyzer, error) {
+	if only == "" {
+		return allAnalyzers, nil
+	}
+	byName := make(map[string]*Analyzer, len(allAnalyzers))
+	for _, a := range allAnalyzers {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

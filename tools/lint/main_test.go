@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+// TestRepoIsLintClean runs the full analyzer suite over every package of
+// the module and fails on any unwaived diagnostic. This makes the repo's
+// lint-cleanliness part of tier-1 `go test ./...`: a determinism hazard
+// (or a waiver gone stale) fails the build even when CI's explicit
+// `make lint` step is skipped.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide lint sweep type-checks the whole module; skipped in -short")
+	}
+	pkgs, err := load([]string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader returned no packages for ./...")
+	}
+	diags := runAnalyzers(pkgs, allAnalyzers)
+	unwaived := 0
+	for _, d := range diags {
+		if !d.Waived {
+			unwaived++
+			t.Errorf("%s", d)
+		}
+	}
+	if unwaived > 0 {
+		t.Errorf("%d unwaived finding(s); fix the hazard or add //txlint:<keyword> <reason>", unwaived)
+	}
+}

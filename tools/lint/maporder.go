@@ -1,0 +1,986 @@
+// The maporder analyzer: no map-iteration order may leak into committed
+// state inside the deterministic packages.
+//
+// Go randomizes map iteration per run, so any `for … range m` whose body's
+// effects depend on visit order is a replay-determinism hazard: two
+// replicas (or two runs) disagree on committed state, slice contents, or
+// scheduling decisions. The analyzer proves a loop harmless when its
+// effects all commute; everything else needs sorting or an explicit
+// //txlint:ordered <reason> waiver.
+//
+// The proof is an effect classification of the body:
+//
+//   - keyed writes    m2[k…] = v / delete(m2, k…): the index mentions the
+//     range key, so iterations touch distinct entries; the body must not
+//     read the target map at any other key.
+//   - accumulation    x += e (and -, *, |, &, ^), x++/x--: commutative
+//     reductions; the accumulator must not be read elsewhere in the body.
+//   - flag sets       x = <const>, always the same constant: an "any"
+//     reduction; the flag must not be read in the body.
+//   - min/max         if v < acc { acc = v }: commutative extremum.
+//   - loop locals     := definitions and assignments to variables declared
+//     in the loop (including the range key/value), reset each iteration.
+//   - scans           return <loop-invariant> / continue / unlabeled break,
+//     with restrictions: returns and breaks may not coexist with writes,
+//     since early exit would truncate them order-dependently.
+//   - collect+sort    s = append(s, …) is order-sensitive alone, but passes
+//     when the next statement that mentions s is a sort over it.
+//
+// All conditions along the way must be side-effect-free; calls are impure
+// unless provably pure (see purity.go).
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var maporderAnalyzer = &Analyzer{
+	Name:   "maporder",
+	Waiver: "ordered",
+	Doc: `flags "for … range" over a map inside the deterministic packages
+unless the loop body is provably order-insensitive (commuting effects:
+keyed writes, commutative accumulation, flag sets, min/max reductions,
+loop-invariant scans, or collect-then-sort) or carries a //txlint:ordered
+<reason> waiver with non-empty reason.`,
+	Scope: inDeterministicScope,
+	Run:   runMaporder,
+}
+
+func runMaporder(pass *Pass) {
+	for _, f := range pass.Files {
+		siblings := stmtLists(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !isMapType(pass.TypeOf(rs.X)) {
+				return true
+			}
+			if pass.orderInsensitive(rs, siblings) {
+				return true
+			}
+			pass.Reportf(rs.Pos(), "range over map %s: iteration order is randomized and the loop body is not provably order-insensitive; sort the keys or waive with //txlint:ordered <reason>", exprString(rs.X))
+			return true
+		})
+	}
+}
+
+// exprString renders a short source-like form of an expression for
+// messages and for structural identity of lvalues/keys.
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// stmtLists maps every statement to its enclosing statement list and index,
+// so the collect-then-sort rule can look at a range loop's following
+// siblings.
+type stmtListPos struct {
+	list []ast.Stmt
+	idx  int
+}
+
+func stmtLists(f *ast.File) map[ast.Stmt]stmtListPos {
+	out := make(map[ast.Stmt]stmtListPos)
+	record := func(list []ast.Stmt) {
+		for i, s := range list {
+			out[s] = stmtListPos{list, i}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			record(n.List)
+		case *ast.CaseClause:
+			record(n.Body)
+		case *ast.CommClause:
+			record(n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// loopEffects accumulates the classified effects of one range body.
+type loopEffects struct {
+	pass   *Pass
+	rs     *ast.RangeStmt
+	keyObj types.Object
+
+	impure  bool       // anything outside the whitelist
+	breaks  []ast.Stmt // unlabeled breaks at loop depth 0
+	returns []*ast.ReturnStmt
+
+	// keyedWrites: target-map lvalue string -> set of index strings used in
+	// writes/deletes (must cover every read of the target too).
+	keyedWrites map[string]map[string]bool
+	keyedObjs   map[string]types.Object
+	// constAssigns: flag lvalue string -> set of constant RHS strings.
+	constAssigns map[string]map[string]bool
+	// accums / minmax: lvalue strings reduced commutatively.
+	accums map[string]bool
+	minmax map[string]bool
+	// appends: slice lvalue string -> true (order-sensitive unless sorted
+	// right after; resolved by the caller via the sibling list).
+	appends map[string]bool
+	// keyDerived: loop-local variables defined as pure expressions of the
+	// range key (k := deltaKey(a)); indexing by one still counts as keyed.
+	// keyInjective marks the subset whose defining expression provably
+	// takes distinct values for distinct range keys.
+	keyDerived   map[types.Object]bool
+	keyInjective map[types.Object]bool
+}
+
+func newLoopEffects(p *Pass, rs *ast.RangeStmt) *loopEffects {
+	return &loopEffects{
+		pass:         p,
+		rs:           rs,
+		keyObj:       p.rangeVarObj(rs.Key),
+		keyedWrites:  map[string]map[string]bool{},
+		keyedObjs:    map[string]types.Object{},
+		constAssigns: map[string]map[string]bool{},
+		accums:       map[string]bool{},
+		minmax:       map[string]bool{},
+		appends:      map[string]bool{},
+		keyDerived:   map[types.Object]bool{},
+		keyInjective: map[types.Object]bool{},
+	}
+}
+
+// orderInsensitive is the analyzer's core proof.
+func (p *Pass) orderInsensitive(rs *ast.RangeStmt, siblings map[ast.Stmt]stmtListPos) bool {
+	e := newLoopEffects(p, rs)
+	e.stmts(rs.Body.List, 0)
+	if e.impure {
+		return false
+	}
+
+	// Early exits truncate the iteration set order-dependently, so they
+	// may not coexist with write effects. A return may not even coexist
+	// with a flag set: the enclosing function exits mid-reduction and a
+	// caller could observe the partial flag through a closure or pointer.
+	writes := len(e.keyedWrites) > 0 || len(e.accums) > 0 || len(e.minmax) > 0 || len(e.appends) > 0
+	if len(e.returns) > 0 && (writes || len(e.constAssigns) > 0) {
+		return false
+	}
+	// An unlabeled break is safe only in a pure scan, or in the
+	// set-flag-and-stop idiom: the sole effect is one idempotent constant
+	// flag, and every break directly follows a set of that flag — then
+	// the flag is already at its final value when iteration stops, and
+	// the skipped iterations could only have re-set the same constant.
+	if len(e.breaks) > 0 {
+		if writes || len(e.returns) > 0 || len(e.constAssigns) > 1 {
+			return false
+		}
+		if len(e.constAssigns) == 1 {
+			for _, br := range e.breaks {
+				pos, ok := siblings[br]
+				if !ok || pos.idx == 0 {
+					return false
+				}
+				prev, ok := pos.list[pos.idx-1].(*ast.AssignStmt)
+				if !ok || prev.Tok != token.ASSIGN || len(prev.Lhs) != 1 {
+					return false
+				}
+				if _, tracked := e.constAssigns[exprString(ast.Unparen(prev.Lhs[0]))]; !tracked {
+					return false
+				}
+			}
+		}
+	}
+	// A flag assigned two different constants resolves by visit order.
+	for _, consts := range e.constAssigns {
+		if len(consts) > 1 {
+			return false
+		}
+	}
+	// Reductions and flags must not be read elsewhere in the body (a read
+	// would observe a partially-reduced, order-dependent value).
+	if e.flagsRead() {
+		return false
+	}
+	// Every read of a keyed-write target must use one of the written key
+	// expressions (same-entry read-modify is fine; sibling entries are
+	// order-dependent).
+	if !e.keyedReadsCovered() {
+		return false
+	}
+	// Appends leak order unless the collected slice is sorted before its
+	// next use.
+	for target := range e.appends {
+		if !p.sortedBeforeUse(rs, target, siblings) {
+			return false
+		}
+	}
+	return true
+}
+
+// rangeVarObj resolves a range variable, or nil for `_`/absent.
+func (p *Pass) rangeVarObj(v ast.Expr) types.Object {
+	id, ok := v.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return p.ObjectOf(id)
+}
+
+// loopLocal reports whether an expression is an identifier declared by the
+// range statement itself or inside its body — per-iteration storage.
+func (e *loopEffects) loopLocal(x ast.Expr) bool {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if id.Name == "_" {
+		return true
+	}
+	obj := e.pass.ObjectOf(id)
+	return obj != nil && e.rs.Pos() <= obj.Pos() && obj.Pos() < e.rs.End()
+}
+
+func (e *loopEffects) stmts(list []ast.Stmt, depth int) {
+	for _, s := range list {
+		e.stmt(s, depth)
+	}
+}
+
+func (e *loopEffects) stmt(s ast.Stmt, depth int) {
+	if e.impure {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		e.assign(s)
+	case *ast.IncDecStmt:
+		if !e.pass.pureExpr(s.X) {
+			e.impure = true
+			return
+		}
+		if !e.loopLocal(s.X) {
+			e.noteAccum(s.X)
+		}
+	case *ast.IfStmt:
+		if e.minmaxPattern(s) {
+			return
+		}
+		if s.Init != nil {
+			e.stmt(s.Init, depth)
+		}
+		if !e.pass.pureExpr(s.Cond) {
+			e.impure = true
+			return
+		}
+		e.stmts(s.Body.List, depth)
+		if s.Else != nil {
+			e.stmt(s.Else, depth)
+		}
+	case *ast.BlockStmt:
+		e.stmts(s.List, depth)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			e.stmt(s.Init, depth)
+		}
+		if s.Tag != nil && !e.pass.pureExpr(s.Tag) {
+			e.impure = true
+			return
+		}
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CaseClause)
+			for _, x := range cc.List {
+				if !e.pass.pureExpr(x) {
+					e.impure = true
+					return
+				}
+			}
+			// A switch case ends in an implicit break; that break does not
+			// truncate the range loop, so depth+1 hides it.
+			e.stmts(cc.Body, depth+1)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if !e.loopInvariant(r) {
+				e.impure = true
+				return
+			}
+		}
+		e.returns = append(e.returns, s)
+	case *ast.BranchStmt:
+		switch {
+		case s.Label != nil:
+			e.impure = true // labeled jumps cross loop levels; hand-audit
+		case s.Tok == token.CONTINUE:
+			// skipping an iteration commutes
+		case s.Tok == token.BREAK && depth == 0:
+			e.breaks = append(e.breaks, s)
+		case s.Tok == token.BREAK:
+			// breaks an inner (deterministic) loop, not this range
+		default:
+			e.impure = true // goto, fallthrough
+		}
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			e.impure = true
+			return
+		}
+		// delete(m2, k…): a keyed removal.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" && len(call.Args) == 2 {
+			if _, builtin := e.pass.ObjectOf(id).(*types.Builtin); builtin {
+				if e.keyedBy(call.Args[1]) && e.pass.pureExpr(call.Args[1]) {
+					e.noteKeyedWrite(call.Args[0], call.Args[1])
+					return
+				}
+			}
+		}
+		e.impure = true
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			e.impure = true
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				e.impure = true
+				return
+			}
+			for _, v := range vs.Values {
+				if !e.pass.pureExpr(v) {
+					e.impure = true
+					return
+				}
+			}
+		}
+	case *ast.ForStmt:
+		// A nested conventional loop iterates deterministically; its body's
+		// effects still count against this range's order-sensitivity.
+		if s.Init != nil {
+			e.stmt(s.Init, depth+1)
+		}
+		if s.Cond != nil && !e.pass.pureExpr(s.Cond) {
+			e.impure = true
+			return
+		}
+		if s.Post != nil {
+			e.stmt(s.Post, depth+1)
+		}
+		e.stmts(s.Body.List, depth+1)
+	case *ast.RangeStmt:
+		// Nested range over a map is checked independently as its own
+		// hazard; over anything else it is deterministic. Either way its
+		// body's effects belong to this loop's account too.
+		if !e.pass.pureExpr(s.X) {
+			e.impure = true
+			return
+		}
+		e.stmts(s.Body.List, depth+1)
+	default:
+		e.impure = true
+	}
+}
+
+func (e *loopEffects) assign(s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 ||
+			!e.pass.pureExpr(s.Lhs[0]) || !e.pass.pureExpr(s.Rhs[0]) {
+			e.impure = true
+			return
+		}
+		// The addend must not read the accumulator family (sum += other is
+		// fine; m[k] += m[j] observes a sibling mid-reduction).
+		if base := baseIdentString(s.Lhs[0]); base != "" && refersToString(s.Rhs[0], base) {
+			e.impure = true
+			return
+		}
+		if !e.loopLocal(s.Lhs[0]) {
+			e.noteAccum(s.Lhs[0])
+		}
+	case token.DEFINE:
+		for _, r := range s.Rhs {
+			if !e.pass.pureExpr(r) {
+				e.impure = true
+				return
+			}
+		}
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, l := range s.Lhs {
+				if id, ok := l.(*ast.Ident); ok && id.Name != "_" && e.mentionsKey(s.Rhs[i]) {
+					if obj := e.pass.ObjectOf(id); obj != nil {
+						e.keyDerived[obj] = true
+						if e.injectiveKey(s.Rhs[i]) {
+							e.keyInjective[obj] = true
+						}
+					}
+				}
+			}
+		}
+	case token.ASSIGN:
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			// m[k…] = append(m[k…], pure…) is a per-key accumulation and
+			// commutes across distinct keys; s = append(s, …) collects in
+			// visit order and must be followed by a sort.
+			if e.keyedAppend(s) {
+				return
+			}
+			if e.appendCall(s, s.Rhs[0]) {
+				return
+			}
+		}
+		for _, r := range s.Rhs {
+			if !e.pass.pureExpr(r) {
+				e.impure = true
+				return
+			}
+		}
+		for i, l := range s.Lhs {
+			var value ast.Expr
+			if len(s.Rhs) == len(s.Lhs) {
+				value = s.Rhs[i]
+			}
+			switch {
+			case e.loopLocal(l):
+				// iteration-private
+			case e.keyedWriteTarget(l, value):
+				// m2[k…] = v: recorded by keyedWriteTarget
+			case value != nil && isConstExpr(e.pass, value):
+				e.noteConstAssign(l, value)
+			default:
+				e.impure = true
+				return
+			}
+		}
+	default:
+		e.impure = true
+	}
+}
+
+// keyedAppend recognizes `m[k…] = append(m[k…], pure…)`: a per-key list
+// accumulation where iterations touch distinct entries.
+func (e *loopEffects) keyedAppend(s *ast.AssignStmt) bool {
+	idx, ok := ast.Unparen(s.Lhs[0]).(*ast.IndexExpr)
+	if !ok || !isMapType(e.pass.TypeOf(idx.X)) {
+		return false
+	}
+	if !e.keyedBy(idx.Index) || !e.pass.pureExpr(idx.Index) || !e.pass.pureExpr(idx.X) {
+		return false
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, builtin := e.pass.ObjectOf(id).(*types.Builtin); !builtin {
+		return false
+	}
+	lhs := exprString(ast.Unparen(s.Lhs[0]))
+	if len(call.Args) == 0 || exprString(ast.Unparen(call.Args[0])) != lhs {
+		return false
+	}
+	base := exprString(ast.Unparen(idx.X))
+	for _, a := range call.Args[1:] {
+		if !e.pass.pureExpr(a) || refersToString(a, base) {
+			return false
+		}
+		// Through a possibly-colliding derived key, a collision appends
+		// twice; that only commutes when every appended value is the same
+		// each iteration.
+		if !e.injectiveKey(idx.Index) && !e.loopInvariant(a) {
+			return false
+		}
+	}
+	e.noteKeyedWrite(idx.X, idx.Index)
+	return true
+}
+
+// appendCall recognizes `s = append(s, args…)` with pure arguments that do
+// not read the collected slice, and records s as an append target.
+func (e *loopEffects) appendCall(s *ast.AssignStmt, r ast.Expr) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	call, ok := ast.Unparen(r).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, builtin := e.pass.ObjectOf(id).(*types.Builtin); !builtin {
+		return false
+	}
+	target := exprString(ast.Unparen(s.Lhs[0]))
+	if len(call.Args) == 0 || exprString(ast.Unparen(call.Args[0])) != target {
+		return false
+	}
+	for _, a := range call.Args[1:] {
+		if !e.pass.pureExpr(a) || refersToString(a, target) {
+			return false
+		}
+	}
+	e.appends[target] = true
+	return true
+}
+
+// keyedWriteTarget recognizes `m2[k…] = v` lvalues and records the write.
+// Through a derived (possibly colliding) key the value must be
+// loop-invariant, so a collision re-writes the same value.
+func (e *loopEffects) keyedWriteTarget(l, value ast.Expr) bool {
+	idx, ok := ast.Unparen(l).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	if !isMapType(e.pass.TypeOf(idx.X)) {
+		return false
+	}
+	if !e.keyedBy(idx.Index) || !e.pass.pureExpr(idx.Index) || !e.pass.pureExpr(idx.X) {
+		return false
+	}
+	if !e.injectiveKey(idx.Index) && (value == nil || !e.loopInvariant(value)) {
+		return false
+	}
+	e.noteKeyedWrite(idx.X, idx.Index)
+	return true
+}
+
+func (e *loopEffects) noteKeyedWrite(target, key ast.Expr) {
+	t := exprString(ast.Unparen(target))
+	if e.keyedWrites[t] == nil {
+		e.keyedWrites[t] = map[string]bool{}
+	}
+	e.keyedWrites[t][exprString(key)] = true
+	if id, ok := ast.Unparen(target).(*ast.Ident); ok {
+		e.keyedObjs[t] = e.pass.ObjectOf(id)
+	}
+}
+
+func (e *loopEffects) noteAccum(l ast.Expr) {
+	e.accums[exprString(ast.Unparen(l))] = true
+}
+
+func (e *loopEffects) noteConstAssign(l, r ast.Expr) {
+	t := exprString(ast.Unparen(l))
+	if e.constAssigns[t] == nil {
+		e.constAssigns[t] = map[string]bool{}
+	}
+	e.constAssigns[t][exprString(r)] = true
+}
+
+// minmaxPattern matches `if X op Acc { Acc = X }` (op ∈ < > <= >=), the
+// commutative extremum reduction. The body must be exactly the one
+// assignment.
+func (e *loopEffects) minmaxPattern(s *ast.IfStmt) bool {
+	if s.Else != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	if s.Init != nil {
+		// allow `if v := pure; v op acc { acc = v }`
+		init, ok := s.Init.(*ast.AssignStmt)
+		if !ok || init.Tok != token.DEFINE {
+			return false
+		}
+		for _, r := range init.Rhs {
+			if !e.pass.pureExpr(r) {
+				return false
+			}
+		}
+	}
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cond.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	asg, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	acc, val := exprString(asg.Lhs[0]), exprString(asg.Rhs[0])
+	x, y := exprString(cond.X), exprString(cond.Y)
+	if !(x == val && y == acc || x == acc && y == val) {
+		return false
+	}
+	if !e.pass.pureExpr(cond.X) || !e.pass.pureExpr(cond.Y) || !e.pass.pureExpr(asg.Rhs[0]) {
+		return false
+	}
+	if e.loopLocal(asg.Lhs[0]) {
+		return true
+	}
+	e.minmax[acc] = true
+	return true
+}
+
+// loopInvariant reports whether a return result is the same value no
+// matter which iteration returns it: pure, and mentioning neither the
+// range variables nor anything declared in the loop.
+func (e *loopEffects) loopInvariant(r ast.Expr) bool {
+	if tv, ok := e.pass.TypesInfo.Types[r]; ok && tv.Value != nil {
+		return true
+	}
+	if !e.pass.pureExpr(r) {
+		return false
+	}
+	invariant := true
+	ast.Inspect(r, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := e.pass.ObjectOf(id); obj != nil &&
+				e.rs.Pos() <= obj.Pos() && obj.Pos() < e.rs.End() {
+				invariant = false
+			}
+		}
+		return invariant
+	})
+	return invariant
+}
+
+// flagsRead reports whether any reduction target (flag, accumulator,
+// min/max) is referenced in the body outside its own reducing statements —
+// which would observe an order-dependent intermediate value. Structural
+// string identity is used, matching how the targets were recorded.
+func (e *loopEffects) flagsRead() bool {
+	targets := map[string]int{}
+	for t := range e.constAssigns {
+		targets[t] = 0
+	}
+	for t := range e.accums {
+		targets[t] = 0
+	}
+	for t := range e.minmax {
+		targets[t] = 0
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	counts := map[string]int{}
+	ast.Inspect(e.rs.Body, func(n ast.Node) bool {
+		if x, ok := n.(ast.Expr); ok {
+			s := exprString(ast.Unparen(x))
+			if _, tracked := targets[s]; tracked {
+				counts[s]++
+				return false // don't double-count sub-expressions
+			}
+		}
+		return true
+	})
+	// Each reducing statement mentions its target exactly once on the LHS
+	// (compound/minmax RHS uses were rejected earlier), except minmax,
+	// whose pattern mentions the accumulator twice (cond + assign).
+	writes := map[string]int{}
+	ast.Inspect(e.rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				writes[exprString(ast.Unparen(l))]++
+			}
+		case *ast.IncDecStmt:
+			writes[exprString(ast.Unparen(n.X))]++
+		}
+		return true
+	})
+	for t := range e.minmax {
+		writes[t]++ // the comparison read inside the pattern
+	}
+	for t := range targets {
+		if counts[t] > writes[t] {
+			return true
+		}
+	}
+	return false
+}
+
+// keyedReadsCovered checks that every reference to a keyed-write target in
+// the body is an index at one of the written key expressions (or the write
+// itself): reading a sibling entry would observe order-dependent state.
+func (e *loopEffects) keyedReadsCovered() bool {
+	for target, keys := range e.keyedWrites {
+		obj := e.keyedObjs[target]
+		ok := true
+		ast.Inspect(e.rs.Body, func(n ast.Node) bool {
+			if !ok {
+				return false
+			}
+			// Accept m[writtenKey] wholesale; then any *other* appearance
+			// of the bare target is a violation.
+			if idx, isIdx := n.(*ast.IndexExpr); isIdx {
+				if exprString(ast.Unparen(idx.X)) == target && keys[exprString(idx.Index)] {
+					return false // skip: covered read/write of the same entry
+				}
+			}
+			if call, isCall := n.(*ast.CallExpr); isCall {
+				if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent && id.Name == "delete" && len(call.Args) == 2 {
+					if exprString(ast.Unparen(call.Args[0])) == target && keys[exprString(call.Args[1])] {
+						// skip the target mention, keep checking the key
+						ast.Inspect(call.Args[1], func(m ast.Node) bool { return mentionCheck(m, target, obj, e, &ok) })
+						return false
+					}
+				}
+			}
+			return mentionCheck(n, target, obj, e, &ok)
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// mentionCheck flags a bare mention of the keyed-write target.
+func mentionCheck(n ast.Node, target string, obj types.Object, e *loopEffects, ok *bool) bool {
+	x, isExpr := n.(ast.Expr)
+	if !isExpr {
+		return true
+	}
+	if exprString(ast.Unparen(x)) == target {
+		*ok = false
+		return false
+	}
+	if id, isIdent := x.(*ast.Ident); isIdent && obj != nil && e.pass.ObjectOf(id) == obj {
+		*ok = false
+		return false
+	}
+	return true
+}
+
+// mentionsKey reports whether expr mentions the range-key variable or a
+// key-derived local.
+func (e *loopEffects) mentionsKey(expr ast.Expr) bool {
+	if e.pass.refersTo(expr, e.keyObj) {
+		return true
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && e.keyDerived[e.pass.ObjectOf(id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// keyedBy is mentionsKey plus the requirement the key expression exists.
+func (e *loopEffects) keyedBy(expr ast.Expr) bool {
+	if e.keyObj == nil {
+		return false
+	}
+	return e.mentionsKey(expr)
+}
+
+// exactKey reports whether the index is the range-key variable itself.
+func (e *loopEffects) exactKey(x ast.Expr) bool {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	return ok && e.keyObj != nil && e.pass.ObjectOf(id) == e.keyObj
+}
+
+// injectiveKey reports whether the index expression provably takes
+// distinct values on distinct iterations, so writes through it hit
+// distinct entries: the range key itself, a local defined by such an
+// expression, a composite literal embedding the whole range key (or
+// selectors covering every field of its struct type), or a single-argument
+// pure constructor applied to the bare range key whose returned literal
+// does the same with its parameter. Anything else (k.Addr, hashes) may
+// collide; writes through those are safe only when collisions are
+// idempotent (loop-invariant values).
+func (e *loopEffects) injectiveKey(x ast.Expr) bool {
+	x = ast.Unparen(x)
+	if e.exactKey(x) {
+		return true
+	}
+	switch x := x.(type) {
+	case *ast.Ident:
+		return e.keyInjective[e.pass.ObjectOf(x)]
+	case *ast.CompositeLit:
+		return e.injectiveComposite(x, e.keyObj)
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+		if !ok || len(x.Args) != 1 || !e.exactKey(x.Args[0]) {
+			return false
+		}
+		fn, ok := e.pass.ObjectOf(id).(*types.Func)
+		if !ok {
+			return false
+		}
+		fd := e.pass.funcDecl(fn)
+		if fd == nil || fd.Recv != nil || fd.Body == nil || len(fd.Body.List) != 1 || fd.Type.Params == nil {
+			return false
+		}
+		ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return false
+		}
+		cl, ok := ast.Unparen(ret.Results[0]).(*ast.CompositeLit)
+		if !ok {
+			return false
+		}
+		var paramObj types.Object
+		params := 0
+		for _, f := range fd.Type.Params.List {
+			for _, n := range f.Names {
+				paramObj = e.pass.ObjectOf(n)
+				params++
+			}
+		}
+		return params == 1 && e.injectiveComposite(cl, paramObj)
+	}
+	return false
+}
+
+// injectiveComposite reports whether the literal determines obj: it embeds
+// obj itself as an element, or selectors off obj covering every field of
+// obj's struct type. Other elements cannot reduce distinctness, whatever
+// they are.
+func (e *loopEffects) injectiveComposite(cl *ast.CompositeLit, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	covered := map[string]bool{}
+	for _, el := range cl.Elts {
+		v := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			v = kv.Value
+		}
+		v = ast.Unparen(v)
+		if id, ok := v.(*ast.Ident); ok && e.pass.ObjectOf(id) == obj {
+			return true
+		}
+		if sel, ok := v.(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && e.pass.ObjectOf(id) == obj {
+				covered[sel.Sel.Name] = true
+			}
+		}
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok || st.NumFields() == 0 {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if !covered[st.Field(i).Name()] {
+			return false
+		}
+	}
+	return true
+}
+
+// baseIdentString returns the printed base of an index expression's map
+// (m[k] -> "m", s.m[k] -> "s.m"), or "" for non-index lvalues.
+func baseIdentString(l ast.Expr) string {
+	if idx, ok := ast.Unparen(l).(*ast.IndexExpr); ok {
+		return exprString(ast.Unparen(idx.X))
+	}
+	return ""
+}
+
+// refersToString reports whether expr contains a sub-expression printing
+// exactly as target.
+func refersToString(expr ast.Expr, target string) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if x, ok := n.(ast.Expr); ok && exprString(ast.Unparen(x)) == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isConstExpr reports whether the type-checker evaluated e to a constant.
+func isConstExpr(p *Pass, e ast.Expr) bool {
+	if tv, ok := p.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	// Composite literals of constants (struct{}{}-style set markers) are
+	// not go/types constants but are value-identical every iteration.
+	if cl, ok := ast.Unparen(e).(*ast.CompositeLit); ok {
+		for _, el := range cl.Elts {
+			if !isConstExpr(p, el) {
+				return false
+			}
+			if kv, ok := el.(*ast.KeyValueExpr); ok && !isConstExpr(p, kv.Value) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// sortedBeforeUse implements the collect-then-sort rule: scanning the
+// statements after the loop, every sibling that mentions the collected
+// slice before a recognized sort over it must itself be another
+// order-insensitive append-collector into the same slice.
+func (p *Pass) sortedBeforeUse(rs *ast.RangeStmt, target string, siblings map[ast.Stmt]stmtListPos) bool {
+	pos, ok := siblings[rs]
+	if !ok {
+		return false
+	}
+	for _, s := range pos.list[pos.idx+1:] {
+		if !stmtMentions(s, target) {
+			continue
+		}
+		if isSortCall(p, s, target) {
+			return true
+		}
+		if other, ok := s.(*ast.RangeStmt); ok {
+			// e.g. two loops appending into the same slice, then one sort.
+			e := newLoopEffects(p, other)
+			e.stmts(other.Body.List, 0)
+			if !e.impure && len(e.returns) == 0 && len(e.breaks) == 0 && e.appends[target] && e.keyedReadsCovered() && !e.flagsRead() {
+				continue
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func stmtMentions(s ast.Stmt, target string) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if x, ok := n.(ast.Expr); ok && exprString(ast.Unparen(x)) == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortCall recognizes sort.Slice/SliceStable/Sort/Strings/Ints and
+// slices.Sort* applied to the target.
+func isSortCall(p *Pass, s ast.Stmt, target string) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort", "slices":
+	default:
+		return false
+	}
+	switch fn.Name() {
+	case "Slice", "SliceStable", "Sort", "SortFunc", "SortStableFunc",
+		"Strings", "Ints", "Float64s", "Stable":
+	default:
+		return false
+	}
+	return len(call.Args) > 0 && exprString(ast.Unparen(call.Args[0])) == target
+}

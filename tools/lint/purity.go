@@ -1,0 +1,195 @@
+// Shared syntactic/type helpers for the analyzers: side-effect-free
+// expression checks, identifier reference scans, and mutex-type detection.
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// pureExpr reports whether evaluating e can neither mutate state nor
+// observe mutable global state beyond reading variables: no calls (except
+// the len/cap builtins, type conversions, and provably-pure same-package
+// constructors), no channel receives, no address-taking, no function
+// literals. Reads of variables, fields, map and slice indexes, comparisons
+// and arithmetic are all pure.
+func (p *Pass) pureExpr(e ast.Expr) bool {
+	return p.pureExprSeen(e, nil)
+}
+
+func (p *Pass) pureExprSeen(e ast.Expr, seen map[*types.Func]bool) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if p.isPureBuiltinOrConversion(n) {
+				return true
+			}
+			if seen == nil {
+				seen = make(map[*types.Func]bool)
+			}
+			if p.pureFuncCall(n, seen) {
+				return true
+			}
+			pure = false
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND || n.Op == token.ARROW {
+				pure = false
+				return false
+			}
+		case *ast.FuncLit:
+			pure = false
+			return false
+		}
+		return pure
+	})
+	return pure
+}
+
+// pureFuncCall recognizes calls to same-package value constructors that
+// are provably pure: a plain function (no receiver) whose whole body is a
+// single `return` of pure expressions — the deltaKey/StateKey-constructor
+// shape. The seen set bounds recursion through mutually-calling
+// constructors.
+func (p *Pass) pureFuncCall(call *ast.CallExpr, seen map[*types.Func]bool) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	fn, ok := p.ObjectOf(id).(*types.Func)
+	if !ok || fn.Pkg() != p.Pkg || seen[fn] {
+		return false
+	}
+	seen[fn] = true
+	fd := p.funcDecl(fn)
+	if fd == nil || fd.Recv != nil || fd.Body == nil || len(fd.Body.List) != 1 {
+		return false
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	for _, r := range ret.Results {
+		if !p.pureExprSeen(r, seen) {
+			return false
+		}
+	}
+	for _, a := range call.Args {
+		if !p.pureExprSeen(a, seen) {
+			return false
+		}
+	}
+	return true
+}
+
+// isPureBuiltinOrConversion recognizes calls that cannot have effects:
+// len/cap/min/max, and type conversions like uint64(x) or T(x).
+func (p *Pass) isPureBuiltinOrConversion(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj := p.ObjectOf(fun); obj != nil {
+			if _, ok := obj.(*types.Builtin); ok {
+				switch fun.Name {
+				case "len", "cap", "min", "max":
+					return true
+				}
+				return false
+			}
+			if _, ok := obj.(*types.TypeName); ok {
+				return true // conversion
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := p.ObjectOf(fun.Sel); obj != nil {
+			if _, ok := obj.(*types.TypeName); ok {
+				return true // qualified conversion, e.g. types.Address(x)
+			}
+		}
+	case *ast.ArrayType, *ast.MapType, *ast.InterfaceType, *ast.StarExpr:
+		return true // conversion to a composite type, e.g. []byte(s)
+	}
+	return false
+}
+
+// refersTo reports whether expr mentions the variable obj.
+func (p *Pass) refersTo(expr ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// mutexKind classifies a type as one of the sync mutexes (after stripping
+// one level of pointer). Returns "" when it is neither.
+func mutexKind(t types.Type) string {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	switch obj.Name() {
+	case "Mutex", "RWMutex":
+		return obj.Name()
+	}
+	return ""
+}
+
+// containsMutex reports whether a value of type t embeds a sync.Mutex or
+// sync.RWMutex by value, at any struct-field depth.
+func containsMutex(t types.Type) bool {
+	return containsMutexDepth(t, 0, make(map[types.Type]bool))
+}
+
+func containsMutexDepth(t types.Type, depth int, seen map[types.Type]bool) bool {
+	if depth > 8 || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if mutexKind(t) != "" {
+		if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+			return true
+		}
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsMutexDepth(u.Field(i).Type(), depth+1, seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutexDepth(u.Elem(), depth+1, seen)
+	}
+	return false
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements error (so a %v/%s verb on it
+// should be %w, and == against a sentinel of it should be errors.Is).
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorType)
+}

@@ -1,0 +1,52 @@
+// Positive and negative cases for the benchverify analyzer.
+package benchverify
+
+import "fmt"
+
+type result struct{ root string }
+
+func run() result { return result{root: "r"} }
+
+func verifyRoot(got, want string) error {
+	if got != want {
+		return fmt.Errorf("root %s diverged from %s", got, want)
+	}
+	return nil
+}
+
+// UncheckedComparison records a result without ever checking the root.
+func UncheckedComparison() string { // want "never reaches a verify"
+	return run().root
+}
+
+// CheckedComparison verifies directly.
+func CheckedComparison() error {
+	return verifyRoot(run().root, "r")
+}
+
+// TransitiveComparison verifies through a helper chain.
+func TransitiveComparison() error {
+	return check(run())
+}
+
+func check(r result) error { return verifyRoot(r.root, "r") }
+
+// ClosureComparison verifies from inside a closure it spawns.
+func ClosureComparison() error {
+	var err error
+	func() {
+		err = verifyRoot(run().root, "r")
+	}()
+	return err
+}
+
+// Summarize does not end in Comparison, so it is exempt.
+func Summarize() string { return run().root }
+
+// unexportedComparison is not part of the driver API, so it is exempt.
+func unexportedComparison() string { return run().root }
+
+//txlint:benchverify verification happens in the harness that replays this driver's output
+func DelegatedComparison() string {
+	return run().root
+}

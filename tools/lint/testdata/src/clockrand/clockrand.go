@@ -1,0 +1,55 @@
+// Positive and negative cases for the clockrand analyzer.
+package clockrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func work() {}
+
+func wallClock() time.Duration {
+	start := time.Now() // want "time.Now in a deterministic package"
+	work()
+	return time.Since(start) // want "time.Since in a deterministic package"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "rand.Intn uses the shared un-seeded generator"
+}
+
+// seeded constructors and *rand.Rand methods are the sanctioned pattern.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func racySelect(a, b chan int) int {
+	select { // want "select with 2 communication cases"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// single-case select with default is deterministic polling.
+func pollingSelect(a chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// The one legitimate wall-clock site: a default for an injectable clock,
+// documented by a waiver.
+type pool struct {
+	now func() time.Time
+}
+
+func newPool() *pool {
+	//txlint:clock default clock for production; tests inject a fixed one
+	return &pool{now: time.Now}
+}

@@ -1,0 +1,56 @@
+// Positive and negative cases for the errwrap analyzer.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var errBase = errors.New("base")
+
+func badWrapV(err error) error {
+	return fmt.Errorf("reading: %v", err) // want "formats error err with %v"
+}
+
+func badWrapS(err error) error {
+	return fmt.Errorf("reading: %s", err) // want "formats error err with %s"
+}
+
+func badWrapIndexed(err error) error {
+	return fmt.Errorf("%[2]v: %[1]s", "ctx", err) // want "formats error err with %v"
+}
+
+func goodWrap(err error) error {
+	return fmt.Errorf("reading: %w", err)
+}
+
+func nonErrorOperand(n int) error {
+	return fmt.Errorf("count %v out of range (%d%%)", n, 50)
+}
+
+func badSentinel(err error) bool {
+	return err == io.EOF // want "use errors.Is"
+}
+
+func badSentinelNeq(err error) bool {
+	return err != errBase // want "use errors.Is"
+}
+
+func goodSentinel(err error) bool {
+	return errors.Is(err, io.EOF)
+}
+
+func nilCheck(err error) bool {
+	return err != nil
+}
+
+// two locals compared is not a sentinel comparison.
+func localComparison(a, b error) bool {
+	return a == b
+}
+
+func waivedIdentity(err error) bool {
+	//txlint:errwrap identity check on purpose: this instance must round-trip unwrapped
+	return err == errBase
+}

@@ -1,0 +1,89 @@
+// Positive and negative cases for the lockdiscipline analyzer.
+package lockdiscipline
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	data map[string]int
+}
+
+// the early-return path leaks the lock.
+func (s *store) leakyGet(k string) int {
+	s.mu.Lock() // want "still held at return"
+	if v, ok := s.data[k]; ok {
+		return v
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func (s *store) deferredGet(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.data[k]
+}
+
+func (s *store) balancedBump(k string) {
+	s.mu.Lock()
+	s.data[k]++
+	s.mu.Unlock()
+}
+
+// an unlock inside a deferred closure also counts as a deferred release.
+func (s *store) closureDefer(k string) int {
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+	}()
+	return s.data[k]
+}
+
+// RLock pairs with RUnlock, independently of the write flavor.
+type rwstore struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (s *rwstore) leakyRead() int {
+	s.mu.RLock() // want "still held at return"
+	return s.n
+}
+
+func (s *rwstore) goodRead() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+func snapshotCopy(s *store) {
+	dup := *s // want "copies a value containing a sync mutex"
+	_ = dup
+}
+
+func rangeCopy(stores []store) int {
+	n := 0
+	for _, st := range stores { // want "range value copies an element containing a sync mutex"
+		n += len(st.data)
+	}
+	return n
+}
+
+// ranging over pointers copies nothing lock-bearing.
+func rangePointers(stores []*store) int {
+	n := 0
+	for _, st := range stores {
+		n += len(st.data)
+	}
+	return n
+}
+
+// conditional release schemes carry a waiver on the Lock site.
+func (s *store) waivedConditional(done bool) {
+	//txlint:lock released by the caller through finish() on the done path
+	s.mu.Lock()
+	if done {
+		return
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,152 @@
+// Positive and negative cases for the maporder analyzer. Flagged lines
+// carry `// want "substring"` expectations; unflagged loops document which
+// branch of the order-insensitivity proof admits them.
+package maporder
+
+import "sort"
+
+var sink []string
+
+// process is impure (it mutates package state), so a loop body calling it
+// cannot be proven order-insensitive.
+func process(k string) {
+	sink = append(sink, k)
+}
+
+func impureCall(m map[string]int) {
+	for k := range m { // want "range over map m"
+		process(k)
+	}
+}
+
+func lastWriterWins(m map[string]int) int {
+	last := 0
+	for _, v := range m { // want "range over map m"
+		last = v
+	}
+	return last
+}
+
+func collectWithoutSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "range over map m"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func earlyReturnTruncatesWrite(m map[string]int, limit int) int {
+	sum := 0
+	for _, v := range m { // want "range over map m"
+		sum += v
+		if sum > limit {
+			return limit
+		}
+	}
+	return sum
+}
+
+func conflictingFlagConstants(m map[string]int) int {
+	state := 0
+	for _, v := range m { // want "range over map m"
+		if v > 0 {
+			state = 1
+		} else {
+			state = 2
+		}
+	}
+	return state
+}
+
+func siblingEntryRead(m, out map[string]int) {
+	for k, v := range m { // want "range over map m"
+		out[k] = v + out["total"]
+	}
+}
+
+// --- provably order-insensitive loops below: no findings expected ---
+
+func commutativeSum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func keyedWrites(m, dst map[string]int) {
+	for k, v := range m {
+		dst[k] = v * 2
+	}
+}
+
+func keyedDelete(stale map[string]bool, m map[string]int) {
+	for k := range stale {
+		delete(m, k)
+	}
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func minReduction(m map[string]int) int {
+	minV := int(^uint(0) >> 1)
+	for _, v := range m {
+		if v < minV {
+			minV = v
+		}
+	}
+	return minV
+}
+
+func setFlagAndStop(m map[string]int, target int) bool {
+	found := false
+	for _, v := range m {
+		if v == target {
+			found = true
+			break
+		}
+	}
+	return found
+}
+
+var errTooLong = "key too long"
+
+func pureScanWithInvariantReturn(m map[string]int, maxLen int) string {
+	for k := range m {
+		if len(k) > maxLen {
+			return errTooLong
+		}
+	}
+	return ""
+}
+
+type pair struct {
+	A string
+	B string
+}
+
+func injectiveCompositeKey(m map[string]int, wide map[pair]int) {
+	for k, v := range m {
+		wide[pair{A: k, B: "fixed"}] = v
+	}
+}
+
+func perKeyAppend(m map[string]int, groups map[string][]int) {
+	for k, v := range m {
+		groups[k] = append(groups[k], v)
+	}
+}
+
+func waivedHandAudited(m map[string]int) {
+	//txlint:ordered sink is consumed as a set by the test harness; order never observed
+	for k := range m {
+		process(k)
+	}
+}

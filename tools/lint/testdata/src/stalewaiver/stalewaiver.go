@@ -1,0 +1,9 @@
+// Staleness scoping: when only clockrand runs, its unused waiver is stale
+// but another analyzer's unused waiver is out of scope.
+package stalewaiver
+
+//txlint:ordered out of scope in a clockrand-only run
+var x = 1
+
+//txlint:clock nothing here reads a clock, so this waiver is stale
+var y = 2
