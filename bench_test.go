@@ -228,6 +228,19 @@ func BenchmarkStreamingComparison(b *testing.B) {
 	}
 }
 
+func BenchmarkRecoveryComparison(b *testing.B) {
+	// E14 at benchmark scale: the durable builder service (WAL
+	// persist-then-ack, async checkpoints) against the in-memory control,
+	// with cold recovery timed and verified per row. The recorded baseline
+	// lives in docs/bench/E14-baseline.json (regenerate with
+	// `go run ./cmd/experiments -run recovery -json`).
+	for i := 0; i < b.N; i++ {
+		tbl, err := bench.RecoveryComparison(int64(2020+i), 8, 4)
+		renderAll(b, err)
+		renderAll(b, bench.RenderTable(io.Discard, tbl))
+	}
+}
+
 // Micro-benchmarks of the pipeline stages.
 
 func BenchmarkTDGBuildAccount(b *testing.B) {

@@ -1,0 +1,119 @@
+// Export/Restore turn a StateDB into a flat, deterministic, gob-friendly
+// form — the checkpoint payload of the durability layer (internal/wal).
+// The encoding is canonical: accounts and storage slots are sorted the
+// same way Root() sorts them, and map membership is preserved exactly
+// (an account holding an explicit zero balance is part of the root), so
+// Restore reproduces a state with an identical Root.
+
+package account
+
+import (
+	"sort"
+
+	"txconcur/internal/types"
+)
+
+// AccountExport is one account's flattened fields. The Has flags record
+// map membership: Root() includes every address present in any of the
+// three account maps, including explicit zeros, so presence must survive
+// the round trip bit-for-bit.
+type AccountExport struct {
+	Addr       types.Address
+	Balance    Amount
+	Nonce      uint64
+	Code       []byte
+	HasBalance bool
+	HasNonce   bool
+	HasCode    bool
+}
+
+// StorageExport is one occupied storage slot (zero-valued slots are never
+// stored, so no presence flag is needed).
+type StorageExport struct {
+	Addr  types.Address
+	Slot  uint64
+	Value uint64
+}
+
+// StateExport is a StateDB flattened for serialisation, in canonical
+// (sorted) order.
+type StateExport struct {
+	Accounts []AccountExport
+	Storage  []StorageExport
+}
+
+// Export flattens the state. The journal is not captured — checkpoints
+// snapshot committed state, which has none.
+func (s *StateDB) Export() StateExport {
+	seen := make(map[types.Address]bool, len(s.balances))
+	addrs := make([]types.Address, 0, len(s.balances))
+	collect := func(a types.Address) {
+		if !seen[a] {
+			seen[a] = true
+			addrs = append(addrs, a)
+		}
+	}
+	for a := range s.balances {
+		collect(a)
+	}
+	for a := range s.nonces {
+		collect(a)
+	}
+	for a := range s.code {
+		collect(a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return lessAddr(addrs[i], addrs[j]) })
+
+	var e StateExport
+	e.Accounts = make([]AccountExport, 0, len(addrs))
+	for _, a := range addrs {
+		bal, hasBal := s.balances[a]
+		nonce, hasNonce := s.nonces[a]
+		code, hasCode := s.code[a]
+		e.Accounts = append(e.Accounts, AccountExport{
+			Addr:       a,
+			Balance:    bal,
+			Nonce:      nonce,
+			Code:       append([]byte(nil), code...),
+			HasBalance: hasBal,
+			HasNonce:   hasNonce,
+			HasCode:    hasCode,
+		})
+	}
+
+	keys := make([]StorageKey, 0, len(s.storage))
+	for k := range s.storage {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Addr != keys[j].Addr {
+			return lessAddr(keys[i].Addr, keys[j].Addr)
+		}
+		return keys[i].Slot < keys[j].Slot
+	})
+	e.Storage = make([]StorageExport, 0, len(keys))
+	for _, k := range keys {
+		e.Storage = append(e.Storage, StorageExport{Addr: k.Addr, Slot: k.Slot, Value: s.storage[k]})
+	}
+	return e
+}
+
+// Restore rebuilds a StateDB from an export, with an empty journal.
+func (e StateExport) Restore() *StateDB {
+	s := NewStateDB()
+	for _, a := range e.Accounts {
+		if a.HasBalance {
+			s.balances[a.Addr] = a.Balance
+		}
+		if a.HasNonce {
+			s.nonces[a.Addr] = a.Nonce
+		}
+		if a.HasCode {
+			s.code[a.Addr] = append([]byte(nil), a.Code...)
+		}
+	}
+	for _, sl := range e.Storage {
+		s.storage[StorageKey{Addr: sl.Addr, Slot: sl.Slot}] = sl.Value
+	}
+	return s
+}

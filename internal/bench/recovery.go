@@ -1,0 +1,351 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"txconcur/internal/account"
+	"txconcur/internal/chainsim"
+	"txconcur/internal/client"
+	"txconcur/internal/exec"
+	"txconcur/internal/mempool"
+	"txconcur/internal/types"
+	"txconcur/internal/wal"
+)
+
+// recoveryStream is the E14 workload: the Shard Skew traffic shape (sweep
+// bots consolidating into collectors — real conflicts for the packer and
+// the sharded merge) scaled down to a few thousand accounts so the
+// checkpoint cost is the per-interval export, not a constant 25k-account
+// state dump that drowns the interval sweep.
+func recoveryStream(seed int64) (*streamWorkload, error) {
+	p := chainsim.Profile{
+		Name: "Recovery Skew", Model: chainsim.Account, Consensus: "PoW",
+		DataSource: "Synthetic", LaunchYear: 2020,
+		Eras: []chainsim.Era{
+			{Name: "skew", Weight: 1, StartTime: 1577836800, BlockInterval: 15,
+				TxPerBlock: 120, TxPerBlockJitter: 0.3, Users: 2400,
+				ActiveFrac: 2.5, HotSenderFrac: 0.6, HotSenders: 4},
+		},
+	}
+	pre, blks, err := chainsim.GenerateAccountChain(p, 8, seed)
+	if err != nil {
+		return nil, err
+	}
+	w := &streamWorkload{name: "recovery-skew", pre: pre}
+	total := 0
+	for _, b := range blks {
+		total += len(b.Txs)
+		for _, tx := range b.Txs {
+			pr := mempool.PredictTransfer(tx)
+			w.subs = append(w.subs, client.SubmitTx{
+				From: tx.From, To: tx.To, Value: tx.Value, Nonce: tx.Nonce,
+				GasLimit: tx.GasLimit, GasPrice: tx.GasPrice, Arg: tx.Arg, Code: tx.Code,
+				Reads: pr.Reads, Writes: pr.Writes, Deltas: pr.Deltas,
+			})
+		}
+	}
+	w.blockTxs = total / len(blks)
+	return w, nil
+}
+
+// recoveryResult is one durable (or control) service run plus its timed
+// recovery.
+type recoveryResult struct {
+	txs, blocks    int
+	ckpts, skipped int
+	lat            mempool.LatencyStats // submit → server ack, per transaction
+	wall           time.Duration
+	replayed       int // log-suffix blocks re-executed by recovery
+	recovery       time.Duration
+}
+
+// runRecovery performs one end-to-end durable service run: HTTP submission
+// clients against the durable builder server (every ack means the block
+// holding the transaction is fsynced in the WAL), the builder appending to
+// the block log before the streaming executor sees a block, and the
+// executor checkpointing committed state every `every` blocks off the
+// commit path. After a clean shutdown the durability directory is reopened
+// cold and recovery — latest valid checkpoint plus sharded replay of the
+// log suffix — is timed and verified root-for-root against both the live
+// run and the sequential replay. every < 0 runs the in-memory control (no
+// WAL, admission acks): its ack latency is the floor the durable rows are
+// measured against.
+func runRecovery(w *streamWorkload, every, workers, shards int) (*recoveryResult, error) {
+	durable := every >= 0
+	var d *wal.Dir
+	var ckpt *wal.Checkpointer
+	var dir string
+	if durable {
+		var err error
+		dir, err = os.MkdirTemp("", "txconcur-e14-")
+		if err != nil {
+			return nil, fmt.Errorf("bench: tempdir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		d, err = wal.Open(wal.OS{}, dir, wal.SyncEachRecord)
+		if err != nil {
+			return nil, err
+		}
+		ckpt = d.Checkpointer(every)
+	}
+
+	hotCap := w.blockTxs / 8
+	if hotCap < 8 {
+		hotCap = 8
+	}
+	pool := mempool.New(16 * w.blockTxs)
+	cfg := mempool.BuilderConfig{
+		Packer:   mempool.ConflictAware{},
+		Pack:     mempool.PackConfig{MaxTxs: w.blockTxs, HotKeyCap: hotCap},
+		Coinbase: types.AddressFromUint64("recovery/miner", 1),
+		// Durable clients hold their next submission until the previous
+		// one is fsynced, so the pool rarely fills a MaxTxs block; Flush
+		// bounds how long a closing block waits for stragglers.
+		Flush: 2 * time.Millisecond,
+	}
+	if durable {
+		cfg.Log = d.Log()
+	}
+	builder := mempool.NewBuilder(pool, w.pre, cfg)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("bench: listen: %w", err)
+	}
+	handler := client.NewBuilderServer(pool)
+	if durable {
+		handler = client.NewDurableBuilderServer(pool)
+	}
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	out := make(chan mempool.BuiltBlock, 16)
+	var leftovers []*mempool.Pending
+	var runErr error
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		leftovers, runErr = builder.Run(ctx, out)
+	}()
+
+	var mu sync.Mutex
+	var built []*account.Block
+	blkCh := make(chan *account.Block)
+	go func() {
+		defer close(blkCh)
+		for bb := range out {
+			mu.Lock()
+			built = append(built, bb.Block)
+			mu.Unlock()
+			select {
+			case blkCh <- bb.Block:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	const nClients = 6
+	url := "http://" + ln.Addr().String()
+	start := time.Now()
+	var samples []time.Duration
+	errCh := make(chan error, nClients)
+	var wg sync.WaitGroup
+	for g := 0; g < nClients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sub := &client.Submitter{Collector: client.Collector{URL: url, MaxRetries: 2}}
+			var mine []time.Duration
+			for i := range w.subs {
+				if clientFor(w.subs[i].From, nClients) != g {
+					continue
+				}
+				st := time.Now()
+				if err := sub.Submit(ctx, w.subs[i]); err != nil {
+					errCh <- fmt.Errorf("bench: client %d: %w", g, err)
+					return
+				}
+				mine = append(mine, time.Since(st))
+			}
+			mu.Lock()
+			samples = append(samples, mine...)
+			mu.Unlock()
+		}(g)
+	}
+	go func() {
+		wg.Wait()
+		pool.Close()
+	}()
+
+	eng := exec.Sharded{Workers: workers, Shards: shards, Depth: 2}
+	if durable && every > 0 {
+		eng.Checkpoint = ckpt
+	}
+	cr, css, err := eng.ExecuteChainStream(w.pre.Copy(), blkCh, nil)
+	wall := time.Since(start)
+	<-runDone
+	select {
+	case cerr := <-errCh:
+		return nil, cerr
+	default:
+	}
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s every=%d stream: %w", w.name, every, err)
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("bench: %s every=%d builder: %w", w.name, every, runErr)
+	}
+	if len(leftovers) != 0 {
+		return nil, fmt.Errorf("bench: %s every=%d: %d transactions left unpackable", w.name, every, len(leftovers))
+	}
+
+	// Verify the live run against the sequential replay of the chain the
+	// builder emitted — a durability overhead number for a chain with a
+	// wrong root would be a measurement of nothing.
+	total := 0
+	for _, b := range built {
+		total += len(b.Txs)
+	}
+	if total != len(w.subs) {
+		return nil, fmt.Errorf("bench: %s every=%d: committed %d of %d submissions", w.name, every, total, len(w.subs))
+	}
+	_, oracles, _, seqRoot, err := replayChain(w.name, w.pre, built)
+	if err != nil {
+		return nil, err
+	}
+	if err := verifyChainRoot(fmt.Sprintf("bench: %s every=%d: streamed", w.name, every), cr.Root, seqRoot); err != nil {
+		return nil, err
+	}
+	for i := range built {
+		if err := traceReceiptsMatch(cr.Receipts[i], oracles[i]); err != nil {
+			return nil, fmt.Errorf("bench: %s every=%d block %d: %w", w.name, every, i, err)
+		}
+	}
+
+	res := &recoveryResult{
+		txs: total, blocks: len(built),
+		lat: mempool.Latencies(samples), wall: wall,
+	}
+	if !durable {
+		return res, nil
+	}
+	if err := ckpt.Err(); err != nil {
+		return nil, fmt.Errorf("bench: %s every=%d checkpoint: %w", w.name, every, err)
+	}
+	res.ckpts = ckpt.Written()
+	res.skipped = css.CheckpointsSkipped
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+
+	// Cold restart: reopen the durability directory, recover (latest valid
+	// checkpoint + sharded replay of the log suffix), and time it. The
+	// recovered root must match the root the uninterrupted run committed.
+	rt := time.Now()
+	d2, err := wal.Open(wal.OS{}, dir, wal.SyncEachRecord)
+	if err != nil {
+		return nil, err
+	}
+	defer d2.Close()
+	rec, err := d2.Recover(w.pre)
+	if err != nil {
+		return nil, err
+	}
+	root := rec.State.Root()
+	if len(rec.Blocks) > 0 {
+		rr, _, err := exec.Sharded{Workers: workers, Shards: shards, Depth: 2}.ExecuteChain(rec.State, rec.Blocks)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s every=%d recovery replay: %w", w.name, every, err)
+		}
+		root = rr.Root
+	}
+	res.recovery = time.Since(rt)
+	res.replayed = len(rec.Blocks)
+	if err := verifyChainRoot(fmt.Sprintf("bench: %s every=%d: recovered", w.name, every), root, cr.Root); err != nil {
+		return nil, err
+	}
+	if got := len(d2.Records()); got != len(built) {
+		return nil, fmt.Errorf("bench: %s every=%d: log holds %d blocks, run built %d", w.name, every, got, len(built))
+	}
+	return res, nil
+}
+
+// RecoveryComparison is experiment E14: the price and the payoff of the
+// crash-safe durability layer, end to end. Every row is a full service run
+// — HTTP submission clients, bounded mempool, block builder, sharded
+// streaming executor — differing only in the durability configuration: the
+// in-memory control (acks mean admission; the latency floor), the WAL with
+// no checkpoints (acks mean fsynced; recovery replays the whole log), and
+// the WAL with async state checkpoints every 2/4/8 blocks (recovery
+// replays only the suffix past the newest checkpoint). The table reports
+// the commit-path overhead as the client-observed submit → ack p50/p99 and
+// throughput, and the payoff as the timed cold recovery (reopen + latest
+// checkpoint + suffix replay), with every live and recovered root verified
+// against the sequential replay. Checkpoints the async worker skipped
+// (enqueue found it busy) are reported too: they cost replay on recovery,
+// never commit-path latency.
+func RecoveryComparison(seed int64, workers, shards int) (Table, error) {
+	t := Table{
+		Name: "recovery",
+		Title: fmt.Sprintf("E14: durable commit overhead vs recovery time, by checkpoint interval (%d workers, %d shards)",
+			workers, shards),
+		Headers: []string{
+			"Durability", "Ckpt every", "Txs", "Blocks", "Ckpts", "Skipped",
+			"Ack p50", "Ack p99", "tx/s", "Replayed", "Recovery",
+		},
+	}
+	w, err := recoveryStream(seed)
+	if err != nil {
+		return t, err
+	}
+	ms := func(d time.Duration) string {
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	}
+	rows := []struct {
+		mode  string
+		every int
+	}{
+		{"memory", -1},
+		{"wal", 0},
+		{"wal+ckpt", 2},
+		{"wal+ckpt", 4},
+		{"wal+ckpt", 8},
+	}
+	for _, row := range rows {
+		r, err := runRecovery(w, row.every, workers, shards)
+		if err != nil {
+			return t, err
+		}
+		everyCol, replayCol, recCol := "-", "-", "-"
+		if row.every >= 0 {
+			everyCol = fmt.Sprintf("%d", row.every)
+			replayCol = fmt.Sprintf("%d", r.replayed)
+			recCol = ms(r.recovery)
+		}
+		t.Rows = append(t.Rows, []string{
+			row.mode,
+			everyCol,
+			fmt.Sprintf("%d", r.txs),
+			fmt.Sprintf("%d", r.blocks),
+			fmt.Sprintf("%d", r.ckpts),
+			fmt.Sprintf("%d", r.skipped),
+			ms(r.lat.P50),
+			ms(r.lat.P99),
+			fmt.Sprintf("%.0f", float64(r.txs)/r.wall.Seconds()),
+			replayCol,
+			recCol,
+		})
+	}
+	return t, nil
+}

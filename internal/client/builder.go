@@ -60,12 +60,23 @@ func (s *SubmitTx) Pending() *mempool.Pending {
 // backpressure propagates to clients at the HTTP level (a slow builder
 // slows submitters instead of dropping their transactions).
 type BuilderServer struct {
-	pool *mempool.Pool
+	pool    *mempool.Pool
+	durable bool
 }
 
-// NewBuilderServer serves submissions into pool.
+// NewBuilderServer serves submissions into pool. Replies ack admission
+// only: the transaction is in the mempool but not yet durable.
 func NewBuilderServer(pool *mempool.Pool) *BuilderServer {
 	return &BuilderServer{pool: pool}
+}
+
+// NewDurableBuilderServer serves submissions with durable semantics: a
+// SubmitTransaction reply is sent only after the builder has packed the
+// transaction and appended its block to the write-ahead log, so a client
+// that got true knows its transaction survives any crash
+// (persist-then-ack). Requires the builder to run with a BlockLog.
+func NewDurableBuilderServer(pool *mempool.Pool) *BuilderServer {
+	return &BuilderServer{pool: pool, durable: true}
 }
 
 // ServeHTTP implements http.Handler with a single JSON-RPC endpoint.
@@ -89,7 +100,24 @@ func (s *BuilderServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	// Submit with the request's context: a full pool blocks the HTTP
 	// request (backpressure); a client hang-up frees the slot wait.
-	if err := s.pool.Submit(r.Context(), args[0].Pending()); err != nil {
+	var err error
+	if s.durable {
+		// Persist-then-ack: hold the HTTP response until the builder has
+		// appended the transaction's block to the WAL (or the service
+		// shut down, surfaced as the ack error).
+		var ack <-chan error
+		ack, err = s.pool.SubmitDurable(r.Context(), args[0].Pending())
+		if err == nil {
+			select {
+			case err = <-ack:
+			case <-r.Context().Done():
+				err = r.Context().Err()
+			}
+		}
+	} else {
+		err = s.pool.Submit(r.Context(), args[0].Pending())
+	}
+	if err != nil {
 		code := codeSubmitFailed
 		if errors.Is(err, mempool.ErrClosed) {
 			code = codePoolClosed
@@ -116,7 +144,10 @@ type Submitter struct {
 }
 
 // Submit sends one transaction, blocking while the server's pool is full.
-// A pool-closed rejection is surfaced as ErrPoolClosed.
+// A pool-closed rejection is surfaced as ErrPoolClosed and never retried:
+// it arrives as a JSON-RPC error (HTTP 200), which the call path treats
+// as permanent — only transport failures and 5xx are retried, with the
+// collector's deterministic backoff between attempts.
 func (s *Submitter) Submit(ctx context.Context, tx SubmitTx) error {
 	var ok bool
 	err := s.call(ctx, MethodSubmitTransaction, []SubmitTx{tx}, &ok)

@@ -26,6 +26,13 @@ type Collector struct {
 	Interval time.Duration
 	// MaxRetries bounds retries per request for transient failures.
 	MaxRetries int
+	// Backoff is the base delay of the deterministic exponential backoff
+	// between retries: attempt i waits Backoff·2ⁱ (capped by BackoffMax),
+	// honoring the request context's deadline while waiting. Zero retries
+	// immediately.
+	Backoff time.Duration
+	// BackoffMax caps the per-attempt backoff delay; zero means no cap.
+	BackoffMax time.Duration
 	// HTTPClient optionally overrides the HTTP client.
 	HTTPClient *http.Client
 
@@ -88,6 +95,12 @@ func (c *Collector) call(ctx context.Context, method string, params any, out any
 		if resp != nil {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
+			// Only server-side failures (5xx) are transient. A 4xx means
+			// the server understood the request and rejected it — retrying
+			// the same bytes cannot help.
+			if resp.StatusCode < 500 || resp.StatusCode > 599 {
+				return fmt.Errorf("client: permanent status %d", resp.StatusCode)
+			}
 		}
 		if retries <= 0 {
 			if err != nil {
@@ -96,6 +109,35 @@ func (c *Collector) call(ctx context.Context, method string, params any, out any
 			return fmt.Errorf("%w: status %d", ErrTransient, resp.StatusCode)
 		}
 		retries--
+		if err := c.backoff(ctx, c.MaxRetries-retries-1); err != nil {
+			return err
+		}
+	}
+}
+
+// backoff waits the deterministic exponential delay for the given retry
+// attempt (0-based), honoring ctx's cancellation and deadline.
+func (c *Collector) backoff(ctx context.Context, attempt int) error {
+	if c.Backoff <= 0 {
+		return nil
+	}
+	d := c.Backoff
+	for i := 0; i < attempt && i < 30; i++ {
+		d *= 2
+		if c.BackoffMax > 0 && d >= c.BackoffMax {
+			break
+		}
+	}
+	if c.BackoffMax > 0 && d > c.BackoffMax {
+		d = c.BackoffMax
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

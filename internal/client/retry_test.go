@@ -1,0 +1,182 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"txconcur/internal/account"
+	"txconcur/internal/mempool"
+	"txconcur/internal/types"
+)
+
+// flakyHandler fails the first `fail` requests with status, then delegates.
+type flakyHandler struct {
+	fail   int64
+	status int
+	next   http.Handler
+	seen   atomic.Int64
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := h.seen.Add(1)
+	if n <= h.fail {
+		http.Error(w, "injected", h.status)
+		return
+	}
+	h.next.ServeHTTP(w, r)
+}
+
+// TestSubmitterRetriesFlaky5xx: a submitter rides out transient 5xx
+// responses with bounded deterministic backoff and lands the transaction.
+func TestSubmitterRetriesFlaky5xx(t *testing.T) {
+	pool := mempool.New(8)
+	h := &flakyHandler{fail: 3, status: http.StatusServiceUnavailable, next: NewBuilderServer(pool)}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	sub := &Submitter{Collector: Collector{URL: srv.URL, MaxRetries: 5, Backoff: time.Millisecond, BackoffMax: 4 * time.Millisecond}}
+	if err := sub.Submit(context.Background(), submitTx(1, 2, 0)); err != nil {
+		t.Fatalf("submit through flaky server: %v", err)
+	}
+	if got := h.seen.Load(); got != 4 {
+		t.Fatalf("%d requests, want 4 (3 failures + success)", got)
+	}
+	if pool.Len() != 1 {
+		t.Fatalf("pool has %d pending, want 1", pool.Len())
+	}
+}
+
+// TestSubmitterRetryBudget: when the server never recovers, the submitter
+// stops after MaxRetries and surfaces ErrTransient — bounded, not forever.
+func TestSubmitterRetryBudget(t *testing.T) {
+	h := &flakyHandler{fail: 1 << 30, status: http.StatusBadGateway, next: http.NotFoundHandler()}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	sub := &Submitter{Collector: Collector{URL: srv.URL, MaxRetries: 2, Backoff: time.Millisecond}}
+	err := sub.Submit(context.Background(), submitTx(1, 2, 0))
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("want ErrTransient, got %v", err)
+	}
+	if got := h.seen.Load(); got != 3 {
+		t.Fatalf("%d requests, want 3 (initial + 2 retries)", got)
+	}
+}
+
+// TestSubmitterPermanent4xxNotRetried: a 4xx means the server rejected the
+// request; retrying the same bytes is pointless and must not happen.
+func TestSubmitterPermanent4xxNotRetried(t *testing.T) {
+	h := &flakyHandler{fail: 1 << 30, status: http.StatusNotFound, next: http.NotFoundHandler()}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	sub := &Submitter{Collector: Collector{URL: srv.URL, MaxRetries: 5, Backoff: time.Millisecond}}
+	err := sub.Submit(context.Background(), submitTx(1, 2, 0))
+	if err == nil || errors.Is(err, ErrTransient) {
+		t.Fatalf("want a permanent error, got %v", err)
+	}
+	if got := h.seen.Load(); got != 1 {
+		t.Fatalf("%d requests for a permanent failure, want 1", got)
+	}
+}
+
+// TestSubmitterPoolClosedNotRetried: ErrPoolClosed arrives as a JSON-RPC
+// error over HTTP 200 — permanent by construction, exactly one request.
+func TestSubmitterPoolClosedNotRetried(t *testing.T) {
+	pool := mempool.New(4)
+	pool.Close()
+	h := &flakyHandler{next: NewBuilderServer(pool)}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	sub := &Submitter{Collector: Collector{URL: srv.URL, MaxRetries: 5, Backoff: time.Millisecond}}
+	if err := sub.Submit(context.Background(), submitTx(1, 2, 0)); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("want ErrPoolClosed, got %v", err)
+	}
+	if got := h.seen.Load(); got != 1 {
+		t.Fatalf("%d requests after pool close, want 1", got)
+	}
+}
+
+// TestSubmitterBackoffHonorsDeadline: a context deadline interrupts the
+// backoff wait instead of sleeping through it.
+func TestSubmitterBackoffHonorsDeadline(t *testing.T) {
+	h := &flakyHandler{fail: 1 << 30, status: http.StatusInternalServerError, next: http.NotFoundHandler()}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	sub := &Submitter{Collector: Collector{URL: srv.URL, MaxRetries: 10, Backoff: time.Hour}}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := sub.Submit(ctx, submitTx(1, 2, 0))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("backoff ignored the deadline for %v", elapsed)
+	}
+}
+
+// TestDurableSubmitOverHTTP: the durable server holds the reply until the
+// builder has appended the block to the WAL, so an HTTP success IS a
+// durability ack end to end.
+func TestDurableSubmitOverHTTP(t *testing.T) {
+	pre := account.NewStateDB()
+	pre.AddBalance(types.AddressFromUint64("user", 1), 1<<30)
+	pool := mempool.New(8)
+	log := &countingLog{}
+	builder := mempool.NewBuilder(pool, pre, mempool.BuilderConfig{
+		Pack:     mempool.PackConfig{MaxTxs: 1, HotKeyCap: 2},
+		Coinbase: types.AddressFromUint64("miner", 1),
+		Log:      log,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	out := make(chan mempool.BuiltBlock, 16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		builder.Run(ctx, out)
+	}()
+
+	srv := httptest.NewServer(NewDurableBuilderServer(pool))
+	defer srv.Close()
+	sub := &Submitter{Collector: Collector{URL: srv.URL, MaxRetries: 2, Backoff: time.Millisecond}}
+	for n := uint64(0); n < 3; n++ {
+		if err := sub.Submit(context.Background(), submitTx(1, 2, n)); err != nil {
+			t.Fatalf("durable submit %d: %v", n, err)
+		}
+		// The reply only comes back after the append: the log must already
+		// hold this transaction's block.
+		if got := log.appends.Load(); got < int64(n)+1 {
+			t.Fatalf("submit %d acked with only %d blocks appended", n, got)
+		}
+	}
+	pool.Close()
+	<-done
+	// After shutdown, durable submissions are refused, not stranded.
+	if err := sub.Submit(context.Background(), submitTx(1, 2, 3)); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("post-shutdown durable submit: %v", err)
+	}
+}
+
+// countingLog is a minimal BlockLog counting appends.
+type countingLog struct {
+	appends atomic.Int64
+	syncs   atomic.Int64
+}
+
+func (l *countingLog) Append(blk *account.Block) (uint64, error) {
+	return uint64(l.appends.Add(1) - 1), nil
+}
+
+func (l *countingLog) Sync() error {
+	l.syncs.Add(1)
+	return nil
+}

@@ -1,0 +1,121 @@
+package exec
+
+import (
+	"txconcur/internal/account"
+	"txconcur/internal/mvstore"
+)
+
+// CheckpointSink receives asynchronous snapshots of committed chain state
+// from the sharded chain drivers. wal.Checkpointer is the production
+// implementation; the seam keeps exec free of any dependency on the
+// durability layer.
+//
+// Checkpoint is called from a dedicated worker goroutine — never the
+// commit path — with the chain-wide index of the last block included and
+// a private, fully materialised StateDB (the committed state after that
+// block, journal empty). The sink owns st.
+type CheckpointSink interface {
+	// Interval is the checkpoint cadence in blocks; <= 0 disables
+	// checkpointing entirely.
+	Interval() int
+	Checkpoint(idx int, st *account.StateDB)
+}
+
+// ckptReq asks the checkpoint worker for a snapshot of the state as of
+// the commit timestamp ts (block index idx). The committer pins every
+// shard's store at ts before enqueueing so epoch GC cannot reclaim the
+// versions the worker will read; the worker releases the pins as soon as
+// it has materialised.
+type ckptReq struct {
+	idx  int
+	ts   uint64
+	pins []*mvstore.Snapshot[StateKey, stateVal]
+}
+
+// startCheckpoints launches the checkpoint worker if the engine has a
+// sink with a positive interval. Called once per chain, before any block
+// commits.
+func (c *shardedChain) startCheckpoints(sink CheckpointSink) {
+	if sink == nil || sink.Interval() <= 0 {
+		return
+	}
+	c.ckptEvery = sink.Interval()
+	c.ckptCh = make(chan ckptReq, 2)
+	c.ckptWG.Add(1)
+	go func() {
+		defer c.ckptWG.Done()
+		for req := range c.ckptCh {
+			st := c.materializeAt(req.ts)
+			for _, p := range req.pins {
+				p.Release()
+			}
+			sink.Checkpoint(req.idx, st)
+		}
+	}()
+}
+
+// enqueueCheckpoint hands the current commit point to the worker without
+// ever blocking the commit path: if the worker is still busy (two
+// requests deep), the checkpoint is skipped — a longer replay after a
+// crash, never commit latency.
+func (c *shardedChain) enqueueCheckpoint(idx int, ts uint64) {
+	req := ckptReq{idx: idx, ts: ts, pins: make([]*mvstore.Snapshot[StateKey, stateVal], len(c.mvs))}
+	for sh := range c.mvs {
+		req.pins[sh] = c.mvs[sh].PinAt(ts)
+	}
+	select {
+	case c.ckptCh <- req:
+		c.css.Checkpoints++
+	default:
+		for _, p := range req.pins {
+			p.Release()
+		}
+		c.css.CheckpointsSkipped++
+	}
+}
+
+// closeCheckpoints drains and stops the worker. Idempotent; called on
+// every chain exit path (and before finishChain folds into c.st, which
+// the worker reads as its immutable base).
+func (c *shardedChain) closeCheckpoints() {
+	if c.ckptCh == nil {
+		return
+	}
+	c.ckptOnce.Do(func() {
+		close(c.ckptCh)
+		c.ckptWG.Wait()
+	})
+}
+
+// materializeAt builds a standalone StateDB equal to the committed state
+// at timestamp ts: every shard's view at ts is resolved and the newest
+// version of each key wins across shards (migration leaves superseded
+// copies behind on a key's previous shards; a key commits on exactly one
+// shard per timestamp, so the newest visible version is unique). Runs on
+// the checkpoint worker concurrently with commits at timestamps above ts,
+// which is safe: version nodes are immutable, RangeResolvedAt skips
+// anything newer than ts, and the caller's pins keep GC at bay.
+func (c *shardedChain) materializeAt(ts uint64) *account.StateDB {
+	type cand struct {
+		val      stateVal
+		anchored bool
+		newest   uint64
+	}
+	best := make(map[StateKey]cand)
+	for _, mv := range c.mvs {
+		mv.RangeResolvedAt(ts, func(k StateKey, v stateVal, anchored bool, newest uint64) bool {
+			if cur, ok := best[k]; !ok || newest > cur.newest {
+				best[k] = cand{val: v, anchored: anchored, newest: newest}
+			}
+			return true
+		})
+	}
+	st := c.st.Copy()
+	fold := foldResolvedInto(st)
+	//txlint:ordered distinct StateKeys mutate distinct state entries; fold order across keys cannot matter
+	for k, b := range best {
+		fold(k, b.val, b.anchored)
+	}
+	st.DiscardJournal()
+	return st
+}

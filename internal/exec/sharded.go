@@ -104,6 +104,13 @@ type Sharded struct {
 	// GasSeq/GasPar accounting (intra spreads, bins, merge waves, and
 	// repairs alike); nil charges the receipt's gas.
 	Cost CostModel
+	// Checkpoint, if non-nil with a positive Interval, receives async
+	// snapshots of committed chain state every Interval blocks from
+	// ExecuteChain/ExecuteChainStream (see CheckpointSink). The snapshot
+	// worker never blocks the commit path: busy intervals are skipped and
+	// counted in ChainShardStats.CheckpointsSkipped. Ignored by the
+	// per-block Execute/ExecuteSharded.
+	Checkpoint CheckpointSink
 }
 
 // shardMap resolves the effective assignment: the configured Map, or the

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"txconcur/internal/account"
@@ -61,6 +62,12 @@ type ChainShardStats struct {
 	RebalanceEpochs int
 	Migrations      int
 	MigrationUnits  int
+	// Checkpoints counts snapshots handed to the engine's CheckpointSink;
+	// CheckpointsSkipped counts commit points whose checkpoint was dropped
+	// because the async worker was still busy (the commit path never
+	// waits). Both zero without a sink.
+	Checkpoints        int
+	CheckpointsSkipped int
 }
 
 // add folds one block's counters into the aggregate.
@@ -120,6 +127,15 @@ type shardedChain struct {
 	gasParUnits         uint64
 	gasSeq              uint64
 	conflicted, retries int
+
+	// Async checkpointing (see checkpoint.go): the committer enqueues
+	// pinned commit points every ckptEvery blocks; the worker materialises
+	// and hands them to the engine's CheckpointSink. ckptCh nil when
+	// checkpointing is off.
+	ckptCh    chan ckptReq
+	ckptWG    sync.WaitGroup
+	ckptOnce  sync.Once
+	ckptEvery int
 }
 
 // ExecuteChain executes blocks in order on st (mutated on success), with
@@ -156,6 +172,7 @@ func (e Sharded) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*Ch
 	}
 
 	c := e.newShardedChain(st, m, len(blocks))
+	c.startCheckpoints(e.Checkpoint)
 	for lo := 0; lo < len(blocks); lo += epochLen {
 		hi := lo + epochLen
 		if hi > len(blocks) {
@@ -169,6 +186,7 @@ func (e Sharded) ExecuteChain(st *account.StateDB, blocks []*account.Block) (*Ch
 			return blocks[lo+rel], true
 		}
 		if _, err := e.runShardedEpoch(c, src, am, nil); err != nil {
+			c.closeCheckpoints()
 			return nil, nil, err
 		}
 		if adaptive && e.RebalanceEvery > 0 && hi < len(blocks) {
@@ -201,6 +219,9 @@ func (e Sharded) newShardedChain(st *account.StateDB, m core.ShardMap, sizeHint 
 // copies behind on a key's previous shards, and only the owning shard's
 // chain is guaranteed newest. Under a static map the filter never rejects.
 func (e Sharded) finishChain(c *shardedChain, start time.Time) (*ChainResult, *ChainShardStats, error) {
+	// The checkpoint worker reads c.st as its immutable base; stop it
+	// before mutating.
+	c.closeCheckpoints()
 	for sh := range c.mvs {
 		fold := foldResolvedInto(c.st)
 		c.mvs[sh].RangeLatestResolved(func(k StateKey, v stateVal, anchored bool) bool {
@@ -414,6 +435,9 @@ func (e Sharded) runShardedEpoch(c *shardedChain, src epochSource,
 		n++
 		if onCommit != nil {
 			onCommit(len(c.all)-1, blk, out.receipts)
+		}
+		if c.ckptCh != nil && len(c.all)%c.ckptEvery == 0 {
+			c.enqueueCheckpoint(len(c.all)-1, commitTS)
 		}
 	}
 

@@ -61,6 +61,7 @@ func (e Sharded) ExecuteChainStream(st *account.StateDB, blocks <-chan *account.
 	}
 
 	c := e.newShardedChain(st, m, 0)
+	c.startCheckpoints(e.Checkpoint)
 	var pushback *account.Block
 	for {
 		src := func(rel int, quit <-chan struct{}) (*account.Block, bool) {
@@ -85,6 +86,7 @@ func (e Sharded) ExecuteChainStream(st *account.StateDB, blocks <-chan *account.
 		}
 		n, err := e.runShardedEpoch(c, src, am, onCommit)
 		if err != nil {
+			c.closeCheckpoints()
 			return nil, nil, err
 		}
 		if n < epochLen {

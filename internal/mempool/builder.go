@@ -2,6 +2,7 @@ package mempool
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"txconcur/internal/account"
@@ -28,6 +29,23 @@ type BuilderConfig struct {
 	// wait for a full block or pool close — the deterministic setting the
 	// tests use.
 	Flush time.Duration
+	// Log, if non-nil, is the write-ahead block log: every built block is
+	// appended (and made durable per the log's sync policy) before it is
+	// sent downstream or any durable submission in it is acked. On return
+	// Run syncs the log and fails the acks of whatever never made it into
+	// a durable block. With a Log set, configure Flush > 0 or a MaxTxs the
+	// workload is guaranteed to reach — durable submitters block on their
+	// ack, so a partial block that never closes would strand them.
+	Log BlockLog
+}
+
+// BlockLog is the durability seam the builder persists blocks through
+// before acking (persist-then-ack); *wal.Log satisfies it. Append makes
+// the block durable per the log's sync policy and returns its log index;
+// Sync flushes any unsynced suffix at shutdown.
+type BlockLog interface {
+	Append(blk *account.Block) (uint64, error)
+	Sync() error
 }
 
 // BuiltBlock is one closed block plus the bookkeeping the latency metrics
@@ -87,8 +105,30 @@ func NewBuilder(pool *Pool, pre *account.StateDB, cfg BuilderConfig) *Builder {
 // Returns the transactions that remained unpackable after the pool closed
 // — permanently invalid envelopes (nil for a well-formed workload) — so
 // callers can assert nothing was silently dropped.
-func (b *Builder) Run(ctx context.Context, out chan<- BuiltBlock) ([]*Pending, error) {
+//
+// With a WAL configured (BuilderConfig.Log), each block is appended and
+// synced before it is emitted or acked, and shutdown is ordered: the log
+// is flushed and every unresolved durable ack failed before out closes,
+// so by the time a downstream consumer sees the closed channel no
+// submitter is still waiting on a promise the service cannot keep.
+func (b *Builder) Run(ctx context.Context, out chan<- BuiltBlock) (left []*Pending, err error) {
 	defer close(out)
+	// Registered after close(out)'s defer, so it runs first: flush the
+	// log, then fail whatever never reached a durable block.
+	defer func() {
+		if b.cfg.Log != nil {
+			if serr := b.cfg.Log.Sync(); serr != nil && err == nil {
+				err = serr
+			}
+		}
+		ferr := err
+		if ferr == nil {
+			ferr = ErrClosed
+		}
+		// Transactions the builder returns as permanently invalid are
+		// still in the pool, so failPending covers them too.
+		b.pool.failPending(ferr)
+	}()
 	for {
 		pending, closed := b.pool.view()
 		if len(pending) == 0 {
@@ -116,7 +156,7 @@ func (b *Builder) Run(ctx context.Context, out chan<- BuiltBlock) ([]*Pending, e
 			// Flush lull: fall through and pack what is pending.
 		}
 
-		bb, removed := b.packOne(pending)
+		bb, removed, packed := b.packOne(pending)
 		if len(removed) == 0 {
 			// Everything packable failed validation. If the pool is
 			// closed no new funds can arrive: what is left is permanently
@@ -128,6 +168,17 @@ func (b *Builder) Run(ctx context.Context, out chan<- BuiltBlock) ([]*Pending, e
 				return nil, err
 			}
 			continue
+		}
+		// Persist, then ack, then release pool capacity: a durable
+		// submitter that sees nil is guaranteed its block survives any
+		// crash from here on.
+		if b.cfg.Log != nil {
+			if _, lerr := b.cfg.Log.Append(bb.Block); lerr != nil {
+				return nil, fmt.Errorf("mempool: wal append for block %d: %w", bb.Block.Height, lerr)
+			}
+		}
+		for _, tx := range packed {
+			tx.resolve(nil)
 		}
 		b.pool.remove(removed)
 		//txlint:clock send-vs-cancel backpressure; the block was already packed deterministically from the pool snapshot
@@ -176,10 +227,11 @@ func (b *Builder) waitOrFlush(ctx context.Context) (bool, error) {
 }
 
 // packOne packs and validates one block from the pending snapshot,
-// advancing the replica. It returns the built block and the arrival
-// numbers to remove from the pool; an empty removal set means every
-// candidate failed validation (the block was not built).
-func (b *Builder) packOne(pending []*Pending) (BuiltBlock, map[uint64]bool) {
+// advancing the replica. It returns the built block, the arrival numbers
+// to remove from the pool, and the packed Pendings themselves (for
+// durable acks); an empty removal set means every candidate failed
+// validation (the block was not built).
+func (b *Builder) packOne(pending []*Pending) (BuiltBlock, map[uint64]bool, []*Pending) {
 	idx := b.cfg.Packer.Pack(pending, b.cfg.Pack)
 	blk := &account.Block{
 		Height:   b.height,
@@ -191,6 +243,7 @@ func (b *Builder) packOne(pending []*Pending) (BuiltBlock, map[uint64]bool) {
 	removed := make(map[uint64]bool, len(idx))
 	var receipts []*account.Receipt
 	var times []time.Time
+	var packed []*Pending
 	deferred := 0
 	for _, i := range idx {
 		cand := pending[i]
@@ -207,13 +260,14 @@ func (b *Builder) packOne(pending []*Pending) (BuiltBlock, map[uint64]bool) {
 		receipts = append(receipts, rcpt)
 		times = append(times, cand.Submitted)
 		removed[cand.seq] = true
+		packed = append(packed, cand)
 	}
 	if len(blk.Txs) == 0 {
-		return BuiltBlock{}, nil
+		return BuiltBlock{}, nil, nil
 	}
 	b.replica.AddBalance(blk.Coinbase, account.Fees(blk.Txs, receipts))
 	b.replica.AddBalance(blk.Coinbase, account.BlockReward)
 	b.replica.DiscardJournal()
 	b.height++
-	return BuiltBlock{Block: blk, Submitted: times, Deferred: deferred}, removed
+	return BuiltBlock{Block: blk, Submitted: times, Deferred: deferred}, removed, packed
 }

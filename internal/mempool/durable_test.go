@@ -1,0 +1,220 @@
+package mempool
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"txconcur/internal/account"
+	"txconcur/internal/types"
+)
+
+// captureLog is a BlockLog double recording appends; failAt (when ≥ 0)
+// fails the append with that index.
+type captureLog struct {
+	blocks []*account.Block
+	synced int
+	failAt int
+	err    error
+}
+
+func newCaptureLog() *captureLog { return &captureLog{failAt: -1} }
+
+func (l *captureLog) Append(blk *account.Block) (uint64, error) {
+	if l.failAt >= 0 && len(l.blocks) == l.failAt {
+		return 0, l.err
+	}
+	l.blocks = append(l.blocks, blk)
+	return uint64(len(l.blocks) - 1), nil
+}
+
+func (l *captureLog) Sync() error {
+	l.synced++
+	return nil
+}
+
+// runDurable drives a builder over an already-loaded pool, returning the
+// built blocks and the run error.
+func runDurable(t *testing.T, pre *account.StateDB, pool *Pool, cfg BuilderConfig) ([]BuiltBlock, []*Pending, error) {
+	t.Helper()
+	builder := NewBuilder(pool, pre, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	out := make(chan BuiltBlock)
+	var blocks []BuiltBlock
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for bb := range out {
+			blocks = append(blocks, bb)
+		}
+	}()
+	left, err := builder.Run(ctx, out)
+	<-collected
+	return blocks, left, err
+}
+
+// TestDurableAcksResolveAfterAppend: every durable submission's ack
+// delivers nil, and only after its block reached the log (persist-then-ack
+// — the log holds the block by the time the ack fires).
+func TestDurableAcksResolveAfterAppend(t *testing.T) {
+	pre := account.NewStateDB()
+	pre.AddBalance(addr(1), 1<<30)
+	pool := New(8)
+	log := newCaptureLog()
+	var acks []<-chan error
+	var hashes []types.Hash
+	for n := uint64(0); n < 4; n++ {
+		tx := transfer(1, 2, n, 5)
+		ack, err := pool.SubmitDurable(context.Background(), PredictTransfer(tx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		acks = append(acks, ack)
+		hashes = append(hashes, tx.Hash())
+	}
+	pool.Close()
+	blocks, left, err := runDurable(t, pre, pool, BuilderConfig{
+		Pack:     PackConfig{MaxTxs: 2, HotKeyCap: 2},
+		Coinbase: types.AddressFromUint64("miner", 1),
+		Log:      log,
+	})
+	if err != nil || len(left) != 0 {
+		t.Fatalf("run: err=%v left=%d", err, len(left))
+	}
+	for i, ack := range acks {
+		select {
+		case aerr := <-ack:
+			if aerr != nil {
+				t.Fatalf("ack %d: %v", i, aerr)
+			}
+		default:
+			t.Fatalf("ack %d never resolved", i)
+		}
+	}
+	// Persist-then-ack: the acked txs are all in the log.
+	logged := make(map[types.Hash]bool)
+	for _, blk := range log.blocks {
+		for _, tx := range blk.Txs {
+			logged[tx.Hash()] = true
+		}
+	}
+	for i, h := range hashes {
+		if !logged[h] {
+			t.Fatalf("acked tx %d not in the log", i)
+		}
+	}
+	if len(log.blocks) != len(blocks) {
+		t.Fatalf("%d blocks logged, %d emitted", len(log.blocks), len(blocks))
+	}
+	if log.synced == 0 {
+		t.Fatal("log never synced at shutdown")
+	}
+}
+
+// TestDurableAcksFailOnAppendError: a WAL append failure stops the run
+// with the error and fails the outstanding acks with it — never a silent
+// drop, never a nil ack for an unpersisted tx.
+func TestDurableAcksFailOnAppendError(t *testing.T) {
+	pre := account.NewStateDB()
+	pre.AddBalance(addr(1), 1<<30)
+	pool := New(8)
+	boom := errors.New("disk on fire")
+	log := newCaptureLog()
+	log.failAt, log.err = 1, boom // first block lands, second append fails
+	var acks []<-chan error
+	for n := uint64(0); n < 4; n++ {
+		ack, err := pool.SubmitDurable(context.Background(), PredictTransfer(transfer(1, 2, n, 5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		acks = append(acks, ack)
+	}
+	pool.Close()
+	_, _, err := runDurable(t, pre, pool, BuilderConfig{
+		Pack:     PackConfig{MaxTxs: 2, HotKeyCap: 2},
+		Coinbase: types.AddressFromUint64("miner", 1),
+		Log:      log,
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("run error %v, want the append failure", err)
+	}
+	okCount, failCount := 0, 0
+	for i, ack := range acks {
+		select {
+		case aerr := <-ack:
+			if aerr == nil {
+				okCount++
+			} else if errors.Is(aerr, boom) {
+				failCount++
+			} else {
+				t.Fatalf("ack %d: unexpected %v", i, aerr)
+			}
+		default:
+			t.Fatalf("ack %d unresolved after shutdown", i)
+		}
+	}
+	if okCount != 2 || failCount != 2 {
+		t.Fatalf("%d acked / %d failed, want 2/2 (first block persisted, second did not)", okCount, failCount)
+	}
+}
+
+// TestDurableAcksFailOnClose: a durable submission that can never be
+// packed (permanently invalid envelope) is failed with ErrClosed when the
+// drained pool shuts down — the promise is resolved, not leaked.
+func TestDurableAcksFailOnClose(t *testing.T) {
+	pre := account.NewStateDB() // sender unfunded: the tx can never validate
+	pool := New(4)
+	ack, err := pool.SubmitDurable(context.Background(), PredictTransfer(transfer(1, 2, 0, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+	_, left, rerr := runDurable(t, pre, pool, BuilderConfig{
+		Pack:     PackConfig{MaxTxs: 2, HotKeyCap: 2},
+		Coinbase: types.AddressFromUint64("miner", 1),
+		Log:      newCaptureLog(),
+	})
+	if rerr != nil {
+		t.Fatalf("run: %v", rerr)
+	}
+	if len(left) != 1 {
+		t.Fatalf("%d leftovers, want the invalid tx", len(left))
+	}
+	select {
+	case aerr := <-ack:
+		if !errors.Is(aerr, ErrClosed) {
+			t.Fatalf("ack resolved %v, want ErrClosed", aerr)
+		}
+	default:
+		t.Fatal("unpackable durable submission left unresolved")
+	}
+}
+
+// TestDurableAckWithoutLog: durable submissions still resolve when no WAL
+// is configured — the ack then means "packed into a validated block".
+func TestDurableAckWithoutLog(t *testing.T) {
+	pre := account.NewStateDB()
+	pre.AddBalance(addr(1), 1<<30)
+	pool := New(4)
+	ack, err := pool.SubmitDurable(context.Background(), PredictTransfer(transfer(1, 2, 0, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+	if _, _, err := runDurable(t, pre, pool, BuilderConfig{
+		Pack:     PackConfig{MaxTxs: 1, HotKeyCap: 2},
+		Coinbase: types.AddressFromUint64("miner", 1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case aerr := <-ack:
+		if aerr != nil {
+			t.Fatalf("ack: %v", aerr)
+		}
+	default:
+		t.Fatal("ack unresolved")
+	}
+}

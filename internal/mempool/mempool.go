@@ -45,6 +45,24 @@ type Pending struct {
 	Submitted time.Time
 	// seq is the pool-wide arrival number (per-sender order ⊆ seq order).
 	seq uint64
+	// ack, set by SubmitDurable, receives the submission's outcome exactly
+	// once: nil after the builder has packed the transaction and appended
+	// its block to the WAL (persist-then-ack), or the shutdown error if
+	// the service stops first. Buffered so resolution never blocks.
+	ack chan error
+}
+
+// resolve delivers the submission's outcome to a durable submitter, at
+// most once; later calls (and calls on non-durable submissions) are
+// no-ops.
+func (tx *Pending) resolve(err error) {
+	if tx.ack == nil {
+		return
+	}
+	select {
+	case tx.ack <- err:
+	default:
+	}
 }
 
 // Pool is the bounded mempool. Submit blocks while the pool is at
@@ -81,31 +99,52 @@ func New(capacity int) *Pool {
 // error if the context ends first and ErrClosed once the pool is closed.
 // The Pending is copied; the caller may reuse it.
 func (p *Pool) Submit(ctx context.Context, tx *Pending) error {
+	_, err := p.submit(ctx, tx, false)
+	return err
+}
+
+// SubmitDurable is Submit with durable semantics: on admission it
+// additionally returns a one-shot channel that reports the submission's
+// fate — nil once the builder has packed the transaction and appended its
+// block to the write-ahead log (the tx then survives any crash), or an
+// error if the service shuts down before that. Admission alone promises
+// nothing; callers wanting durability must wait on the channel.
+func (p *Pool) SubmitDurable(ctx context.Context, tx *Pending) (<-chan error, error) {
+	return p.submit(ctx, tx, true)
+}
+
+func (p *Pool) submit(ctx context.Context, tx *Pending, durable bool) (<-chan error, error) {
 	if tx == nil || tx.Tx == nil {
-		return errors.New("mempool: nil transaction")
+		return nil, errors.New("mempool: nil transaction")
 	}
 	//txlint:clock admission backpressure; commit order is assigned by seq under the lock, not select arbitration
 	select {
 	case p.slots <- struct{}{}:
 	case <-ctx.Done():
-		return ctx.Err()
+		return nil, ctx.Err()
 	case <-p.closedCh:
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		<-p.slots
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	cp := *tx
 	cp.Submitted = p.now()
 	cp.seq = p.seq
+	cp.ack = nil
+	var ack chan error
+	if durable {
+		ack = make(chan error, 1)
+		cp.ack = ack
+	}
 	p.seq++
 	p.pending = append(p.pending, &cp)
 	p.mu.Unlock()
 	p.notify()
-	return nil
+	return ack, nil
 }
 
 // Close stops admissions and wakes every waiter (submitters get ErrClosed,
@@ -175,6 +214,19 @@ func (p *Pool) remove(seqs map[uint64]bool) {
 		<-p.slots
 	}
 	p.notify()
+}
+
+// failPending resolves every still-pending durable submission with err —
+// the shutdown path: an acked submission is durable, so anything still in
+// the pool when the builder stops must be failed, never silently dropped.
+func (p *Pool) failPending(err error) {
+	p.mu.Lock()
+	left := make([]*Pending, len(p.pending))
+	copy(left, p.pending)
+	p.mu.Unlock()
+	for _, tx := range left {
+		tx.resolve(err)
+	}
 }
 
 // LatencyStats summarises a set of submit → committed latencies.

@@ -338,6 +338,47 @@ func (s *Store[K, V]) RangeLatestResolved(fn func(k K, val V, anchored bool) boo
 	})
 }
 
+// RangeResolvedAt is RangeLatestResolved at a fixed timestamp: fn sees
+// every key with a version visible at ts, materialised over the chain's
+// anchor as of ts, along with the timestamp of the newest visible version
+// (newest). Keys first written after ts are skipped. Callers merging
+// several stores' views (the checkpoint worker over per-shard stores)
+// use newest to let the most recent writer win. Safe to run concurrently
+// with commits at timestamps above ts — version nodes are immutable and
+// the walk skips anything newer — provided ts is pinned against garbage
+// collection (see PinAt). Iteration order is unspecified.
+func (s *Store[K, V]) RangeResolvedAt(ts uint64, fn func(k K, val V, anchored bool, newest uint64) bool) {
+	s.chains.Range(func(k, c any) bool {
+		ch := c.(*keyChain[V])
+		var newest uint64
+		var deltas []V
+		var anchor *version[V]
+		seen := false
+		for n := ch.head.Load(); n != nil; n = n.prev.Load() {
+			if n.ts > ts {
+				continue
+			}
+			if !seen {
+				newest = n.ts
+				seen = true
+			}
+			if n.kind == Put {
+				anchor = n
+				break
+			}
+			deltas = append(deltas, n.val)
+		}
+		if !seen {
+			return true
+		}
+		var val V
+		if anchor != nil {
+			val = anchor.val
+		}
+		return fn(k.(K), s.fold(val, deltas), anchor != nil, newest)
+	})
+}
+
 // Stats describes the store's occupancy.
 type Stats struct {
 	// Keys is the number of distinct keys ever written.

@@ -14,6 +14,7 @@ import (
 
 	"txconcur/internal/account"
 	"txconcur/internal/utxo"
+	"txconcur/internal/wal"
 )
 
 // magic identifies txconcur history files; version gates format changes.
@@ -168,17 +169,13 @@ func readHeader(dec *gob.Decoder, want Kind) (Header, error) {
 	return hdr, nil
 }
 
-// SaveUTXOFile writes a UTXO history to path.
+// SaveUTXOFile writes a UTXO history to path atomically (temp file,
+// fsync, rename, directory fsync): a crash mid-save leaves the previous
+// file intact, never a truncated history.
 func SaveUTXOFile(path, chain string, blocks []*utxo.Block) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteUTXO(f, chain, blocks); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return wal.WriteFileAtomic(wal.OS{}, path, func(w io.Writer) error {
+		return WriteUTXO(w, chain, blocks)
+	})
 }
 
 // LoadUTXOFile reads a UTXO history from path.
@@ -191,17 +188,12 @@ func LoadUTXOFile(path string) (string, []*utxo.Block, error) {
 	return ReadUTXO(f)
 }
 
-// SaveAccountFile writes an account history to path.
+// SaveAccountFile writes an account history to path atomically, with the
+// same crash guarantee as SaveUTXOFile.
 func SaveAccountFile(path, chain string, blocks []*account.Block, receipts [][]*account.Receipt) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteAccount(f, chain, blocks, receipts); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return wal.WriteFileAtomic(wal.OS{}, path, func(w io.Writer) error {
+		return WriteAccount(w, chain, blocks, receipts)
+	})
 }
 
 // LoadAccountFile reads an account history from path.

@@ -1,0 +1,268 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"txconcur/internal/account"
+)
+
+// ckptMagic opens every checkpoint file; the trailing bytes version the
+// format.
+var ckptMagic = []byte("txconcur-ckpt\x00\x01")
+
+const (
+	ckptPrefix = "checkpoint-"
+	ckptSuffix = ".ckpt"
+)
+
+// checkpointRecord is a checkpoint file's payload: the committed state
+// after applying blocks [0, Index] of the log.
+type checkpointRecord struct {
+	Index uint64
+	State account.StateExport
+}
+
+// checkpointName returns the filename for a checkpoint at the given block
+// index; the fixed-width hex index makes lexical order equal numeric order.
+func checkpointName(index uint64) string {
+	return fmt.Sprintf("%s%016x%s", ckptPrefix, index, ckptSuffix)
+}
+
+// parseCheckpointName inverts checkpointName.
+func parseCheckpointName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	idx, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return idx, true
+}
+
+// Dir is one durability directory: the block log plus any number of
+// versioned checkpoint files, all accessed through the same FS seam.
+type Dir struct {
+	fsys   FS
+	path   string
+	policy SyncPolicy
+	log    *Log
+	recs   []Record
+}
+
+// Open opens (creating if needed) the durability directory at path: the
+// block log is opened and scanned (torn tails truncated), checkpoint files
+// are left untouched until Recover.
+func Open(fsys FS, path string, policy SyncPolicy) (*Dir, error) {
+	if err := fsys.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", path, err)
+	}
+	log, recs, err := OpenLog(fsys, filepath.Join(path, LogName), policy)
+	if err != nil {
+		return nil, err
+	}
+	return &Dir{fsys: fsys, path: path, policy: policy, log: log, recs: recs}, nil
+}
+
+// Log returns the directory's block log.
+func (d *Dir) Log() *Log { return d.log }
+
+// Records returns the valid records found when the log was opened.
+func (d *Dir) Records() []Record { return d.recs }
+
+// Close closes the block log.
+func (d *Dir) Close() error { return d.log.Close() }
+
+// WriteCheckpoint atomically writes the committed state after block index
+// as a versioned checkpoint file. A crash at any stage leaves at worst a
+// stale temp file and the previous checkpoints — never a torn checkpoint
+// that recovery could trust.
+func (d *Dir) WriteCheckpoint(index uint64, st *account.StateDB) error {
+	rec := checkpointRecord{Index: index, State: st.Export()}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&rec); err != nil {
+		return fmt.Errorf("wal: encode checkpoint %d: %w", index, err)
+	}
+	path := filepath.Join(d.path, checkpointName(index))
+	return WriteFileAtomic(d.fsys, path, func(w io.Writer) error {
+		if _, err := w.Write(ckptMagic); err != nil {
+			return err
+		}
+		var frame [8]byte
+		binary.LittleEndian.PutUint32(frame[:4], uint32(payload.Len()))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+		if _, err := w.Write(frame[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(payload.Bytes())
+		return err
+	})
+}
+
+// readCheckpoint loads and fully validates one checkpoint file.
+func (d *Dir) readCheckpoint(name string) (checkpointRecord, error) {
+	var rec checkpointRecord
+	f, err := d.fsys.OpenFile(filepath.Join(d.path, name), os.O_RDONLY, 0)
+	if err != nil {
+		return rec, fmt.Errorf("wal: open checkpoint %s: %w", name, err)
+	}
+	defer f.Close()
+	header := make([]byte, len(ckptMagic)+8)
+	if _, err := io.ReadFull(f, header); err != nil {
+		return rec, fmt.Errorf("wal: checkpoint %s header: %w", name, err)
+	}
+	if !bytes.Equal(header[:len(ckptMagic)], ckptMagic) {
+		return rec, fmt.Errorf("wal: checkpoint %s: bad magic", name)
+	}
+	size := binary.LittleEndian.Uint32(header[len(ckptMagic):])
+	sum := binary.LittleEndian.Uint32(header[len(ckptMagic)+4:])
+	if size == 0 || size > maxRecordSize {
+		return rec, fmt.Errorf("wal: checkpoint %s: bad size %d", name, size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return rec, fmt.Errorf("wal: checkpoint %s payload: %w", name, err)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return rec, fmt.Errorf("wal: checkpoint %s: checksum mismatch", name)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+		return rec, fmt.Errorf("wal: checkpoint %s decode: %w", name, err)
+	}
+	wantIdx, _ := parseCheckpointName(name)
+	if rec.Index != wantIdx {
+		return rec, fmt.Errorf("wal: checkpoint %s claims index %d", name, rec.Index)
+	}
+	return rec, nil
+}
+
+// Recovery is the outcome of Recover: the state to resume from and the
+// log suffix to replay through the execution engine.
+type Recovery struct {
+	// Checkpoint is the block index of the checkpoint used, -1 when
+	// recovery starts from genesis.
+	Checkpoint int64
+	// State is the recovered base state (the checkpoint's, or a copy of
+	// genesis). Replaying Blocks on it reproduces the durable chain.
+	State *account.StateDB
+	// Blocks is the log suffix after the checkpoint, in chain order.
+	Blocks []*account.Block
+	// NextIndex is one past the last durable block — where the builder
+	// resumes appending.
+	NextIndex uint64
+}
+
+// Recover picks the newest valid checkpoint consistent with the log and
+// returns it plus the log suffix to replay. The log is the truth: a
+// checkpoint claiming blocks the (possibly truncated) log does not hold
+// is ignored, as is any checkpoint that fails validation — recovery then
+// falls back to an older checkpoint or to genesis. Deterministic: the
+// same durable bytes always produce the same Recovery.
+func (d *Dir) Recover(genesis *account.StateDB) (*Recovery, error) {
+	names, err := d.fsys.ListDir(d.path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list %s: %w", d.path, err)
+	}
+	recs := d.recs
+	lastIdx := int64(-1)
+	if len(recs) > 0 {
+		lastIdx = int64(recs[len(recs)-1].Index)
+	}
+	// Walk checkpoints newest-first (ListDir is sorted; the fixed-width
+	// hex names sort numerically).
+	var best *checkpointRecord
+	for i := len(names) - 1; i >= 0; i-- {
+		idx, ok := parseCheckpointName(names[i])
+		if !ok || int64(idx) > lastIdx {
+			continue
+		}
+		ck, err := d.readCheckpoint(names[i])
+		if err != nil {
+			continue // a torn or foreign checkpoint costs replay time, never correctness
+		}
+		best = &ck
+		break
+	}
+	out := &Recovery{Checkpoint: -1, NextIndex: d.log.NextIndex()}
+	suffixFrom := uint64(0)
+	if best != nil {
+		out.Checkpoint = int64(best.Index)
+		out.State = best.State.Restore()
+		suffixFrom = best.Index + 1
+	} else {
+		if len(recs) > 0 && recs[0].Index != 0 {
+			return nil, fmt.Errorf("wal: log starts at %d with no usable checkpoint", recs[0].Index)
+		}
+		out.State = genesis.Copy()
+	}
+	for _, r := range recs {
+		if r.Index >= suffixFrom {
+			out.Blocks = append(out.Blocks, r.Block)
+		}
+	}
+	return out, nil
+}
+
+// Checkpointer writes checkpoints into a Dir and satisfies the execution
+// engine's CheckpointSink seam. Failures are recorded, not fatal: a
+// checkpoint that cannot be written only lengthens replay.
+type Checkpointer struct {
+	d     *Dir
+	every int
+
+	mu      sync.Mutex
+	written int
+	err     error
+}
+
+// Checkpointer returns a sink that checkpoints every `every` committed
+// blocks (0 disables checkpointing).
+func (d *Dir) Checkpointer(every int) *Checkpointer {
+	return &Checkpointer{d: d, every: every}
+}
+
+// Interval returns the checkpoint interval in blocks.
+func (c *Checkpointer) Interval() int { return c.every }
+
+// Checkpoint writes the committed state after block idx. Called from the
+// engine's checkpoint worker goroutine, never the commit path.
+func (c *Checkpointer) Checkpoint(idx int, st *account.StateDB) {
+	err := c.d.WriteCheckpoint(uint64(idx), st)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		if c.err == nil {
+			c.err = err
+		}
+		return
+	}
+	c.written++
+}
+
+// Written returns the number of checkpoints successfully written.
+func (c *Checkpointer) Written() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.written
+}
+
+// Err returns the first checkpoint-write failure, if any.
+func (c *Checkpointer) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}

@@ -1,0 +1,226 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"txconcur/internal/account"
+)
+
+// logMagic opens every block log; the trailing bytes version the format.
+var logMagic = []byte("txconcur-wal\x00\x01")
+
+// maxRecordSize bounds one framed record; a length prefix beyond it is
+// treated as corruption (torn tail), not an allocation request.
+const maxRecordSize = 1 << 26
+
+// LogName is the block log's filename inside a durability directory.
+const LogName = "blocks.wal"
+
+// ErrForeignLog reports a log file whose magic belongs to something else.
+var ErrForeignLog = errors.New("wal: not a txconcur block log")
+
+// Record is one durable block: Index is its position in the chain
+// (contiguous from the log's base), Block the built block the executor
+// will see.
+type Record struct {
+	Index uint64
+	Block *account.Block
+}
+
+// Log is an append-only block log with length-prefixed, CRC32-framed
+// records:
+//
+//	magic | frame* ; frame = len(4B LE) | crc32(4B LE, IEEE, payload) | payload
+//
+// where payload is a self-contained gob encoding of one Record (a fresh
+// encoder per record, so any prefix of frames decodes without the rest).
+// OpenLog truncates a torn tail — any trailing bytes that do not parse as
+// a complete, checksummed, index-contiguous frame — so a crash mid-append
+// costs at most the unacked record being written. Append is not
+// goroutine-safe; the builder is the only appender.
+type Log struct {
+	fsys   FS
+	path   string
+	policy SyncPolicy
+	f      File
+	next   uint64
+}
+
+// OpenLog opens (creating if absent) the block log at path, scans and
+// validates every record, truncates the first torn or corrupt frame and
+// everything after it, and returns the log positioned for appending plus
+// the valid records in order.
+func OpenLog(fsys FS, path string, policy SyncPolicy) (*Log, []Record, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open log %s: %w", path, err)
+	}
+	l := &Log{fsys: fsys, path: path, policy: policy, f: f}
+	recs, created, err := l.openScan()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if created {
+		// A freshly created file's data can be fsynced without its
+		// directory entry being durable; sync the directory once so the
+		// log's name survives any crash from here on.
+		if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: sync log dir: %w", err)
+		}
+	}
+	return l, recs, nil
+}
+
+// openScan validates the header and frames, truncating at the first
+// damage. On return the file offset is the append position; created
+// reports that the header was (re)written — a fresh file whose directory
+// entry still needs syncing.
+func (l *Log) openScan() (recs []Record, created bool, _ error) {
+	header := make([]byte, len(logMagic))
+	n, err := io.ReadFull(l.f, header)
+	switch {
+	case errors.Is(err, io.EOF) && n == 0:
+		// Fresh (or fully torn-away) log: write the header.
+		if err := l.writeHeader(); err != nil {
+			return nil, false, err
+		}
+		return nil, true, nil
+	case errors.Is(err, io.ErrUnexpectedEOF):
+		// Torn header: only a prefix of the magic made it. Rewrite.
+		if bytes.HasPrefix(logMagic, header[:n]) {
+			if err := l.f.Truncate(0); err != nil {
+				return nil, false, fmt.Errorf("wal: reset torn header: %w", err)
+			}
+			if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+				return nil, false, fmt.Errorf("wal: reset torn header: %w", err)
+			}
+			if err := l.writeHeader(); err != nil {
+				return nil, false, err
+			}
+			return nil, true, nil
+		}
+		return nil, false, ErrForeignLog
+	case err != nil:
+		return nil, false, fmt.Errorf("wal: read log header: %w", err)
+	}
+	if !bytes.Equal(header, logMagic) {
+		return nil, false, ErrForeignLog
+	}
+
+	good := int64(len(logMagic))
+	var frame [8]byte
+	for {
+		if _, err := io.ReadFull(l.f, frame[:]); err != nil {
+			break // short frame header: torn tail
+		}
+		size := binary.LittleEndian.Uint32(frame[:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if size == 0 || size > maxRecordSize {
+			break
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(l.f, payload); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		var rec Record
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			break
+		}
+		if rec.Block == nil {
+			break // a checksummed frame with no block is still not a block
+		}
+		if len(recs) > 0 && rec.Index != recs[len(recs)-1].Index+1 {
+			break // discontinuity: everything from here is not ours to trust
+		}
+		recs = append(recs, rec)
+		good += 8 + int64(size)
+	}
+	if err := l.f.Truncate(good); err != nil {
+		return nil, false, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := l.f.Seek(good, io.SeekStart); err != nil {
+		return nil, false, fmt.Errorf("wal: seek append position: %w", err)
+	}
+	if len(recs) > 0 {
+		l.next = recs[len(recs)-1].Index + 1
+	}
+	return recs, false, nil
+}
+
+func (l *Log) writeHeader() error {
+	if _, err := l.f.Write(logMagic); err != nil {
+		return fmt.Errorf("wal: write log header: %w", err)
+	}
+	if l.policy == SyncEachRecord {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync log header: %w", err)
+		}
+	}
+	return nil
+}
+
+// NextIndex returns the index the next appended block will get.
+func (l *Log) NextIndex() uint64 { return l.next }
+
+// Append frames and writes blk as the next record and, under
+// SyncEachRecord, fsyncs before returning — the durability point the
+// builder acks behind. Returns the record's index.
+func (l *Log) Append(blk *account.Block) (uint64, error) {
+	rec := Record{Index: l.next, Block: blk}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&rec); err != nil {
+		return 0, fmt.Errorf("wal: encode record %d: %w", rec.Index, err)
+	}
+	if payload.Len() > maxRecordSize {
+		return 0, fmt.Errorf("wal: record %d exceeds %d bytes", rec.Index, maxRecordSize)
+	}
+	frame := make([]byte, 8+payload.Len())
+	binary.LittleEndian.PutUint32(frame[:4], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+	copy(frame[8:], payload.Bytes())
+	if _, err := l.f.Write(frame); err != nil {
+		return 0, fmt.Errorf("wal: append record %d: %w", rec.Index, err)
+	}
+	if l.policy == SyncEachRecord {
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: sync record %d: %w", rec.Index, err)
+		}
+	}
+	l.next++
+	return rec.Index, nil
+}
+
+// Sync forces all appended records to stable storage (the group-commit
+// point under SyncManual; a no-op cost under SyncEachRecord).
+func (l *Log) Sync() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync log: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the log file.
+func (l *Log) Close() error {
+	serr := l.f.Sync()
+	cerr := l.f.Close()
+	if serr != nil {
+		return fmt.Errorf("wal: close log: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("wal: close log: %w", cerr)
+	}
+	return nil
+}

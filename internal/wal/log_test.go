@@ -1,0 +1,258 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"txconcur/internal/account"
+	"txconcur/internal/types"
+)
+
+// testBlock builds a distinguishable block for framing tests.
+func testBlock(height uint64) *account.Block {
+	return &account.Block{
+		Height:   height,
+		Time:     int64(1000 + height),
+		Coinbase: types.Address{0xcb},
+		Txs: []*account.Transaction{{
+			From:     types.Address{byte(height + 1)},
+			To:       types.Address{byte(height + 2)},
+			Value:    account.Amount(100 + height),
+			Nonce:    height,
+			GasLimit: 21000,
+		}},
+	}
+}
+
+// openTestLog opens a log at a fixed path on a fresh MemFS.
+func openTestLog(t *testing.T, fsys FS) (*Log, []Record) {
+	t.Helper()
+	if err := fsys.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	l, recs, err := OpenLog(fsys, "d/"+LogName, SyncEachRecord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, recs
+}
+
+// TestLogRoundTrip: appended records come back in order, with the right
+// indices and block contents, across a close/reopen cycle.
+func TestLogRoundTrip(t *testing.T) {
+	mem := NewMemFS()
+	l, recs := openTestLog(t, mem)
+	if len(recs) != 0 || l.NextIndex() != 0 {
+		t.Fatalf("fresh log: %d records, next %d", len(recs), l.NextIndex())
+	}
+	for i := uint64(0); i < 5; i++ {
+		idx, err := l.Append(testBlock(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != i {
+			t.Fatalf("append %d got index %d", i, idx)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, recs2 := openTestLog(t, mem)
+	defer l2.Close()
+	if len(recs2) != 5 || l2.NextIndex() != 5 {
+		t.Fatalf("reopen: %d records, next %d", len(recs2), l2.NextIndex())
+	}
+	for i, r := range recs2 {
+		if r.Index != uint64(i) || r.Block.Height != uint64(i) {
+			t.Fatalf("record %d: index %d height %d", i, r.Index, r.Block.Height)
+		}
+		if len(r.Block.Txs) != 1 || r.Block.Txs[0].Value != account.Amount(100+uint64(i)) {
+			t.Fatalf("record %d: payload did not round-trip", i)
+		}
+	}
+}
+
+// TestLogTornTailTruncated: any proper prefix of the last frame is
+// truncated on open, preserving all earlier records, and the log appends
+// cleanly afterwards.
+func TestLogTornTailTruncated(t *testing.T) {
+	mem := NewMemFS()
+	l, _ := openTestLog(t, mem)
+	for i := uint64(0); i < 3; i++ {
+		if _, err := l.Append(testBlock(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	full, _ := mem.ReadFileVolatile("d/" + LogName)
+
+	// Find the start of the last frame by re-scanning: cut at every byte
+	// inside the final record.
+	l2, recs := openTestLog(t, mem)
+	if len(recs) != 3 {
+		t.Fatalf("setup: %d records", len(recs))
+	}
+	l2.Close()
+	// The last frame occupies the tail after the first two records; try a
+	// sweep of cut points across the whole file.
+	for cut := len(logMagic); cut < len(full); cut++ {
+		fs2 := NewMemFS()
+		fs2.Install("d/"+LogName, full[:cut])
+		l3, recs3, err := OpenLog(fs2, "d/"+LogName, SyncEachRecord)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		for i, r := range recs3 {
+			if r.Index != uint64(i) || r.Block.Height != uint64(i) {
+				t.Fatalf("cut %d: record %d corrupted", cut, i)
+			}
+		}
+		// Truncated open must leave an appendable log.
+		if _, err := l3.Append(testBlock(uint64(len(recs3)))); err != nil {
+			t.Fatalf("cut %d: append after truncation: %v", cut, err)
+		}
+		l3.Close()
+		_, recs4, err := OpenLog(fs2, "d/"+LogName, SyncEachRecord)
+		if err != nil {
+			t.Fatalf("cut %d reopen: %v", cut, err)
+		}
+		if len(recs4) != len(recs3)+1 {
+			t.Fatalf("cut %d: %d records after append, want %d", cut, len(recs4), len(recs3)+1)
+		}
+	}
+}
+
+// TestLogCorruptionTruncates: a flipped byte inside a record drops that
+// record and everything after it (CRC), never an earlier record.
+func TestLogCorruptionTruncates(t *testing.T) {
+	mem := NewMemFS()
+	l, _ := openTestLog(t, mem)
+	for i := uint64(0); i < 3; i++ {
+		if _, err := l.Append(testBlock(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	full, _ := mem.ReadFileVolatile("d/" + LogName)
+	for pos := len(logMagic); pos < len(full); pos++ {
+		data := append([]byte(nil), full...)
+		data[pos] ^= 0xff
+		fs2 := NewMemFS()
+		fs2.Install("d/"+LogName, data)
+		_, recs, err := OpenLog(fs2, "d/"+LogName, SyncEachRecord)
+		if err != nil {
+			t.Fatalf("pos %d: %v", pos, err)
+		}
+		if len(recs) >= 3 {
+			t.Fatalf("pos %d: corruption not detected (%d records)", pos, len(recs))
+		}
+		for i, r := range recs {
+			if r.Index != uint64(i) || r.Block.Height != uint64(i) {
+				t.Fatalf("pos %d: surviving record %d corrupted", pos, i)
+			}
+		}
+	}
+}
+
+// TestLogForeignFile: a file that is not a txconcur log is refused, not
+// truncated — the one corruption Open must not "repair".
+func TestLogForeignFile(t *testing.T) {
+	mem := NewMemFS()
+	mem.Install("d/"+LogName, []byte("definitely not a wal file, but long enough"))
+	if _, _, err := OpenLog(mem, "d/"+LogName, SyncEachRecord); !errors.Is(err, ErrForeignLog) {
+		t.Fatalf("foreign file: %v", err)
+	}
+	// A torn prefix of the real magic, though, is rewritten.
+	mem2 := NewMemFS()
+	mem2.Install("d/"+LogName, logMagic[:4])
+	l, recs, err := OpenLog(mem2, "d/"+LogName, SyncEachRecord)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("torn magic: %v (%d records)", err, len(recs))
+	}
+	l.Close()
+}
+
+// TestWriteFileAtomicReplaces: the helper replaces content atomically and
+// cleans up its temp file on both success and write failure.
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	mem := NewMemFS()
+	if err := mem.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(mem, "d/f", func(w io.Writer) error {
+		_, err := w.Write([]byte("v1"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := mem.ReadFileVolatile("d/f")
+	if !ok || string(got) != "v1" {
+		t.Fatalf("after first write: %q %v", got, ok)
+	}
+	if err := WriteFileAtomic(mem, "d/f", func(w io.Writer) error {
+		_, err := w.Write([]byte("version-two"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = mem.ReadFileVolatile("d/f")
+	if string(got) != "version-two" {
+		t.Fatalf("after replace: %q", got)
+	}
+	if n := mem.fileCount("d/", tmpSuffix); n != 0 {
+		t.Fatalf("%d temp files left behind", n)
+	}
+	// A write callback failure keeps the old content and removes the temp.
+	boom := errors.New("boom")
+	if err := WriteFileAtomic(mem, "d/f", func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("callback error not surfaced: %v", err)
+	}
+	got, _ = mem.ReadFileVolatile("d/f")
+	if string(got) != "version-two" {
+		t.Fatalf("failed write clobbered content: %q", got)
+	}
+	if n := mem.fileCount("d/", tmpSuffix); n != 0 {
+		t.Fatalf("%d temp files left after failure", n)
+	}
+}
+
+// TestLogSyncManualTornTail: under SyncManual a crash loses the unsynced
+// suffix; recovery sees exactly the synced prefix.
+func TestLogSyncManualTornTail(t *testing.T) {
+	mem := NewMemFS()
+	if err := mem.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := OpenLog(mem, "d/"+LogName, SyncManual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(testBlock(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil { // group-commit point: record 0 durable
+		t.Fatal(err)
+	}
+	if _, err := l.Append(testBlock(1)); err != nil { // never synced
+		t.Fatal(err)
+	}
+	img := mem.CrashImage(0)
+	_, recs, err := OpenLog(img, "d/"+LogName, SyncManual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Index != 0 {
+		t.Fatalf("crash image: %d records", len(recs))
+	}
+	// A torn tail of the unsynced frame must also truncate cleanly.
+	img2 := mem.CrashImage(5)
+	_, recs2, err := OpenLog(img2, "d/"+LogName, SyncManual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != 1 {
+		t.Fatalf("torn crash image: %d records", len(recs2))
+	}
+}

@@ -260,6 +260,7 @@ var deterministicPackages = map[string]bool{
 	"txconcur/internal/mvstore": true,
 	"txconcur/internal/mempool": true,
 	"txconcur/internal/dataset": true,
+	"txconcur/internal/wal":     true,
 }
 
 // lockedPackages hold the mutexes guarding shared engine state; the
@@ -269,6 +270,7 @@ var lockedPackages = map[string]bool{
 	"txconcur/internal/mempool": true,
 	"txconcur/internal/stm":     true,
 	"txconcur/internal/client":  true,
+	"txconcur/internal/wal":     true,
 }
 
 func inDeterministicScope(pkgPath string) bool { return deterministicPackages[pkgPath] }
