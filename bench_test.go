@@ -241,6 +241,20 @@ func BenchmarkRecoveryComparison(b *testing.B) {
 	}
 }
 
+func BenchmarkMemoryBoundedComparison(b *testing.B) {
+	// E15 at benchmark scale: the sharded executor with per-shard cache
+	// budgets at 1/10 and 1/100 of the account population, evicting to a
+	// real base store on disk, against the all-RAM control — every row
+	// root- and receipt-verified. The recorded baseline lives in
+	// docs/bench/E15-baseline.json (regenerate with
+	// `go run ./cmd/experiments -run memorybounded -json`).
+	for i := 0; i < b.N; i++ {
+		tbl, err := bench.MemoryBoundedComparison(int64(2020+i), 8, 4)
+		renderAll(b, err)
+		renderAll(b, bench.RenderTable(io.Discard, tbl))
+	}
+}
+
 // Micro-benchmarks of the pipeline stages.
 
 func BenchmarkTDGBuildAccount(b *testing.B) {

@@ -10,8 +10,8 @@
 // The -run filter selects experiments by name (tableI, fig1, fig4, fig5,
 // fig6, fig7, fig8, fig9, fig10, summary, exec, sched, approxtdg,
 // interblock, utxoexec, sharding, shardingexec, shardedpipeline,
-// adaptiveshard, tracereplay, streaming, recovery, census, pipeline,
-// oplevel). With
+// adaptiveshard, tracereplay, streaming, recovery, memorybounded, census,
+// pipeline, oplevel). With
 // -json,
 // table experiments
 // emit one JSON object per table (figures stay text) — the format of the
@@ -282,6 +282,15 @@ func run(args []string) error {
 		tbl, err := bench.RecoveryComparison(*seed, 8, 4)
 		if err != nil {
 			return fmt.Errorf("recovery: %w", err)
+		}
+		if err := renderTable(out, tbl); err != nil {
+			return err
+		}
+	}
+	if want("memorybounded") {
+		tbl, err := bench.MemoryBoundedComparison(*seed, 8, 4)
+		if err != nil {
+			return fmt.Errorf("memorybounded: %w", err)
 		}
 		if err := renderTable(out, tbl); err != nil {
 			return err

@@ -136,6 +136,34 @@ func (s *StateDB) SetStorage(addr types.Address, slot, value uint64) {
 	s.storage[k] = value
 }
 
+// InstallBalance sets addr's balance without journaling. Install methods
+// load committed base-layer state (lazy recovery fault-in, base-layer
+// folds); they must never run inside transaction execution, where a
+// revert would need the journal entry they skip.
+func (s *StateDB) InstallBalance(addr types.Address, v Amount) { s.balances[addr] = v }
+
+// InstallNonce sets addr's nonce without journaling; see InstallBalance.
+func (s *StateDB) InstallNonce(addr types.Address, n uint64) { s.nonces[addr] = n }
+
+// InstallCode installs code at addr without journaling; see InstallBalance.
+func (s *StateDB) InstallCode(addr types.Address, code []byte) {
+	c := make([]byte, len(code))
+	copy(c, code)
+	s.code[addr] = c
+}
+
+// InstallStorage sets one storage slot without journaling; a zero value
+// deletes the slot, keeping the map (and Root) canonical. See
+// InstallBalance.
+func (s *StateDB) InstallStorage(addr types.Address, slot, value uint64) {
+	k := StorageKey{Addr: addr, Slot: slot}
+	if value == 0 {
+		delete(s.storage, k)
+		return
+	}
+	s.storage[k] = value
+}
+
 // Snapshot returns an identifier for the current journal position.
 func (s *StateDB) Snapshot() int { return len(s.journal) }
 

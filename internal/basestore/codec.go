@@ -1,0 +1,132 @@
+package basestore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"txconcur/internal/account"
+	"txconcur/internal/types"
+)
+
+// State-entry kinds. The values mirror the execution layer's StateKey
+// kinds (exec.keyKind starts at one so the zero key is invalid); the
+// explicit constants here keep the disk format independent of that
+// package.
+const (
+	KindBalance byte = 1
+	KindNonce   byte = 2
+	KindCode    byte = 3
+	KindStorage byte = 4
+)
+
+// KeySize is the fixed length of an encoded state key: address bytes, one
+// kind byte, and a big-endian slot (zero for non-storage kinds). The
+// layout sorts address-major, then kind, then slot — the same canonical
+// order account.StateDB.Root hashes in.
+const KeySize = types.AddressSize + 9
+
+// EncodeKey encodes one state key.
+func EncodeKey(addr types.Address, kind byte, slot uint64) []byte {
+	k := make([]byte, KeySize)
+	copy(k, addr[:])
+	k[types.AddressSize] = kind
+	binary.BigEndian.PutUint64(k[types.AddressSize+1:], slot)
+	return k
+}
+
+// DecodeKey inverts EncodeKey.
+func DecodeKey(key []byte) (addr types.Address, kind byte, slot uint64, err error) {
+	if len(key) != KeySize {
+		return addr, 0, 0, fmt.Errorf("basestore: bad key length %d", len(key))
+	}
+	copy(addr[:], key[:types.AddressSize])
+	kind = key[types.AddressSize]
+	if kind < KindBalance || kind > KindStorage {
+		return addr, 0, 0, fmt.Errorf("basestore: bad key kind %d", kind)
+	}
+	slot = binary.BigEndian.Uint64(key[types.AddressSize+1:])
+	if kind != KindStorage && slot != 0 {
+		return addr, 0, 0, fmt.Errorf("basestore: non-storage key with slot %d", slot)
+	}
+	return addr, kind, slot, nil
+}
+
+// EncodeU64 encodes a numeric state value (balance as uint64 of its
+// two's-complement int64, nonce, storage word) as 8 big-endian bytes.
+func EncodeU64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+// DecodeU64 inverts EncodeU64.
+func DecodeU64(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("basestore: bad numeric value length %d", len(b))
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// StateEntries flattens a committed StateDB into sorted state entries —
+// the checkpoint payload of the lazy-recovery path. Map membership is
+// preserved exactly (an account holding an explicit zero balance gets an
+// entry), so installing every entry into an empty StateDB reproduces an
+// identical Root.
+func StateEntries(st *account.StateDB) []Entry {
+	e := st.Export()
+	out := make([]Entry, 0, 3*len(e.Accounts)+len(e.Storage))
+	for _, a := range e.Accounts {
+		if a.HasBalance {
+			out = append(out, Entry{Key: EncodeKey(a.Addr, KindBalance, 0), Val: EncodeU64(uint64(a.Balance))})
+		}
+		if a.HasNonce {
+			out = append(out, Entry{Key: EncodeKey(a.Addr, KindNonce, 0), Val: EncodeU64(a.Nonce)})
+		}
+		if a.HasCode {
+			out = append(out, Entry{Key: EncodeKey(a.Addr, KindCode, 0), Val: append([]byte(nil), a.Code...)})
+		}
+	}
+	for _, sl := range e.Storage {
+		out = append(out, Entry{Key: EncodeKey(sl.Addr, KindStorage, sl.Slot), Val: EncodeU64(sl.Value)})
+	}
+	// Export is address-major for accounts and storage separately; the
+	// global key order interleaves each address's storage slots right
+	// after its account kinds, so re-sort.
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].Key, out[j].Key) < 0 })
+	return out
+}
+
+// InstallEntry decodes one state entry and installs it into st through the
+// non-journaled Install methods — the fault-in step of lazy recovery and
+// the fold step of base-layer reads.
+func InstallEntry(st *account.StateDB, key, val []byte) error {
+	addr, kind, slot, err := DecodeKey(key)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case KindBalance:
+		v, err := DecodeU64(val)
+		if err != nil {
+			return err
+		}
+		st.InstallBalance(addr, int64(v))
+	case KindNonce:
+		v, err := DecodeU64(val)
+		if err != nil {
+			return err
+		}
+		st.InstallNonce(addr, v)
+	case KindCode:
+		st.InstallCode(addr, val)
+	case KindStorage:
+		v, err := DecodeU64(val)
+		if err != nil {
+			return err
+		}
+		st.InstallStorage(addr, slot, v)
+	}
+	return nil
+}

@@ -1,0 +1,357 @@
+package basestore
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	genPrefix = "base-"
+	genSuffix = ".tbl"
+	// compactAfter is the generation count past which Apply folds the
+	// store into a single table; bounds the per-Get binary-search fan-out
+	// and the file-handle count.
+	compactAfter = 8
+)
+
+// genName returns the filename of generation g; fixed-width hex makes
+// lexical order equal numeric order.
+func genName(g uint64) string {
+	return fmt.Sprintf("%s%016x%s", genPrefix, g, genSuffix)
+}
+
+// parseGenName inverts genName.
+func parseGenName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, genPrefix) || !strings.HasSuffix(name, genSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, genPrefix), genSuffix)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	g, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return g, true
+}
+
+// Store is the on-disk base layer: a stack of immutable sorted table
+// generations where newer generations shadow older ones. Apply writes a
+// new generation atomically (so a crash leaves either the old stack or the
+// new one, never a torn table) and Compact folds the stack into one table.
+//
+// Reads (Get, Range, Has) take a read-lock on the generation stack and may
+// run concurrently with each other and with writers up to the atomic swap;
+// Apply and Compact serialize among themselves.
+type Store struct {
+	fsys FS
+	dir  string
+
+	wmu sync.Mutex // serializes Apply and Compact
+
+	mu      sync.RWMutex // guards gens and nextGen
+	gens    []*Table     // ascending generation order; later shadows earlier
+	genIDs  []uint64
+	nextGen uint64
+}
+
+// OpenStore opens (creating if needed) the base-layer directory. Leftover
+// temp files are removed; files with foreign names are ignored; a present
+// .tbl file that fails validation is real corruption and an error — the
+// atomic writer never leaves a torn table under a durable name.
+func OpenStore(fsys FS, dir string) (*Store, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("basestore: mkdir %s: %w", dir, err)
+	}
+	names, err := fsys.ListDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("basestore: list %s: %w", dir, err)
+	}
+	s := &Store{fsys: fsys, dir: dir}
+	for _, name := range names {
+		if strings.HasSuffix(name, TmpSuffix) {
+			fsys.Remove(filepath.Join(dir, name)) // crash leftovers are harmless
+			continue
+		}
+		g, ok := parseGenName(name)
+		if !ok {
+			continue
+		}
+		t, err := OpenTable(fsys, filepath.Join(dir, name))
+		if err != nil {
+			s.closeLocked()
+			return nil, err
+		}
+		s.gens = append(s.gens, t)
+		s.genIDs = append(s.genIDs, g)
+		if g >= s.nextGen {
+			s.nextGen = g + 1
+		}
+	}
+	return s, nil
+}
+
+// Close closes every open generation.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeLocked()
+}
+
+func (s *Store) closeLocked() error {
+	for _, t := range s.gens {
+		t.retire()
+	}
+	s.gens, s.genIDs = nil, nil
+	return nil
+}
+
+// snapshot acquires a read reference on the current generation stack;
+// callers must pair it with releaseAll. A compaction that retires a
+// referenced table defers the close to the last release.
+func (s *Store) snapshot() []*Table {
+	s.mu.RLock()
+	gens := append([]*Table(nil), s.gens...)
+	for _, t := range gens {
+		t.acquire()
+	}
+	s.mu.RUnlock()
+	return gens
+}
+
+func releaseAll(gens []*Table) {
+	for _, t := range gens {
+		t.release()
+	}
+}
+
+// Get returns the newest value written for key, reading newest generation
+// first. The second result is false when no generation holds the key.
+func (s *Store) Get(key []byte) ([]byte, bool, error) {
+	gens := s.snapshot()
+	defer releaseAll(gens)
+	for i := len(gens) - 1; i >= 0; i-- {
+		if v, ok, err := gens[i].Get(key); ok || err != nil {
+			return v, ok, err
+		}
+	}
+	return nil, false, nil
+}
+
+// Has reports whether any generation holds key, without touching disk.
+func (s *Store) Has(key []byte) bool {
+	gens := s.snapshot()
+	defer releaseAll(gens)
+	for i := len(gens) - 1; i >= 0; i-- {
+		if gens[i].Has(key) {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply durably writes entries as a new generation: sorted, deduplicated
+// (the last occurrence of a key wins, matching append order semantics),
+// written atomically, then swapped into the generation stack. When Apply
+// returns nil the batch is durable — a crash at any earlier point leaves
+// the previous stack intact. Once the stack exceeds compactAfter
+// generations the store compacts before returning.
+func (s *Store) Apply(entries []Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return bytes.Compare(sorted[i].Key, sorted[j].Key) < 0
+	})
+	dedup := sorted[:0]
+	for i, e := range sorted {
+		if i+1 < len(sorted) && bytes.Equal(e.Key, sorted[i+1].Key) {
+			continue // a later duplicate shadows this one
+		}
+		dedup = append(dedup, e)
+	}
+	s.mu.RLock()
+	g := s.nextGen
+	depth := len(s.gens)
+	s.mu.RUnlock()
+	path := filepath.Join(s.dir, genName(g))
+	if err := WriteTable(s.fsys, path, dedup); err != nil {
+		return err
+	}
+	t, err := OpenTable(s.fsys, path)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.gens = append(s.gens, t)
+	s.genIDs = append(s.genIDs, g)
+	s.nextGen = g + 1
+	s.mu.Unlock()
+	if depth+1 > compactAfter {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Compact folds every generation into a single new one and removes the old
+// files. Crash-safe: the merged table is written under the next generation
+// number before any old file is removed, and the newest-wins read rule
+// makes a crash-leftover mix of merged and unmerged generations read
+// identically to the merged table.
+func (s *Store) Compact() error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return s.compactLocked()
+}
+
+// compactLocked is Compact with wmu held.
+func (s *Store) compactLocked() error {
+	s.mu.RLock()
+	gens := append([]*Table(nil), s.gens...)
+	ids := append([]uint64(nil), s.genIDs...)
+	g := s.nextGen
+	s.mu.RUnlock()
+	if len(gens) <= 1 {
+		return nil
+	}
+	merged, err := mergeGens(gens)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.dir, genName(g))
+	if err := WriteTable(s.fsys, path, merged); err != nil {
+		return err
+	}
+	t, err := OpenTable(s.fsys, path)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.gens = []*Table{t}
+	s.genIDs = []uint64{g}
+	s.nextGen = g + 1
+	s.mu.Unlock()
+	var ferr error
+	for i, old := range gens {
+		old.retire()
+		if err := s.fsys.Remove(filepath.Join(s.dir, genName(ids[i]))); err != nil && ferr == nil {
+			ferr = fmt.Errorf("basestore: remove old generation: %w", err)
+		}
+	}
+	if err := s.fsys.SyncDir(s.dir); err != nil && ferr == nil {
+		ferr = fmt.Errorf("basestore: sync dir %s: %w", s.dir, err)
+	}
+	return ferr
+}
+
+// mergeGens k-way merges the generations into one newest-wins sorted entry
+// list, reading every value from disk.
+func mergeGens(gens []*Table) ([]Entry, error) {
+	// idx[i] is the cursor into generation i's key index.
+	idx := make([]int, len(gens))
+	var out []Entry
+	for {
+		// Pick the smallest current key; among equals the newest
+		// generation (largest i) wins and the older cursors advance past
+		// the shadowed entries.
+		best := -1
+		var bestKey []byte
+		for i := range gens {
+			if idx[i] >= gens[i].Len() {
+				continue
+			}
+			k := gens[i].Key(idx[i])
+			if best < 0 || bytes.Compare(k, bestKey) < 0 {
+				best, bestKey = i, k
+			} else if bytes.Equal(k, bestKey) {
+				best = i // newer generation shadows
+			}
+		}
+		if best < 0 {
+			return out, nil
+		}
+		v, err := gens[best].readVal(idx[best])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Entry{Key: append([]byte(nil), bestKey...), Val: v})
+		for i := range gens {
+			if idx[i] < gens[i].Len() && bytes.Equal(gens[i].Key(idx[i]), bestKey) {
+				idx[i]++
+			}
+		}
+	}
+}
+
+// Range calls fn for every live key in ascending order (newest generation's
+// value per key) until fn returns false. The iteration sees the generation
+// stack as of the call: batches applied concurrently may or may not be
+// included, but a compaction mid-iteration never is (the acquired tables
+// stay readable until Range returns).
+func (s *Store) Range(fn func(key string, val []byte) bool) error {
+	gens := s.snapshot()
+	defer releaseAll(gens)
+	idx := make([]int, len(gens))
+	for {
+		best := -1
+		var bestKey []byte
+		for i := range gens {
+			if idx[i] >= gens[i].Len() {
+				continue
+			}
+			k := gens[i].Key(idx[i])
+			if best < 0 || bytes.Compare(k, bestKey) < 0 {
+				best, bestKey = i, k
+			} else if bytes.Equal(k, bestKey) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		v, err := gens[best].readVal(idx[best])
+		if err != nil {
+			return err
+		}
+		stop := !fn(string(bestKey), v)
+		for i := range gens {
+			if idx[i] < gens[i].Len() && bytes.Equal(gens[i].Key(idx[i]), bestKey) {
+				idx[i]++
+			}
+		}
+		if stop {
+			return nil
+		}
+	}
+}
+
+// StoreStats describes the store's resident footprint.
+type StoreStats struct {
+	// Generations is the current table count.
+	Generations int
+	// IndexedKeys is the total key count across generations (shadowed
+	// keys counted once per generation — this is the RAM-resident index
+	// size, not the live key count).
+	IndexedKeys int
+}
+
+// Stats returns the store's resident footprint.
+func (s *Store) Stats() StoreStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := StoreStats{Generations: len(s.gens)}
+	for _, t := range s.gens {
+		st.IndexedKeys += t.Len()
+	}
+	return st
+}

@@ -1,0 +1,309 @@
+package basestore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// tblMagic opens every table file; the trailing bytes version the format.
+var tblMagic = []byte("txconcur-tbl\x00\x01")
+
+// maxEntrySize bounds one frame's payload (key length prefix + key +
+// value), mirroring the WAL's record-size cap: a corrupt length field must
+// not drive a giant allocation.
+const maxEntrySize = 1 << 26
+
+// ErrCorrupt wraps every table-validation failure, so callers can
+// distinguish "this table is damaged" from I/O errors without matching
+// message strings.
+var ErrCorrupt = errors.New("basestore: corrupt table")
+
+// Entry is one key/value pair of a table. Keys are raw bytes compared with
+// bytes.Compare; values may be empty but never nil semantics — an absent
+// key is simply not in the table.
+type Entry struct {
+	Key []byte
+	Val []byte
+}
+
+// Table is an immutable sorted table file: an in-RAM index (keys, offsets,
+// stored checksums) over on-disk values. Values stay on disk and are read
+// — and CRC-verified — on every Get, so the resident cost of an open table
+// is its key set, not its data.
+//
+// File format, after the magic:
+//
+//	frame  = 4B LE payloadLen | 4B LE crc32(payload) | payload
+//	payload = 2B LE keyLen | key | value
+//
+// Keys must be strictly increasing (bytes.Compare) and the file must end
+// exactly at a frame boundary; OpenTable rejects anything else with
+// ErrCorrupt.
+type Table struct {
+	mu   sync.Mutex // guards f's seek position
+	f    File
+	keys [][]byte // sorted, strictly increasing
+	offs []int64  // offset of each payload (past the frame header)
+	lens []uint32 // payload length of each frame
+	crcs []uint32 // stored checksum of each payload
+
+	// Reference count, used by Store so a compaction never closes a
+	// table a concurrent reader still holds: readers acquire/release,
+	// retire closes once the last reader is done.
+	rcMu    sync.Mutex
+	refs    int
+	retired bool
+}
+
+// acquire takes a read reference; release drops it, closing the file if
+// the table was retired meanwhile.
+func (t *Table) acquire() {
+	t.rcMu.Lock()
+	t.refs++
+	t.rcMu.Unlock()
+}
+
+func (t *Table) release() {
+	t.rcMu.Lock()
+	t.refs--
+	closeNow := t.retired && t.refs == 0
+	t.rcMu.Unlock()
+	if closeNow {
+		t.f.Close()
+	}
+}
+
+// retire marks the table dead: the file closes as soon as the last
+// in-flight reader releases it (immediately when there is none).
+func (t *Table) retire() {
+	t.rcMu.Lock()
+	t.retired = true
+	closeNow := t.refs == 0
+	t.rcMu.Unlock()
+	if closeNow {
+		t.f.Close()
+	}
+}
+
+// WriteTable atomically writes entries as a table file at path. Entries
+// must be sorted by key, strictly increasing; the writer enforces this
+// rather than sorting so callers cannot accidentally feed it duplicate
+// keys with order-dependent meaning.
+func WriteTable(fsys FS, path string, entries []Entry) error {
+	for i := 1; i < len(entries); i++ {
+		if bytes.Compare(entries[i-1].Key, entries[i].Key) >= 0 {
+			return fmt.Errorf("basestore: write %s: keys not strictly increasing at %d", path, i)
+		}
+	}
+	return WriteFileAtomic(fsys, path, func(w io.Writer) error {
+		if _, err := w.Write(tblMagic); err != nil {
+			return err
+		}
+		var hdr [8]byte
+		var payload bytes.Buffer
+		for _, e := range entries {
+			if len(e.Key) > 0xffff {
+				return fmt.Errorf("key too long (%d bytes)", len(e.Key))
+			}
+			payload.Reset()
+			var kl [2]byte
+			binary.LittleEndian.PutUint16(kl[:], uint16(len(e.Key)))
+			payload.Write(kl[:])
+			payload.Write(e.Key)
+			payload.Write(e.Val)
+			if payload.Len() > maxEntrySize {
+				return fmt.Errorf("entry too large (%d bytes)", payload.Len())
+			}
+			binary.LittleEndian.PutUint32(hdr[:4], uint32(payload.Len()))
+			binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+			if _, err := w.Write(hdr[:]); err != nil {
+				return err
+			}
+			if _, err := w.Write(payload.Bytes()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// OpenTable opens and fully validates the table file at path: magic, every
+// frame's checksum and bounds, strict key order, and a clean end exactly at
+// a frame boundary. On success the table's key index is resident in RAM
+// and values are read through the returned Table's Get. Validation
+// failures wrap ErrCorrupt; the file is closed on any error.
+func OpenTable(fsys FS, path string) (*Table, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, fmt.Errorf("basestore: open %s: %w", path, err)
+	}
+	t, err := indexTable(f, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// indexTable scans f front to back building the in-RAM index.
+func indexTable(f File, path string) (*Table, error) {
+	corrupt := func(format string, args ...any) error {
+		return fmt.Errorf("basestore: table %s: %s: %w", path, fmt.Sprintf(format, args...), ErrCorrupt)
+	}
+	r := bufReaderAt{f: f}
+	magic := make([]byte, len(tblMagic))
+	if err := r.readFull(magic); err != nil {
+		return nil, corrupt("magic: %v", err)
+	}
+	if !bytes.Equal(magic, tblMagic) {
+		return nil, corrupt("bad magic")
+	}
+	t := &Table{f: f}
+	var hdr [8]byte
+	var prev []byte
+	for {
+		n, err := r.read(hdr[:])
+		if n == 0 && errors.Is(err, io.EOF) {
+			return t, nil // clean end at a frame boundary
+		}
+		if err != nil || n != len(hdr) {
+			return nil, corrupt("truncated frame header at offset %d", r.off-int64(n))
+		}
+		size := binary.LittleEndian.Uint32(hdr[:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if size < 2 || size > maxEntrySize {
+			return nil, corrupt("bad frame size %d at offset %d", size, r.off-8)
+		}
+		payload := make([]byte, size)
+		off := r.off
+		if err := r.readFull(payload); err != nil {
+			return nil, corrupt("truncated payload at offset %d", off)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil, corrupt("checksum mismatch at offset %d", off)
+		}
+		klen := int(binary.LittleEndian.Uint16(payload[:2]))
+		if 2+klen > len(payload) {
+			return nil, corrupt("key length %d exceeds payload at offset %d", klen, off)
+		}
+		key := payload[2 : 2+klen]
+		if prev != nil && bytes.Compare(prev, key) >= 0 {
+			return nil, corrupt("keys out of order at offset %d", off)
+		}
+		kcopy := append([]byte(nil), key...)
+		prev = kcopy
+		t.keys = append(t.keys, kcopy)
+		t.offs = append(t.offs, off)
+		t.lens = append(t.lens, size)
+		t.crcs = append(t.crcs, sum)
+	}
+}
+
+// bufReaderAt is a tiny forward reader that tracks the absolute offset, so
+// index building makes one sequential pass without Seek round-trips.
+type bufReaderAt struct {
+	f   File
+	off int64
+}
+
+func (r *bufReaderAt) read(p []byte) (int, error) {
+	n, err := io.ReadFull(r.f, p)
+	r.off += int64(n)
+	if errors.Is(err, io.ErrUnexpectedEOF) && n > 0 {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (r *bufReaderAt) readFull(p []byte) error {
+	n, err := r.read(p)
+	if err != nil || n != len(p) {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	return nil
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return len(t.keys) }
+
+// Key returns the i-th key (ascending). The returned slice is the index's
+// own copy; callers must not mutate it.
+func (t *Table) Key(i int) []byte { return t.keys[i] }
+
+// find returns the index of key, or -1.
+func (t *Table) find(key []byte) int {
+	lo, hi := 0, len(t.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(t.keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(t.keys) && bytes.Equal(t.keys[lo], key) {
+		return lo
+	}
+	return -1
+}
+
+// Has reports whether key is present, without touching disk.
+func (t *Table) Has(key []byte) bool { return t.find(key) >= 0 }
+
+// Get reads key's value from disk, re-verifying the frame checksum, so a
+// block that rotted after OpenTable is caught rather than served. The
+// second result is false when the key is absent.
+func (t *Table) Get(key []byte) ([]byte, bool, error) {
+	i := t.find(key)
+	if i < 0 {
+		return nil, false, nil
+	}
+	v, err := t.readVal(i)
+	return v, err == nil, err
+}
+
+// readVal fetches and verifies entry i's payload, returning the value.
+func (t *Table) readVal(i int) ([]byte, error) {
+	payload := make([]byte, t.lens[i])
+	t.mu.Lock()
+	_, err := t.f.Seek(t.offs[i], io.SeekStart)
+	if err == nil {
+		_, err = io.ReadFull(t.f, payload)
+	}
+	t.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("basestore: read entry %d: %w", i, err)
+	}
+	if crc32.ChecksumIEEE(payload) != t.crcs[i] {
+		return nil, fmt.Errorf("basestore: entry %d: checksum mismatch: %w", i, ErrCorrupt)
+	}
+	klen := int(binary.LittleEndian.Uint16(payload[:2]))
+	return payload[2+klen:], nil
+}
+
+// Range calls fn for every entry in ascending key order until fn returns
+// false. Values are read (and verified) from disk per entry.
+func (t *Table) Range(fn func(key, val []byte) bool) error {
+	for i := range t.keys {
+		v, err := t.readVal(i)
+		if err != nil {
+			return err
+		}
+		if !fn(t.keys[i], v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (t *Table) Close() error { return t.f.Close() }

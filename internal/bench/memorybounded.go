@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"txconcur/internal/account"
+	"txconcur/internal/basestore"
+	"txconcur/internal/chainsim"
+	"txconcur/internal/exec"
+	"txconcur/internal/mempool"
+	"txconcur/internal/types"
+)
+
+// memoryBoundedUsers is the E15 account population. The bounded rows cap
+// the per-shard version cache at users/10 and users/100 keys, so the state
+// is 10× and 100× the cache budget — the regime the disk-backed base layer
+// exists for.
+const memoryBoundedUsers = 8000
+
+// memoryBoundedChain is the E15 workload: a wide account population with a
+// skewed active set, so the version caches keep faulting different cold
+// accounts while a hot core stays resident. Wide and shallow — the cost
+// being priced is cache churn, not chain length.
+func memoryBoundedChain(seed int64) (*account.StateDB, []*account.Block, error) {
+	p := chainsim.Profile{
+		Name: "Memory Bounded", Model: chainsim.Account, Consensus: "PoW",
+		DataSource: "Synthetic", LaunchYear: 2020,
+		Eras: []chainsim.Era{
+			{Name: "wide", Weight: 1, StartTime: 1577836800, BlockInterval: 15,
+				TxPerBlock: 150, TxPerBlockJitter: 0.3, Users: memoryBoundedUsers,
+				ActiveFrac: 2.5, HotSenderFrac: 0.6, HotSenders: 4},
+		},
+	}
+	return chainsim.GenerateAccountChain(p, 12, seed)
+}
+
+// timedBackend decorates the production base store with cold-read latency
+// sampling: every Get that the store answers (a read the version cache had
+// evicted) is timed, so the table can report the tail price of a cache
+// miss that goes to disk.
+type timedBackend struct {
+	s *basestore.Store
+
+	mu   sync.Mutex
+	cold []time.Duration
+}
+
+func (b *timedBackend) Get(key []byte) ([]byte, bool, error) {
+	start := time.Now()
+	v, ok, err := b.s.Get(key)
+	if ok && err == nil {
+		d := time.Since(start)
+		b.mu.Lock()
+		b.cold = append(b.cold, d)
+		b.mu.Unlock()
+	}
+	return v, ok, err
+}
+
+func (b *timedBackend) Apply(entries []basestore.Entry) error { return b.s.Apply(entries) }
+
+func (b *timedBackend) Range(fn func(key string, val []byte) bool) error { return b.s.Range(fn) }
+
+func (b *timedBackend) coldLatencies() mempool.LatencyStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return mempool.Latencies(b.cold)
+}
+
+// memoryBoundedResult is one chain run under a cache budget (or the all-RAM
+// control).
+type memoryBoundedResult struct {
+	txs, blocks int
+	wall        time.Duration
+	evicted     int
+	coldReads   int
+	coldLat     mempool.LatencyStats
+	gens        int // base-store table generations left on disk
+	baseKeys    int // distinct keys resident in the base store
+}
+
+// runMemoryBounded executes the chain once under the given total cache
+// budget (split evenly across the shards' version caches), against a real
+// basestore.Store on the OS filesystem. budget < 0 runs the all-RAM
+// control (no backend). The result root and every receipt are verified
+// against the sequential oracle before any number is reported.
+func runMemoryBounded(pre *account.StateDB, blocks []*account.Block,
+	oracles [][]*account.Receipt, seqRoot types.Hash, workers, shards, budget int) (*memoryBoundedResult, error) {
+
+	eng := exec.Sharded{Workers: workers, Shards: shards, Depth: 2}
+	var tb *timedBackend
+	if budget >= 0 {
+		dir, err := os.MkdirTemp("", "txconcur-e15-")
+		if err != nil {
+			return nil, fmt.Errorf("bench: tempdir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		store, err := basestore.OpenStore(basestore.OS{}, dir)
+		if err != nil {
+			return nil, err
+		}
+		defer store.Close()
+		tb = &timedBackend{s: store}
+		eng.Backend = tb
+		eng.CacheBudget = budget / shards
+	}
+
+	start := time.Now()
+	cr, css, err := eng.ExecuteChain(pre.Copy(), blocks)
+	wall := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("bench: memorybounded budget=%d: %w", budget, err)
+	}
+
+	ctx := fmt.Sprintf("bench: memorybounded budget=%d", budget)
+	if err := verifyChainRoot(ctx, cr.Root, seqRoot); err != nil {
+		return nil, err
+	}
+	if err := verifyChainReceipts(ctx, cr.Receipts, oracles); err != nil {
+		return nil, err
+	}
+
+	total := 0
+	for _, b := range blocks {
+		total += len(b.Txs)
+	}
+	res := &memoryBoundedResult{
+		txs: total, blocks: len(blocks), wall: wall,
+		evicted: css.Evicted, coldReads: css.ColdReads,
+	}
+	if tb != nil {
+		if budget > 0 && res.evicted == 0 {
+			return nil, fmt.Errorf("%s: bounded run evicted nothing — the budget never bound", ctx)
+		}
+		res.coldLat = tb.coldLatencies()
+		stats := tb.s.Stats()
+		res.gens = stats.Generations
+		res.baseKeys = stats.IndexedKeys
+	}
+	return res, nil
+}
+
+// MemoryBoundedComparison is experiment E15: the price of bounding the
+// version caches to a fraction of the state, with evicted keys persisted
+// to a disk-backed base layer and cache misses reading back through it.
+// Every row runs the same wide-state chain on the sharded executor; the
+// control keeps all state in RAM (the historical behaviour), the bounded
+// rows cap each shard's cache at 1/10 and 1/100 of the account population
+// — state 10× and 100× the budget — against a real table store on the OS
+// filesystem. The table reports throughput against the all-RAM control,
+// the eviction and cold-read volume, the cold-read latency tail (the time
+// a cache miss spends in the base store, CRC check and all), and what the
+// base layer holds at the end. Every row's root and receipts are verified
+// against the sequential replay before it is recorded.
+func MemoryBoundedComparison(seed int64, workers, shards int) (Table, error) {
+	t := Table{
+		Name: "memorybounded",
+		Title: fmt.Sprintf("E15: memory-bounded state backend vs all-RAM control (%d accounts, %d workers, %d shards)",
+			memoryBoundedUsers, workers, shards),
+		Headers: []string{
+			"Cache budget", "State/budget", "Txs", "Blocks", "tx/s", "vs RAM",
+			"Evicted", "Cold reads", "Cold p50", "Cold p99", "Base gens", "Base keys",
+		},
+	}
+	pre, blocks, err := memoryBoundedChain(seed)
+	if err != nil {
+		return t, err
+	}
+	_, oracles, _, seqRoot, err := replayChain("memorybounded", pre, blocks)
+	if err != nil {
+		return t, err
+	}
+	us := func(d time.Duration) string {
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1000)
+	}
+	rows := []struct {
+		label  string
+		budget int
+	}{
+		{"unbounded", -1},
+		{"users/10", memoryBoundedUsers / 10},
+		{"users/100", memoryBoundedUsers / 100},
+	}
+	var ramRate float64
+	for _, row := range rows {
+		r, err := runMemoryBounded(pre, blocks, oracles, seqRoot, workers, shards, row.budget)
+		if err != nil {
+			return t, err
+		}
+		rate := float64(r.txs) / r.wall.Seconds()
+		if row.budget < 0 {
+			ramRate = rate
+		}
+		ratioCol, p50Col, p99Col, gensCol, keysCol := "-", "-", "-", "-", "-"
+		if row.budget >= 0 {
+			ratioCol = fmt.Sprintf("%dx", memoryBoundedUsers/row.budget)
+			p50Col = us(r.coldLat.P50)
+			p99Col = us(r.coldLat.P99)
+			gensCol = fmt.Sprintf("%d", r.gens)
+			keysCol = fmt.Sprintf("%d", r.baseKeys)
+		}
+		t.Rows = append(t.Rows, []string{
+			row.label,
+			ratioCol,
+			fmt.Sprintf("%d", r.txs),
+			fmt.Sprintf("%d", r.blocks),
+			fmt.Sprintf("%.0f", rate),
+			fmt.Sprintf("%.2fx", rate/ramRate),
+			fmt.Sprintf("%d", r.evicted),
+			fmt.Sprintf("%d", r.coldReads),
+			p50Col,
+			p99Col,
+			gensCol,
+			keysCol,
+		})
+	}
+	return t, nil
+}

@@ -262,9 +262,13 @@ func runRecovery(w *streamWorkload, every, workers, shards int) (*recoveryResult
 	if err != nil {
 		return nil, err
 	}
-	root := rec.State.Root()
+	rst, err := rec.State.Materialize()
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s every=%d materialize: %w", w.name, every, err)
+	}
+	root := rst.Root()
 	if len(rec.Blocks) > 0 {
-		rr, _, err := exec.Sharded{Workers: workers, Shards: shards, Depth: 2}.ExecuteChain(rec.State, rec.Blocks)
+		rr, _, err := exec.Sharded{Workers: workers, Shards: shards, Depth: 2}.ExecuteChain(rst, rec.Blocks)
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s every=%d recovery replay: %w", w.name, every, err)
 		}

@@ -111,6 +111,24 @@ func (c *shardedChain) materializeAt(ts uint64) *account.StateDB {
 		})
 	}
 	st := c.st.Copy()
+	// Base layer between the pre-chain copy and the cache fold. Ordering
+	// vs a concurrent eviction: eviction persists before it drops, and the
+	// backend capture here runs *after* the cache scan above — so a chain
+	// the scan missed was dropped before the scan, hence persisted before
+	// the capture, and the base read below sees it. A key present in both
+	// reads identically (eviction requires the chain fully resolved at or
+	// below every pin, including ours at ts) or strictly newer from the
+	// cache, and the cache fold runs last, so it wins either way. An
+	// eviction-cut chain always has head ≤ our pinned ts, so the base
+	// value never postdates the checkpoint.
+	if c.bst != nil {
+		// A backend failure poisons the snapshot; the committer latches
+		// and aborts the chain, so a best-effort empty base here is moot —
+		// record the error and hand the sink the pre-chain copy.
+		if err := foldBackendInto(c.bst.be, st); err != nil {
+			c.bst.fail(err)
+		}
+	}
 	fold := foldResolvedInto(st)
 	//txlint:ordered distinct StateKeys mutate distinct state entries; fold order across keys cannot matter
 	for k, b := range best {

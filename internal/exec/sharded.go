@@ -111,6 +111,19 @@ type Sharded struct {
 	// counted in ChainShardStats.CheckpointsSkipped. Ignored by the
 	// per-block Execute/ExecuteSharded.
 	Checkpoint CheckpointSink
+	// Backend, if non-nil, is the disk-backed base layer shared by every
+	// shard's version cache: the chain drivers evict cold, fully resolved
+	// keys beyond CacheBudget per shard into it after each GC pass, and
+	// cache misses read through to it before falling back to the pre-chain
+	// state. A single shared base makes epoch migrations free for evicted
+	// keys — any shard reads the same base entry. nil keeps the historical
+	// all-RAM behaviour. Ignored by the per-block Execute/ExecuteSharded,
+	// which hold at most one block of state.
+	Backend StateBackend
+	// CacheBudget is the target resident key count of each shard's version
+	// cache when Backend is set: eviction trims cold keys down to it (0
+	// evicts every cold key each pass). Ignored without a Backend.
+	CacheBudget int
 }
 
 // shardMap resolves the effective assignment: the configured Map, or the

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"txconcur/internal/account"
+	"txconcur/internal/basestore"
 	"txconcur/internal/core"
 	"txconcur/internal/mvstore"
 	"txconcur/internal/types"
@@ -68,6 +69,12 @@ type ChainShardStats struct {
 	// waits). Both zero without a sink.
 	Checkpoints        int
 	CheckpointsSkipped int
+	// Evicted counts version chains the committer moved from the per-shard
+	// caches to the state backend (stale migration leftovers dropped
+	// alongside included); ColdReads counts reads the backend served after
+	// their key was evicted. Both zero without a Backend.
+	Evicted   int
+	ColdReads int
 }
 
 // add folds one block's counters into the aggregate.
@@ -108,6 +115,12 @@ type shardedChain struct {
 	st  *account.StateDB
 	mvs []*mvstore.Store[StateKey, stateVal]
 	m   core.ShardMap
+	// bs is the speculative base every snapState falls through to: st
+	// itself, or — with a configured Backend — bst, which reads the disk
+	// base layer before st. budget is the per-shard eviction target.
+	bs     baseState
+	bst    *backedState
+	budget int
 	// baseTS is the last committed timestamp at the current epoch's entry
 	// (0 before the first block; the migration timestamp after a
 	// boundary). Block lo+r of an epoch starting at lo commits at
@@ -211,6 +224,12 @@ func (e Sharded) newShardedChain(st *account.StateDB, m core.ShardMap, sizeHint 
 	for sh := range c.mvs {
 		c.mvs[sh] = mvstore.NewStoreDelta[StateKey, stateVal](mergeStateVal)
 	}
+	c.bs = st
+	if e.Backend != nil {
+		c.bst = &backedState{st: st, be: e.Backend}
+		c.bs = c.bst
+		c.budget = e.CacheBudget
+	}
 	return c
 }
 
@@ -222,6 +241,19 @@ func (e Sharded) finishChain(c *shardedChain, start time.Time) (*ChainResult, *C
 	// The checkpoint worker reads c.st as its immutable base; stop it
 	// before mutating.
 	c.closeCheckpoints()
+	// Base layer first, per-shard caches second: cache chains are strictly
+	// newer than the base values their keys evicted to, so the cache fold
+	// wins per key.
+	if c.bst != nil {
+		err := c.bst.Err()
+		if err == nil {
+			err = foldBackendInto(c.bst.be, c.st)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("exec: sharded chain: state backend: %w", err)
+		}
+		c.css.ColdReads = c.bst.ColdReads()
+	}
 	for sh := range c.mvs {
 		fold := foldResolvedInto(c.st)
 		c.mvs[sh].RangeLatestResolved(func(k StateKey, v stateVal, anchored bool) bool {
@@ -273,7 +305,7 @@ func (e Sharded) runShardedEpoch(c *shardedChain, src epochSource,
 	if depth < 1 {
 		depth = 1
 	}
-	st, mvs, m := c.st, c.mvs, c.m
+	bs, mvs, m := c.bs, c.mvs, c.m
 	shards := m.Shards()
 	baseTS := c.baseTS
 	shardOfKey := func(k StateKey) int { return m.Shard(k.Addr) }
@@ -326,7 +358,7 @@ func (e Sharded) runShardedEpoch(c *shardedChain, src epochSource,
 			view := &mergedState{m: m, views: make([]account.State, shards)}
 			for sh := range mvs {
 				sb.snaps[sh] = mvs[sh].PinAt(ts)
-				view.views[sh] = &snapState{base: st, snap: sb.snaps[sh]}
+				view.views[sh] = &snapState{base: bs, snap: sb.snaps[sh]}
 			}
 			sb.spec = e.specExec(view, blk, m, wps)
 			//txlint:clock send-vs-shutdown arbitration; commit order is enforced by stage 2, not by this select
@@ -356,7 +388,7 @@ func (e Sharded) runShardedEpoch(c *shardedChain, src epochSource,
 		// timestamp, over the immutable pre-chain state.
 		base := &mergedState{m: m, views: make([]account.State, shards)}
 		for sh := range mvs {
-			base.views[sh] = &snapState{base: st, snap: mvs[sh].At(commitTS - 1)}
+			base.views[sh] = &snapState{base: bs, snap: mvs[sh].At(commitTS - 1)}
 		}
 		// Cross-block staleness: a phase-1 read is stale iff its key was
 		// committed after the pinned snapshot (per-shard ChangedSince, the
@@ -408,6 +440,25 @@ func (e Sharded) runShardedEpoch(c *shardedChain, src epochSource,
 			for sh := range mvs {
 				mvs[sh].TruncateBelow(horizon)
 			}
+			// Cold-key eviction rides the GC cadence: fully resolved cold
+			// keys beyond each shard's budget are persisted to the shared
+			// base layer, then their chains dropped from every shard.
+			if c.bst != nil {
+				ev, err := c.evictShards(horizon)
+				if err != nil {
+					abort()
+					return n, fmt.Errorf("exec: sharded chain block %d: state backend: %w", blk.Height, err)
+				}
+				c.css.Evicted += ev
+			}
+		}
+		// A backend read failure latched by a speculative worker poisons
+		// every result after it; surface it at the commit point.
+		if c.bst != nil {
+			if err := c.bst.Err(); err != nil {
+				abort()
+				return n, fmt.Errorf("exec: sharded chain block %d: state backend: %w", blk.Height, err)
+			}
 		}
 
 		c.all = append(c.all, out.receipts)
@@ -447,6 +498,57 @@ func (e Sharded) runShardedEpoch(c *shardedChain, src epochSource,
 	return n, nil
 }
 
+// evictShards moves cold keys from every shard's version cache into the
+// shared base layer, down to the per-shard budget. The protocol is
+// persist-then-drop: the batch is durable in the backend before any chain
+// is removed, so a reader missing a dropped chain always finds the value
+// in the base. A key owned by its shard (per the current map) is persisted
+// from that shard's chain — the newest by construction — and dropped on
+// *every* shard, so a stale copy an epoch migration left behind can never
+// outlive the owner's chain and win a newest-wins merge against the base
+// value. A cold chain on a non-owning shard is such a stale copy: strictly
+// older, never read (dispatch is by the current map), dropped without a
+// base write. horizon must be the GC horizon of the triggering commit; the
+// eviction cut additionally respects snapshot pins, exactly like GC.
+// Returns the number of chains dropped across all shards.
+func (c *shardedChain) evictShards(horizon uint64) (int, error) {
+	var entries []basestore.Entry
+	var owned []StateKey
+	dropLocal := make([][]StateKey, len(c.mvs))
+	for sh := range c.mvs {
+		excess := c.mvs[sh].StoreStats().Keys - c.budget
+		if excess <= 0 {
+			continue
+		}
+		for _, ev := range c.mvs[sh].CollectCold(horizon, excess) {
+			if c.m.Shard(ev.Key.Addr) != sh {
+				dropLocal[sh] = append(dropLocal[sh], ev.Key)
+				continue
+			}
+			v := ev.Val
+			if !ev.Anchored {
+				// Deltas exist only for balances: fold the accumulated
+				// increment over the backed base so the persisted value is
+				// absolute and commutativity is preserved.
+				v = stateVal{i64: c.bst.GetBalance(ev.Key.Addr) + ev.Val.i64}
+			}
+			entries = append(entries, basestore.Entry{Key: encodeStateKey(ev.Key), Val: encodeStateVal(ev.Key, v)})
+			owned = append(owned, ev.Key)
+		}
+	}
+	if len(entries) > 0 {
+		if err := c.bst.be.Apply(entries); err != nil {
+			return 0, err
+		}
+	}
+	dropped := 0
+	for sh := range c.mvs {
+		dropped += c.mvs[sh].DropChains(owned, horizon)
+		dropped += c.mvs[sh].DropChains(dropLocal[sh], horizon)
+	}
+	return dropped, nil
+}
+
 // migrateShards applies one rebalance's moves to the per-shard stores: for
 // every moved address, each of its keys present on the old shard is
 // materialised (deltas folded over the pre-chain state) and committed to
@@ -484,10 +586,12 @@ func (e Sharded) migrateShards(c *shardedChain, moves []core.ShardMove) {
 			}
 			if !anchored {
 				// Delta-only chain: v is the accumulated balance increment;
-				// materialise it over the immutable pre-chain state so the
+				// materialise it over the backed base (the disk base layer
+				// holds the anchor when the key's absolute chain was
+				// evicted, the immutable pre-chain state otherwise) so the
 				// copy supersedes (rather than double-counts) any stale
 				// version a previous migration left on the destination.
-				v = stateVal{i64: c.st.GetBalance(k.Addr) + v.i64}
+				v = stateVal{i64: c.bs.GetBalance(k.Addr) + v.i64}
 			}
 			parts[dest][k] = mvstore.Write[stateVal]{Kind: mvstore.Put, Val: v}
 			migrated++

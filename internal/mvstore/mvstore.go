@@ -88,9 +88,13 @@ type version[V any] struct {
 	prev atomic.Pointer[version[V]]
 }
 
-// keyChain is the per-key chain head. Newest version first.
+// keyChain is the per-key chain head. Newest version first. ref is the
+// clock bit of the cold-key evictor: reads set it, CollectCold clears it
+// and skips chains whose bit was set (second chance), so a key must go
+// unread for a full eviction pass before it is considered cold.
 type keyChain[V any] struct {
 	head atomic.Pointer[version[V]]
+	ref  atomic.Bool
 }
 
 // Store is a multi-version key-value cache. The zero value is not usable;
@@ -241,7 +245,9 @@ func (s *Store[K, V]) Get(k K, ts uint64) (val V, ok bool) {
 	if !found {
 		return val, false
 	}
-	n, deltas := s.walk(c.(*keyChain[V]), ts)
+	ch := c.(*keyChain[V])
+	ch.ref.Store(true)
+	n, deltas := s.walk(ch, ts)
 	if n == nil {
 		return val, false
 	}
@@ -257,7 +263,9 @@ func (s *Store[K, V]) Resolve(k K, ts uint64, base V) V {
 	if !found {
 		return base
 	}
-	n, deltas := s.walk(c.(*keyChain[V]), ts)
+	ch := c.(*keyChain[V])
+	ch.ref.Store(true)
+	n, deltas := s.walk(ch, ts)
 	if n != nil {
 		base = n.val
 	}
@@ -381,7 +389,8 @@ func (s *Store[K, V]) RangeResolvedAt(ts uint64, fn func(k K, val V, anchored bo
 
 // Stats describes the store's occupancy.
 type Stats struct {
-	// Keys is the number of distinct keys ever written.
+	// Keys is the number of distinct keys currently resident (written and
+	// not evicted by DropChains).
 	Keys int
 	// Versions is the number of live (unreclaimed) versions.
 	Versions int
@@ -585,4 +594,105 @@ func (s *Store[K, V]) TruncateBelow(horizon uint64) int {
 	s.versions.Add(int64(-reclaimed))
 	s.reclaimed.Add(int64(reclaimed))
 	return reclaimed
+}
+
+// Evicted is one cold key surfaced by CollectCold: its fully materialised
+// value as of the chain head. Anchored reports whether the chain bottoms
+// out at an absolute version; when false Val is an accumulated delta the
+// caller must fold onto the base state it evicts into — the same contract
+// as RangeLatestResolved, so eviction preserves commutativity.
+type Evicted[K comparable, V any] struct {
+	Key      K
+	Val      V
+	Anchored bool
+}
+
+// CollectCold returns up to max (≤ 0: unlimited) cold keys: keys whose
+// newest version is at or below min(horizon, oldest pinned timestamp) —
+// fully resolved, so no live or future snapshot at or above that cut can
+// observe anything the materialised value does not capture — and whose
+// clock bit is clear, meaning the key was not read since the previous
+// CollectCold pass cleared it (second chance). Every scanned chain's bit
+// is cleared as a side effect. The returned values are safe to persist:
+// serialised against commits, so the chain cannot grow a newer version
+// between resolution and return.
+//
+// The intended protocol is collect → persist to the base layer → DropChains,
+// in that order on one goroutine: a reader that misses a dropped chain
+// then falls through to a base layer that already holds the value.
+func (s *Store[K, V]) CollectCold(horizon uint64, max int) []Evicted[K, V] {
+	s.pinMu.Lock()
+	cut := s.minPinned()
+	s.pinMu.Unlock()
+	if horizon < cut {
+		cut = horizon
+	}
+	if cut == 0 {
+		return nil
+	}
+
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	var out []Evicted[K, V]
+	s.chains.Range(func(k, c any) bool {
+		ch := c.(*keyChain[V])
+		head := ch.head.Load()
+		if head == nil || head.ts > cut {
+			return true // hot: a visible snapshot below the head may exist
+		}
+		if ch.ref.Swap(false) {
+			return true // recently read: one more pass before eviction
+		}
+		anchor, deltas := s.walk(ch, math.MaxUint64)
+		var val V
+		if anchor != nil {
+			val = anchor.val
+		}
+		out = append(out, Evicted[K, V]{Key: k.(K), Val: s.fold(val, deltas), Anchored: anchor != nil})
+		return max <= 0 || len(out) < max
+	})
+	return out
+}
+
+// DropChains removes the given keys' version chains from the cache,
+// provided each chain is still entirely at or below min(horizon, oldest
+// pinned timestamp) — a chain that grew a newer version since CollectCold
+// is skipped, as is a pin taken since: dropping it would lose that state.
+// Returns the number of chains dropped. The caller must have durably
+// persisted the keys' resolved values first (see CollectCold); a reader
+// missing a dropped key falls through to that base layer.
+func (s *Store[K, V]) DropChains(keys []K, horizon uint64) int {
+	s.pinMu.Lock()
+	cut := s.minPinned()
+	s.pinMu.Unlock()
+	if horizon < cut {
+		cut = horizon
+	}
+	if cut == 0 {
+		return 0
+	}
+
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	dropped := 0
+	for _, k := range keys {
+		c, found := s.chains.Load(k)
+		if !found {
+			continue
+		}
+		head := c.(*keyChain[V]).head.Load()
+		if head == nil || head.ts > cut {
+			continue
+		}
+		n := 0
+		for node := head; node != nil; node = node.prev.Load() {
+			n++
+		}
+		s.chains.Delete(k)
+		delete(s.multi, k)
+		s.keys.Add(-1)
+		s.versions.Add(int64(-n))
+		dropped++
+	}
+	return dropped
 }

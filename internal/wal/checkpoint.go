@@ -1,36 +1,33 @@
 package wal
 
 import (
-	"bytes"
-	"encoding/binary"
-	"encoding/gob"
 	"fmt"
-	"hash/crc32"
-	"io"
-	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
 
 	"txconcur/internal/account"
+	"txconcur/internal/basestore"
 )
-
-// ckptMagic opens every checkpoint file; the trailing bytes version the
-// format.
-var ckptMagic = []byte("txconcur-ckpt\x00\x01")
 
 const (
 	ckptPrefix = "checkpoint-"
 	ckptSuffix = ".ckpt"
 )
 
-// checkpointRecord is a checkpoint file's payload: the committed state
-// after applying blocks [0, Index] of the log.
-type checkpointRecord struct {
-	Index uint64
-	State account.StateExport
-}
+// ckptMetaKey keys the one non-state entry of a checkpoint table: its
+// value is the big-endian block index the checkpoint covers, validated
+// against the filename on open. The single zero byte is shorter than any
+// encoded state key, so it always sorts (and is written) first.
+var ckptMetaKey = []byte{0x00}
+
+// A checkpoint file is a basestore sorted table: the meta entry followed
+// by basestore.StateEntries of the committed state after applying blocks
+// [0, index] of the log. The table's per-frame CRCs and strict key order
+// replace the old whole-file checksum, and its in-RAM key index is what
+// makes recovery lazy — Recover opens the index without touching the
+// values; the suffix replay faults keys in on demand.
 
 // checkpointName returns the filename for a checkpoint at the given block
 // index; the fixed-width hex index makes lexical order equal numeric order.
@@ -92,62 +89,40 @@ func (d *Dir) Close() error { return d.log.Close() }
 // stale temp file and the previous checkpoints — never a torn checkpoint
 // that recovery could trust.
 func (d *Dir) WriteCheckpoint(index uint64, st *account.StateDB) error {
-	rec := checkpointRecord{Index: index, State: st.Export()}
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(&rec); err != nil {
-		return fmt.Errorf("wal: encode checkpoint %d: %w", index, err)
-	}
+	entries := basestore.StateEntries(st)
+	all := make([]basestore.Entry, 0, len(entries)+1)
+	all = append(all, basestore.Entry{Key: ckptMetaKey, Val: basestore.EncodeU64(index)})
+	all = append(all, entries...)
 	path := filepath.Join(d.path, checkpointName(index))
-	return WriteFileAtomic(d.fsys, path, func(w io.Writer) error {
-		if _, err := w.Write(ckptMagic); err != nil {
-			return err
-		}
-		var frame [8]byte
-		binary.LittleEndian.PutUint32(frame[:4], uint32(payload.Len()))
-		binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload.Bytes()))
-		if _, err := w.Write(frame[:]); err != nil {
-			return err
-		}
-		_, err := w.Write(payload.Bytes())
-		return err
-	})
+	if err := basestore.WriteTable(d.fsys, path, all); err != nil {
+		return fmt.Errorf("wal: write checkpoint %d: %w", index, err)
+	}
+	return nil
 }
 
-// readCheckpoint loads and fully validates one checkpoint file.
-func (d *Dir) readCheckpoint(name string) (checkpointRecord, error) {
-	var rec checkpointRecord
-	f, err := d.fsys.OpenFile(filepath.Join(d.path, name), os.O_RDONLY, 0)
+// openCheckpoint opens and validates one checkpoint table. Only the key
+// index and the meta entry are read; state values stay on disk for
+// LazyState to fault in.
+func (d *Dir) openCheckpoint(name string) (*basestore.Table, error) {
+	tbl, err := basestore.OpenTable(d.fsys, filepath.Join(d.path, name))
 	if err != nil {
-		return rec, fmt.Errorf("wal: open checkpoint %s: %w", name, err)
+		return nil, fmt.Errorf("wal: open checkpoint %s: %w", name, err)
 	}
-	defer f.Close()
-	header := make([]byte, len(ckptMagic)+8)
-	if _, err := io.ReadFull(f, header); err != nil {
-		return rec, fmt.Errorf("wal: checkpoint %s header: %w", name, err)
+	meta, ok, err := tbl.Get(ckptMetaKey)
+	if err != nil || !ok {
+		tbl.Close()
+		return nil, fmt.Errorf("wal: checkpoint %s: missing meta entry", name)
 	}
-	if !bytes.Equal(header[:len(ckptMagic)], ckptMagic) {
-		return rec, fmt.Errorf("wal: checkpoint %s: bad magic", name)
+	idx, err := basestore.DecodeU64(meta)
+	if err != nil {
+		tbl.Close()
+		return nil, fmt.Errorf("wal: checkpoint %s meta: %w", name, err)
 	}
-	size := binary.LittleEndian.Uint32(header[len(ckptMagic):])
-	sum := binary.LittleEndian.Uint32(header[len(ckptMagic)+4:])
-	if size == 0 || size > maxRecordSize {
-		return rec, fmt.Errorf("wal: checkpoint %s: bad size %d", name, size)
+	if wantIdx, _ := parseCheckpointName(name); idx != wantIdx {
+		tbl.Close()
+		return nil, fmt.Errorf("wal: checkpoint %s claims index %d", name, idx)
 	}
-	payload := make([]byte, size)
-	if _, err := io.ReadFull(f, payload); err != nil {
-		return rec, fmt.Errorf("wal: checkpoint %s payload: %w", name, err)
-	}
-	if crc32.ChecksumIEEE(payload) != sum {
-		return rec, fmt.Errorf("wal: checkpoint %s: checksum mismatch", name)
-	}
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
-		return rec, fmt.Errorf("wal: checkpoint %s decode: %w", name, err)
-	}
-	wantIdx, _ := parseCheckpointName(name)
-	if rec.Index != wantIdx {
-		return rec, fmt.Errorf("wal: checkpoint %s claims index %d", name, rec.Index)
-	}
-	return rec, nil
+	return tbl, nil
 }
 
 // Recovery is the outcome of Recover: the state to resume from and the
@@ -157,8 +132,10 @@ type Recovery struct {
 	// recovery starts from genesis.
 	Checkpoint int64
 	// State is the recovered base state (the checkpoint's, or a copy of
-	// genesis). Replaying Blocks on it reproduces the durable chain.
-	State *account.StateDB
+	// genesis) behind a fault-in view: only the checkpoint's key index is
+	// in RAM until keys are touched. Replaying Blocks on it reproduces
+	// the durable chain; call Materialize for a plain StateDB.
+	State *LazyState
 	// Blocks is the log suffix after the checkpoint, in chain order.
 	Blocks []*account.Block
 	// NextIndex is one past the last durable block — where the builder
@@ -184,30 +161,31 @@ func (d *Dir) Recover(genesis *account.StateDB) (*Recovery, error) {
 	}
 	// Walk checkpoints newest-first (ListDir is sorted; the fixed-width
 	// hex names sort numerically).
-	var best *checkpointRecord
+	var best *basestore.Table
+	var bestIdx uint64
 	for i := len(names) - 1; i >= 0; i-- {
 		idx, ok := parseCheckpointName(names[i])
 		if !ok || int64(idx) > lastIdx {
 			continue
 		}
-		ck, err := d.readCheckpoint(names[i])
+		tbl, err := d.openCheckpoint(names[i])
 		if err != nil {
 			continue // a torn or foreign checkpoint costs replay time, never correctness
 		}
-		best = &ck
+		best, bestIdx = tbl, idx
 		break
 	}
 	out := &Recovery{Checkpoint: -1, NextIndex: d.log.NextIndex()}
 	suffixFrom := uint64(0)
 	if best != nil {
-		out.Checkpoint = int64(best.Index)
-		out.State = best.State.Restore()
-		suffixFrom = best.Index + 1
+		out.Checkpoint = int64(bestIdx)
+		out.State = newLazyState(best)
+		suffixFrom = bestIdx + 1
 	} else {
 		if len(recs) > 0 && recs[0].Index != 0 {
 			return nil, fmt.Errorf("wal: log starts at %d with no usable checkpoint", recs[0].Index)
 		}
-		out.State = genesis.Copy()
+		out.State = eagerLazyState(genesis.Copy())
 	}
 	for _, r := range recs {
 		if r.Index >= suffixFrom {

@@ -89,18 +89,22 @@ func requireRecovered(t *testing.T, img *wal.MemFS, pre *account.StateDB, seq *t
 	}
 
 	// The checkpoint itself must equal the sequential prefix state.
+	st, err := rec.State.Materialize()
+	if err != nil {
+		t.Fatalf("%s: materialize: %v", label, err)
+	}
 	if rec.Checkpoint >= 0 {
-		if got, want := rec.State.Root(), seq.Roots[rec.Checkpoint]; got != want {
+		if got, want := st.Root(), seq.Roots[rec.Checkpoint]; got != want {
 			t.Fatalf("%s: checkpoint %d root %s, oracle prefix has %s", label, rec.Checkpoint, got.Short(), want.Short())
 		}
-	} else if got, want := rec.State.Root(), pre.Root(); got != want {
+	} else if got, want := st.Root(), pre.Root(); got != want {
 		t.Fatalf("%s: genesis recovery root %s, want %s", label, got.Short(), want.Short())
 	}
 
 	e := exec.Sharded{Workers: 4, Shards: 2, Depth: 2}
-	root := rec.State.Root()
+	root := st.Root()
 	if len(rec.Blocks) > 0 {
-		res, _, err := e.ExecuteChain(rec.State, rec.Blocks)
+		res, _, err := e.ExecuteChain(st, rec.Blocks)
 		if err != nil {
 			t.Fatalf("%s: replay: %v", label, err)
 		}
@@ -222,7 +226,11 @@ func TestRecoveryCheckpointPreferred(t *testing.T) {
 	if len(rec.Blocks) != 0 {
 		t.Fatalf("%d replay blocks after a tip checkpoint", len(rec.Blocks))
 	}
-	if got, want := rec.State.Root(), seq.Roots[len(blocks)-1]; got != want {
+	st, err := rec.State.Materialize()
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	if got, want := st.Root(), seq.Roots[len(blocks)-1]; got != want {
 		t.Fatalf("checkpoint state root %s, want %s", got.Short(), want.Short())
 	}
 }

@@ -140,10 +140,14 @@ func svcRecover(t *testing.T, img *wal.MemFS, pre *account.StateDB) ([]*account.
 	if err != nil {
 		t.Fatalf("recover: %v", err)
 	}
-	root := rec.State.Root()
+	st, err := rec.State.Materialize()
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	root := st.Root()
 	if len(rec.Blocks) > 0 {
 		e := exec.Sharded{Workers: 4, Shards: 2, Depth: 2}
-		res, _, err := e.ExecuteChain(rec.State, rec.Blocks)
+		res, _, err := e.ExecuteChain(st, rec.Blocks)
 		if err != nil {
 			t.Fatalf("recovery replay: %v", err)
 		}

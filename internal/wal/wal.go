@@ -4,8 +4,9 @@
 // state written off the commit path, and deterministic recovery that
 // replays the log suffix over the latest checkpoint.
 //
-// Every engine in this repository keeps committed state in RAM
-// (internal/mvstore); without this layer a restart loses the chain. The
+// Every engine in this repository keeps hot committed state in RAM
+// (internal/mvstore) over the disk-backed base layer
+// (internal/basestore); without this layer a restart loses the chain. The
 // durability contract is the classic ARIES-style split:
 //
 //   - the log is the truth: a block is durable the moment its record is
@@ -13,26 +14,26 @@
 //     submissions only after that point (persist-then-ack);
 //   - checkpoints are an optimisation: they bound recovery replay, are
 //     written atomically (temp file, fsync, rename, directory fsync) by an
-//     asynchronous worker, and a torn or missing checkpoint costs replay
-//     time, never correctness;
+//     asynchronous worker as basestore sorted tables, and a torn or
+//     missing checkpoint costs replay time, never correctness;
 //   - recovery is deterministic: the same durable bytes always recover to
 //     the same state, because replay runs the same deterministic engines
 //     that produced the chain — roots and receipts of the replayed suffix
-//     are byte-identical to the uninterrupted run.
+//     are byte-identical to the uninterrupted run. Recovery is also lazy:
+//     Recover loads only the newest checkpoint's index, and LazyState
+//     faults account entries in on demand during suffix replay.
 //
-// All disk access goes through the FS seam so the fault-injection harness
-// (MemFS, FaultFS) can deterministically crash the layer at every write,
-// sync, rename and directory operation; the crash-point sweep in
-// recovery_test.go runs recovery from the durable image of every such
-// point.
+// All disk access goes through the FS seam (owned by internal/basestore,
+// aliased here) so the fault-injection harness (MemFS, FaultFS) can
+// deterministically crash the layer at every write, sync, rename and
+// directory operation; the crash-point sweep in recovery_test.go runs
+// recovery from the durable image of every such point.
 package wal
 
 import (
-	"fmt"
 	"io"
-	"os"
-	"path/filepath"
-	"sort"
+
+	"txconcur/internal/basestore"
 )
 
 // SyncPolicy selects when the log forces appended records to stable
@@ -52,114 +53,25 @@ const (
 )
 
 // File is the subset of *os.File the durability layer writes through.
-type File interface {
-	io.Reader
-	io.Writer
-	io.Closer
-	io.Seeker
-	// Sync forces written bytes to stable storage.
-	Sync() error
-	// Truncate cuts the file to size bytes (torn-tail removal on open).
-	Truncate(size int64) error
-}
+// Owned by internal/basestore (the disk-primitives leaf both layers
+// share); aliased here so the WAL's API and its MemFS/FaultFS harness keep
+// their historical names.
+type File = basestore.File
 
 // FS is the filesystem seam: the OS implementation for production, MemFS
-// and FaultFS for the deterministic crash harness. Implementations must be
-// safe for concurrent use (the log appender and the checkpoint writer run
-// on different goroutines).
-type FS interface {
-	OpenFile(name string, flag int, perm os.FileMode) (File, error)
-	Rename(oldpath, newpath string) error
-	Remove(name string) error
-	MkdirAll(path string, perm os.FileMode) error
-	// ListDir returns the names (not paths) of dir's entries in sorted
-	// order, so directory scans are deterministic on every backend.
-	ListDir(dir string) ([]string, error)
-	// SyncDir fsyncs the directory itself, making created/renamed entries
-	// durable. Creating or renaming a file persists its data blocks, not
-	// its directory entry; a crash before SyncDir may lose the name.
-	SyncDir(dir string) error
-}
+// and FaultFS for the deterministic crash harness. Alias of basestore.FS.
+type FS = basestore.FS
 
-// OS is the real filesystem.
-type OS struct{}
-
-// OpenFile implements FS via os.OpenFile.
-func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
-	return os.OpenFile(name, flag, perm)
-}
-
-// Rename implements FS via os.Rename.
-func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
-
-// Remove implements FS via os.Remove.
-func (OS) Remove(name string) error { return os.Remove(name) }
-
-// MkdirAll implements FS via os.MkdirAll.
-func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
-
-// ListDir implements FS via os.ReadDir (whose results are already sorted).
-func (OS) ListDir(dir string) ([]string, error) {
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	names := make([]string, 0, len(ents))
-	for _, e := range ents {
-		names = append(names, e.Name())
-	}
-	sort.Strings(names)
-	return names, nil
-}
-
-// SyncDir implements FS by fsyncing the opened directory.
-func (OS) SyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
+// OS is the real filesystem. Alias of basestore.OS.
+type OS = basestore.OS
 
 // tmpSuffix marks in-flight atomic writes; recovery scans skip these and
 // a crash can leave them behind harmlessly.
-const tmpSuffix = ".tmp"
+const tmpSuffix = basestore.TmpSuffix
 
 // WriteFileAtomic writes a file so that a crash at any point leaves either
-// the old content at path or the new content — never a torn mixture: the
-// payload goes to path+".tmp", is fsynced, the temp file is renamed over
-// path, and the directory entry is fsynced. Shared by the checkpoint
-// writer and the history-store savers.
+// the old content at path or the new content — never a torn mixture; see
+// basestore.WriteFileAtomic, which owns the implementation.
 func WriteFileAtomic(fsys FS, path string, write func(io.Writer) error) error {
-	tmp := path + tmpSuffix
-	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("wal: create %s: %w", tmp, err)
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		fsys.Remove(tmp)
-		return fmt.Errorf("wal: write %s: %w", tmp, err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		fsys.Remove(tmp)
-		return fmt.Errorf("wal: sync %s: %w", tmp, err)
-	}
-	if err := f.Close(); err != nil {
-		fsys.Remove(tmp)
-		return fmt.Errorf("wal: close %s: %w", tmp, err)
-	}
-	if err := fsys.Rename(tmp, path); err != nil {
-		fsys.Remove(tmp)
-		return fmt.Errorf("wal: rename %s: %w", tmp, err)
-	}
-	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
-		return fmt.Errorf("wal: sync dir of %s: %w", path, err)
-	}
-	return nil
+	return basestore.WriteFileAtomic(fsys, path, write)
 }

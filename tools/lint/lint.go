@@ -254,23 +254,25 @@ func runAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // reproducible across runs and replicas: they produce or order committed
 // state. Scope helpers below key off this list.
 var deterministicPackages = map[string]bool{
-	"txconcur/internal/exec":    true,
-	"txconcur/internal/core":    true,
-	"txconcur/internal/heat":    true,
-	"txconcur/internal/mvstore": true,
-	"txconcur/internal/mempool": true,
-	"txconcur/internal/dataset": true,
-	"txconcur/internal/wal":     true,
+	"txconcur/internal/exec":      true,
+	"txconcur/internal/core":      true,
+	"txconcur/internal/heat":      true,
+	"txconcur/internal/mvstore":   true,
+	"txconcur/internal/mempool":   true,
+	"txconcur/internal/dataset":   true,
+	"txconcur/internal/wal":       true,
+	"txconcur/internal/basestore": true,
 }
 
 // lockedPackages hold the mutexes guarding shared engine state; the
 // lockdiscipline analyzer applies there.
 var lockedPackages = map[string]bool{
-	"txconcur/internal/mvstore": true,
-	"txconcur/internal/mempool": true,
-	"txconcur/internal/stm":     true,
-	"txconcur/internal/client":  true,
-	"txconcur/internal/wal":     true,
+	"txconcur/internal/mvstore":   true,
+	"txconcur/internal/mempool":   true,
+	"txconcur/internal/stm":       true,
+	"txconcur/internal/client":    true,
+	"txconcur/internal/wal":       true,
+	"txconcur/internal/basestore": true,
 }
 
 func inDeterministicScope(pkgPath string) bool { return deterministicPackages[pkgPath] }
